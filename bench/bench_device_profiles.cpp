@@ -1,0 +1,66 @@
+// E-DEV — §2's device list: each consumer device class running its
+// primary workload on its own platform profile; the broad range of
+// cost/performance/power points the paper motivates.
+#include "bench_util.h"
+
+#include "audio/source.h"
+#include "core/appgraphs.h"
+#include "core/deploy.h"
+#include "core/profiles.h"
+#include "video/source.h"
+
+namespace {
+
+using namespace mmsoc;
+
+video::StageOps measure_video_ops() {
+  video::EncoderConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.gop_size = 12;
+  video::VideoEncoder enc(cfg);
+  const auto scene = video::scene_low_motion(81);
+  video::StageOps total;
+  for (int i = 0; i < 12; ++i) {
+    total += enc.encode(video::SyntheticVideo::render(128, 128, scene, i)).ops;
+  }
+  return total;
+}
+
+audio::AudioStageOps measure_audio_ops() {
+  audio::AudioEncoderConfig cfg;
+  cfg.sample_rate = 32000.0;
+  audio::SubbandEncoder enc(cfg);
+  const auto music = audio::make_music(audio::kGranuleSamples, 32000.0, 82);
+  return enc
+      .encode(std::span<const double, audio::kGranuleSamples>(
+          music.data(), audio::kGranuleSamples))
+      .ops;
+}
+
+void print_tables() {
+  mmsoc::bench::banner("E-DEV", "device classes at their workloads (§2)");
+  const auto reports =
+      core::device_study(128, 128, measure_video_ops(), measure_audio_ops());
+  std::printf("%s\n", core::report_header().c_str());
+  mmsoc::bench::rule();
+  for (const auto& r : reports) {
+    std::printf("%s\n", core::report_row(r).c_str());
+  }
+  std::printf("\nShape to verify: every device meets its real-time target on\n"
+              "its own silicon; power spans the battery (player, phone,\n"
+              "camera) to mains (set-top, DVR) range; area tracks capability.\n");
+}
+
+void BM_DeviceStudy(benchmark::State& state) {
+  const auto vops = measure_video_ops();
+  const auto aops = measure_audio_ops();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::device_study(128, 128, vops, aops));
+  }
+}
+BENCHMARK(BM_DeviceStudy);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

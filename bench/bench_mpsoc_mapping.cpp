@@ -1,0 +1,105 @@
+// E-MAP — §1-2 MPSoC mapping/scheduling: the four mappers across the
+// video-encoder workload on each device platform; makespan, throughput,
+// energy, utilization.
+#include "bench_util.h"
+
+#include "core/appgraphs.h"
+#include "core/deploy.h"
+#include "core/profiles.h"
+#include "video/source.h"
+
+namespace {
+
+using namespace mmsoc;
+
+video::StageOps measure_ops() {
+  video::EncoderConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.gop_size = 12;
+  video::VideoEncoder enc(cfg);
+  const auto scene = video::scene_high_detail(71);
+  video::StageOps total;
+  for (int i = 0; i < 12; ++i) {
+    total += enc.encode(video::SyntheticVideo::render(128, 128, scene, i)).ops;
+  }
+  return total;
+}
+
+void print_tables() {
+  mmsoc::bench::banner("E-MAP", "mapping algorithms x platforms (§1-2)");
+  const auto ops = measure_ops();
+  const auto graph = core::video_encoder_graph(128, 128, ops);
+
+  const mpsoc::MapperKind mappers[] = {
+      mpsoc::MapperKind::kRoundRobin, mpsoc::MapperKind::kGreedyLoadBalance,
+      mpsoc::MapperKind::kHeft, mpsoc::MapperKind::kSimulatedAnnealing};
+  const core::DeviceClass platforms[] = {core::DeviceClass::kVideoCamera,
+                                         core::DeviceClass::kVideoRecorder,
+                                         core::DeviceClass::kBroadcastHeadend};
+
+  std::printf("%s\n", core::report_header().c_str());
+  mmsoc::bench::rule();
+  for (const auto device : platforms) {
+    for (const auto mapper : mappers) {
+      const auto r = core::evaluate(graph, core::device_platform(device),
+                                    mapper, 30.0);
+      std::printf("%s\n", core::report_row(r).c_str());
+    }
+  }
+  std::printf("\nShape to verify: HEFT/annealing beat round-robin everywhere;\n"
+              "accelerators make the camera competitive with far bigger dies;\n"
+              "the headend hits real time with margin on every mapper.\n");
+
+  // DVFS ablation (§2 "power critical"): slow the camera SoC until it
+  // just meets 30 fps and report the power saved vs running flat out.
+  mmsoc::bench::banner("E-MAP/DVFS", "voltage-frequency scaling ablation");
+  const auto camera = core::device_platform(core::DeviceClass::kVideoCamera);
+  const double factors[] = {0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
+  const auto sweep = core::dvfs_sweep(graph, camera, mpsoc::MapperKind::kHeft,
+                                      30.0, factors);
+  std::printf("%8s %10s %8s %10s\n", "clock x", "fps", "meets", "avg W");
+  mmsoc::bench::rule();
+  for (const auto& p : sweep) {
+    std::printf("%8.2f %10.2f %8s %10.3f\n", p.clock_factor,
+                p.report.throughput_hz, p.report.meets_realtime ? "Y" : "N",
+                p.report.average_power_w);
+  }
+  const auto pick = core::pick_operating_point(sweep);
+  std::printf("chosen operating point: %.2fx clock, %.3f W (vs %.3f W at 1.0x)\n",
+              pick.clock_factor, pick.report.average_power_w,
+              sweep[std::size(factors) - 1].report.average_power_w);
+}
+
+void BM_Mapper(benchmark::State& state) {
+  const auto ops = measure_ops();
+  const auto graph = core::video_encoder_graph(128, 128, ops);
+  const auto platform = core::device_platform(core::DeviceClass::kVideoRecorder);
+  const auto kind = static_cast<mpsoc::MapperKind>(state.range(0));
+  mpsoc::AnnealingParams sa;
+  sa.iterations = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpsoc::map_graph(graph, platform, kind, sa));
+  }
+}
+BENCHMARK(BM_Mapper)
+    ->Arg(static_cast<int>(mpsoc::MapperKind::kRoundRobin))
+    ->Arg(static_cast<int>(mpsoc::MapperKind::kGreedyLoadBalance))
+    ->Arg(static_cast<int>(mpsoc::MapperKind::kHeft))
+    ->Arg(static_cast<int>(mpsoc::MapperKind::kSimulatedAnnealing));
+
+void BM_ListSchedule(benchmark::State& state) {
+  const auto ops = measure_ops();
+  const auto graph = core::video_encoder_graph(128, 128, ops);
+  const auto platform = core::device_platform(core::DeviceClass::kVideoRecorder);
+  const auto r = mpsoc::map_graph(graph, platform, mpsoc::MapperKind::kHeft);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpsoc::list_schedule(graph, platform, r.mapping));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListSchedule);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

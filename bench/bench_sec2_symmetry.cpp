@@ -1,0 +1,55 @@
+// E-SYM — §2 "symmetric and asymmetric applications": measure the
+// encoder:decoder compute ratio and evaluate the two deployment shapes
+// (videoconference terminal vs broadcast headend + set-top receivers).
+#include "bench_util.h"
+
+#include "core/deploy.h"
+#include "video/source.h"
+
+namespace {
+
+using namespace mmsoc;
+
+video::StageOps measure_encode_ops() {
+  video::EncoderConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.gop_size = 12;
+  video::VideoEncoder enc(cfg);
+  const auto scene = video::scene_high_detail(7);
+  video::StageOps total;
+  for (int i = 0; i < 12; ++i) {
+    total += enc.encode(video::SyntheticVideo::render(128, 128, scene, i)).ops;
+  }
+  return total;
+}
+
+void print_tables() {
+  mmsoc::bench::banner("E-SYM", "symmetric vs asymmetric video systems (§2)");
+  const auto report = core::symmetry_study(128, 128, measure_encode_ops());
+  std::printf("encoder work (ops/frame): %.3e\n", report.encoder_ops);
+  std::printf("decoder work (ops/frame): %.3e\n", report.decoder_ops);
+  std::printf("compute asymmetry (enc/dec): %.2fx\n", report.compute_ratio);
+  std::printf("receiver silicon: decoder-only %.2fx of encode-capable die\n\n",
+              report.receiver_area_ratio);
+  std::printf("%s\n", core::report_header().c_str());
+  mmsoc::bench::rule();
+  std::printf("%s\n", core::report_row(report.symmetric_terminal).c_str());
+  std::printf("%s\n", core::report_row(report.headend_encoder).c_str());
+  std::printf("%s\n", core::report_row(report.settop_decoder).c_str());
+  std::printf("\nShape to verify: encoder >> decoder work (motion estimation);\n"
+              "the asymmetric split gives receivers cheaper silicon while the\n"
+              "one headend absorbs the encode cost for all of them.\n");
+}
+
+void BM_SymmetryStudy(benchmark::State& state) {
+  const auto ops = measure_encode_ops();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::symmetry_study(128, 128, ops));
+  }
+}
+BENCHMARK(BM_SymmetryStudy);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

@@ -1,0 +1,148 @@
+// E-AUD — §4 audio coding: the masking gain (psychoacoustic model on vs
+// off at equal bitrate) and the source-model-vs-hearing-model comparison
+// (RPE-LTP vs subband coder on speech and on music).
+#include "bench_util.h"
+
+#include <vector>
+
+#include "audio/metrics.h"
+#include "audio/rpe_ltp.h"
+#include "audio/source.h"
+#include "audio/subband_codec.h"
+
+namespace {
+
+using namespace mmsoc;
+
+struct SubbandQuality {
+  double seg_snr_db = 0.0;    ///< waveform fidelity
+  double worst_mnr_db = 0.0;  ///< perceptual headroom vs the true masking
+                              ///< thresholds (>= 0 means transparent)
+};
+
+SubbandQuality subband_quality(const std::vector<double>& signal,
+                               double bitrate, bool psycho) {
+  audio::AudioEncoderConfig cfg;
+  cfg.sample_rate = 32000.0;
+  cfg.bitrate_bps = bitrate;
+  cfg.use_psycho = psycho;
+  audio::SubbandEncoder enc(cfg);
+  audio::SubbandDecoder dec;
+  const audio::PsychoModel truth_model(cfg.sample_rate);
+  std::vector<double> out;
+  double worst_mnr = 1e9;
+  const int granules = static_cast<int>(signal.size()) / audio::kGranuleSamples;
+  for (int g = 0; g < granules; ++g) {
+    const std::span<const double, audio::kGranuleSamples> granule(
+        signal.data() + g * audio::kGranuleSamples, audio::kGranuleSamples);
+    const auto e = enc.encode(granule);
+    // Judge both encoders against the *true* masking thresholds, whether
+    // or not the encoder used them.
+    const auto psy = truth_model.analyze(granule);
+    worst_mnr = std::min(worst_mnr,
+                         audio::worst_mnr_db(psy.smr_db, e.allocation));
+    auto d = dec.decode(e.bytes);
+    out.insert(out.end(), d.value().samples.begin(), d.value().samples.end());
+  }
+  // Align for the filterbank delay and skip the adaptation head.
+  std::vector<double> ref(signal.begin(), signal.end() - audio::kSubbands);
+  std::vector<double> test(out.begin() + audio::kSubbands, out.end());
+  SubbandQuality q;
+  q.seg_snr_db = audio::segmental_snr_db(
+      std::span<const double>(ref).subspan(audio::kGranuleSamples),
+      std::span<const double>(test).subspan(audio::kGranuleSamples));
+  q.worst_mnr_db = worst_mnr;
+  return q;
+}
+
+double gsm_snr(const std::vector<double>& signal8k) {
+  audio::RpeLtpEncoder enc;
+  audio::RpeLtpDecoder dec;
+  const auto pcm = audio::to_pcm16(signal8k);
+  std::vector<double> out;
+  const int frames = static_cast<int>(pcm.size()) / audio::kGsmFrameSamples;
+  for (int f = 0; f < frames; ++f) {
+    const auto bytes = enc.encode(
+        std::span<const std::int16_t, audio::kGsmFrameSamples>(
+            pcm.data() + f * audio::kGsmFrameSamples, audio::kGsmFrameSamples));
+    auto d = dec.decode(bytes);
+    for (const auto v : d.value()) out.push_back(v / 32767.0);
+  }
+  return audio::segmental_snr_db(
+      std::span<const double>(signal8k).subspan(audio::kGsmFrameSamples),
+      std::span<const double>(out).subspan(audio::kGsmFrameSamples), 160);
+}
+
+void print_tables() {
+  mmsoc::bench::banner("E-AUD", "psychoacoustic masking gain + codec match (§4)");
+  const std::size_t n = static_cast<std::size_t>(audio::kGranuleSamples) * 24;
+  const auto music32 = audio::make_music(n, 32000.0, 21);
+  const auto speech32 = audio::make_speech(n, 32000.0, 22);
+
+  std::printf("subband coder with/without psychoacoustic model. MNR = worst\n"
+              "mask-to-noise ratio vs true thresholds (>=0: quantization noise\n"
+              "inaudible); segSNR = waveform fidelity:\n");
+  std::printf("%-8s %7s | %10s %10s | %10s %10s\n", "signal", "kbit/s",
+              "MNR on", "MNR off", "segSNR on", "segSNR off");
+  mmsoc::bench::rule();
+  for (const double rate : {96e3, 128e3, 192e3}) {
+    const auto on = subband_quality(music32, rate, true);
+    const auto off = subband_quality(music32, rate, false);
+    std::printf("%-8s %7.0f | %10.2f %10.2f | %10.2f %10.2f\n", "music",
+                rate / 1000, on.worst_mnr_db, off.worst_mnr_db, on.seg_snr_db,
+                off.seg_snr_db);
+  }
+  {
+    const auto on = subband_quality(speech32, 128e3, true);
+    const auto off = subband_quality(speech32, 128e3, false);
+    std::printf("%-8s %7.0f | %10.2f %10.2f | %10.2f %10.2f\n", "speech",
+                128.0, on.worst_mnr_db, off.worst_mnr_db, on.seg_snr_db,
+                off.seg_snr_db);
+  }
+  std::printf("(the model trades waveform SNR for perceptual headroom: MNR\n"
+              " improves with the model ON even where segSNR drops)\n");
+
+  std::printf("\nsource-model (RPE-LTP @13.6 kbit/s) vs hearing-model coder:\n");
+  const std::size_t n8 = static_cast<std::size_t>(audio::kGsmFrameSamples) * 50;
+  const auto speech8 = audio::make_speech(n8, 8000.0, 23);
+  const auto music8 = audio::make_music(n8, 8000.0, 24);
+  std::printf("%-10s %16s\n", "signal", "RPE-LTP segSNR");
+  mmsoc::bench::rule();
+  std::printf("%-10s %16.2f\n", "speech", gsm_snr(speech8));
+  std::printf("%-10s %16.2f\n", "music", gsm_snr(music8));
+  std::printf("\nShape to verify: the voice-model codec holds up on speech but\n"
+              "degrades on music (its source model does not fit — the paper's\n"
+              "point that MPEG's hearing model 'is not limited to speech').\n");
+}
+
+void BM_GsmEncodeFrame(benchmark::State& state) {
+  audio::RpeLtpEncoder enc;
+  const auto pcm = audio::to_pcm16(
+      audio::make_speech(audio::kGsmFrameSamples, 8000.0, 25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        enc.encode(std::span<const std::int16_t, audio::kGsmFrameSamples>(
+            pcm.data(), audio::kGsmFrameSamples)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsmEncodeFrame);
+
+void BM_GsmDecodeFrame(benchmark::State& state) {
+  audio::RpeLtpEncoder enc;
+  audio::RpeLtpDecoder dec;
+  const auto pcm = audio::to_pcm16(
+      audio::make_speech(audio::kGsmFrameSamples, 8000.0, 26));
+  const auto bytes = enc.encode(
+      std::span<const std::int16_t, audio::kGsmFrameSamples>(
+          pcm.data(), audio::kGsmFrameSamples));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsmDecodeFrame);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

@@ -1,0 +1,119 @@
+// E-DRM — §6 digital rights management: content-cipher throughput,
+// authorization-transaction latency, and end-to-end playback overhead.
+#include "bench_util.h"
+
+#include <chrono>
+#include <vector>
+
+#include "drm/authority.h"
+#include "drm/player.h"
+#include "drm/xtea.h"
+
+namespace {
+
+using namespace mmsoc;
+
+const drm::XteaKey kMaster = {0x13579BDF, 0x2468ACE0, 0x0F1E2D3C, 0x4B5A6978};
+
+struct Setup {
+  drm::LicenseAuthority authority{kMaster};
+  drm::XteaKey content_key{};
+  drm::XteaKey device_key{};
+  std::vector<std::uint8_t> encrypted;
+
+  explicit Setup(std::size_t content_bytes) {
+    content_key = authority.register_title(1);
+    device_key = authority.register_device(1);
+    drm::Rights r;
+    r.title = 1;
+    r.devices = {1};
+    authority.grant(r);
+    encrypted.assign(content_bytes, 0x5A);
+    drm::XteaCtr ctr(content_key, 0);
+    ctr.crypt(encrypted);
+  }
+};
+
+void print_tables() {
+  mmsoc::bench::banner("E-DRM", "DRM overhead on playback (§6)");
+  Setup setup(1 << 20);  // 1 MiB of content
+
+  // Playback with vs without DRM (cipher + checks vs plain copy).
+  using Clock = std::chrono::steady_clock;
+  drm::PlaybackDevice dev(1, setup.device_key,
+                          [&](drm::TitleId t, drm::Timestamp now) {
+                            return setup.authority.request_license(t, 1, now);
+                          });
+  const auto t0 = Clock::now();
+  const auto res = dev.play(1, 10, setup.encrypted, drm::OutputPath::kAnalog);
+  const auto t1 = Clock::now();
+  std::vector<std::uint8_t> plain_copy;
+  plain_copy.assign(setup.encrypted.begin(), setup.encrypted.end());
+  const auto t2 = Clock::now();
+
+  const double drm_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const double copy_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count();
+  std::printf("play 1 MiB with DRM (authorize+decrypt): %10.1f us\n", drm_us);
+  std::printf("plain 1 MiB copy (no DRM):               %10.1f us\n", copy_us);
+  std::printf("overhead factor:                         %10.1fx\n",
+              copy_us > 0 ? drm_us / copy_us : 0.0);
+  std::printf("playback allowed: %s; online transactions used: %llu\n",
+              res.allowed() ? "yes" : "no",
+              static_cast<unsigned long long>(setup.authority.requests_served()));
+  std::printf("\nShape to verify: the cipher dominates DRM cost and scales with\n"
+              "content size; the authorization transaction is a fixed small cost.\n");
+}
+
+void BM_XteaCtrThroughput(benchmark::State& state) {
+  const drm::XteaKey key = {1, 2, 3, 4};
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    drm::XteaCtr ctr(key, 7);
+    ctr.crypt(buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XteaCtrThroughput)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_AuthorizationTransaction(benchmark::State& state) {
+  Setup setup(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.authority.request_license(1, 1, 10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuthorizationTransaction);
+
+void BM_LicenseStoreRoundTrip(benchmark::State& state) {
+  drm::LicenseStore store(kMaster);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    drm::Rights r;
+    r.title = i;
+    r.plays_remaining = 10;
+    r.devices = {1, 2};
+    store.upsert(r);
+  }
+  for (auto _ : state) {
+    const auto bytes = store.serialize();
+    benchmark::DoNotOptimize(drm::LicenseStore::parse(kMaster, bytes));
+  }
+}
+BENCHMARK(BM_LicenseStoreRoundTrip);
+
+void BM_CbcMac(benchmark::State& state) {
+  const drm::XteaKey key = {1, 2, 3, 4};
+  std::vector<std::uint8_t> buf(4096, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drm::xtea_cbc_mac(key, buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_CbcMac);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

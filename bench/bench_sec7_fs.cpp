@@ -1,0 +1,135 @@
+// E-FS — §7 file systems: sequential vs fragmented throughput on the
+// modeled drive, fragmentation growth under churn, foreign-tree import.
+#include "bench_util.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fs/block_device.h"
+#include "fs/fat.h"
+#include "fs/import.h"
+
+namespace {
+
+using namespace mmsoc;
+
+std::vector<std::uint8_t> bytes_of(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+void print_tables() {
+  mmsoc::bench::banner("E-FS", "file system behaviour (§7)");
+
+  // Fresh volume: write one file, measure modeled sequential read time.
+  fs::BlockDevice dev(4096, 512);
+  auto vol = fs::FatVolume::format(dev).value();
+  const auto payload = bytes_of(512 * 200, 41);  // 100 KiB
+  (void)vol.write_file("/fresh.dat", payload);
+  dev.reset_stats();
+  (void)vol.read_file("/fresh.dat");
+  const double fresh_us = dev.modeled_time_us();
+  const double fresh_frag = vol.fragmentation("/fresh.dat").value();
+
+  // Free the fresh file *before* churning so its contiguous hole is
+  // shredded, then run the volume near-full through delete/create cycles.
+  (void)vol.remove("/fresh.dat");
+  common::Rng rng(42);
+  std::vector<std::string> live;
+  for (int i = 0; i < 88; ++i) {  // ~90% prefill
+    const std::string path = "/fill_" + std::to_string(i);
+    if (vol.write_file(path, bytes_of(512 * 42, 100 + static_cast<std::uint64_t>(i))).is_ok()) {
+      live.push_back(path);
+    }
+  }
+  for (int round = 0; round < 300; ++round) {
+    if (!live.empty()) {
+      const auto idx = rng.next_below(live.size());
+      (void)vol.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    const std::string path = "/churn_" + std::to_string(round);
+    if (vol.write_file(path, bytes_of(512 * (30 + rng.next_below(70)),
+                                      300 + static_cast<std::uint64_t>(round))).is_ok()) {
+      live.push_back(path);
+    }
+  }
+  // Make room, then write the same payload into the shredded free space.
+  for (int i = 0; i < 6 && !live.empty(); ++i) {
+    (void)vol.remove(live.back());
+    live.pop_back();
+  }
+  (void)vol.write_file("/aged.dat", payload);
+  dev.reset_stats();
+  (void)vol.read_file("/aged.dat");
+  const double aged_us = dev.modeled_time_us();
+  const double aged_frag = vol.fragmentation("/aged.dat").value();
+
+  std::printf("%-22s %14s %14s\n", "volume state", "fragmentation", "read time us");
+  mmsoc::bench::rule();
+  std::printf("%-22s %14.3f %14.0f\n", "fresh (sequential)", fresh_frag, fresh_us);
+  std::printf("%-22s %14.3f %14.0f\n", "aged (churned)", aged_frag, aged_us);
+  std::printf("slowdown from non-sequential allocation: %.2fx\n",
+              fresh_us > 0 ? aged_us / fresh_us : 0.0);
+
+  // Foreign-media import (CD/MP3 case).
+  fs::BlockDevice cd(8192, 512);
+  auto cdvol = fs::FatVolume::format(cd).value();
+  fs::ForeignTreeSpec spec;
+  spec.num_dirs = 8;
+  spec.files_per_dir = 10;
+  const auto manifest = fs::import_foreign_tree(cdvol, spec);
+  std::printf("\nCD/MP3 import: %zu files in varied directory structures, all\n"
+              "readable: %s\n", manifest.value().size(), [&] {
+                for (const auto& f : manifest.value()) {
+                  if (!cdvol.read_file(f.path).is_ok()) return "NO";
+                }
+                return "yes";
+              }());
+  std::printf("\nShape to verify: churn drives fragmentation up and the drive\n"
+              "model charges real seek time for it.\n");
+}
+
+void BM_WriteFile(benchmark::State& state) {
+  const auto payload = bytes_of(static_cast<std::size_t>(state.range(0)), 51);
+  for (auto _ : state) {
+    fs::BlockDevice dev(4096, 512);
+    auto vol = fs::FatVolume::format(dev).value();
+    benchmark::DoNotOptimize(vol.write_file("/f", payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WriteFile)->Arg(4096)->Arg(65536);
+
+void BM_ReadFile(benchmark::State& state) {
+  fs::BlockDevice dev(4096, 512);
+  auto vol = fs::FatVolume::format(dev).value();
+  const auto payload = bytes_of(static_cast<std::size_t>(state.range(0)), 52);
+  (void)vol.write_file("/f", payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vol.read_file("/f"));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ReadFile)->Arg(4096)->Arg(65536);
+
+void BM_DirectoryListing(benchmark::State& state) {
+  fs::BlockDevice dev(8192, 512);
+  auto vol = fs::FatVolume::format(dev).value();
+  for (int i = 0; i < 50; ++i) {
+    (void)vol.write_file("/file_" + std::to_string(i), bytes_of(100, 60 + static_cast<std::uint64_t>(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vol.list("/"));
+  }
+}
+BENCHMARK(BM_DirectoryListing);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

@@ -1,0 +1,90 @@
+// E-SERVO — §7 DVD servo: control-loop rate, tracking error under disc
+// eccentricity, and the benefit of adapting the control law to the
+// particular mechanism.
+#include "bench_util.h"
+
+#include "servo/autotune.h"
+#include "servo/controller.h"
+#include "servo/plant.h"
+
+namespace {
+
+using namespace mmsoc;
+
+void print_tables() {
+  mmsoc::bench::banner("E-SERVO", "DVD servo tracking + per-unit adaptation (§7)");
+  const servo::PlantParams nominal;
+  const auto reference = servo::nominal_identification(nominal);
+  const servo::PidGains nominal_gains{};
+
+  std::printf("production run of mechanisms (35%% parameter scatter):\n");
+  std::printf("%6s %18s %18s\n", "unit", "RMS err (nominal)", "RMS err (adapted)");
+  mmsoc::bench::rule();
+  double sum_nom = 0.0, sum_ad = 0.0, worst_nom = 0.0, worst_ad = 0.0;
+  const int units = 8;
+  for (std::uint64_t unit = 1; unit <= units; ++unit) {
+    const auto params = servo::scattered_params(nominal, 0.35, unit);
+
+    servo::Plant p1(params);
+    servo::PidController c1(nominal_gains, params.sample_rate_hz);
+    servo::EccentricityDisturbance d1(5.0, 25.0, 0.5, params.sample_rate_hz, unit);
+    const auto m1 = servo::run_tracking(p1, c1, d1, 0.5);
+
+    servo::Plant probe(params);
+    const auto id = servo::identify_plant(probe);
+    const auto adapted = servo::adapt_gains(nominal_gains, id, reference);
+    servo::Plant p2(params);
+    servo::PidController c2(adapted, params.sample_rate_hz);
+    servo::EccentricityDisturbance d2(5.0, 25.0, 0.5, params.sample_rate_hz, unit);
+    const auto m2 = servo::run_tracking(p2, c2, d2, 0.5);
+
+    std::printf("%6llu %18.6f %18.6f\n", static_cast<unsigned long long>(unit),
+                m1.rms_tracking_error, m2.rms_tracking_error);
+    sum_nom += m1.rms_tracking_error;
+    sum_ad += m2.rms_tracking_error;
+    worst_nom = std::max(worst_nom, m1.rms_tracking_error);
+    worst_ad = std::max(worst_ad, m2.rms_tracking_error);
+  }
+  std::printf("mean:  nominal %.6f  adapted %.6f\n", sum_nom / units, sum_ad / units);
+  std::printf("worst: nominal %.6f  adapted %.6f\n", worst_nom, worst_ad);
+  std::printf("\nShape to verify: adaptation tightens the spread across units —\n"
+              "the paper's 'control laws adapted to the particular mechanism'.\n");
+}
+
+void BM_ServoLoopIteration(benchmark::State& state) {
+  servo::Plant plant(servo::PlantParams{});
+  servo::PidController pid(servo::PidGains{}, plant.params().sample_rate_hz);
+  servo::EccentricityDisturbance dist(5.0, 25.0, 0.5,
+                                      plant.params().sample_rate_hz, 1);
+  for (auto _ : state) {
+    const double u = pid.update(0.0 - plant.position());
+    benchmark::DoNotOptimize(plant.step(u, dist.next()));
+  }
+  // items/s here is the achievable control-loop rate on this host —
+  // compare against the 44.1 kHz real-time requirement.
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServoLoopIteration);
+
+void BM_FixedPointBiquad(benchmark::State& state) {
+  dsp::BiquadQ15 biquad(dsp::Biquad::lowpass(0.05, 0.707));
+  auto x = common::Q15::from_double(0.25);
+  for (auto _ : state) {
+    x = biquad.process(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FixedPointBiquad);
+
+void BM_PlantIdentification(benchmark::State& state) {
+  for (auto _ : state) {
+    servo::Plant plant(servo::scattered_params(servo::PlantParams{}, 0.3, 5));
+    benchmark::DoNotOptimize(servo::identify_plant(plant));
+  }
+}
+BENCHMARK(BM_PlantIdentification);
+
+}  // namespace
+
+MMSOC_BENCH_MAIN(print_tables)

@@ -1,0 +1,32 @@
+// Shared helpers for the experiment benches: each bench binary first
+// prints its paper-style experiment table(s) (the rows EXPERIMENTS.md
+// records), then runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mmsoc::bench {
+
+inline void banner(const char* experiment_id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment_id, title);
+}
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+/// Standard main: print tables, then run microbenchmarks.
+#define MMSOC_BENCH_MAIN(print_tables_fn)                    \
+  int main(int argc, char** argv) {                          \
+    print_tables_fn();                                       \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace mmsoc::bench

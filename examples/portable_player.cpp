@@ -1,0 +1,120 @@
+// Portable audio player: the full §4+§6+§7 stack in one device.
+// Music is subband-encoded with a DRM rights marker riding in the frame's
+// ancillary data (Fig. 2), the encrypted stream is stored on the player's
+// FAT filesystem, and playback enforces a 3-play license — including what
+// happens on the 4th attempt and after a power cycle.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audio/metrics.h"
+#include "audio/source.h"
+#include "audio/subband_codec.h"
+#include "drm/authority.h"
+#include "drm/player.h"
+#include "fs/block_device.h"
+#include "fs/fat.h"
+
+int main() {
+  using namespace mmsoc;
+
+  // --- Content mastering: encode, then encrypt with the title key.
+  constexpr double kRate = 32000.0;
+  constexpr int kGranules = 20;
+  audio::AudioEncoderConfig acfg;
+  acfg.sample_rate = kRate;
+  acfg.bitrate_bps = 192000.0;
+  audio::SubbandEncoder enc(acfg);
+  const auto music = audio::make_music(
+      static_cast<std::size_t>(audio::kGranuleSamples) * kGranules, kRate, 7);
+
+  const drm::XteaKey master = {0xFEED, 0xBEEF, 0xCAFE, 0xD00D};
+  drm::LicenseAuthority authority(master);
+  const auto content_key = authority.register_title(501);
+  const auto device_key = authority.register_device(42);
+  drm::Rights rights;
+  rights.title = 501;
+  rights.plays_remaining = 3;
+  rights.devices = {42};
+  authority.grant(rights);
+
+  std::vector<std::uint8_t> stream;
+  const std::vector<std::uint8_t> marker = {'T', 0x01, 0xF5};  // rights marker
+  for (int g = 0; g < kGranules; ++g) {
+    const auto e = enc.encode(
+        std::span<const double, audio::kGranuleSamples>(
+            music.data() + g * audio::kGranuleSamples, audio::kGranuleSamples),
+        marker);
+    // 16-bit frame length prefix, then the frame.
+    stream.push_back(static_cast<std::uint8_t>(e.bytes.size() >> 8));
+    stream.push_back(static_cast<std::uint8_t>(e.bytes.size() & 0xFF));
+    stream.insert(stream.end(), e.bytes.begin(), e.bytes.end());
+  }
+  drm::XteaCtr ctr(content_key, 501);
+  ctr.crypt(stream);
+  std::printf("mastered title 501: %zu encrypted bytes (%d granules)\n",
+              stream.size(), kGranules);
+
+  // --- Store on the player's filesystem.
+  fs::BlockDevice disk(4096, 512);
+  auto volume = fs::FatVolume::format(disk).value();
+  (void)volume.mkdir("/music");
+  if (auto st = volume.write_file("/music/title_501.mmsoc", stream); !st.is_ok()) {
+    std::printf("store failed: %s\n", st.to_text().c_str());
+    return 1;
+  }
+  std::printf("stored /music/title_501.mmsoc on the player volume "
+              "(%u free blocks left)\n", volume.free_blocks());
+
+  // --- Playback attempts: the license allows 3 plays, analog out only.
+  drm::PlaybackDevice player(42, device_key,
+                             [&](drm::TitleId t, drm::Timestamp now) {
+                               return authority.request_license(t, 42, now);
+                             });
+  const auto file = volume.read_file("/music/title_501.mmsoc").value();
+
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const auto res = player.play(501, 1000 + attempt, file,
+                                 drm::OutputPath::kAnalog, 501);
+    if (!res.allowed()) {
+      std::printf("play %d: DENIED (%s)\n", attempt,
+                  res.denial == drm::DenialReason::kPlayCountExhausted
+                      ? "play count exhausted" : "other");
+      continue;
+    }
+    // Decode the decrypted stream and measure quality.
+    audio::SubbandDecoder dec;
+    std::vector<double> pcm;
+    std::size_t pos = 0;
+    bool marker_ok = true;
+    while (pos + 2 <= res.content.size()) {
+      const std::size_t len = (static_cast<std::size_t>(res.content[pos]) << 8) |
+                              res.content[pos + 1];
+      pos += 2;
+      if (pos + len > res.content.size()) break;
+      auto d = dec.decode({res.content.data() + pos, len});
+      pos += len;
+      if (!d.is_ok()) { marker_ok = false; break; }
+      marker_ok = marker_ok && d.value().ancillary == marker;
+      pcm.insert(pcm.end(), d.value().samples.begin(), d.value().samples.end());
+    }
+    std::vector<double> ref(music.begin(), music.end() - audio::kSubbands);
+    std::vector<double> test(pcm.begin() + audio::kSubbands, pcm.end());
+    const double snr = audio::segmental_snr_db(
+        std::span<const double>(ref).subspan(audio::kGranuleSamples),
+        std::span<const double>(test).subspan(audio::kGranuleSamples));
+    std::printf("play %d: OK, segSNR %.1f dB, rights marker %s, %s\n",
+                attempt, snr, marker_ok ? "intact" : "MISSING",
+                res.used_online_authorization ? "online license fetch"
+                                              : "cached license");
+  }
+
+  // --- Power cycle: rights survive via the MAC-protected store.
+  const auto persisted = player.store().serialize();
+  const auto storage_key = drm::derive_key(device_key, 0x73746F7265ull);
+  auto reloaded = drm::LicenseStore::parse(storage_key, persisted);
+  std::printf("after power cycle: plays remaining = %u (tamper check %s)\n",
+              reloaded.is_ok() ? reloaded.value().find(501)->plays_remaining : 0,
+              reloaded.is_ok() ? "passed" : "FAILED");
+  return 0;
+}

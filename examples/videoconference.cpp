@@ -1,0 +1,110 @@
+// Videoconference: the §2 *symmetric* application. Two terminals each
+// encode their camera feed and decode the peer's, with media flowing as
+// RTP packets over a lossy simulated link. Reports per-direction quality,
+// concealment, and the phone-SoC deployment of the full duplex workload.
+#include <cstdio>
+#include <vector>
+
+#include "core/appgraphs.h"
+#include "core/deploy.h"
+#include "core/profiles.h"
+#include "net/link.h"
+#include "net/rtp.h"
+#include "video/codec.h"
+#include "video/metrics.h"
+#include "video/source.h"
+
+namespace {
+
+using namespace mmsoc;
+
+constexpr int kW = 64, kH = 64, kFrames = 60;
+constexpr double kFrameIntervalUs = 1e6 / 15.0;  // 15 fps terminals
+
+struct Terminal {
+  video::VideoEncoder encoder;
+  video::VideoDecoder decoder;
+  net::RtpSender sender;
+  net::RtpReceiver receiver{3};
+  video::SceneParams scene;
+  video::StageOps ops;
+  int frames_sent = 0;
+  int frames_shown = 0;
+  double psnr_sum = 0.0;
+  std::vector<video::Frame> sent_frames;
+
+  explicit Terminal(std::uint64_t seed)
+      : encoder([] {
+          video::EncoderConfig cfg;
+          cfg.width = kW;
+          cfg.height = kH;
+          cfg.gop_size = 15;
+          cfg.qscale = 8;
+          return cfg;
+        }()),
+        scene(video::scene_low_motion(seed)) {}
+};
+
+}  // namespace
+
+int main() {
+  net::LinkParams link_params;
+  link_params.bandwidth_bps = 2e6;
+  link_params.latency_us = 30000.0;  // 30 ms one way
+  link_params.jitter_us = 8000.0;
+  link_params.loss_probability = 0.02;
+  link_params.seed = 99;
+  net::DuplexLink link(link_params);
+
+  Terminal a(11), b(22);
+  std::printf("videoconference: 2%% loss, 30 ms latency, 15 fps, %dx%d\n\n",
+              kW, kH);
+
+  double now = 0.0;
+  for (int i = 0; i < kFrames; ++i, now += kFrameIntervalUs) {
+    // Each side captures, encodes, and transmits one frame.
+    for (auto [t, out] : {std::pair{&a, &link.a_to_b}, std::pair{&b, &link.b_to_a}}) {
+      const auto frame = video::SyntheticVideo::render(kW, kH, t->scene, i);
+      const auto encoded = t->encoder.encode(frame);
+      t->ops += encoded.ops;
+      t->sent_frames.push_back(frame);
+      ++t->frames_sent;
+      out->send(t->sender.packetize(encoded.bytes,
+                                    static_cast<std::uint32_t>(i) * 1000),
+                now);
+    }
+    // Each side drains the network and displays what is playable.
+    for (auto [t, in, peer] :
+         {std::tuple{&a, &link.b_to_a, &b}, std::tuple{&b, &link.a_to_b, &a}}) {
+      while (auto pkt = in->receive(now)) t->receiver.push(*pkt, now);
+      while (auto unit = t->receiver.pop()) {
+        if (unit->concealed) continue;  // lost frame: keep last picture
+        auto decoded = t->decoder.decode(unit->payload);
+        if (decoded.is_ok() && unit->sequence < peer->sent_frames.size()) {
+          ++t->frames_shown;
+          t->psnr_sum += video::psnr_luma(
+              peer->sent_frames[unit->sequence], decoded.value());
+        }
+      }
+    }
+  }
+
+  for (auto [name, t] : {std::pair{"A", &a}, std::pair{"B", &b}}) {
+    std::printf("terminal %s: sent %d, displayed %d, concealed %llu, "
+                "mean PSNR %.2f dB, jitter %.0f us\n",
+                name, t->frames_sent, t->frames_shown,
+                static_cast<unsigned long long>(t->receiver.lost()),
+                t->frames_shown ? t->psnr_sum / t->frames_shown : 0.0,
+                t->receiver.jitter_us());
+  }
+
+  // The symmetric terminal workload on a phone SoC (§2).
+  const auto graph = core::videoconference_graph(kW, kH, a.ops);
+  const auto report = core::evaluate(
+      graph, core::device_platform(core::DeviceClass::kCellPhone),
+      mpsoc::MapperKind::kHeft,
+      core::realtime_target_hz(core::DeviceClass::kCellPhone));
+  std::printf("\nsymmetric encode+decode workload on the phone SoC:\n%s\n%s\n",
+              core::report_header().c_str(), core::report_row(report).c_str());
+  return 0;
+}

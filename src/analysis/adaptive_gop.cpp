@@ -1,0 +1,21 @@
+#include "analysis/adaptive_gop.h"
+
+namespace mmsoc::analysis {
+
+bool AdaptiveGopController::observe(const video::Frame& frame) {
+  auto features = extract_features(frame);
+  bool intra = false;
+  if (!prev_.has_value()) {
+    intra = true;  // first frame has no reference
+  } else if (histogram_distance(*prev_, features) > params_.cut.threshold) {
+    intra = true;
+    ++cuts_;
+  } else if (since_intra_ + 1 >= params_.max_interval) {
+    intra = true;  // periodic refresh
+  }
+  prev_ = std::move(features);
+  since_intra_ = intra ? 0 : since_intra_ + 1;
+  return intra;
+}
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,48 @@
+// Scene-adaptive GOP control: content analysis feeding back into the
+// encoder.
+//
+// §5's segmentation research meets §3's codec: a P frame predicted across
+// a scene cut wastes bits on a hopeless prediction and decodes badly. The
+// controller watches the incoming frames with the histogram scene-cut
+// detector and tells the encoder to force an I frame exactly at cuts
+// (plus a maximum-interval refresh for error resilience).
+#pragma once
+
+#include <optional>
+
+#include "analysis/detectors.h"
+#include "analysis/frame_features.h"
+#include "video/frame.h"
+
+namespace mmsoc::analysis {
+
+class AdaptiveGopController {
+ public:
+  struct Params {
+    SceneCutDetector::Params cut;
+    int max_interval = 60;  ///< force refresh at least this often
+  };
+
+  AdaptiveGopController() = default;
+  explicit AdaptiveGopController(const Params& params) : params_(params) {}
+
+  /// Observe the next frame to be encoded. Returns true if it should be
+  /// coded intra (scene cut detected, refresh due, or first frame).
+  bool observe(const video::Frame& frame);
+
+  [[nodiscard]] int cuts_detected() const noexcept { return cuts_; }
+
+  void reset() noexcept {
+    prev_.reset();
+    since_intra_ = 0;
+    cuts_ = 0;
+  }
+
+ private:
+  Params params_;
+  std::optional<FrameFeatures> prev_;
+  int since_intra_ = 0;
+  int cuts_ = 0;
+};
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,117 @@
+#include "analysis/audio_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace mmsoc::analysis {
+
+AudioFeatureExtractor::AudioFeatureExtractor(double sample_rate,
+                                             std::size_t frame_size)
+    : sample_rate_(sample_rate), frame_size_(frame_size) {}
+
+void AudioFeatureExtractor::reset() { prev_spectrum_.clear(); }
+
+AudioFrameFeatures AudioFeatureExtractor::analyze(
+    std::span<const double> frame) {
+  AudioFrameFeatures f;
+  if (frame.empty()) return f;
+
+  // Time-domain features.
+  double energy = 0.0;
+  int crossings = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    energy += frame[i] * frame[i];
+    if (i > 0 && (frame[i] >= 0) != (frame[i - 1] >= 0)) ++crossings;
+  }
+  f.energy = energy / static_cast<double>(frame.size());
+  f.zero_crossing_rate =
+      static_cast<double>(crossings) / static_cast<double>(frame.size());
+
+  // Spectral features.
+  const auto power = dsp::power_spectrum(frame, frame_size_);
+  double total = 0.0, weighted = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    total += power[k];
+    const double hz = static_cast<double>(k) * sample_rate_ /
+                      static_cast<double>(frame_size_);
+    weighted += hz * power[k];
+  }
+  f.spectral_centroid = total > 0 ? weighted / total : 0.0;
+
+  double cum = 0.0;
+  f.spectral_rolloff = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    cum += power[k];
+    if (cum >= 0.85 * total) {
+      f.spectral_rolloff = static_cast<double>(k) * sample_rate_ /
+                           static_cast<double>(frame_size_);
+      break;
+    }
+  }
+
+  // Flux against the previous frame's normalized spectrum.
+  std::vector<double> norm(power.size());
+  const double denom = total > 0 ? total : 1.0;
+  for (std::size_t k = 0; k < power.size(); ++k) norm[k] = power[k] / denom;
+  if (prev_spectrum_.size() == norm.size()) {
+    double flux = 0.0;
+    for (std::size_t k = 0; k < norm.size(); ++k) {
+      const double d = norm[k] - prev_spectrum_[k];
+      flux += d * d;
+    }
+    f.spectral_flux = std::sqrt(flux);
+  }
+  prev_spectrum_ = std::move(norm);
+  return f;
+}
+
+std::vector<AudioFrameFeatures> AudioFeatureExtractor::analyze_all(
+    std::span<const double> samples) {
+  std::vector<AudioFrameFeatures> out;
+  for (std::size_t start = 0; start + frame_size_ <= samples.size();
+       start += frame_size_) {
+    out.push_back(analyze(samples.subspan(start, frame_size_)));
+  }
+  return out;
+}
+
+AudioStats summarize(std::span<const AudioFrameFeatures> frames) {
+  AudioStats s;
+  if (frames.empty()) return s;
+  const double n = static_cast<double>(frames.size());
+  for (const auto& f : frames) {
+    s.mean_energy += f.energy;
+    s.zcr_mean += f.zero_crossing_rate;
+    s.centroid_mean += f.spectral_centroid;
+    s.flux_mean += f.spectral_flux;
+  }
+  s.mean_energy /= n;
+  s.zcr_mean /= n;
+  s.centroid_mean /= n;
+  s.flux_mean /= n;
+  for (const auto& f : frames) {
+    const double d = f.zero_crossing_rate - s.zcr_mean;
+    s.zcr_variance += d * d;
+    if (f.energy < 0.5 * s.mean_energy) s.low_energy_ratio += 1.0;
+  }
+  s.zcr_variance /= n;
+  s.low_energy_ratio /= n;
+  return s;
+}
+
+AudioClass classify(const AudioStats& stats) noexcept {
+  if (stats.mean_energy < 1e-6) return AudioClass::kSilence;
+  // Speech: strong voiced/unvoiced alternation -> high ZCR variance and
+  // mean (unvoiced fricatives are noise-like), high spectral flux, and an
+  // elevated centroid. Music holds a stabler, lower-band spectrum.
+  int speech_votes = 0;
+  if (stats.zcr_variance > 5e-3) ++speech_votes;
+  if (stats.zcr_mean > 0.15) ++speech_votes;
+  if (stats.flux_mean > 0.12) ++speech_votes;
+  if (stats.centroid_mean > 1500.0) ++speech_votes;
+  return speech_votes >= 2 ? AudioClass::kSpeech : AudioClass::kMusic;
+}
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,63 @@
+// Audio content analysis (§5): "Audio content analysis has been used to
+// categorize and search for music. Algorithms have had some success in
+// categorizing music into categories and identifying salient features."
+//
+// Frame-level features (zero-crossing rate, energy, spectral centroid /
+// rolloff / flux) plus a transparent rule-based music/speech classifier
+// built on their long-term statistics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mmsoc::analysis {
+
+/// Features of one analysis frame (e.g. 1024 samples).
+struct AudioFrameFeatures {
+  double energy = 0.0;             ///< mean squared amplitude
+  double zero_crossing_rate = 0.0; ///< crossings per sample
+  double spectral_centroid = 0.0;  ///< Hz
+  double spectral_rolloff = 0.0;   ///< Hz below which 85% of energy lies
+  double spectral_flux = 0.0;      ///< L2 change of normalized spectrum
+};
+
+/// Extract features for consecutive frames of `frame_size` samples.
+/// `prev_spectrum` state for flux is kept internally per call sequence.
+class AudioFeatureExtractor {
+ public:
+  explicit AudioFeatureExtractor(double sample_rate, std::size_t frame_size = 1024);
+
+  /// Analyze the next frame (must be exactly frame_size samples).
+  AudioFrameFeatures analyze(std::span<const double> frame);
+
+  /// Convenience: analyze a whole signal, returning per-frame features.
+  std::vector<AudioFrameFeatures> analyze_all(std::span<const double> samples);
+
+  void reset();
+
+ private:
+  double sample_rate_;
+  std::size_t frame_size_;
+  std::vector<double> prev_spectrum_;
+};
+
+enum class AudioClass { kSpeech, kMusic, kSilence };
+
+/// Long-term statistics over a feature sequence.
+struct AudioStats {
+  double mean_energy = 0.0;
+  double zcr_mean = 0.0;
+  double zcr_variance = 0.0;
+  double centroid_mean = 0.0;
+  double flux_mean = 0.0;
+  double low_energy_ratio = 0.0;  ///< fraction of frames below 0.5x mean energy
+};
+
+[[nodiscard]] AudioStats summarize(std::span<const AudioFrameFeatures> frames);
+
+/// Rule-based classifier: speech shows high ZCR variance (voiced/unvoiced
+/// alternation, exactly the structure §4 describes) and a high
+/// low-energy-frame ratio (pauses); music is spectrally stabler.
+[[nodiscard]] AudioClass classify(const AudioStats& stats) noexcept;
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,60 @@
+#include "analysis/broadcast.h"
+
+namespace mmsoc::analysis {
+
+SyntheticBroadcast::SyntheticBroadcast(const BroadcastSpec& spec)
+    : width_(spec.width), height_(spec.height) {
+  std::uint64_t seed = spec.seed;
+
+  const auto add_piece = [&](int frames, ContentLabel label,
+                             double saturation) {
+    Piece p;
+    if (label == ContentLabel::kBlack) {
+      p.scene = video::scene_flat(seed++);
+      p.scene.brightness = 16.0;
+      p.scene.detail = 0.0;
+      p.scene.noise_sigma = 0.0;
+      p.scene.saturation = 0.0;
+    } else {
+      p.scene = label == ContentLabel::kCommercial
+                    ? video::scene_high_motion(seed++)
+                    : video::scene_low_motion(seed++);
+      p.scene.saturation = saturation;
+    }
+    p.frames = frames;
+    p.label = label;
+    truth_.push_back(Segment{total_frames_, total_frames_ + frames, label});
+    total_frames_ += frames;
+    pieces_.push_back(p);
+  };
+
+  for (int ps = 0; ps < spec.program_segments; ++ps) {
+    add_piece(spec.program_frames, ContentLabel::kProgram,
+              spec.program_saturation);
+    if (ps + 1 < spec.program_segments) {
+      for (int c = 0; c < spec.commercials_per_break; ++c) {
+        add_piece(spec.separator_frames, ContentLabel::kBlack, 0.0);
+        add_piece(spec.commercial_frames, ContentLabel::kCommercial,
+                  spec.commercial_saturation);
+      }
+      add_piece(spec.separator_frames, ContentLabel::kBlack, 0.0);
+    }
+  }
+}
+
+std::optional<video::Frame> SyntheticBroadcast::next() {
+  if (piece_idx_ >= pieces_.size()) return std::nullopt;
+  const auto& piece = pieces_[piece_idx_];
+  video::Frame f = piece.label == ContentLabel::kBlack
+                       ? video::Frame::black(width_, height_)
+                       : video::SyntheticVideo::render(width_, height_,
+                                                       piece.scene,
+                                                       frame_in_piece_);
+  if (++frame_in_piece_ >= piece.frames) {
+    frame_in_piece_ = 0;
+    ++piece_idx_;
+  }
+  return f;
+}
+
+}  // namespace mmsoc::analysis

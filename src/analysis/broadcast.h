@@ -1,0 +1,58 @@
+// Synthetic broadcast composer (DESIGN.md §3 substitution).
+//
+// Builds a TV-like frame stream: program segments interleaved with
+// commercial breaks, separated by runs of black frames, with per-segment
+// saturation control (black-and-white movie vs colorful commercials) —
+// giving the §5 detectors labeled ground truth to be scored against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/detectors.h"
+#include "video/frame.h"
+#include "video/source.h"
+
+namespace mmsoc::analysis {
+
+struct BroadcastSpec {
+  int width = 64;
+  int height = 64;
+  int program_segments = 3;        ///< program blocks
+  int program_frames = 90;         ///< frames per program block
+  int commercials_per_break = 2;   ///< commercials between program blocks
+  int commercial_frames = 30;      ///< frames per commercial
+  int separator_frames = 3;        ///< black frames around each commercial
+  double program_saturation = 0.0; ///< 0 = black-and-white movie
+  double commercial_saturation = 45.0;
+  std::uint64_t seed = 1;
+};
+
+/// A scripted broadcast: streams frames and knows the true segmentation.
+class SyntheticBroadcast {
+ public:
+  explicit SyntheticBroadcast(const BroadcastSpec& spec);
+
+  std::optional<video::Frame> next();
+
+  [[nodiscard]] int total_frames() const noexcept { return total_frames_; }
+  [[nodiscard]] const std::vector<Segment>& ground_truth() const noexcept {
+    return truth_;
+  }
+
+ private:
+  struct Piece {
+    video::SceneParams scene;
+    int frames;
+    ContentLabel label;
+  };
+  std::vector<Piece> pieces_;
+  std::vector<Segment> truth_;
+  int total_frames_ = 0;
+  int width_, height_;
+  std::size_t piece_idx_ = 0;
+  int frame_in_piece_ = 0;
+};
+
+}  // namespace mmsoc::analysis

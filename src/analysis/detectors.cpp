@@ -1,0 +1,168 @@
+#include "analysis/detectors.h"
+
+#include <algorithm>
+
+namespace mmsoc::analysis {
+
+bool is_black_frame(const FrameFeatures& f, const BlackFrameParams& p) noexcept {
+  return f.mean_luma <= p.max_mean_luma && f.luma_variance <= p.max_variance;
+}
+
+std::vector<Segment> BlackFrameCommercialDetector::segment(
+    std::span<const FrameFeatures> frames) const {
+  std::vector<Segment> out;
+  const int n = static_cast<int>(frames.size());
+  if (n == 0) return out;
+
+  // Pass 1: mark black runs, collecting content blocks between them.
+  struct Block {
+    int begin, end;
+    bool black;
+  };
+  std::vector<Block> blocks;
+  int i = 0;
+  while (i < n) {
+    const bool black = is_black_frame(frames[static_cast<std::size_t>(i)], params_.black);
+    int j = i + 1;
+    while (j < n &&
+           is_black_frame(frames[static_cast<std::size_t>(j)], params_.black) == black) {
+      ++j;
+    }
+    blocks.push_back(Block{i, j, black});
+    i = j;
+  }
+
+  // Pass 2: short black runs are not separators — merge them into
+  // neighbouring content (a dark scene moment is not a boundary). A
+  // content block is a commercial only when it is short AND adjacent to a
+  // real black separator: commercials come bracketed by black, while an
+  // unbroken short recording is just a short program.
+  const auto is_separator = [&](std::size_t idx) {
+    return idx < blocks.size() && blocks[idx].black &&
+           blocks[idx].end - blocks[idx].begin >= params_.min_separator_frames;
+  };
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto& b = blocks[bi];
+    if (is_separator(bi)) {
+      out.push_back(Segment{b.begin, b.end, ContentLabel::kBlack});
+      continue;
+    }
+    const int len = b.end - b.begin;
+    const bool bracketed = (bi > 0 && is_separator(bi - 1)) || is_separator(bi + 1);
+    const auto label = (!b.black && bracketed && len <= params_.max_commercial_frames)
+                           ? ContentLabel::kCommercial
+                           : ContentLabel::kProgram;
+    // Short black runs fall through here and inherit content labeling.
+    out.push_back(Segment{b.begin, b.end, label});
+  }
+
+  // Merge adjacent segments with identical labels.
+  std::vector<Segment> merged;
+  for (const auto& s : out) {
+    if (!merged.empty() && merged.back().label == s.label &&
+        merged.back().end == s.begin) {
+      merged.back().end = s.end;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+std::vector<Segment> ColorBurstCommercialDetector::segment(
+    std::span<const FrameFeatures> frames) const {
+  std::vector<Segment> out;
+  const int n = static_cast<int>(frames.size());
+  if (n == 0) return out;
+
+  // Per-frame color decision, then run-length smoothing.
+  std::vector<ContentLabel> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] =
+        frames[static_cast<std::size_t>(i)].saturation > params_.bw_saturation_max
+            ? ContentLabel::kCommercial  // color content
+            : ContentLabel::kProgram;    // black-and-white movie
+  }
+  // Smooth runs shorter than min_segment_frames into their predecessor.
+  int i = 0;
+  while (i < n) {
+    int j = i + 1;
+    while (j < n && labels[static_cast<std::size_t>(j)] == labels[static_cast<std::size_t>(i)]) ++j;
+    if (j - i < params_.min_segment_frames && !out.empty()) {
+      out.back().end = j;  // absorb the blip
+    } else {
+      out.push_back(Segment{i, j, labels[static_cast<std::size_t>(i)]});
+    }
+    i = j;
+  }
+  // Merge equal-label neighbours created by absorption.
+  std::vector<Segment> merged;
+  for (const auto& s : out) {
+    if (!merged.empty() && merged.back().label == s.label) {
+      merged.back().end = s.end;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+std::vector<int> SceneCutDetector::detect(
+    std::span<const FrameFeatures> frames) const {
+  std::vector<int> cuts;
+  if (frames.empty()) return cuts;
+  cuts.push_back(0);
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (histogram_distance(frames[i - 1], frames[i]) > params_.threshold) {
+      cuts.push_back(static_cast<int>(i));
+    }
+  }
+  return cuts;
+}
+
+DetectionScore score_segments(std::span<const Segment> predicted,
+                              std::span<const Segment> truth,
+                              int total_frames) {
+  // Expand to per-frame labels; frames not covered default to kProgram.
+  const auto expand = [total_frames](std::span<const Segment> segs) {
+    std::vector<ContentLabel> labels(static_cast<std::size_t>(total_frames),
+                                     ContentLabel::kProgram);
+    for (const auto& s : segs) {
+      for (int i = std::max(0, s.begin);
+           i < std::min(total_frames, s.end); ++i) {
+        labels[static_cast<std::size_t>(i)] = s.label;
+      }
+    }
+    return labels;
+  };
+  const auto p = expand(predicted);
+  const auto t = expand(truth);
+
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  for (int i = 0; i < total_frames; ++i) {
+    const bool pc = p[static_cast<std::size_t>(i)] == ContentLabel::kCommercial;
+    const bool tc = t[static_cast<std::size_t>(i)] == ContentLabel::kCommercial;
+    if (pc && tc) ++tp;
+    if (pc && !tc) ++fp;
+    if (!pc && tc) ++fn;
+  }
+  DetectionScore s;
+  s.precision = (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  s.recall = (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  return s;
+}
+
+std::vector<Segment> playback_ranges(std::span<const Segment> segments) {
+  std::vector<Segment> out;
+  for (const auto& s : segments) {
+    if (s.label != ContentLabel::kProgram) continue;
+    if (!out.empty() && out.back().end == s.begin) {
+      out.back().end = s.end;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmsoc::analysis

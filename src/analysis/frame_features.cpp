@@ -1,0 +1,33 @@
+#include "analysis/frame_features.h"
+
+#include <cmath>
+
+namespace mmsoc::analysis {
+
+FrameFeatures extract_features(const video::Frame& frame) {
+  FrameFeatures f;
+  f.mean_luma = frame.y().mean();
+  f.luma_variance = frame.y().variance();
+  f.saturation = frame.mean_saturation();
+  for (const auto p : frame.y().pixels()) {
+    ++f.luma_histogram[static_cast<std::size_t>(p >> 4)];
+  }
+  return f;
+}
+
+double histogram_distance(const FrameFeatures& a,
+                          const FrameFeatures& b) noexcept {
+  double total_a = 0.0, total_b = 0.0;
+  for (std::size_t i = 0; i < a.luma_histogram.size(); ++i) {
+    total_a += a.luma_histogram[i];
+    total_b += b.luma_histogram[i];
+  }
+  if (total_a <= 0.0 || total_b <= 0.0) return 0.0;
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.luma_histogram.size(); ++i) {
+    dist += std::abs(a.luma_histogram[i] / total_a - b.luma_histogram[i] / total_b);
+  }
+  return dist;
+}
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,26 @@
+// Per-frame features for video content analysis (§5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace mmsoc::analysis {
+
+/// Compact per-frame descriptor used by all video detectors.
+struct FrameFeatures {
+  double mean_luma = 0.0;
+  double luma_variance = 0.0;
+  double saturation = 0.0;  ///< mean chroma distance from neutral
+  std::array<std::uint32_t, 16> luma_histogram{};  ///< 16-bin histogram
+};
+
+/// Extract features from one frame.
+[[nodiscard]] FrameFeatures extract_features(const video::Frame& frame);
+
+/// L1 distance between two luma histograms, normalized to [0, 2].
+[[nodiscard]] double histogram_distance(const FrameFeatures& a,
+                                        const FrameFeatures& b) noexcept;
+
+}  // namespace mmsoc::analysis

@@ -1,0 +1,100 @@
+#include "audio/allocation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mmsoc::audio {
+namespace {
+
+constexpr double kDbPerBit = 6.02;
+
+// Quantization SNR provided by b bits (0 bits = no transmission: the
+// "noise" is the signal itself, SNR 0 dB).
+double snr_for_bits(int b) noexcept {
+  return b > 0 ? kDbPerBit * b : 0.0;
+}
+
+}  // namespace
+
+Allocation allocate_bits(const std::array<double, kSubbands>& smr_db,
+                         int bit_pool, int samples_per_band,
+                         std::span<const double> signal_db) noexcept {
+  Allocation alloc{};
+  if (samples_per_band < 1) samples_per_band = 1;
+  int remaining = bit_pool;
+
+  // Activating a band costs 2 bits/sample (a 1-bit two's-complement field
+  // cannot represent +1, so the quantizer's minimum field is 2 bits);
+  // deepening an active band costs 1.
+  const auto grant_cost = [&](int k) {
+    return alloc[static_cast<std::size_t>(k)] == 0 ? 2 * samples_per_band
+                                                   : samples_per_band;
+  };
+  const auto grant = [&](int k) {
+    alloc[static_cast<std::size_t>(k)] += alloc[static_cast<std::size_t>(k)] == 0 ? 2 : 1;
+  };
+
+  // Phase 1: satisfy masking — bits flow to the currently worst
+  // mask-to-noise ratio among unmasked, affordable bands.
+  for (;;) {
+    int best = -1;
+    double worst_mnr = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < kSubbands; ++k) {
+      const auto b = alloc[static_cast<std::size_t>(k)];
+      if (b >= kMaxBitsPerSample) continue;
+      if (smr_db[static_cast<std::size_t>(k)] <= 0.0) continue;  // masked: skip entirely
+      if (grant_cost(k) > remaining) continue;
+      const double mnr = snr_for_bits(b) - smr_db[static_cast<std::size_t>(k)];
+      if (mnr < worst_mnr) {
+        worst_mnr = mnr;
+        best = k;
+      }
+    }
+    if (best < 0 || worst_mnr >= 0.0) break;  // unaffordable, masked, or satisfied
+    remaining -= grant_cost(best);
+    grant(best);
+  }
+
+  // Phase 2: spend leftovers by continuing to raise the worst noise
+  // margin M = SNR(bits) - SMR, now *including* masked bands (whose M
+  // starts at -SMR > 0). Masked bands therefore only receive bits once
+  // every audible band holds at least that much margin — which is how
+  // real encoders convert spare rate into robustness headroom. Bands
+  // carrying no audible signal never get bits.
+  if (signal_db.size() >= kSubbands) {
+    constexpr double kAudibleFloorDb = -70.0;
+    for (;;) {
+      int best = -1;
+      double worst_margin = std::numeric_limits<double>::infinity();
+      for (int k = 0; k < kSubbands; ++k) {
+        const auto b = alloc[static_cast<std::size_t>(k)];
+        if (b >= kMaxBitsPerSample) continue;
+        if (signal_db[static_cast<std::size_t>(k)] < kAudibleFloorDb) continue;
+        if (grant_cost(k) > remaining) continue;
+        const double margin = snr_for_bits(b) - smr_db[static_cast<std::size_t>(k)];
+        if (margin < worst_margin) {
+          worst_margin = margin;
+          best = k;
+        }
+      }
+      if (best < 0) break;
+      remaining -= grant_cost(best);
+      grant(best);
+    }
+  }
+  return alloc;
+}
+
+double worst_mnr_db(const std::array<double, kSubbands>& smr_db,
+                    const Allocation& alloc) noexcept {
+  double worst = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < kSubbands; ++k) {
+    if (smr_db[static_cast<std::size_t>(k)] <= 0.0) continue;  // masked bands don't count
+    const double mnr =
+        snr_for_bits(alloc[static_cast<std::size_t>(k)]) - smr_db[static_cast<std::size_t>(k)];
+    worst = std::min(worst, mnr);
+  }
+  return worst == std::numeric_limits<double>::infinity() ? 0.0 : worst;
+}
+
+}  // namespace mmsoc::audio

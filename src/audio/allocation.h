@@ -1,0 +1,42 @@
+// Bit allocation for the subband coder (feeds Fig. 2's "QUANTIZER/CODER").
+//
+// Greedy water-filling on signal-to-mask ratios: each iteration gives one
+// more bit (≈6.02 dB of quantization SNR) to the subband whose
+// mask-to-noise ratio is currently worst. Subbands whose SMR is already
+// negative (fully masked) receive no bits at all — this is precisely the
+// paper's "eliminate masked tones".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "audio/filterbank.h"
+
+namespace mmsoc::audio {
+
+inline constexpr int kMaxBitsPerSample = 15;
+
+/// Bits per subband sample (0 = subband not transmitted).
+using Allocation = std::array<std::uint8_t, kSubbands>;
+
+/// Distribute `bit_pool` bits (per block of one sample from each subband)
+/// given per-subband SMRs in dB. `samples_per_band` scales the cost of a
+/// bit in one band (a granule carries several samples per band).
+///
+/// Phase 1 satisfies masking: bits flow to the band with the worst
+/// mask-to-noise ratio until every unmasked band reaches MNR >= 0.
+/// Phase 2 (only when `signal_db` is non-empty) spends any leftover pool
+/// maximizing plain SNR over bands that carry signal — matching real
+/// encoders, which never leave paid-for channel bits unused.
+[[nodiscard]] Allocation allocate_bits(
+    const std::array<double, kSubbands>& smr_db, int bit_pool,
+    int samples_per_band = 1,
+    std::span<const double> signal_db = {}) noexcept;
+
+/// Mask-to-noise ratio achieved by an allocation (min over active bands);
+/// higher is better, >= 0 means all quantization noise is masked.
+[[nodiscard]] double worst_mnr_db(const std::array<double, kSubbands>& smr_db,
+                                  const Allocation& alloc) noexcept;
+
+}  // namespace mmsoc::audio

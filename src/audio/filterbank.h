@@ -1,0 +1,52 @@
+// 32-band subband mapper — Fig. 2 "MAPPER".
+//
+// MPEG-1 audio splits the signal into 32 critically-sampled subbands
+// before quantization (paper, §4: "MP3 uses a combination of subband
+// coding and a psychoacoustic model"). We implement the mapper as a
+// 32-band cosine-modulated lapped transform (MDCT with sine window,
+// Princen-Bradley TDAC) — the same filter family as the Layer III hybrid
+// bank — which gives mathematically perfect reconstruction with one
+// 32-sample block of delay. DESIGN.md §3 records this substitution for
+// the standard's tabulated 512-tap polyphase prototype.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace mmsoc::audio {
+
+inline constexpr int kSubbands = 32;
+/// One block of subband samples (one output per band per 32 input samples).
+using SubbandBlock = std::array<double, kSubbands>;
+
+/// Streaming 32-band analysis: push 32 PCM samples, get 32 subband values.
+class SubbandAnalyzer {
+ public:
+  SubbandAnalyzer();
+
+  /// Analyze one block of exactly kSubbands input samples.
+  SubbandBlock analyze(std::span<const double, kSubbands> samples) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<double, kSubbands> history_{};  // previous input block
+};
+
+/// Streaming 32-band synthesis: inverse of SubbandAnalyzer with
+/// overlap-add; total analysis+synthesis delay is kSubbands samples.
+class SubbandSynthesizer {
+ public:
+  SubbandSynthesizer();
+
+  /// Synthesize one block of kSubbands output samples.
+  std::array<double, kSubbands> synthesize(const SubbandBlock& bands) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<double, kSubbands> overlap_{};  // tail of the previous IMDCT
+};
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,65 @@
+#include "audio/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::audio {
+
+double snr_db(std::span<const double> ref,
+              std::span<const double> test) noexcept {
+  const std::size_t n = std::min(ref.size(), test.size());
+  if (n == 0) return 0.0;
+  double sig = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sig += ref[i] * ref[i];
+    const double d = ref[i] - test[i];
+    noise += d * d;
+  }
+  if (noise <= 0.0) return 99.0;
+  return std::min(99.0, common::to_db(sig / noise));
+}
+
+double segmental_snr_db(std::span<const double> ref,
+                        std::span<const double> test,
+                        std::size_t segment) noexcept {
+  const std::size_t n = std::min(ref.size(), test.size());
+  if (n == 0 || segment == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + segment <= n; start += segment) {
+    double sig = 0.0, noise = 0.0;
+    for (std::size_t i = start; i < start + segment; ++i) {
+      sig += ref[i] * ref[i];
+      const double d = ref[i] - test[i];
+      noise += d * d;
+    }
+    if (sig < 1e-12) continue;  // skip silent segments
+    const double s = noise <= 0.0 ? 99.0 : std::min(99.0, common::to_db(sig / noise));
+    sum += std::clamp(s, -10.0, 99.0);
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::size_t best_alignment(std::span<const double> ref,
+                           std::span<const double> test,
+                           std::size_t max_shift) noexcept {
+  std::size_t best = 0;
+  double best_corr = -1e300;
+  for (std::size_t shift = 0; shift <= max_shift; ++shift) {
+    double corr = 0.0;
+    const std::size_t n = std::min(ref.size(), test.size() - std::min(test.size(), shift));
+    for (std::size_t i = 0; i + shift < test.size() && i < n; ++i) {
+      corr += ref[i] * test[i + shift];
+    }
+    if (corr > best_corr) {
+      best_corr = corr;
+      best = shift;
+    }
+  }
+  return best;
+}
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,25 @@
+// Objective audio quality metrics.
+#pragma once
+
+#include <span>
+
+namespace mmsoc::audio {
+
+/// Signal-to-noise ratio in dB of `test` against `ref` (time-aligned).
+/// Identical signals are capped at 99 dB.
+[[nodiscard]] double snr_db(std::span<const double> ref,
+                            std::span<const double> test) noexcept;
+
+/// Mean of per-segment SNRs (segments of `segment` samples, default 256),
+/// which better reflects perceived quality of nonstationary signals.
+[[nodiscard]] double segmental_snr_db(std::span<const double> ref,
+                                      std::span<const double> test,
+                                      std::size_t segment = 256) noexcept;
+
+/// Best alignment offset (0..max_shift) of `test` against `ref` by
+/// cross-correlation — codecs in this library introduce block delays.
+[[nodiscard]] std::size_t best_alignment(std::span<const double> ref,
+                                         std::span<const double> test,
+                                         std::size_t max_shift) noexcept;
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,113 @@
+#include "audio/psycho.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "dsp/fft.h"
+#include "dsp/window.h"
+
+namespace mmsoc::audio {
+namespace {
+
+// Choose the FFT size for a granule: largest power of two <= n, capped at
+// 1024, floored at 64.
+std::size_t pick_fft_size(std::size_t n) noexcept {
+  std::size_t size = 64;
+  while (size * 2 <= n && size * 2 <= 1024) size *= 2;
+  return size;
+}
+
+}  // namespace
+
+PsychoModel::PsychoModel(double sample_rate) noexcept
+    : sample_rate_(sample_rate) {}
+
+double PsychoModel::absolute_threshold_db(double hz) noexcept {
+  // Terhardt's approximation of the threshold in quiet, shifted so that
+  // 0 dB corresponds to a full-scale sine at the most sensitive ear
+  // frequency (~3.3 kHz). Values well below any codable signal level.
+  const double f = std::max(hz, 20.0) / 1000.0;
+  const double spl = 3.64 * std::pow(f, -0.8) -
+                     6.5 * std::exp(-0.6 * (f - 3.3) * (f - 3.3)) +
+                     1e-3 * std::pow(f, 4.0);
+  return spl - 96.0;  // re-reference to digital full scale
+}
+
+PsychoResult PsychoModel::analyze(std::span<const double> samples) const {
+  PsychoResult r;
+  r.signal_db.fill(-120.0);
+  r.threshold_db.fill(-120.0);
+  r.smr_db.fill(0.0);
+
+  const std::size_t n = pick_fft_size(samples.size());
+  // Windowed power spectrum.
+  const auto window = dsp::make_window(dsp::WindowKind::kHann, n);
+  std::vector<double> buf(n, 0.0);
+  for (std::size_t i = 0; i < n && i < samples.size(); ++i) {
+    buf[i] = samples[i] * window[i];
+  }
+  const auto power = dsp::power_spectrum(buf, n);
+
+  // Spectral flatness (geometric / arithmetic mean of power): the
+  // tonality estimate. Pure tones -> ~0, white noise -> ~1.
+  double log_sum = 0.0, lin_sum = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 1; i < power.size(); ++i) {  // skip DC
+    const double p = std::max(power[i], 1e-20);
+    log_sum += std::log(p);
+    lin_sum += p;
+    ++bins;
+  }
+  const double gmean = std::exp(log_sum / static_cast<double>(bins));
+  const double amean = lin_sum / static_cast<double>(bins);
+  r.spectral_flatness = amean > 0 ? std::min(1.0, gmean / amean) : 1.0;
+
+  // Fold FFT bins into the 32 subbands (uniform split of [0, fs/2]).
+  std::array<double, kSubbands> band_power{};
+  for (std::size_t i = 1; i < power.size(); ++i) {
+    const std::size_t band =
+        std::min<std::size_t>(kSubbands - 1, (i * kSubbands) / power.size());
+    band_power[band] += power[i];
+  }
+  for (int k = 0; k < kSubbands; ++k) {
+    // Normalize so a full-scale sine reads ~0 dB.
+    r.signal_db[static_cast<std::size_t>(k)] =
+        common::to_db(band_power[static_cast<std::size_t>(k)] /
+                      (static_cast<double>(n) / 8.0));
+  }
+
+  // Masking offset: tonal maskers mask less (listeners resolve them), noise
+  // maskers mask more. Interpolate between the model-1 style offsets.
+  const double tonal_offset = 14.5;  // dB below a tonal masker
+  const double noise_offset = 6.0;   // dB below a noise masker
+  const double offset =
+      tonal_offset * (1.0 - r.spectral_flatness) + noise_offset * r.spectral_flatness;
+
+  // Spreading function: masking decays ~12 dB per subband toward lower
+  // bands and ~25 dB per subband toward higher bands (masking spreads
+  // upward in frequency more readily).
+  constexpr double kSlopeUp = 12.0;
+  constexpr double kSlopeDown = 25.0;
+  for (int k = 0; k < kSubbands; ++k) {
+    double thr = -120.0;
+    for (int j = 0; j < kSubbands; ++j) {
+      const double dist = static_cast<double>(k - j);
+      const double slope = dist >= 0 ? kSlopeUp : kSlopeDown;
+      const double contrib =
+          r.signal_db[static_cast<std::size_t>(j)] - offset - slope * std::abs(dist);
+      thr = std::max(thr, contrib);
+    }
+    // Floor with the absolute threshold of hearing at the band center.
+    const double hz = (static_cast<double>(k) + 0.5) * sample_rate_ /
+                      (2.0 * kSubbands);
+    thr = std::max(thr, absolute_threshold_db(hz));
+    r.threshold_db[static_cast<std::size_t>(k)] = thr;
+    r.smr_db[static_cast<std::size_t>(k)] =
+        r.signal_db[static_cast<std::size_t>(k)] - thr;
+  }
+  return r;
+}
+
+}  // namespace mmsoc::audio

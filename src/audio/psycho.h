@@ -1,0 +1,49 @@
+// Psychoacoustic model — Fig. 2 "PSYCHOACOUSTIC MODEL".
+//
+// §4: "A key psychoacoustic mechanism exploited by compression is
+// masking — when one tone is heard, followed by another tone at a nearby
+// frequency, the second tone cannot be heard for some interval. ... The
+// encoder can eliminate masked tones to reduce the amount of information
+// that is sent to the decoder."
+//
+// The model follows the structure of ISO 11172-3 psychoacoustic model 1,
+// simplified to subband granularity: an FFT power spectrum is folded into
+// the 32 subbands, a frequency-spreading function propagates masking from
+// strong (tonality-weighted) maskers to their neighbours, the absolute
+// threshold of hearing floors the result, and the output is a
+// signal-to-mask ratio (SMR) per subband that drives bit allocation.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "audio/filterbank.h"
+
+namespace mmsoc::audio {
+
+/// Per-subband analysis result, all in dB.
+struct PsychoResult {
+  std::array<double, kSubbands> signal_db;     ///< subband signal level
+  std::array<double, kSubbands> threshold_db;  ///< masking threshold
+  std::array<double, kSubbands> smr_db;        ///< signal-to-mask ratio
+  double spectral_flatness = 0.0;              ///< 0 = tonal, 1 = noisy
+};
+
+class PsychoModel {
+ public:
+  /// `sample_rate` shapes the absolute-threshold curve.
+  explicit PsychoModel(double sample_rate = 44100.0) noexcept;
+
+  /// Analyze one granule of PCM (any length >= 64; an FFT of up to 1024
+  /// points is taken from the start). Returns per-subband SMR.
+  [[nodiscard]] PsychoResult analyze(std::span<const double> samples) const;
+
+  /// Absolute threshold of hearing (approximation) at frequency hz,
+  /// in dB relative to full-scale sine.
+  [[nodiscard]] static double absolute_threshold_db(double hz) noexcept;
+
+ private:
+  double sample_rate_;
+};
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,373 @@
+#include "audio/rpe_ltp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitstream.h"
+#include "common/mathutil.h"
+
+namespace mmsoc::audio {
+namespace {
+
+using common::BitReader;
+using common::BitWriter;
+using common::Result;
+using common::StatusCode;
+
+constexpr double kPreEmphasis = 0.86;
+constexpr double kLarRange = 5.0;  // LARs quantized uniformly in [-5, 5]
+constexpr int kLarBits = 6;
+// The four LTP gain levels of GSM 06.10.
+constexpr std::array<double, 4> kLtpGains = {0.10, 0.35, 0.65, 1.00};
+
+int quantize_lar(double lar) noexcept {
+  const int levels = (1 << kLarBits) - 1;
+  const double t = std::clamp((lar + kLarRange) / (2 * kLarRange), 0.0, 1.0);
+  return static_cast<int>(std::lround(t * levels));
+}
+
+double dequantize_lar(int idx) noexcept {
+  const int levels = (1 << kLarBits) - 1;
+  return (static_cast<double>(idx) / levels) * 2 * kLarRange - kLarRange;
+}
+
+int quantize_ltp_gain(double g) noexcept {
+  int best = 0;
+  double best_err = 1e9;
+  for (std::size_t i = 0; i < kLtpGains.size(); ++i) {
+    const double err = std::abs(g - kLtpGains[i]);
+    if (err < best_err) {
+      best_err = err;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+// 6-bit logarithmic block-maximum quantizer.
+int quantize_xmax(double xmax) noexcept {
+  if (xmax < 1.0) return 0;
+  const double idx = 64.0 * std::log2(xmax) / 16.0;  // covers up to 2^16
+  return std::clamp(static_cast<int>(std::lround(idx)), 0, 63);
+}
+
+double dequantize_xmax(int idx) noexcept {
+  return std::pow(2.0, static_cast<double>(idx) * 16.0 / 64.0);
+}
+
+// LPC a-coefficients from reflection coefficients (Levinson recursion).
+void lpc_from_reflection(std::span<const double> refl,
+                         std::span<double> lpc) noexcept {
+  std::array<double, kLpcOrder> a{}, prev{};
+  for (int i = 0; i < static_cast<int>(refl.size()); ++i) {
+    a[static_cast<std::size_t>(i)] = refl[static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) {
+      a[static_cast<std::size_t>(j)] =
+          prev[static_cast<std::size_t>(j)] -
+          refl[static_cast<std::size_t>(i)] * prev[static_cast<std::size_t>(i - 1 - j)];
+    }
+    prev = a;
+  }
+  for (std::size_t i = 0; i < lpc.size(); ++i) lpc[i] = a[i];
+}
+
+}  // namespace
+
+bool levinson_durbin(std::span<const double> autocorr,
+                     std::span<double> lpc_out,
+                     std::span<double> reflection_out) noexcept {
+  const int order = static_cast<int>(lpc_out.size());
+  if (autocorr.size() < static_cast<std::size_t>(order + 1)) return false;
+  double err = autocorr[0];
+  if (err <= 0.0) return false;
+
+  std::array<double, kLpcOrder> a{}, prev{};
+  for (int i = 0; i < order; ++i) {
+    double acc = autocorr[static_cast<std::size_t>(i + 1)];
+    for (int j = 0; j < i; ++j) {
+      acc -= prev[static_cast<std::size_t>(j)] * autocorr[static_cast<std::size_t>(i - j)];
+    }
+    double k = acc / err;
+    k = std::clamp(k, -0.97, 0.97);  // guarantee a stable synthesis filter
+    reflection_out[static_cast<std::size_t>(i)] = k;
+    a[static_cast<std::size_t>(i)] = k;
+    for (int j = 0; j < i; ++j) {
+      a[static_cast<std::size_t>(j)] = prev[static_cast<std::size_t>(j)] -
+                                       k * prev[static_cast<std::size_t>(i - 1 - j)];
+    }
+    prev = a;
+    err *= (1.0 - k * k);
+    if (err <= 0.0) return false;
+  }
+  for (int i = 0; i < order; ++i) lpc_out[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+  return true;
+}
+
+double lar_from_reflection(double r) noexcept {
+  r = std::clamp(r, -0.9999, 0.9999);
+  return std::log10((1.0 + r) / (1.0 - r)) * 20.0 / 4.0;  // compressed log
+}
+
+double reflection_from_lar(double lar) noexcept {
+  const double x = std::pow(10.0, lar * 4.0 / 20.0);
+  return (x - 1.0) / (x + 1.0);
+}
+
+void RpeLtpEncoder::reset() {
+  pre_state_ = 0.0;
+  st_history_.fill(0.0);
+  std::fill(residual_history_.begin(), residual_history_.end(), 0.0);
+}
+
+std::vector<std::uint8_t> RpeLtpEncoder::encode(
+    std::span<const std::int16_t, kGsmFrameSamples> pcm) {
+  // ---- Pre-emphasis.
+  std::array<double, kGsmFrameSamples> s;
+  for (int n = 0; n < kGsmFrameSamples; ++n) {
+    const double x = static_cast<double>(pcm[static_cast<std::size_t>(n)]);
+    s[static_cast<std::size_t>(n)] = x - kPreEmphasis * pre_state_;
+    pre_state_ = x;
+  }
+
+  // ---- LPC analysis on the whole frame.
+  std::array<double, kLpcOrder + 1> autocorr{};
+  for (int lag = 0; lag <= kLpcOrder; ++lag) {
+    double acc = 0.0;
+    for (int n = lag; n < kGsmFrameSamples; ++n) {
+      acc += s[static_cast<std::size_t>(n)] * s[static_cast<std::size_t>(n - lag)];
+    }
+    autocorr[static_cast<std::size_t>(lag)] = acc;
+  }
+  std::array<double, kLpcOrder> lpc{}, refl{};
+  std::array<int, kLpcOrder> lar_idx{};
+  const bool ok = levinson_durbin(autocorr, lpc, refl);
+  if (!ok) {
+    refl.fill(0.0);
+  }
+  // Quantize LARs, then rebuild the *quantized* filter, which both ends use.
+  for (int i = 0; i < kLpcOrder; ++i) {
+    lar_idx[static_cast<std::size_t>(i)] =
+        quantize_lar(lar_from_reflection(refl[static_cast<std::size_t>(i)]));
+  }
+  std::array<double, kLpcOrder> refl_q{}, lpc_q{};
+  for (int i = 0; i < kLpcOrder; ++i) {
+    refl_q[static_cast<std::size_t>(i)] =
+        reflection_from_lar(dequantize_lar(lar_idx[static_cast<std::size_t>(i)]));
+  }
+  lpc_from_reflection(refl_q, lpc_q);
+
+  // ---- Short-term analysis filter: d[n] = s[n] - sum a_i s[n-i].
+  std::array<double, kGsmFrameSamples> d;
+  for (int n = 0; n < kGsmFrameSamples; ++n) {
+    double pred = 0.0;
+    for (int i = 0; i < kLpcOrder; ++i) {
+      const int idx = n - 1 - i;
+      const double past = idx >= 0 ? s[static_cast<std::size_t>(idx)]
+                                   : st_history_[static_cast<std::size_t>(-idx - 1)];
+      pred += lpc_q[static_cast<std::size_t>(i)] * past;
+    }
+    d[static_cast<std::size_t>(n)] = s[static_cast<std::size_t>(n)] - pred;
+  }
+  for (int i = 0; i < kLpcOrder; ++i) {
+    st_history_[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(kGsmFrameSamples - 1 - i)];
+  }
+
+  // ---- Per-subframe LTP + RPE.
+  BitWriter w;
+  for (int i = 0; i < kLpcOrder; ++i) {
+    w.put_bits(static_cast<std::uint64_t>(lar_idx[static_cast<std::size_t>(i)]), kLarBits);
+  }
+
+  for (int sf = 0; sf < kGsmFrameSamples / kGsmSubframe; ++sf) {
+    const int base = sf * kGsmSubframe;
+
+    // Long-term predictor: search the reconstructed residual history.
+    // residual_history_ holds the last kMaxLag reconstructed residual
+    // samples, index kMaxLag-1 = most recent.
+    int best_lag = kMinLag;
+    double best_corr = 0.0, best_energy = 1.0;
+    for (int lag = kMinLag; lag <= kMaxLag; ++lag) {
+      double corr = 0.0, energy = 0.0;
+      for (int n = 0; n < kGsmSubframe; ++n) {
+        // d'[base + n - lag]: negative index reaches into history.
+        const int rel = base + n - lag;
+        const double past =
+            rel >= 0 ? d[static_cast<std::size_t>(rel)]  // within current frame (already reconstructed below)
+                     : residual_history_[residual_history_.size() +
+                                         static_cast<std::size_t>(rel)];
+        corr += d[static_cast<std::size_t>(base + n)] * past;
+        energy += past * past;
+      }
+      if (energy > 0 && corr / std::sqrt(energy) >
+                            best_corr / std::sqrt(best_energy)) {
+        best_corr = corr;
+        best_energy = energy;
+        best_lag = lag;
+      }
+    }
+    const double gain_raw =
+        best_energy > 0 ? std::clamp(best_corr / best_energy, 0.0, 1.0) : 0.0;
+    const int gain_idx = quantize_ltp_gain(gain_raw);
+    const double gain = kLtpGains[static_cast<std::size_t>(gain_idx)];
+
+    // LTP residual e[n].
+    std::array<double, kGsmSubframe> e;
+    std::array<double, kGsmSubframe> ltp_pred;
+    for (int n = 0; n < kGsmSubframe; ++n) {
+      const int rel = base + n - best_lag;
+      const double past =
+          rel >= 0 ? d[static_cast<std::size_t>(rel)]
+                   : residual_history_[residual_history_.size() +
+                                       static_cast<std::size_t>(rel)];
+      ltp_pred[static_cast<std::size_t>(n)] = gain * past;
+      e[static_cast<std::size_t>(n)] =
+          d[static_cast<std::size_t>(base + n)] - ltp_pred[static_cast<std::size_t>(n)];
+    }
+
+    // Regular pulse excitation: best 1-of-3 phase, 13 pulses.
+    int best_phase = 0;
+    double best_e = -1.0;
+    for (int m = 0; m < 3; ++m) {
+      double energy = 0.0;
+      for (int p = 0; p < kRpePulses; ++p) {
+        const int n = m + 3 * p;
+        if (n < kGsmSubframe) {
+          energy += e[static_cast<std::size_t>(n)] * e[static_cast<std::size_t>(n)];
+        }
+      }
+      if (energy > best_e) {
+        best_e = energy;
+        best_phase = m;
+      }
+    }
+    double xmax = 0.0;
+    for (int p = 0; p < kRpePulses; ++p) {
+      const int n = best_phase + 3 * p;
+      if (n < kGsmSubframe) {
+        xmax = std::max(xmax, std::abs(e[static_cast<std::size_t>(n)]));
+      }
+    }
+    const int xmax_idx = quantize_xmax(xmax);
+    const double xmax_q = dequantize_xmax(xmax_idx);
+
+    w.put_bits(static_cast<std::uint64_t>(best_lag - kMinLag), 7);
+    w.put_bits(static_cast<std::uint64_t>(gain_idx), 2);
+    w.put_bits(static_cast<std::uint64_t>(best_phase), 2);
+    w.put_bits(static_cast<std::uint64_t>(xmax_idx), 6);
+
+    // 3-bit pulse amplitudes, and the reconstructed excitation.
+    std::array<double, kGsmSubframe> e_rec{};
+    for (int p = 0; p < kRpePulses; ++p) {
+      const int n = best_phase + 3 * p;
+      double v = 0.0;
+      if (n < kGsmSubframe && xmax_q > 0) {
+        v = std::clamp(e[static_cast<std::size_t>(n)] / xmax_q, -1.0, 1.0);
+      }
+      const int q = std::clamp(static_cast<int>(std::lround(v * 3.0)), -3, 3);
+      w.put_bits(static_cast<std::uint64_t>(q + 3), 3);
+      if (n < kGsmSubframe) {
+        e_rec[static_cast<std::size_t>(n)] = (static_cast<double>(q) / 3.0) * xmax_q;
+      }
+    }
+
+    // Reconstruct the subframe residual (encoder-side copy of the decoder)
+    // and overwrite d[] so later subframes predict from reconstructed data.
+    for (int n = 0; n < kGsmSubframe; ++n) {
+      d[static_cast<std::size_t>(base + n)] =
+          e_rec[static_cast<std::size_t>(n)] + ltp_pred[static_cast<std::size_t>(n)];
+    }
+  }
+
+  // Roll the reconstructed residual history forward.
+  for (int n = 0; n < kMaxLag; ++n) {
+    residual_history_[static_cast<std::size_t>(n)] =
+        d[static_cast<std::size_t>(kGsmFrameSamples - kMaxLag + n)];
+  }
+
+  auto bytes = w.take();
+  bytes.resize(kGsmFrameBytes, 0);
+  return bytes;
+}
+
+void RpeLtpDecoder::reset() {
+  de_state_ = 0.0;
+  st_history_.fill(0.0);
+  std::fill(residual_history_.begin(), residual_history_.end(), 0.0);
+}
+
+Result<std::array<std::int16_t, kGsmFrameSamples>> RpeLtpDecoder::decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kGsmFrameBytes) {
+    return Result<std::array<std::int16_t, kGsmFrameSamples>>(
+        StatusCode::kCorruptData, "short GSM frame");
+  }
+  BitReader r(bytes);
+
+  std::array<double, kLpcOrder> refl_q{}, lpc_q{};
+  for (int i = 0; i < kLpcOrder; ++i) {
+    refl_q[static_cast<std::size_t>(i)] = reflection_from_lar(
+        dequantize_lar(static_cast<int>(r.get_bits(kLarBits))));
+  }
+  lpc_from_reflection(refl_q, lpc_q);
+
+  std::array<double, kGsmFrameSamples> d{};
+  for (int sf = 0; sf < kGsmFrameSamples / kGsmSubframe; ++sf) {
+    const int base = sf * kGsmSubframe;
+    const int lag = static_cast<int>(r.get_bits(7)) + kMinLag;
+    const double gain = kLtpGains[r.get_bits(2) & 3];
+    const int phase = static_cast<int>(r.get_bits(2));
+    const double xmax_q = dequantize_xmax(static_cast<int>(r.get_bits(6)));
+
+    std::array<double, kGsmSubframe> e_rec{};
+    for (int p = 0; p < kRpePulses; ++p) {
+      const int q = static_cast<int>(r.get_bits(3)) - 3;
+      const int n = phase + 3 * p;
+      if (n < kGsmSubframe) {
+        e_rec[static_cast<std::size_t>(n)] = (static_cast<double>(q) / 3.0) * xmax_q;
+      }
+    }
+    if (!r.ok()) {
+      return Result<std::array<std::int16_t, kGsmFrameSamples>>(
+          StatusCode::kCorruptData, "truncated GSM frame");
+    }
+    for (int n = 0; n < kGsmSubframe; ++n) {
+      const int rel = base + n - lag;
+      const double past =
+          rel >= 0 ? d[static_cast<std::size_t>(rel)]
+                   : residual_history_[residual_history_.size() +
+                                       static_cast<std::size_t>(rel)];
+      d[static_cast<std::size_t>(base + n)] =
+          e_rec[static_cast<std::size_t>(n)] + gain * past;
+    }
+  }
+  for (int n = 0; n < kMaxLag; ++n) {
+    residual_history_[static_cast<std::size_t>(n)] =
+        d[static_cast<std::size_t>(kGsmFrameSamples - kMaxLag + n)];
+  }
+
+  // Short-term synthesis: s[n] = d[n] + sum a_i s[n-i], then de-emphasis.
+  std::array<std::int16_t, kGsmFrameSamples> pcm{};
+  std::array<double, kGsmFrameSamples> s{};
+  for (int n = 0; n < kGsmFrameSamples; ++n) {
+    double acc = d[static_cast<std::size_t>(n)];
+    for (int i = 0; i < kLpcOrder; ++i) {
+      const int idx = n - 1 - i;
+      const double past = idx >= 0 ? s[static_cast<std::size_t>(idx)]
+                                   : st_history_[static_cast<std::size_t>(-idx - 1)];
+      acc += lpc_q[static_cast<std::size_t>(i)] * past;
+    }
+    s[static_cast<std::size_t>(n)] = acc;
+    // De-emphasis (inverse of the encoder's pre-emphasis).
+    de_state_ = acc + kPreEmphasis * de_state_;
+    pcm[static_cast<std::size_t>(n)] =
+        common::clamp_s16(static_cast<int>(std::lround(de_state_)));
+  }
+  for (int i = 0; i < kLpcOrder; ++i) {
+    st_history_[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(kGsmFrameSamples - 1 - i)];
+  }
+  return pcm;
+}
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,83 @@
+// RPE-LTP speech codec (GSM 06.10 style).
+//
+// §4: "The GSM cellular telephony standard uses an audio compression
+// method called Regular Pulse Excitation-Long Term Predictor (RPE-LTP).
+// This method uses a fairly simple model of the voice ... voiced, which
+// is periodic; and unvoiced, which has broader frequency content. These
+// two types of sound can be generated filtering a combination of glottal
+// resonance and noise. The RPE-LTP encoder generates filter coefficients
+// that can be used at the receiver to generate the required sound."
+//
+// Structure per 160-sample (20 ms @ 8 kHz) frame:
+//   * pre-emphasis, order-8 LPC analysis, LAR quantization (the "filter
+//     coefficients" of the source-filter model)
+//   * short-term analysis filter -> residual
+//   * per 40-sample subframe: long-term predictor (pitch lag 40..120 +
+//     2-bit gain) capturing the *voiced* periodicity, then regular-pulse
+//     excitation (13 pulses on a 1-of-3 grid, 3-bit amplitudes + 6-bit
+//     block maximum) capturing the remaining *unvoiced* noise-like part.
+// Rate: 268 bits / 20 ms = 13.4 kbit/s (GSM full-rate is 13.0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmsoc::audio {
+
+inline constexpr int kGsmFrameSamples = 160;  // 20 ms at 8 kHz
+inline constexpr int kGsmSubframe = 40;
+inline constexpr int kLpcOrder = 8;
+inline constexpr int kRpePulses = 13;
+inline constexpr int kMinLag = 40;
+inline constexpr int kMaxLag = 120;
+inline constexpr std::size_t kGsmFrameBytes = 34;  // 268 bits padded
+
+class RpeLtpEncoder {
+ public:
+  RpeLtpEncoder() = default;
+
+  /// Encode one frame of 16-bit PCM. Always returns kGsmFrameBytes bytes.
+  std::vector<std::uint8_t> encode(
+      std::span<const std::int16_t, kGsmFrameSamples> pcm);
+
+  void reset();
+
+ private:
+  // Persistent analysis state.
+  double pre_state_ = 0.0;                         // pre-emphasis memory
+  std::array<double, kLpcOrder> st_history_{};     // short-term filter taps
+  std::vector<double> residual_history_ =
+      std::vector<double>(kMaxLag, 0.0);           // reconstructed residual
+};
+
+class RpeLtpDecoder {
+ public:
+  RpeLtpDecoder() = default;
+
+  common::Result<std::array<std::int16_t, kGsmFrameSamples>> decode(
+      std::span<const std::uint8_t> bytes);
+
+  void reset();
+
+ private:
+  double de_state_ = 0.0;                          // de-emphasis memory
+  std::array<double, kLpcOrder> st_history_{};     // synthesis filter taps
+  std::vector<double> residual_history_ =
+      std::vector<double>(kMaxLag, 0.0);
+};
+
+/// Levinson-Durbin: autocorrelation -> LPC + reflection coefficients.
+/// Returns false if the signal is degenerate (zero energy).
+bool levinson_durbin(std::span<const double> autocorr,
+                     std::span<double> lpc_out,
+                     std::span<double> reflection_out) noexcept;
+
+/// Log-area-ratio transform pair used for coefficient quantization.
+[[nodiscard]] double lar_from_reflection(double r) noexcept;
+[[nodiscard]] double reflection_from_lar(double lar) noexcept;
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,126 @@
+#include "audio/source.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "dsp/filter.h"
+
+namespace mmsoc::audio {
+
+std::vector<double> make_speech(std::size_t samples, double sample_rate,
+                                std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> out(samples, 0.0);
+
+  // Two formant resonators (rough /a/ vowel) and an unvoiced highpass.
+  dsp::Biquad formant1(dsp::Biquad::bandpass(700.0 / sample_rate, 5.0));
+  dsp::Biquad formant2(dsp::Biquad::bandpass(1150.0 / sample_rate, 6.0));
+  dsp::Biquad hiss(dsp::Biquad::highpass(2500.0 / sample_rate, 0.8));
+
+  const std::size_t segment = static_cast<std::size_t>(sample_rate * 0.15);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const bool voiced = (i / std::max<std::size_t>(segment, 1)) % 2 == 0;
+    // Pitch varies per speaker (seed), 95..135 Hz.
+    const double base_f0 = 95.0 + static_cast<double>(seed % 41);
+    double x;
+    if (voiced) {
+      // Glottal pulse train with vibrato.
+      const double vibrato =
+          1.0 + 0.03 * std::sin(2.0 * common::kPi * 5.0 * static_cast<double>(i) / sample_rate);
+      const double f0 = base_f0 * vibrato;
+      phase += f0 / sample_rate;
+      if (phase >= 1.0) phase -= 1.0;
+      // Sharp pulse: high sample at pulse instant, decay elsewhere.
+      const double pulse = std::exp(-40.0 * phase);
+      x = formant1.process(pulse) * 1.8 + formant2.process(pulse) * 1.1;
+    } else {
+      const double n = rng.next_double_in(-1.0, 1.0);
+      x = hiss.process(n) * 0.18;
+    }
+    out[i] = std::clamp(x, -0.95, 0.95);
+  }
+  return out;
+}
+
+std::vector<double> make_music(std::size_t samples, double sample_rate,
+                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> out(samples, 0.0);
+
+  // Chord progression over A minor-ish roots, 0.5 s per chord.
+  const double roots[] = {220.0, 174.61, 196.0, 261.63};
+  const std::size_t chord_len = static_cast<std::size_t>(sample_rate * 0.5);
+  const std::size_t beat_len = static_cast<std::size_t>(sample_rate * 0.25);
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    const double root = roots[(i / std::max<std::size_t>(chord_len, 1)) % 4];
+    double x = 0.0;
+    // Root + fifth + octave with harmonic rolloff.
+    for (int h = 1; h <= 5; ++h) {
+      const double a = 0.22 / h;
+      x += a * std::sin(2.0 * common::kPi * root * h * t);
+      x += 0.6 * a * std::sin(2.0 * common::kPi * root * 1.5 * h * t);
+    }
+    // Percussive transient at each beat: exponentially decaying noise.
+    const std::size_t into_beat = i % std::max<std::size_t>(beat_len, 1);
+    if (into_beat < sample_rate * 0.02) {
+      const double env = std::exp(-static_cast<double>(into_beat) /
+                                  (sample_rate * 0.004));
+      x += 0.35 * env * rng.next_double_in(-1.0, 1.0);
+    }
+    x += 0.01 * rng.next_double_in(-1.0, 1.0);
+    out[i] = std::clamp(0.5 * x, -0.95, 0.95);
+  }
+  return out;
+}
+
+std::vector<double> make_tone(std::size_t samples, double sample_rate,
+                              double hz, double amplitude) {
+  std::vector<double> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    out[i] = amplitude *
+             std::sin(2.0 * common::kPi * hz * static_cast<double>(i) / sample_rate);
+  }
+  return out;
+}
+
+std::vector<double> make_noise(std::size_t samples, double amplitude,
+                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> out(samples);
+  for (auto& v : out) v = amplitude * rng.next_double_in(-1.0, 1.0);
+  return out;
+}
+
+std::vector<double> make_masking_pair(std::size_t samples, double sample_rate,
+                                      double masker_hz, double probe_hz,
+                                      double probe_amplitude) {
+  std::vector<double> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    out[i] = 0.7 * std::sin(2.0 * common::kPi * masker_hz * t) +
+             probe_amplitude * std::sin(2.0 * common::kPi * probe_hz * t);
+  }
+  return out;
+}
+
+std::vector<std::int16_t> to_pcm16(const std::vector<double>& samples) {
+  std::vector<std::int16_t> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = common::clamp_s16(static_cast<int>(std::lround(samples[i] * 32767.0)));
+  }
+  return out;
+}
+
+std::vector<double> from_pcm16(const std::vector<std::int16_t>& pcm) {
+  std::vector<double> out(pcm.size());
+  for (std::size_t i = 0; i < pcm.size(); ++i) {
+    out[i] = static_cast<double>(pcm[i]) / 32767.0;
+  }
+  return out;
+}
+
+}  // namespace mmsoc::audio

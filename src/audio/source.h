@@ -1,0 +1,54 @@
+// Deterministic synthetic audio sources (DESIGN.md §3 substitution for
+// real recordings).
+//
+// The speech generator implements exactly the production model the paper
+// describes in §4: "voiced, which is periodic; and unvoiced, which has
+// broader frequency content. These two types of sound can be generated
+// [by] filtering a combination of glottal resonance and noise."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmsoc::audio {
+
+/// Speech-like signal: alternating voiced segments (glottal pulse train
+/// through two formant resonators) and unvoiced segments (noise through a
+/// highpass), with pitch vibrato. Amplitude roughly [-0.5, 0.5].
+[[nodiscard]] std::vector<double> make_speech(std::size_t samples,
+                                              double sample_rate,
+                                              std::uint64_t seed);
+
+/// Music-like signal: slowly-changing harmonic chords plus percussive
+/// transients and low-level noise. Broader spectrum than speech.
+[[nodiscard]] std::vector<double> make_music(std::size_t samples,
+                                             double sample_rate,
+                                             std::uint64_t seed);
+
+/// Pure sine at `hz` with the given amplitude.
+[[nodiscard]] std::vector<double> make_tone(std::size_t samples,
+                                            double sample_rate, double hz,
+                                            double amplitude = 0.5);
+
+/// White noise with the given amplitude.
+[[nodiscard]] std::vector<double> make_noise(std::size_t samples,
+                                             double amplitude,
+                                             std::uint64_t seed);
+
+/// The classic masking demonstration (§4): a strong masker tone plus a
+/// weak probe at a nearby frequency.
+[[nodiscard]] std::vector<double> make_masking_pair(std::size_t samples,
+                                                    double sample_rate,
+                                                    double masker_hz,
+                                                    double probe_hz,
+                                                    double probe_amplitude);
+
+/// Convert [-1, 1] doubles to 16-bit PCM with clamping.
+[[nodiscard]] std::vector<std::int16_t> to_pcm16(
+    const std::vector<double>& samples);
+
+/// Convert 16-bit PCM back to [-1, 1] doubles.
+[[nodiscard]] std::vector<double> from_pcm16(
+    const std::vector<std::int16_t>& pcm);
+
+}  // namespace mmsoc::audio

@@ -1,0 +1,217 @@
+#include "audio/subband_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitstream.h"
+
+namespace mmsoc::audio {
+namespace {
+
+using common::BitReader;
+using common::BitWriter;
+using common::Result;
+using common::StatusCode;
+
+constexpr std::uint16_t kSyncWord = 0xACD;  // 12-bit granule sync
+constexpr int kScalefactors = 63;
+
+// Quantize a normalized value in [-1, 1] to a signed `bits`-bit level.
+std::int32_t quantize_sample(double v, int bits) noexcept {
+  const std::int32_t maxlevel = (1 << (bits - 1)) - 1;
+  const auto q = static_cast<std::int32_t>(std::lround(v * maxlevel));
+  return std::clamp(q, -maxlevel, maxlevel);
+}
+
+double dequantize_sample(std::int32_t q, int bits) noexcept {
+  const std::int32_t maxlevel = (1 << (bits - 1)) - 1;
+  return maxlevel > 0 ? static_cast<double>(q) / maxlevel : 0.0;
+}
+
+}  // namespace
+
+AudioStageOps& AudioStageOps::operator+=(const AudioStageOps& o) noexcept {
+  mapper_macs += o.mapper_macs;
+  psycho_ops += o.psycho_ops;
+  quant_ops += o.quant_ops;
+  packer_bits += o.packer_bits;
+  return *this;
+}
+
+double scalefactor_value(int index) noexcept {
+  // 32.0 * 2^(-index/3): ~2 dB steps downward, 63 entries. The 32.0
+  // ceiling leaves headroom for filterbank gain: a full-scale input can
+  // produce subband peaks of ~8 in a single band.
+  index = std::clamp(index, 0, kScalefactors - 1);
+  return 32.0 * std::pow(2.0, -static_cast<double>(index) / 3.0);
+}
+
+int scalefactor_index_for(double magnitude) noexcept {
+  // Largest (smallest-value) index still covering the magnitude.
+  for (int i = kScalefactors - 1; i >= 0; --i) {
+    if (scalefactor_value(i) >= magnitude) return i;
+  }
+  return 0;
+}
+
+SubbandEncoder::SubbandEncoder(const AudioEncoderConfig& config)
+    : config_(config), psycho_(config.sample_rate) {
+  // Bits available per granule at the target rate, minus the fixed side
+  // information (sync 12 + allocation 4*32 + ancillary length 16) and the
+  // worst-case scalefactor cost (6 bits per band).
+  const double granule_seconds =
+      static_cast<double>(kGranuleSamples) / config_.sample_rate;
+  const int total = static_cast<int>(config_.bitrate_bps * granule_seconds);
+  bit_pool_ = std::max(0, total - (12 + 4 * kSubbands + 16 + 6 * kSubbands));
+}
+
+EncodedGranule SubbandEncoder::encode(
+    std::span<const double, kGranuleSamples> samples,
+    std::span<const std::uint8_t> ancillary) {
+  EncodedGranule out;
+
+  // MAPPER: 12 blocks of 32 subband samples.
+  std::array<SubbandBlock, kBlocksPerGranule> sb;
+  for (int t = 0; t < kBlocksPerGranule; ++t) {
+    sb[static_cast<std::size_t>(t)] = analyzer_.analyze(
+        std::span<const double, kSubbands>(samples.data() + t * kSubbands,
+                                           kSubbands));
+  }
+  out.ops.mapper_macs = static_cast<std::uint64_t>(kBlocksPerGranule) *
+                        kSubbands * (2 * kSubbands);
+
+  // Scalefactor per band.
+  std::array<int, kSubbands> sf_idx{};
+  for (int k = 0; k < kSubbands; ++k) {
+    double peak = 0.0;
+    for (int t = 0; t < kBlocksPerGranule; ++t) {
+      peak = std::max(peak, std::abs(sb[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)]));
+    }
+    sf_idx[static_cast<std::size_t>(k)] = scalefactor_index_for(peak);
+  }
+
+  // PSYCHOACOUSTIC MODEL -> SMR (or a power-only proxy when disabled).
+  std::array<double, kSubbands> smr{};
+  if (config_.use_psycho) {
+    const auto psy = psycho_.analyze(samples);
+    smr = psy.smr_db;
+    out.ops.psycho_ops = 1024 * 10 + kSubbands * kSubbands;
+  } else {
+    // No masking knowledge: demand headroom proportional to signal level
+    // above an arbitrary -90 dB floor, so allocation follows power alone.
+    for (int k = 0; k < kSubbands; ++k) {
+      double peak = 0.0;
+      for (int t = 0; t < kBlocksPerGranule; ++t) {
+        peak = std::max(peak, std::abs(sb[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)]));
+      }
+      smr[static_cast<std::size_t>(k)] =
+          peak > 0 ? std::max(0.0, 20.0 * std::log10(peak) + 90.0) : 0.0;
+    }
+  }
+
+  // QUANTIZER/CODER: greedy allocation against the SMRs, with leftover
+  // bits spent on raw SNR (signal levels from the subband peaks).
+  std::array<double, kSubbands> signal_db{};
+  for (int k = 0; k < kSubbands; ++k) {
+    double peak = 0.0;
+    for (int t = 0; t < kBlocksPerGranule; ++t) {
+      peak = std::max(peak, std::abs(sb[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)]));
+    }
+    signal_db[static_cast<std::size_t>(k)] =
+        peak > 0 ? 20.0 * std::log10(peak) : -120.0;
+  }
+  out.allocation = allocate_bits(smr, bit_pool_, kBlocksPerGranule, signal_db);
+  out.worst_mnr_db = worst_mnr_db(smr, out.allocation);
+
+  // FRAME PACKER.
+  BitWriter w;
+  w.put_bits(kSyncWord, 12);
+  for (int k = 0; k < kSubbands; ++k) {
+    w.put_bits(out.allocation[static_cast<std::size_t>(k)], 4);
+  }
+  for (int k = 0; k < kSubbands; ++k) {
+    if (out.allocation[static_cast<std::size_t>(k)] > 0) {
+      w.put_bits(static_cast<std::uint64_t>(sf_idx[static_cast<std::size_t>(k)]), 6);
+    }
+  }
+  for (int t = 0; t < kBlocksPerGranule; ++t) {
+    for (int k = 0; k < kSubbands; ++k) {
+      const int bits = out.allocation[static_cast<std::size_t>(k)];
+      if (bits == 0) continue;
+      const double scale = scalefactor_value(sf_idx[static_cast<std::size_t>(k)]);
+      const double v = sb[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)] / scale;
+      const std::int32_t q = quantize_sample(std::clamp(v, -1.0, 1.0), bits);
+      w.put_bits(static_cast<std::uint64_t>(q) & ((1u << bits) - 1),
+                 static_cast<unsigned>(bits));
+      ++out.ops.quant_ops;
+    }
+  }
+  // ANCILLARY DATA: 16-bit length + payload (Fig. 2's second input).
+  w.put_bits(ancillary.size(), 16);
+  for (const auto b : ancillary) w.put_bits(b, 8);
+
+  out.bytes = w.take();
+  out.ops.packer_bits = out.bytes.size() * 8;  // includes alignment padding
+  return out;
+}
+
+Result<DecodedGranule> SubbandDecoder::decode(
+    std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  if (r.get_bits(12) != kSyncWord || !r.ok()) {
+    return Result<DecodedGranule>(StatusCode::kCorruptData, "bad sync word");
+  }
+  Allocation alloc{};
+  for (int k = 0; k < kSubbands; ++k) {
+    alloc[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(r.get_bits(4));
+  }
+  std::array<int, kSubbands> sf_idx{};
+  for (int k = 0; k < kSubbands; ++k) {
+    if (alloc[static_cast<std::size_t>(k)] > 0) {
+      sf_idx[static_cast<std::size_t>(k)] = static_cast<int>(r.get_bits(6));
+    }
+  }
+  if (!r.ok()) {
+    return Result<DecodedGranule>(StatusCode::kCorruptData,
+                                  "truncated side info");
+  }
+
+  DecodedGranule out;
+  for (int t = 0; t < kBlocksPerGranule; ++t) {
+    SubbandBlock sb{};
+    for (int k = 0; k < kSubbands; ++k) {
+      const int bits = alloc[static_cast<std::size_t>(k)];
+      if (bits == 0) {
+        sb[static_cast<std::size_t>(k)] = 0.0;
+        continue;
+      }
+      // Sign-extend the two's-complement field.
+      auto raw = static_cast<std::uint32_t>(r.get_bits(static_cast<unsigned>(bits)));
+      const std::uint32_t sign_bit = 1u << (bits - 1);
+      std::int32_t q = static_cast<std::int32_t>(raw);
+      if (raw & sign_bit) q -= (1 << bits);
+      const double scale = scalefactor_value(sf_idx[static_cast<std::size_t>(k)]);
+      sb[static_cast<std::size_t>(k)] = dequantize_sample(q, bits) * scale;
+    }
+    const auto pcm = synthesizer_.synthesize(sb);
+    for (int i = 0; i < kSubbands; ++i) {
+      out.samples[static_cast<std::size_t>(t * kSubbands + i)] = pcm[static_cast<std::size_t>(i)];
+    }
+  }
+
+  const auto anc_len = r.get_bits(16);
+  if (!r.ok()) {
+    return Result<DecodedGranule>(StatusCode::kCorruptData,
+                                  "truncated sample data");
+  }
+  for (std::uint64_t i = 0; i < anc_len; ++i) {
+    out.ancillary.push_back(static_cast<std::uint8_t>(r.get_bits(8)));
+  }
+  if (!r.ok()) {
+    return Result<DecodedGranule>(StatusCode::kCorruptData,
+                                  "truncated ancillary data");
+  }
+  return out;
+}
+
+}  // namespace mmsoc::audio

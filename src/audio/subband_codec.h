@@ -1,0 +1,91 @@
+// The complete Fig. 2 audio encoder/decoder.
+//
+// Structure exactly as the paper's Figure 2: AUDIO SAMPLES -> MAPPER
+// (32-band filterbank) -> QUANTIZER/CODER (scalefactors + bit-allocated
+// uniform quantization) -> FRAME PACKER, with the PSYCHOACOUSTIC MODEL
+// steering the quantizer and ANCILLARY DATA multiplexed into the frame.
+// One frame codes a granule of 12 subband samples per band (384 PCM
+// samples), in the style of MPEG-1 Layer I.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "audio/allocation.h"
+#include "audio/filterbank.h"
+#include "audio/psycho.h"
+#include "common/status.h"
+
+namespace mmsoc::audio {
+
+inline constexpr int kBlocksPerGranule = 12;
+inline constexpr int kGranuleSamples = kSubbands * kBlocksPerGranule;  // 384
+
+/// Per-stage operation counts for one granule (Fig. 2 boxes).
+struct AudioStageOps {
+  std::uint64_t mapper_macs = 0;    ///< filterbank multiply-accumulates
+  std::uint64_t psycho_ops = 0;     ///< FFT butterflies + spreading ops
+  std::uint64_t quant_ops = 0;      ///< quantized subband samples
+  std::uint64_t packer_bits = 0;    ///< bits written by the frame packer
+  AudioStageOps& operator+=(const AudioStageOps& o) noexcept;
+};
+
+struct AudioEncoderConfig {
+  double sample_rate = 44100.0;
+  double bitrate_bps = 192000.0;
+  /// Disable the psychoacoustic model (allocation by signal power only).
+  /// The E-AUD experiment toggles this to quantify the masking gain.
+  bool use_psycho = true;
+};
+
+struct EncodedGranule {
+  std::vector<std::uint8_t> bytes;
+  AudioStageOps ops;
+  double worst_mnr_db = 0.0;  ///< min mask-to-noise ratio after allocation
+  Allocation allocation{};
+};
+
+class SubbandEncoder {
+ public:
+  explicit SubbandEncoder(const AudioEncoderConfig& config);
+
+  /// Encode one granule of PCM in [-1, 1]; `ancillary` rides along in the
+  /// frame (Fig. 2's ancillary-data input), e.g. DRM rights markers.
+  EncodedGranule encode(std::span<const double, kGranuleSamples> samples,
+                        std::span<const std::uint8_t> ancillary = {});
+
+  [[nodiscard]] const AudioEncoderConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AudioEncoderConfig config_;
+  SubbandAnalyzer analyzer_;
+  PsychoModel psycho_;
+  int bit_pool_;
+};
+
+struct DecodedGranule {
+  std::array<double, kGranuleSamples> samples{};
+  std::vector<std::uint8_t> ancillary;
+};
+
+class SubbandDecoder {
+ public:
+  SubbandDecoder() = default;
+
+  common::Result<DecodedGranule> decode(std::span<const std::uint8_t> bytes);
+
+ private:
+  SubbandSynthesizer synthesizer_;
+};
+
+/// The shared scalefactor table (63 entries, ISO-style 2 dB ladder).
+[[nodiscard]] double scalefactor_value(int index) noexcept;
+
+/// Smallest scalefactor index whose value covers `magnitude`.
+[[nodiscard]] int scalefactor_index_for(double magnitude) noexcept;
+
+}  // namespace mmsoc::audio

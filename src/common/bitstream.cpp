@@ -1,0 +1,155 @@
+#include "common/bitstream.h"
+
+#include <bit>
+
+namespace mmsoc::common {
+
+void BitWriter::flush_full_bytes() {
+  while (acc_bits_ >= 8) {
+    acc_bits_ -= 8;
+    buf_.push_back(static_cast<std::uint8_t>((acc_ >> acc_bits_) & 0xFFu));
+  }
+}
+
+void BitWriter::put_bits(std::uint64_t value, unsigned count) {
+  if (count == 0) return;
+  if (count > 64) count = 64;
+  if (count < 64) value &= (std::uint64_t{1} << count) - 1;
+  // Split into two appends if the accumulator would overflow 64 bits.
+  if (acc_bits_ + count > 64) {
+    const unsigned hi = count - (64 - acc_bits_);
+    put_bits(value >> hi, count - hi);
+    put_bits(value, hi);
+    return;
+  }
+  // `acc_ << 64` would be UB (and acc_ may hold stale bits above
+  // acc_bits_), so replace rather than shift when the field fills the
+  // whole accumulator.
+  if (count == 64) {
+    acc_ = value;
+    acc_bits_ = 64;
+    bit_count_ += 64;
+    flush_full_bytes();
+    return;
+  }
+  acc_ = (acc_ << count) | value;
+  acc_bits_ += count;
+  bit_count_ += count;
+  flush_full_bytes();
+}
+
+void BitWriter::put_ue(std::uint32_t value) {
+  // code = value+1 written as N-1 zeros followed by the N bits of value+1.
+  const std::uint64_t v = std::uint64_t{value} + 1;
+  const unsigned n = std::bit_width(v);
+  put_bits(0, n - 1);
+  put_bits(v, n);
+}
+
+void BitWriter::put_se(std::int32_t value) {
+  // Standard signed Exp-Golomb mapping: 0,1,-1,2,-2,... -> 0,1,2,3,4,...
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
+                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
+  put_ue(mapped);
+}
+
+void BitWriter::align_to_byte() {
+  const unsigned rem = acc_bits_ % 8;
+  if (rem != 0) put_bits(0, 8 - rem);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align_to_byte();
+  flush_full_bytes();
+  std::vector<std::uint8_t> out;
+  out.swap(buf_);
+  acc_ = 0;
+  acc_bits_ = 0;
+  bit_count_ = 0;
+  return out;
+}
+
+std::uint64_t BitReader::get_bits(unsigned count) {
+  if (count == 0) return 0;
+  if (count > 64) count = 64;
+  if (pos_ + count > data_.size() * 8) {
+    ok_ = false;
+    pos_ = data_.size() * 8;
+    return 0;
+  }
+  std::uint64_t value = 0;
+  unsigned remaining = count;
+  while (remaining > 0) {
+    const std::size_t byte_idx = pos_ >> 3;
+    const unsigned bit_off = static_cast<unsigned>(pos_ & 7);
+    const unsigned avail = 8 - bit_off;
+    const unsigned take = remaining < avail ? remaining : avail;
+    const unsigned shift = avail - take;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((data_[byte_idx] >> shift) &
+                                  ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return value;
+}
+
+std::uint32_t BitReader::peek_bits(unsigned count) const {
+  if (count == 0) return 0;
+  if (count > 32) count = 32;
+  std::uint32_t value = 0;
+  std::size_t p = pos_;
+  const std::size_t total = data_.size() * 8;
+  for (unsigned i = 0; i < count; ++i, ++p) {
+    unsigned bit = 0;
+    if (p < total) {
+      bit = (data_[p >> 3] >> (7 - (p & 7))) & 1u;
+    }
+    value = (value << 1) | bit;
+  }
+  return value;
+}
+
+void BitReader::skip_bits(std::size_t count) {
+  if (pos_ + count > data_.size() * 8) {
+    ok_ = false;
+    pos_ = data_.size() * 8;
+    return;
+  }
+  pos_ += count;
+}
+
+std::uint32_t BitReader::get_ue() {
+  unsigned zeros = 0;
+  while (ok_ && get_bits(1) == 0) {
+    if (++zeros > 32) {  // malformed stream guard
+      ok_ = false;
+      return 0;
+    }
+    if (bits_remaining() == 0) {
+      ok_ = false;
+      return 0;
+    }
+  }
+  if (!ok_) return 0;
+  const std::uint64_t suffix = get_bits(zeros);
+  const std::uint64_t v = (std::uint64_t{1} << zeros) | suffix;
+  return static_cast<std::uint32_t>(v - 1);
+}
+
+std::int32_t BitReader::get_se() {
+  const std::uint32_t mapped = get_ue();
+  if (mapped == 0) return 0;
+  const std::uint32_t magnitude = (mapped + 1) / 2;
+  return (mapped & 1u) ? static_cast<std::int32_t>(magnitude)
+                       : -static_cast<std::int32_t>(magnitude);
+}
+
+void BitReader::align_to_byte() {
+  const unsigned rem = static_cast<unsigned>(pos_ & 7);
+  if (rem != 0) skip_bits(8 - rem);
+}
+
+}  // namespace mmsoc::common

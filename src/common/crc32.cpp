@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace mmsoc::common {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+std::uint32_t update_state(std::uint32_t state,
+                           std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t b : data) {
+    state = kTable[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return update_state(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  state_ = update_state(state_, data);
+}
+
+}  // namespace mmsoc::common

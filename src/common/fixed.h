@@ -1,0 +1,98 @@
+// Q-format fixed-point arithmetic.
+//
+// The paper's consumer devices are cost/power constrained; production
+// multimedia SoC firmware runs its filters and transforms in fixed point.
+// Fixed<FRAC> is a thin value type over int32 with saturating conversions,
+// used by the servo filters and the fixed-point DCT variant so that the
+// benches can compare float vs fixed kernels.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mmsoc::common {
+
+/// Signed 32-bit fixed-point value with FRAC fractional bits (Q(31-FRAC).FRAC).
+/// Arithmetic uses 64-bit intermediates and saturates on conversion back.
+template <unsigned FRAC>
+class Fixed {
+  static_assert(FRAC > 0 && FRAC < 31, "FRAC must be in (0, 31)");
+
+ public:
+  static constexpr std::int32_t kOne = std::int32_t{1} << FRAC;
+
+  constexpr Fixed() = default;
+
+  /// Construct from a double, rounding to nearest.
+  static constexpr Fixed from_double(double v) noexcept {
+    const double scaled = v * static_cast<double>(kOne);
+    const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+    return Fixed(saturate(static_cast<std::int64_t>(rounded)));
+  }
+
+  /// Construct from an integer value (exact when representable).
+  static constexpr Fixed from_int(std::int32_t v) noexcept {
+    return Fixed(saturate(static_cast<std::int64_t>(v) << FRAC));
+  }
+
+  /// Construct from a raw Q-format bit pattern.
+  static constexpr Fixed from_raw(std::int32_t raw) noexcept { return Fixed(raw); }
+
+  [[nodiscard]] constexpr std::int32_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+  [[nodiscard]] constexpr std::int32_t to_int() const noexcept {
+    // Round to nearest, ties away from zero.
+    const std::int32_t half = kOne >> 1;
+    return raw_ >= 0 ? (raw_ + half) >> FRAC
+                     : -((-raw_ + half) >> FRAC);
+  }
+
+  constexpr Fixed operator+(Fixed o) const noexcept {
+    return Fixed(saturate(std::int64_t{raw_} + o.raw_));
+  }
+  constexpr Fixed operator-(Fixed o) const noexcept {
+    return Fixed(saturate(std::int64_t{raw_} - o.raw_));
+  }
+  constexpr Fixed operator*(Fixed o) const noexcept {
+    const std::int64_t p = std::int64_t{raw_} * o.raw_;
+    // Round-to-nearest on the discarded fractional bits.
+    const std::int64_t half = std::int64_t{1} << (FRAC - 1);
+    return Fixed(saturate((p + (p >= 0 ? half : -half)) >> FRAC));
+  }
+  constexpr Fixed operator/(Fixed o) const noexcept {
+    if (o.raw_ == 0) {
+      return Fixed(raw_ >= 0 ? std::numeric_limits<std::int32_t>::max()
+                             : std::numeric_limits<std::int32_t>::min());
+    }
+    return Fixed(saturate((std::int64_t{raw_} << FRAC) / o.raw_));
+  }
+  constexpr Fixed operator-() const noexcept { return Fixed(saturate(-std::int64_t{raw_})); }
+
+  constexpr Fixed& operator+=(Fixed o) noexcept { return *this = *this + o; }
+  constexpr Fixed& operator-=(Fixed o) noexcept { return *this = *this - o; }
+  constexpr Fixed& operator*=(Fixed o) noexcept { return *this = *this * o; }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+ private:
+  constexpr explicit Fixed(std::int32_t raw) noexcept : raw_(raw) {}
+
+  static constexpr std::int32_t saturate(std::int64_t v) noexcept {
+    if (v > std::numeric_limits<std::int32_t>::max())
+      return std::numeric_limits<std::int32_t>::max();
+    if (v < std::numeric_limits<std::int32_t>::min())
+      return std::numeric_limits<std::int32_t>::min();
+    return static_cast<std::int32_t>(v);
+  }
+
+  std::int32_t raw_ = 0;
+};
+
+/// Q16.15: the format used by the servo controller and fixed-point DCT.
+using Q15 = Fixed<15>;
+/// Q8.23: higher-precision accumulator format for filter states.
+using Q23 = Fixed<23>;
+
+}  // namespace mmsoc::common

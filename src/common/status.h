@@ -1,0 +1,105 @@
+// Lightweight status/result types for codec and I/O paths.
+//
+// Codec inner loops avoid exceptions (deterministic cost on the embedded
+// targets the paper's devices represent); fallible public entry points
+// return Status or Result<T> instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mmsoc::common {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kCorruptData,
+  kPermissionDenied,
+  kUnavailable,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kCorruptData: return "corrupt_data";
+    case StatusCode::kPermissionDenied: return "permission_denied";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Error code plus human-readable context message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_text() const {
+    if (is_ok()) return "ok";
+    std::string s{to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-status result. Kept deliberately minimal: the library's
+/// fallible functions either fully succeed or return an error, never a
+/// partial value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}         // NOLINT(google-explicit-constructor)
+  Result(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return status_.is_ok() && value_.has_value();
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mmsoc::common

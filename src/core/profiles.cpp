@@ -1,0 +1,132 @@
+#include "core/profiles.h"
+
+namespace mmsoc::core {
+
+using mpsoc::InterconnectKind;
+using mpsoc::PeKind;
+using mpsoc::Platform;
+using mpsoc::ProcessingElement;
+
+namespace {
+
+ProcessingElement risc(const char* name, double mhz, double active_w,
+                       double idle_w, double area) {
+  ProcessingElement pe;
+  pe.name = name;
+  pe.kind = PeKind::kRisc;
+  pe.clock_hz = mhz * 1e6;
+  pe.ops_per_cycle = 1.0;
+  pe.active_power_w = active_w;
+  pe.idle_power_w = idle_w;
+  pe.area_mm2 = area;
+  return pe;
+}
+
+ProcessingElement dsp(const char* name, double mhz, double active_w,
+                      double idle_w, double area) {
+  ProcessingElement pe;
+  pe.name = name;
+  pe.kind = PeKind::kDsp;
+  pe.clock_hz = mhz * 1e6;
+  pe.ops_per_cycle = 2.0;  // dual MAC
+  pe.active_power_w = active_w;
+  pe.idle_power_w = idle_w;
+  pe.area_mm2 = area;
+  return pe;
+}
+
+ProcessingElement accel(const char* name, const char* tag, double mhz,
+                        double active_w, double area) {
+  ProcessingElement pe;
+  pe.name = name;
+  pe.kind = PeKind::kAccelerator;
+  pe.accel_tag = tag;
+  pe.clock_hz = mhz * 1e6;
+  pe.ops_per_cycle = 4.0;  // wide datapath
+  pe.active_power_w = active_w;
+  pe.idle_power_w = active_w * 0.05;
+  pe.area_mm2 = area;
+  return pe;
+}
+
+}  // namespace
+
+Platform device_platform(DeviceClass device) {
+  Platform p;
+  p.name = to_string(device);
+  switch (device) {
+    case DeviceClass::kCellPhone:
+      // Battery-first: small RISC + one DSP, slow shared bus.
+      p.pes = {risc("arm-core", 104, 0.12, 0.010, 3.0),
+               dsp("voice-dsp", 104, 0.10, 0.008, 2.5)};
+      p.interconnect.bandwidth_bytes_per_s = 150e6;
+      break;
+    case DeviceClass::kAudioPlayer:
+      // The smallest profile: enough for subband decode + file system.
+      p.pes = {risc("mcu", 60, 0.05, 0.004, 1.5),
+               dsp("audio-dsp", 80, 0.06, 0.005, 1.8)};
+      p.interconnect.bandwidth_bytes_per_s = 80e6;
+      break;
+    case DeviceClass::kSetTopBox:
+      // Mains-powered decoder: RISC + DSPs + an IDCT engine.
+      p.pes = {risc("host", 200, 0.50, 0.05, 4.0),
+               dsp("video-dsp0", 200, 0.40, 0.04, 3.0),
+               dsp("video-dsp1", 200, 0.40, 0.04, 3.0),
+               accel("idct-engine", "dct", 150, 0.25, 1.5)};
+      p.interconnect.bandwidth_bytes_per_s = 400e6;
+      break;
+    case DeviceClass::kVideoRecorder:
+      // Set-top plus encode/analysis muscle and an ME engine.
+      p.pes = {risc("host", 240, 0.55, 0.05, 4.0),
+               dsp("video-dsp0", 240, 0.45, 0.04, 3.0),
+               dsp("video-dsp1", 240, 0.45, 0.04, 3.0),
+               dsp("analysis-dsp", 200, 0.35, 0.03, 2.5),
+               accel("idct-engine", "dct", 150, 0.25, 1.5),
+               accel("me-engine", "me", 200, 0.35, 2.0)};
+      p.interconnect.kind = InterconnectKind::kMesh;
+      p.interconnect.mesh_links = 4;
+      p.interconnect.bandwidth_bytes_per_s = 400e6;
+      break;
+    case DeviceClass::kVideoCamera:
+      // Encode-centric battery device: accelerators carry the load.
+      p.pes = {risc("host", 150, 0.20, 0.02, 3.0),
+               dsp("image-dsp", 150, 0.18, 0.015, 2.5),
+               accel("dct-engine", "dct", 120, 0.15, 1.5),
+               accel("me-engine", "me", 150, 0.22, 2.0)};
+      p.interconnect.bandwidth_bytes_per_s = 300e6;
+      break;
+    case DeviceClass::kBroadcastHeadend:
+      // §2's "complex transmitter": effectively unconstrained encoder.
+      p.pes = {risc("host", 800, 4.0, 0.4, 12.0),
+               dsp("enc-dsp0", 600, 3.0, 0.3, 8.0),
+               dsp("enc-dsp1", 600, 3.0, 0.3, 8.0),
+               dsp("enc-dsp2", 600, 3.0, 0.3, 8.0),
+               accel("dct-farm", "dct", 400, 1.5, 4.0),
+               accel("me-farm", "me", 400, 2.5, 6.0)};
+      p.interconnect.kind = InterconnectKind::kMesh;
+      p.interconnect.mesh_links = 8;
+      p.interconnect.bandwidth_bytes_per_s = 2e9;
+      break;
+  }
+  return p;
+}
+
+std::vector<DeviceClass> consumer_devices() {
+  return {DeviceClass::kCellPhone, DeviceClass::kAudioPlayer,
+          DeviceClass::kSetTopBox, DeviceClass::kVideoRecorder,
+          DeviceClass::kVideoCamera};
+}
+
+double realtime_target_hz(DeviceClass device) noexcept {
+  switch (device) {
+    case DeviceClass::kCellPhone: return 15.0;       // QCIF-ish videoconf
+    case DeviceClass::kAudioPlayer: return 44100.0 / 384.0;  // granule rate
+    case DeviceClass::kSetTopBox: return 30.0;       // broadcast decode
+    case DeviceClass::kVideoRecorder: return 30.0;   // record + analyze
+    case DeviceClass::kVideoCamera: return 30.0;     // capture encode
+    case DeviceClass::kBroadcastHeadend: return 30.0;
+  }
+  return 30.0;
+}
+
+}  // namespace mmsoc::core

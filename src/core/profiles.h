@@ -1,0 +1,45 @@
+// Consumer-device platform profiles — §2's product list, as silicon:
+//   "multimedia-enabled cell phones; digital audio players; digital
+//    set-top boxes; digital video recorders; digital video cameras."
+// Each profile is an MPSoC at a different cost/performance/power point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpsoc/platform.h"
+
+namespace mmsoc::core {
+
+enum class DeviceClass : std::uint8_t {
+  kCellPhone,
+  kAudioPlayer,
+  kSetTopBox,
+  kVideoRecorder,
+  kVideoCamera,
+  kBroadcastHeadend,  ///< the complex transmitter of §2's asymmetric systems
+};
+
+[[nodiscard]] constexpr const char* to_string(DeviceClass device) noexcept {
+  switch (device) {
+    case DeviceClass::kCellPhone: return "cell-phone";
+    case DeviceClass::kAudioPlayer: return "audio-player";
+    case DeviceClass::kSetTopBox: return "set-top-box";
+    case DeviceClass::kVideoRecorder: return "video-recorder";
+    case DeviceClass::kVideoCamera: return "video-camera";
+    case DeviceClass::kBroadcastHeadend: return "broadcast-headend";
+  }
+  return "?";
+}
+
+/// The MPSoC platform of a device class.
+[[nodiscard]] mpsoc::Platform device_platform(DeviceClass device);
+
+/// All consumer device classes (excludes the headend infrastructure node).
+[[nodiscard]] std::vector<DeviceClass> consumer_devices();
+
+/// Real-time target for the device's primary workload (frames or
+/// granules per second).
+[[nodiscard]] double realtime_target_hz(DeviceClass device) noexcept;
+
+}  // namespace mmsoc::core

@@ -1,0 +1,122 @@
+#include "drm/authority.h"
+
+namespace mmsoc::drm {
+
+namespace {
+
+using common::Result;
+using common::StatusCode;
+
+std::vector<std::uint8_t> rights_digest_bytes(const Rights& r) {
+  std::vector<std::uint8_t> b;
+  const auto push32 = [&](std::uint32_t v) {
+    for (unsigned i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  push32(r.title);
+  push32(r.plays_remaining);
+  push32(static_cast<std::uint32_t>(r.not_before));
+  push32(static_cast<std::uint32_t>(r.not_after));
+  for (const auto d : r.devices) push32(d);
+  b.push_back(r.analog_output_only ? 1 : 0);
+  return b;
+}
+
+}  // namespace
+
+XteaKey LicenseAuthority::register_title(TitleId title) {
+  const auto key = derive_key(master_, 0x7469746Cull << 32 | title);
+  content_keys_[title] = key;
+  return key;
+}
+
+XteaKey LicenseAuthority::register_device(DeviceId device) {
+  const auto key = derive_key(master_, 0x64657669ull << 32 | device);
+  device_keys_[device] = key;
+  return key;
+}
+
+void LicenseAuthority::grant(const Rights& rights) {
+  for (auto& g : grants_) {
+    if (g.title == rights.title) {
+      g = rights;
+      return;
+    }
+  }
+  grants_.push_back(rights);
+}
+
+Result<License> LicenseAuthority::request_license(TitleId title,
+                                                  DeviceId device,
+                                                  Timestamp now) const {
+  ++requests_;
+  const auto ck = content_keys_.find(title);
+  if (ck == content_keys_.end()) {
+    return Result<License>(StatusCode::kNotFound, "unknown title");
+  }
+  const auto dk = device_keys_.find(device);
+  if (dk == device_keys_.end()) {
+    return Result<License>(StatusCode::kPermissionDenied, "unknown device");
+  }
+  const Rights* grant = nullptr;
+  for (const auto& g : grants_) {
+    if (g.title == title) {
+      grant = &g;
+      break;
+    }
+  }
+  if (grant == nullptr || !grant->device_authorized(device)) {
+    return Result<License>(StatusCode::kPermissionDenied,
+                           "no grant for this title/device");
+  }
+  if (!grant->within_window(now)) {
+    return Result<License>(StatusCode::kPermissionDenied,
+                           "grant outside its time window");
+  }
+
+  License lic;
+  lic.rights = *grant;
+  // Wrap the content key for the device: ECB over the two key halves
+  // (adequate for a 16-byte random-looking payload in this simulation).
+  std::uint32_t block[2];
+  for (int half = 0; half < 2; ++half) {
+    block[0] = ck->second[static_cast<std::size_t>(half * 2)];
+    block[1] = ck->second[static_cast<std::size_t>(half * 2 + 1)];
+    xtea_encrypt_block(dk->second, block);
+    for (unsigned i = 0; i < 4; ++i) {
+      lic.wrapped_content_key[static_cast<std::size_t>(half * 8 + i)] =
+          static_cast<std::uint8_t>(block[0] >> (8 * i));
+      lic.wrapped_content_key[static_cast<std::size_t>(half * 8 + 4 + i)] =
+          static_cast<std::uint8_t>(block[1] >> (8 * i));
+    }
+  }
+  auto digest = rights_digest_bytes(lic.rights);
+  digest.insert(digest.end(), lic.wrapped_content_key.begin(),
+                lic.wrapped_content_key.end());
+  lic.issue_mac = xtea_cbc_mac(master_, digest);
+  return lic;
+}
+
+Result<XteaKey> LicenseAuthority::unwrap_content_key(const License& license,
+                                                     const XteaKey& device_key) {
+  XteaKey out{};
+  std::uint32_t block[2];
+  for (int half = 0; half < 2; ++half) {
+    std::uint32_t lo = 0, hi = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      lo |= static_cast<std::uint32_t>(
+                license.wrapped_content_key[static_cast<std::size_t>(half * 8 + i)])
+            << (8 * i);
+      hi |= static_cast<std::uint32_t>(
+                license.wrapped_content_key[static_cast<std::size_t>(half * 8 + 4 + i)])
+            << (8 * i);
+    }
+    block[0] = lo;
+    block[1] = hi;
+    xtea_decrypt_block(device_key, block);
+    out[static_cast<std::size_t>(half * 2)] = block[0];
+    out[static_cast<std::size_t>(half * 2 + 1)] = block[1];
+  }
+  return out;
+}
+
+}  // namespace mmsoc::drm

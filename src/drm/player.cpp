@@ -1,0 +1,95 @@
+#include "drm/player.h"
+
+namespace mmsoc::drm {
+
+PlaybackDevice::PlaybackDevice(
+    DeviceId id, const XteaKey& device_key,
+    std::function<common::Result<License>(TitleId, Timestamp)> online)
+    : id_(id), device_key_(device_key),
+      store_(derive_key(device_key, 0x73746F7265ull)),  // "store"
+      online_(std::move(online)) {}
+
+void PlaybackDevice::install_license(const License& license) {
+  store_.upsert(license.rights);
+  for (auto& l : licenses_) {
+    if (l.rights.title == license.rights.title) {
+      l = license;
+      return;
+    }
+  }
+  licenses_.push_back(license);
+}
+
+const License* PlaybackDevice::find_license(TitleId title) const noexcept {
+  for (const auto& l : licenses_) {
+    if (l.rights.title == title) return &l;
+  }
+  return nullptr;
+}
+
+PlayResult PlaybackDevice::play(TitleId title, Timestamp now,
+                                std::span<const std::uint8_t> encrypted,
+                                OutputPath output,
+                                std::uint64_t content_nonce) {
+  PlayResult result;
+
+  // Locate rights: local store first, then the online transaction.
+  Rights* rights = store_.find_mutable(title);
+  if (rights == nullptr) {
+    if (online_) {
+      auto lic = online_(title, now);
+      result.used_online_authorization = true;
+      if (!lic.is_ok()) {
+        result.denial = DenialReason::kNoLicense;
+        return result;
+      }
+      install_license(lic.value());
+      rights = store_.find_mutable(title);
+    }
+    if (rights == nullptr) {
+      result.denial = DenialReason::kNoLicense;
+      return result;
+    }
+  }
+
+  // §6 rights forms, checked in a deterministic order.
+  if (!rights->device_authorized(id_)) {
+    result.denial = DenialReason::kDeviceNotAuthorized;
+    return result;
+  }
+  if (!rights->within_window(now)) {
+    result.denial = DenialReason::kOutsideTimeWindow;
+    return result;
+  }
+  if (rights->plays_remaining == 0) {
+    result.denial = DenialReason::kPlayCountExhausted;
+    return result;
+  }
+  if (rights->analog_output_only && output == OutputPath::kDigital) {
+    result.denial = DenialReason::kOutputNotPermitted;
+    return result;
+  }
+
+  // Unwrap the content key and decrypt.
+  const License* lic = find_license(title);
+  if (lic == nullptr) {
+    result.denial = DenialReason::kNoLicense;
+    return result;
+  }
+  auto key = LicenseAuthority::unwrap_content_key(*lic, device_key_);
+  if (!key.is_ok()) {
+    result.denial = DenialReason::kTampered;
+    return result;
+  }
+  result.content.assign(encrypted.begin(), encrypted.end());
+  XteaCtr ctr(key.value(), content_nonce);
+  ctr.crypt(result.content);
+
+  // Consume one play.
+  if (rights->plays_remaining != kUnlimitedPlays) {
+    --rights->plays_remaining;
+  }
+  return result;
+}
+
+}  // namespace mmsoc::drm

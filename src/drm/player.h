@@ -1,0 +1,70 @@
+// The playback side of §6: "The playback device must be able not only to
+// perform the authorization transaction but also to play back the content
+// in such a way that the authorizations are not easily subverted. For
+// example, a playback device may be architected to provide only analog
+// output at the pins to prevent direct copying of unencoded digital
+// content."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "drm/authority.h"
+#include "drm/rights.h"
+#include "drm/xtea.h"
+
+namespace mmsoc::drm {
+
+/// Where decrypted content is routed.
+enum class OutputPath : std::uint8_t { kAnalog, kDigital };
+
+/// Outcome of one playback attempt.
+struct PlayResult {
+  DenialReason denial = DenialReason::kNone;
+  std::vector<std::uint8_t> content;  ///< decrypted payload on success
+  bool used_online_authorization = false;
+
+  [[nodiscard]] bool allowed() const noexcept {
+    return denial == DenialReason::kNone;
+  }
+};
+
+/// A consumer playback device with a local license store and an optional
+/// online connection to the authority.
+class PlaybackDevice {
+ public:
+  /// `online` may be empty (a disconnected player); then only locally
+  /// stored rights work — the paper's offline verification mode.
+  PlaybackDevice(DeviceId id, const XteaKey& device_key,
+                 std::function<common::Result<License>(TitleId, Timestamp)>
+                     online = {});
+
+  /// Install a license into the local store (e.g. fetched earlier, or
+  /// side-loaded at purchase).
+  void install_license(const License& license);
+
+  /// Attempt to play `encrypted` content of `title` at time `now`,
+  /// routing to `output`. Enforces all four §6 rights forms plus the
+  /// analog-output restriction; decrements play counts on success.
+  PlayResult play(TitleId title, Timestamp now,
+                  std::span<const std::uint8_t> encrypted, OutputPath output,
+                  std::uint64_t content_nonce = 0);
+
+  [[nodiscard]] const LicenseStore& store() const noexcept { return store_; }
+  [[nodiscard]] LicenseStore& store() noexcept { return store_; }
+  [[nodiscard]] DeviceId id() const noexcept { return id_; }
+
+ private:
+  DeviceId id_;
+  XteaKey device_key_;
+  LicenseStore store_;
+  std::function<common::Result<License>(TitleId, Timestamp)> online_;
+  std::vector<License> licenses_;  ///< installed licenses with wrapped keys
+
+  const License* find_license(TitleId title) const noexcept;
+};
+
+}  // namespace mmsoc::drm

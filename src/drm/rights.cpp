@@ -1,0 +1,111 @@
+#include "drm/rights.h"
+
+#include <algorithm>
+
+#include "common/bitstream.h"
+
+namespace mmsoc::drm {
+
+bool Rights::device_authorized(DeviceId device) const noexcept {
+  return std::find(devices.begin(), devices.end(), device) != devices.end();
+}
+
+bool Rights::within_window(Timestamp now) const noexcept {
+  if (not_before != 0 && now < not_before) return false;
+  if (not_after != 0 && now > not_after) return false;
+  return true;
+}
+
+void LicenseStore::upsert(const Rights& rights) {
+  for (auto& r : rights_) {
+    if (r.title == rights.title) {
+      r = rights;
+      return;
+    }
+  }
+  rights_.push_back(rights);
+}
+
+const Rights* LicenseStore::find(TitleId title) const noexcept {
+  for (const auto& r : rights_) {
+    if (r.title == title) return &r;
+  }
+  return nullptr;
+}
+
+Rights* LicenseStore::find_mutable(TitleId title) noexcept {
+  for (auto& r : rights_) {
+    if (r.title == title) return &r;
+  }
+  return nullptr;
+}
+
+bool LicenseStore::remove(TitleId title) {
+  const auto it = std::find_if(rights_.begin(), rights_.end(),
+                               [&](const Rights& r) { return r.title == title; });
+  if (it == rights_.end()) return false;
+  rights_.erase(it);
+  return true;
+}
+
+std::vector<std::uint8_t> LicenseStore::serialize() const {
+  common::BitWriter w;
+  w.put_bits(rights_.size(), 16);
+  for (const auto& r : rights_) {
+    w.put_bits(r.title, 32);
+    w.put_bits(r.plays_remaining, 32);
+    w.put_bits(static_cast<std::uint64_t>(r.not_before), 64);
+    w.put_bits(static_cast<std::uint64_t>(r.not_after), 64);
+    w.put_bits(r.devices.size(), 8);
+    for (const auto d : r.devices) w.put_bits(d, 32);
+    w.put_bit(r.analog_output_only ? 1 : 0);
+  }
+  auto body = w.take();
+  const std::uint64_t mac = xtea_cbc_mac(key_, body);
+  for (unsigned i = 0; i < 8; ++i) {
+    body.push_back(static_cast<std::uint8_t>(mac >> (8 * i)));
+  }
+  return body;
+}
+
+common::Result<LicenseStore> LicenseStore::parse(
+    const XteaKey& storage_key, std::span<const std::uint8_t> bytes) {
+  using common::Result;
+  using common::StatusCode;
+  if (bytes.size() < 8) {
+    return Result<LicenseStore>(StatusCode::kCorruptData, "store too small");
+  }
+  const auto body = bytes.first(bytes.size() - 8);
+  std::uint64_t mac = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    mac |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + i]) << (8 * i);
+  }
+  if (xtea_cbc_mac(storage_key, body) != mac) {
+    return Result<LicenseStore>(StatusCode::kPermissionDenied,
+                                "license store integrity check failed");
+  }
+
+  common::BitReader r(body);
+  LicenseStore store(storage_key);
+  const auto count = r.get_bits(16);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Rights rights;
+    rights.title = static_cast<TitleId>(r.get_bits(32));
+    rights.plays_remaining = static_cast<std::uint32_t>(r.get_bits(32));
+    rights.not_before = static_cast<Timestamp>(r.get_bits(64));
+    rights.not_after = static_cast<Timestamp>(r.get_bits(64));
+    const auto ndev = r.get_bits(8);
+    for (std::uint64_t d = 0; d < ndev; ++d) {
+      rights.devices.push_back(static_cast<DeviceId>(r.get_bits(32)));
+    }
+    rights.analog_output_only = r.get_bit() != 0;
+    if (!r.ok()) {
+      return Result<LicenseStore>(StatusCode::kCorruptData,
+                                  "truncated license store");
+    }
+    store.rights_.push_back(std::move(rights));
+  }
+  return store;
+}
+
+}  // namespace mmsoc::drm

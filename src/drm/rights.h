@@ -1,0 +1,80 @@
+// The rights model — §6's bullet list, verbatim:
+//   "The ability to play certain titles."
+//   "The number of times that a title may be played."
+//   "The right to play a title on more than one device."
+//   "The time period during which the title may be played."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "drm/xtea.h"
+
+namespace mmsoc::drm {
+
+using TitleId = std::uint32_t;
+using DeviceId = std::uint32_t;
+/// Seconds since an arbitrary epoch; the simulation supplies the clock.
+using Timestamp = std::int64_t;
+
+inline constexpr std::uint32_t kUnlimitedPlays = 0xFFFFFFFFu;
+
+/// The rights attached to one title for a set of devices.
+struct Rights {
+  TitleId title = 0;
+  std::uint32_t plays_remaining = kUnlimitedPlays;
+  Timestamp not_before = 0;             ///< 0 = unbounded
+  Timestamp not_after = 0;              ///< 0 = unbounded
+  std::vector<DeviceId> devices;        ///< authorized devices (>=1)
+  bool analog_output_only = false;      ///< §6's copy-protection architecture
+
+  [[nodiscard]] bool device_authorized(DeviceId device) const noexcept;
+  [[nodiscard]] bool within_window(Timestamp now) const noexcept;
+};
+
+/// Why an authorization failed — surfaced to the UI layer.
+enum class DenialReason {
+  kNone,
+  kNoLicense,
+  kPlayCountExhausted,
+  kOutsideTimeWindow,
+  kDeviceNotAuthorized,
+  kOutputNotPermitted,
+  kTampered,
+};
+
+/// Device-local persistent rights store. Serialized with a CBC-MAC tag so
+/// offline tampering (e.g. resetting play counts) is detected — the
+/// paper's "rights markers that can be updated over the Internet but do
+/// not require a connection for verification".
+class LicenseStore {
+ public:
+  explicit LicenseStore(const XteaKey& storage_key) : key_(storage_key) {}
+
+  /// Insert or replace the rights for a title.
+  void upsert(const Rights& rights);
+
+  [[nodiscard]] const Rights* find(TitleId title) const noexcept;
+  [[nodiscard]] Rights* find_mutable(TitleId title) noexcept;
+
+  /// Remove a title's rights (e.g. after expiry housekeeping).
+  bool remove(TitleId title);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rights_.size(); }
+
+  /// Serialize all rights with an integrity tag.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialized store; fails with kTampered semantics
+  /// (StatusCode::kPermissionDenied) on MAC mismatch.
+  static common::Result<LicenseStore> parse(const XteaKey& storage_key,
+                                            std::span<const std::uint8_t> bytes);
+
+ private:
+  XteaKey key_;
+  std::vector<Rights> rights_;
+};
+
+}  // namespace mmsoc::drm

@@ -1,0 +1,84 @@
+#include "drm/xtea.h"
+
+namespace mmsoc::drm {
+namespace {
+
+constexpr std::uint32_t kDelta = 0x9E3779B9u;
+constexpr unsigned kRounds = 32;
+
+}  // namespace
+
+void xtea_encrypt_block(const XteaKey& key, std::uint32_t v[2]) noexcept {
+  std::uint32_t v0 = v[0], v1 = v[1], sum = 0;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  v[0] = v0;
+  v[1] = v1;
+}
+
+void xtea_decrypt_block(const XteaKey& key, std::uint32_t v[2]) noexcept {
+  std::uint32_t v0 = v[0], v1 = v[1], sum = kDelta * kRounds;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+  }
+  v[0] = v0;
+  v[1] = v1;
+}
+
+void XteaCtr::crypt(std::span<std::uint8_t> data) noexcept {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t pos = offset_ + i;
+    const std::uint64_t block = pos / 8;
+    const unsigned byte_in_block = static_cast<unsigned>(pos % 8);
+    std::uint32_t v[2] = {static_cast<std::uint32_t>(nonce_ ^ block),
+                          static_cast<std::uint32_t>((nonce_ >> 32) ^ (block >> 32) ^ 0xA5A5A5A5u)};
+    xtea_encrypt_block(key_, v);
+    const std::uint64_t keystream =
+        (static_cast<std::uint64_t>(v[1]) << 32) | v[0];
+    data[i] ^= static_cast<std::uint8_t>(keystream >> (8 * byte_in_block));
+  }
+  offset_ += data.size();
+}
+
+std::uint64_t xtea_cbc_mac(const XteaKey& key,
+                           std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t state[2] = {0x6D6D7330u, 0x63647231u};  // fixed IV constants
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint8_t block[8] = {0};
+    for (unsigned j = 0; j < 8 && i < data.size(); ++j, ++i) {
+      block[j] = data[i];
+    }
+    state[0] ^= static_cast<std::uint32_t>(block[0]) |
+                (static_cast<std::uint32_t>(block[1]) << 8) |
+                (static_cast<std::uint32_t>(block[2]) << 16) |
+                (static_cast<std::uint32_t>(block[3]) << 24);
+    state[1] ^= static_cast<std::uint32_t>(block[4]) |
+                (static_cast<std::uint32_t>(block[5]) << 8) |
+                (static_cast<std::uint32_t>(block[6]) << 16) |
+                (static_cast<std::uint32_t>(block[7]) << 24);
+    xtea_encrypt_block(key, state);
+  }
+  // One extra permutation binds the (implicit) length-0 tail.
+  xtea_encrypt_block(key, state);
+  return (static_cast<std::uint64_t>(state[1]) << 32) | state[0];
+}
+
+XteaKey derive_key(const XteaKey& master, std::uint64_t label) noexcept {
+  std::uint8_t msg[8];
+  for (unsigned i = 0; i < 8; ++i) {
+    msg[i] = static_cast<std::uint8_t>(label >> (8 * i));
+  }
+  const std::uint64_t a = xtea_cbc_mac(master, {msg, 8});
+  msg[0] ^= 0x55;
+  const std::uint64_t b = xtea_cbc_mac(master, {msg, 8});
+  return XteaKey{static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(a >> 32),
+                 static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b >> 32)};
+}
+
+}  // namespace mmsoc::drm

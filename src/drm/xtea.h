@@ -1,0 +1,54 @@
+// XTEA block cipher, CTR-mode content encryption, and a CBC-MAC tag.
+//
+// §6: "Digital rights management uses encryption as a tool." XTEA
+// (Needham & Wheeler) is a compact 64-bit-block cipher typical of the
+// embedded-device class the paper targets; CTR mode turns it into a
+// seekable stream cipher for media payloads, and CBC-MAC provides the
+// integrity tag for license records. (Educational-grade cryptography for
+// a simulation — not for protecting real content.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mmsoc::drm {
+
+using XteaKey = std::array<std::uint32_t, 4>;
+
+/// Encrypt one 64-bit block in place (32 rounds).
+void xtea_encrypt_block(const XteaKey& key, std::uint32_t v[2]) noexcept;
+
+/// Decrypt one 64-bit block in place.
+void xtea_decrypt_block(const XteaKey& key, std::uint32_t v[2]) noexcept;
+
+/// Seekable CTR-mode stream: crypt(data) XORs the keystream starting at
+/// the current stream offset; encryption and decryption are identical.
+class XteaCtr {
+ public:
+  XteaCtr(const XteaKey& key, std::uint64_t nonce) noexcept
+      : key_(key), nonce_(nonce) {}
+
+  /// XOR the keystream over `data`, advancing the stream offset.
+  void crypt(std::span<std::uint8_t> data) noexcept;
+
+  /// Reposition the keystream (byte offset from stream start).
+  void seek(std::uint64_t byte_offset) noexcept { offset_ = byte_offset; }
+
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  XteaKey key_;
+  std::uint64_t nonce_;
+  std::uint64_t offset_ = 0;
+};
+
+/// CBC-MAC over `data` (zero IV, zero-padded final block). Suitable here
+/// because all MACed messages carry their length.
+[[nodiscard]] std::uint64_t xtea_cbc_mac(const XteaKey& key,
+                                         std::span<const std::uint8_t> data) noexcept;
+
+/// Derive a subkey by MACing a label with the master key (toy KDF).
+[[nodiscard]] XteaKey derive_key(const XteaKey& master, std::uint64_t label) noexcept;
+
+}  // namespace mmsoc::drm

@@ -1,0 +1,57 @@
+// 8x8 Discrete Cosine Transform kernels.
+//
+// Section 3 of the paper: "The discrete cosine transform (DCT) is used to
+// select details to remove. It is a frequency transform with the advantage
+// that a 2-D DCT can be computed from two 1-D DCTs." This module provides
+// both forms — the O(N^4) direct 2-D definition and the row-column
+// separable form built from 1-D passes — so bench_sec3_dct can quantify
+// that advantage, plus a Q15 fixed-point separable variant representative
+// of embedded implementations.
+//
+// Convention: type-II DCT with orthonormal scaling, so forward followed by
+// inverse is the identity up to rounding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mmsoc::dsp {
+
+inline constexpr int kDctSize = 8;
+/// An 8x8 block in row-major order.
+using Block = std::array<float, kDctSize * kDctSize>;
+using BlockI16 = std::array<std::int16_t, kDctSize * kDctSize>;
+
+/// 1-D length-8 orthonormal DCT-II of `in` into `out` (may alias).
+void dct8(std::span<const float, 8> in, std::span<float, 8> out) noexcept;
+
+/// 1-D length-8 orthonormal inverse DCT (DCT-III) of `in` into `out`.
+void idct8(std::span<const float, 8> in, std::span<float, 8> out) noexcept;
+
+/// 2-D 8x8 forward DCT by the direct O(N^4) definition (reference).
+void dct2d_direct(const Block& in, Block& out) noexcept;
+
+/// 2-D 8x8 inverse DCT by the direct definition (reference).
+void idct2d_direct(const Block& in, Block& out) noexcept;
+
+/// 2-D 8x8 forward DCT by separable row-column 1-D passes (fast path).
+void dct2d(const Block& in, Block& out) noexcept;
+
+/// 2-D 8x8 inverse DCT by separable row-column 1-D passes (fast path).
+void idct2d(const Block& in, Block& out) noexcept;
+
+/// Fixed-point Q15 separable forward DCT on int16 pixel-difference data.
+/// Input range must fit in [-4096, 4095]; outputs are DCT coefficients
+/// rounded to integers. Matches the float path to within +/-2.
+void dct2d_q15(const BlockI16& in, BlockI16& out) noexcept;
+
+/// Fixed-point Q15 separable inverse DCT.
+void idct2d_q15(const BlockI16& in, BlockI16& out) noexcept;
+
+/// Fraction of total block energy captured by the first `k` coefficients
+/// in zig-zag order; quantifies the paper's "higher spatial frequencies
+/// ... are eliminated first" energy-compaction property.
+[[nodiscard]] double energy_compaction(const Block& coeffs, int k) noexcept;
+
+}  // namespace mmsoc::dsp

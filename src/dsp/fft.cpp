@@ -1,0 +1,69 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::dsp {
+namespace {
+
+void fft_core(std::span<Complex> a, bool inverse) noexcept {
+  const std::size_t n = a.size();
+  if (n < 2 || !common::is_pow2(n)) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * common::kPi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(std::span<Complex> data) noexcept { fft_core(data, /*inverse=*/false); }
+
+void ifft(std::span<Complex> data) noexcept {
+  fft_core(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= inv_n;
+}
+
+std::vector<Complex> rfft(std::span<const double> samples, std::size_t n) {
+  std::vector<Complex> buf(n, Complex{});
+  const std::size_t m = samples.size() < n ? samples.size() : n;
+  for (std::size_t i = 0; i < m; ++i) buf[i] = Complex(samples[i], 0.0);
+  fft(buf);
+  buf.resize(n / 2 + 1);
+  return buf;
+}
+
+std::vector<double> power_spectrum(std::span<const double> samples,
+                                   std::size_t n) {
+  const auto bins = rfft(samples, n);
+  std::vector<double> power(bins.size());
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    power[i] = std::norm(bins[i]) * inv_n;
+  }
+  return power;
+}
+
+}  // namespace mmsoc::dsp

@@ -1,0 +1,29 @@
+// Radix-2 FFT used by the MPEG-audio psychoacoustic model (Section 4) and
+// the audio content-analysis features (Section 5).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mmsoc::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `data.size()` must be a power of two; behaviour is a no-op otherwise.
+void fft(std::span<Complex> data) noexcept;
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft(std::span<Complex> data) noexcept;
+
+/// Real-input convenience: returns the N/2+1 nonnegative-frequency bins of
+/// the FFT of `samples` (zero-padded/truncated to `n`, n a power of two).
+[[nodiscard]] std::vector<Complex> rfft(std::span<const double> samples,
+                                        std::size_t n);
+
+/// Power spectrum |X[k]|^2 / N for the nonnegative-frequency bins.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> samples,
+                                                 std::size_t n);
+
+}  // namespace mmsoc::dsp

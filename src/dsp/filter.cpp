@@ -1,0 +1,158 @@
+#include "dsp/filter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::dsp {
+
+FirFilter::FirFilter(std::vector<double> taps)
+    : taps_(std::move(taps)), delay_(taps_.size(), 0.0) {
+  if (taps_.empty()) {
+    taps_.push_back(1.0);
+    delay_.push_back(0.0);
+  }
+}
+
+double FirFilter::process(double x) noexcept {
+  delay_[head_] = x;
+  double acc = 0.0;
+  std::size_t idx = head_;
+  for (const double tap : taps_) {
+    acc += tap * delay_[idx];
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  return acc;
+}
+
+void FirFilter::process(std::span<double> samples) noexcept {
+  for (auto& s : samples) s = process(s);
+}
+
+void FirFilter::reset() noexcept {
+  std::fill(delay_.begin(), delay_.end(), 0.0);
+  head_ = 0;
+}
+
+std::vector<double> design_lowpass_fir(std::size_t num_taps, double cutoff) {
+  if (num_taps == 0) num_taps = 1;
+  std::vector<double> taps(num_taps);
+  const double center = (static_cast<double>(num_taps) - 1.0) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - center;
+    const double x = 2.0 * common::kPi * cutoff * t;
+    const double sinc = (std::abs(t) < 1e-12) ? 2.0 * cutoff
+                                              : std::sin(x) / (common::kPi * t);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * common::kPi * static_cast<double>(i) /
+                               (static_cast<double>(num_taps) - 1.0));
+    taps[i] = sinc * (num_taps > 1 ? window : 1.0);
+    sum += taps[i];
+  }
+  // Normalize DC gain to 1.
+  if (sum != 0.0) {
+    for (auto& t : taps) t /= sum;
+  }
+  return taps;
+}
+
+namespace {
+
+Biquad::Coeffs normalize(double b0, double b1, double b2, double a0, double a1,
+                         double a2) {
+  Biquad::Coeffs c;
+  c.b0 = b0 / a0;
+  c.b1 = b1 / a0;
+  c.b2 = b2 / a0;
+  c.a1 = a1 / a0;
+  c.a2 = a2 / a0;
+  return c;
+}
+
+}  // namespace
+
+Biquad::Coeffs Biquad::lowpass(double f, double q) {
+  const double w0 = 2.0 * common::kPi * f;
+  const double cw = std::cos(w0), sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  return normalize((1 - cw) / 2, 1 - cw, (1 - cw) / 2, 1 + alpha, -2 * cw,
+                   1 - alpha);
+}
+
+Biquad::Coeffs Biquad::highpass(double f, double q) {
+  const double w0 = 2.0 * common::kPi * f;
+  const double cw = std::cos(w0), sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  return normalize((1 + cw) / 2, -(1 + cw), (1 + cw) / 2, 1 + alpha, -2 * cw,
+                   1 - alpha);
+}
+
+Biquad::Coeffs Biquad::bandpass(double f, double q) {
+  const double w0 = 2.0 * common::kPi * f;
+  const double cw = std::cos(w0), sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  return normalize(alpha, 0.0, -alpha, 1 + alpha, -2 * cw, 1 - alpha);
+}
+
+Biquad::Coeffs Biquad::notch(double f, double q) {
+  const double w0 = 2.0 * common::kPi * f;
+  const double cw = std::cos(w0), sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  return normalize(1.0, -2 * cw, 1.0, 1 + alpha, -2 * cw, 1 - alpha);
+}
+
+Biquad::Coeffs Biquad::lead_lag(double gain, double zero_freq,
+                                double pole_freq) {
+  // s-domain: G(s) = gain * (s/wz + 1) / (s/wp + 1), bilinear transform
+  // with T = 1 (frequencies already normalized to sample rate).
+  const double wz = 2.0 * common::kPi * zero_freq;
+  const double wp = 2.0 * common::kPi * pole_freq;
+  // Pre-warp is unnecessary at the low normalized frequencies servo loops use.
+  const double k = 2.0;  // 2/T with T=1
+  const double b0 = gain * (k / wz + 1.0);
+  const double b1 = gain * (1.0 - k / wz);
+  const double a0 = k / wp + 1.0;
+  const double a1 = 1.0 - k / wp;
+  return normalize(b0, b1, 0.0, a0, a1, 0.0);
+}
+
+void BiquadQ15::set_coeffs(const Biquad::Coeffs& c) noexcept {
+  const auto q = [](double v) {
+    return static_cast<std::int32_t>(
+        std::lround(v * static_cast<double>(1 << kCoefFrac)));
+  };
+  b0_ = q(c.b0);
+  b1_ = q(c.b1);
+  b2_ = q(c.b2);
+  a1_ = q(c.a1);
+  a2_ = q(c.a2);
+}
+
+common::Q15 BiquadQ15::process(common::Q15 x) noexcept {
+  const std::int32_t xr = x.raw();
+  std::int64_t acc = std::int64_t{b0_} * xr + std::int64_t{b1_} * x1_ +
+                     std::int64_t{b2_} * x2_ - std::int64_t{a1_} * y1_ -
+                     std::int64_t{a2_} * y2_;
+  // Round the Q13 coefficient scale back out.
+  acc += (acc >= 0) ? (std::int64_t{1} << (kCoefFrac - 1))
+                    : -(std::int64_t{1} << (kCoefFrac - 1));
+  std::int64_t y = acc >> kCoefFrac;
+  // Saturate to Q15 range.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+  if (y > kMax) y = kMax;
+  if (y < kMin) y = kMin;
+  x2_ = x1_;
+  x1_ = xr;
+  y2_ = y1_;
+  y1_ = static_cast<std::int32_t>(y);
+  return common::Q15::from_raw(y1_);
+}
+
+void BiquadQ15::reset() noexcept { x1_ = x2_ = y1_ = y2_ = 0; }
+
+}  // namespace mmsoc::dsp

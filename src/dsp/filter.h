@@ -1,0 +1,100 @@
+// FIR and biquad IIR digital filters.
+//
+// Used three ways in this repo, mirroring the paper: the audio filterbank
+// prototype (Section 4), the RPE-LTP synthesis/analysis filters (Section 4),
+// and the DVD servo control filters that "must control their drives using
+// complex digital filters" (Section 7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed.h"
+
+namespace mmsoc::dsp {
+
+/// Direct-form FIR filter with persistent state for streaming use.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<double> taps);
+
+  /// Filter one sample.
+  double process(double x) noexcept;
+
+  /// Filter a buffer in place.
+  void process(std::span<double> samples) noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t order() const noexcept { return taps_.size(); }
+  [[nodiscard]] std::span<const double> taps() const noexcept { return taps_; }
+
+ private:
+  std::vector<double> taps_;
+  std::vector<double> delay_;  // circular delay line
+  std::size_t head_ = 0;
+};
+
+/// Windowed-sinc lowpass FIR design: `num_taps` taps, cutoff as a fraction
+/// of the sampling rate in (0, 0.5), Hamming window.
+[[nodiscard]] std::vector<double> design_lowpass_fir(std::size_t num_taps,
+                                                     double cutoff);
+
+/// Biquad (second-order IIR) section, direct form II transposed.
+/// y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2].
+class Biquad {
+ public:
+  struct Coeffs {
+    double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+    double a1 = 0.0, a2 = 0.0;
+  };
+
+  Biquad() = default;
+  explicit Biquad(const Coeffs& c) noexcept : c_(c) {}
+
+  double process(double x) noexcept {
+    const double y = c_.b0 * x + z1_;
+    z1_ = c_.b1 * x - c_.a1 * y + z2_;
+    z2_ = c_.b2 * x - c_.a2 * y;
+    return y;
+  }
+
+  void reset() noexcept { z1_ = z2_ = 0.0; }
+  [[nodiscard]] const Coeffs& coeffs() const noexcept { return c_; }
+  void set_coeffs(const Coeffs& c) noexcept { c_ = c; }
+
+  /// RBJ-cookbook designs; `f` is normalized frequency (cycles/sample, < 0.5).
+  static Coeffs lowpass(double f, double q);
+  static Coeffs highpass(double f, double q);
+  static Coeffs bandpass(double f, double q);
+  static Coeffs notch(double f, double q);
+  /// Lead-lag compensator mapped via bilinear transform: gain, zero and
+  /// pole frequencies normalized to the sample rate. Used by the servo loop.
+  static Coeffs lead_lag(double gain, double zero_freq, double pole_freq);
+
+ private:
+  Coeffs c_;
+  double z1_ = 0.0, z2_ = 0.0;
+};
+
+/// Q15 fixed-point biquad mirroring `Biquad` for the embedded servo path.
+/// Direct form I on raw Q15 samples with Q13 coefficients (coefficient
+/// magnitude up to 256), 64-bit accumulator — the arithmetic a DSP core in
+/// one of the paper's consumer devices would actually execute.
+class BiquadQ15 {
+ public:
+  BiquadQ15() = default;
+  explicit BiquadQ15(const Biquad::Coeffs& c) noexcept { set_coeffs(c); }
+
+  void set_coeffs(const Biquad::Coeffs& c) noexcept;
+  common::Q15 process(common::Q15 x) noexcept;
+  void reset() noexcept;
+
+ private:
+  static constexpr int kCoefFrac = 13;
+  std::int32_t b0_ = 1 << kCoefFrac, b1_ = 0, b2_ = 0, a1_ = 0, a2_ = 0;
+  std::int32_t x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;  // raw Q15 history
+};
+
+}  // namespace mmsoc::dsp

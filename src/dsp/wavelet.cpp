@@ -1,0 +1,239 @@
+#include "dsp/wavelet.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace mmsoc::dsp {
+namespace {
+
+// Symmetric (whole-point) boundary extension index: ... 2 1 0 1 2 ... n-2 n-1 n-2 ...
+std::size_t sym(std::ptrdiff_t i, std::size_t n) noexcept {
+  if (n == 1) return 0;
+  const std::ptrdiff_t period = 2 * (static_cast<std::ptrdiff_t>(n) - 1);
+  std::ptrdiff_t j = i % period;
+  if (j < 0) j += period;
+  if (j >= static_cast<std::ptrdiff_t>(n)) j = period - j;
+  return static_cast<std::size_t>(j);
+}
+
+// Split interleaved samples into [low | high] halves.
+template <typename T>
+void deinterleave(std::span<T> data) {
+  const std::size_t n = data.size();
+  std::vector<T> tmp(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[i] = data[2 * i];
+    tmp[half + i] = data[2 * i + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) data[i] = tmp[i];
+}
+
+// Merge [low | high] halves back to interleaved order.
+template <typename T>
+void interleave(std::span<T> data) {
+  const std::size_t n = data.size();
+  std::vector<T> tmp(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[2 * i] = data[i];
+    tmp[2 * i + 1] = data[half + i];
+  }
+  for (std::size_t i = 0; i < n; ++i) data[i] = tmp[i];
+}
+
+// CDF 9/7 lifting coefficients (JPEG2000 Part 1, Annex F).
+constexpr float kAlpha = -1.586134342f;
+constexpr float kBeta = -0.052980118f;
+constexpr float kGamma = 0.882911075f;
+constexpr float kDelta = 0.443506852f;
+constexpr float kKappa = 1.230174105f;
+
+}  // namespace
+
+void dwt53_forward(std::span<std::int32_t> data) {
+  const std::size_t n = data.size();
+  if (n < 2 || n % 2 != 0) return;
+  // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+  for (std::size_t i = 1; i < n; i += 2) {
+    const std::int32_t left = data[i - 1];
+    const std::int32_t right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] -= (left + right) >> 1;
+  }
+  // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+  for (std::size_t i = 0; i < n; i += 2) {
+    const std::int32_t left = data[sym(static_cast<std::ptrdiff_t>(i) - 1, n)];
+    const std::int32_t right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] += (left + right + 2) >> 2;
+  }
+  deinterleave(data);
+}
+
+void dwt53_inverse(std::span<std::int32_t> data) {
+  const std::size_t n = data.size();
+  if (n < 2 || n % 2 != 0) return;
+  interleave(data);
+  for (std::size_t i = 0; i < n; i += 2) {
+    const std::int32_t left = data[sym(static_cast<std::ptrdiff_t>(i) - 1, n)];
+    const std::int32_t right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] -= (left + right + 2) >> 2;
+  }
+  for (std::size_t i = 1; i < n; i += 2) {
+    const std::int32_t left = data[i - 1];
+    const std::int32_t right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] += (left + right) >> 1;
+  }
+}
+
+namespace {
+
+void lift_odd(std::span<float> data, float coef) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1; i < n; i += 2) {
+    const float left = data[i - 1];
+    const float right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] += coef * (left + right);
+  }
+}
+
+void lift_even(std::span<float> data, float coef) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 0; i < n; i += 2) {
+    const float left = data[sym(static_cast<std::ptrdiff_t>(i) - 1, n)];
+    const float right = data[sym(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    data[i] += coef * (left + right);
+  }
+}
+
+}  // namespace
+
+void dwt97_forward(std::span<float> data) {
+  const std::size_t n = data.size();
+  if (n < 2 || n % 2 != 0) return;
+  lift_odd(data, kAlpha);
+  lift_even(data, kBeta);
+  lift_odd(data, kGamma);
+  lift_even(data, kDelta);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] *= (i % 2 == 0) ? kKappa : 1.0f / kKappa;
+  }
+  deinterleave(data);
+}
+
+void dwt97_inverse(std::span<float> data) {
+  const std::size_t n = data.size();
+  if (n < 2 || n % 2 != 0) return;
+  interleave(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] *= (i % 2 == 0) ? 1.0f / kKappa : kKappa;
+  }
+  lift_even(data, -kDelta);
+  lift_odd(data, -kGamma);
+  lift_even(data, -kBeta);
+  lift_odd(data, -kAlpha);
+}
+
+namespace {
+
+// Apply a 1-D transform to the first `len` entries of every row / column
+// of the top-left len x len (or lw x lh) sub-image.
+template <typename T, typename Fn>
+void transform_rows(std::span<T> image, int stride, int lw, int lh, Fn fn) {
+  std::vector<T> row(static_cast<std::size_t>(lw));
+  for (int y = 0; y < lh; ++y) {
+    for (int x = 0; x < lw; ++x) row[static_cast<std::size_t>(x)] = image[static_cast<std::size_t>(y) * stride + x];
+    fn(std::span<T>(row));
+    for (int x = 0; x < lw; ++x) image[static_cast<std::size_t>(y) * stride + x] = row[static_cast<std::size_t>(x)];
+  }
+}
+
+template <typename T, typename Fn>
+void transform_cols(std::span<T> image, int stride, int lw, int lh, Fn fn) {
+  std::vector<T> col(static_cast<std::size_t>(lh));
+  for (int x = 0; x < lw; ++x) {
+    for (int y = 0; y < lh; ++y) col[static_cast<std::size_t>(y)] = image[static_cast<std::size_t>(y) * stride + x];
+    fn(std::span<T>(col));
+    for (int y = 0; y < lh; ++y) image[static_cast<std::size_t>(y) * stride + x] = col[static_cast<std::size_t>(y)];
+  }
+}
+
+template <typename T, typename Fwd>
+void dwt2d_forward_impl(std::span<T> image, int width, int height, int levels,
+                        Fwd fwd) {
+  int lw = width, lh = height;
+  for (int level = 0; level < levels; ++level) {
+    if (lw < 2 || lh < 2) break;
+    transform_rows(image, width, lw, lh, fwd);
+    transform_cols(image, width, lw, lh, fwd);
+    lw /= 2;
+    lh /= 2;
+  }
+}
+
+template <typename T, typename Inv>
+void dwt2d_inverse_impl(std::span<T> image, int width, int height, int levels,
+                        Inv inv) {
+  // Determine how many levels were actually applied.
+  int applied = 0;
+  {
+    int lw = width, lh = height;
+    for (int level = 0; level < levels; ++level) {
+      if (lw < 2 || lh < 2) break;
+      ++applied;
+      lw /= 2;
+      lh /= 2;
+    }
+  }
+  for (int level = applied - 1; level >= 0; --level) {
+    const int lw = width >> level;
+    const int lh = height >> level;
+    transform_cols(image, width, lw, lh, inv);
+    transform_rows(image, width, lw, lh, inv);
+  }
+}
+
+}  // namespace
+
+void dwt53_2d_forward(std::span<std::int32_t> image, int width, int height,
+                      int levels) {
+  dwt2d_forward_impl(image, width, height, levels,
+                     [](std::span<std::int32_t> v) { dwt53_forward(v); });
+}
+
+void dwt53_2d_inverse(std::span<std::int32_t> image, int width, int height,
+                      int levels) {
+  dwt2d_inverse_impl(image, width, height, levels,
+                     [](std::span<std::int32_t> v) { dwt53_inverse(v); });
+}
+
+void dwt97_2d_forward(std::span<float> image, int width, int height,
+                      int levels) {
+  dwt2d_forward_impl(image, width, height, levels,
+                     [](std::span<float> v) { dwt97_forward(v); });
+}
+
+void dwt97_2d_inverse(std::span<float> image, int width, int height,
+                      int levels) {
+  dwt2d_inverse_impl(image, width, height, levels,
+                     [](std::span<float> v) { dwt97_inverse(v); });
+}
+
+double ll_energy_fraction(std::span<const float> image, int width, int height,
+                          int levels) noexcept {
+  std::vector<float> work(image.begin(), image.end());
+  dwt97_2d_forward(work, width, height, levels);
+  const int llw = width >> levels;
+  const int llh = height >> levels;
+  double total = 0.0, ll = 0.0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double e = static_cast<double>(work[static_cast<std::size_t>(y) * width + x]) *
+                       work[static_cast<std::size_t>(y) * width + x];
+      total += e;
+      if (x < llw && y < llh) ll += e;
+    }
+  }
+  return total > 0.0 ? ll / total : 1.0;
+}
+
+}  // namespace mmsoc::dsp

@@ -1,0 +1,53 @@
+// Discrete wavelet transforms (lifting scheme).
+//
+// Section 3: "Wavelets are a frequency representation ... represent the
+// frequency content hierarchically and do not suffer from the edge
+// artifacts common to DCT-based encoding. Wavelets [have] been
+// incorporated into JPEG2000." We implement the two JPEG2000 filter pairs:
+// the reversible integer 5/3 (lossless) and the irreversible 9/7 (lossy),
+// as 1-D lifting passes composed into multi-level 2-D transforms with
+// symmetric boundary extension (which is what avoids the edge artifacts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmsoc::dsp {
+
+/// One level of the reversible Le Gall 5/3 integer lifting transform,
+/// in place: first half of `data` receives the low band, second half the
+/// high band. Exact integer reversibility. `data.size()` must be even
+/// and >= 2.
+void dwt53_forward(std::span<std::int32_t> data);
+
+/// Inverse of dwt53_forward (exact).
+void dwt53_inverse(std::span<std::int32_t> data);
+
+/// One level of the irreversible CDF 9/7 lifting transform (float).
+void dwt97_forward(std::span<float> data);
+
+/// Inverse of dwt97_forward (up to float rounding).
+void dwt97_inverse(std::span<float> data);
+
+/// Multi-level 2-D 5/3 transform of a `width` x `height` image in
+/// row-major order, `levels` dyadic decompositions applied to the
+/// progressively smaller LL band. Width and height must be divisible by
+/// 2^levels.
+void dwt53_2d_forward(std::span<std::int32_t> image, int width, int height,
+                      int levels);
+void dwt53_2d_inverse(std::span<std::int32_t> image, int width, int height,
+                      int levels);
+
+/// Multi-level 2-D 9/7 transform (float), same layout rules as 5/3.
+void dwt97_2d_forward(std::span<float> image, int width, int height,
+                      int levels);
+void dwt97_2d_inverse(std::span<float> image, int width, int height,
+                      int levels);
+
+/// Fraction of total energy in the LL band after `levels` decompositions —
+/// the hierarchical energy compaction the paper attributes to wavelets.
+[[nodiscard]] double ll_energy_fraction(std::span<const float> image, int width,
+                                        int height, int levels) noexcept;
+
+}  // namespace mmsoc::dsp

@@ -1,0 +1,43 @@
+// Analysis window functions for the psychoacoustic model and audio features.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::dsp {
+
+enum class WindowKind { kRect, kHann, kHamming, kBlackman, kSine };
+
+/// Generate an n-point analysis window.
+[[nodiscard]] inline std::vector<double> make_window(WindowKind kind,
+                                                     std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * common::kPi * t);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * common::kPi * t);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * common::kPi * t) +
+               0.08 * std::cos(4.0 * common::kPi * t);
+        break;
+      case WindowKind::kSine:
+        w[i] = std::sin(common::kPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace mmsoc::dsp

@@ -1,0 +1,274 @@
+#include "entropy/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mmsoc::entropy {
+namespace {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+// Package-merge algorithm: computes optimal code lengths under a hard
+// max_bits limit. Runs in O(n * max_bits log n) which is ample for the
+// table sizes in this library (<= a few thousand symbols).
+std::vector<std::uint8_t> package_merge(std::span<const std::uint64_t> freqs,
+                                        unsigned max_bits) {
+  struct Item {
+    std::uint64_t weight;
+    std::vector<std::uint32_t> symbols;  // leaves contained in this package
+  };
+
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) active.push_back(i);
+  }
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;
+    return lengths;
+  }
+
+  auto make_leaves = [&] {
+    std::vector<Item> leaves;
+    leaves.reserve(active.size());
+    for (const auto s : active) {
+      leaves.push_back(Item{freqs[s], {s}});
+    }
+    std::sort(leaves.begin(), leaves.end(),
+              [](const Item& a, const Item& b) { return a.weight < b.weight; });
+    return leaves;
+  };
+
+  std::vector<Item> prev;  // packages from the previous level
+  for (unsigned level = 0; level < max_bits; ++level) {
+    std::vector<Item> merged = make_leaves();
+    // Merge in pairs from prev level.
+    std::vector<Item> packages;
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      Item p;
+      p.weight = prev[i].weight + prev[i + 1].weight;
+      p.symbols = prev[i].symbols;
+      p.symbols.insert(p.symbols.end(), prev[i + 1].symbols.begin(),
+                       prev[i + 1].symbols.end());
+      packages.push_back(std::move(p));
+    }
+    std::vector<Item> next;
+    next.reserve(merged.size() + packages.size());
+    std::merge(std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()),
+               std::make_move_iterator(packages.begin()),
+               std::make_move_iterator(packages.end()),
+               std::back_inserter(next),
+               [](const Item& a, const Item& b) { return a.weight < b.weight; });
+    prev = std::move(next);
+  }
+
+  // Take the first 2(n-1) packages; each occurrence of a symbol adds one
+  // to its code length.
+  const std::size_t take = 2 * (active.size() - 1);
+  for (std::size_t i = 0; i < take && i < prev.size(); ++i) {
+    for (const auto s : prev[i].symbols) {
+      ++lengths[s];
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+Status HuffmanCode::assign_canonical() {
+  max_len_ = 0;
+  for (const auto l : lengths_) max_len_ = std::max<unsigned>(max_len_, l);
+  if (max_len_ == 0) {
+    return Status(StatusCode::kInvalidArgument, "no coded symbols");
+  }
+  if (max_len_ > 32) {
+    return Status(StatusCode::kInvalidArgument, "code length exceeds 32");
+  }
+
+  // Kraft check + canonical assignment: symbols sorted by (length, index).
+  std::vector<std::uint32_t> count(max_len_ + 1, 0);
+  for (const auto l : lengths_) {
+    if (l > 0) ++count[l];
+  }
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    kraft += static_cast<std::uint64_t>(count[l]) << (max_len_ - l);
+  }
+  if (kraft > (std::uint64_t{1} << max_len_)) {
+    return Status(StatusCode::kCorruptData, "over-subscribed code lengths");
+  }
+
+  std::vector<std::uint32_t> next_code(max_len_ + 2, 0);
+  std::uint32_t code = 0;
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next_code[l] = code;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count[l];
+  }
+
+  codes_.assign(lengths_.size(), 0);
+  sorted_symbols_.clear();
+  sorted_symbols_.reserve(index);
+  // Canonical order: shorter codes first, then by symbol index.
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+      if (lengths_[s] == l) {
+        codes_[s] = next_code[l]++;
+        sorted_symbols_.push_back(s);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Result<HuffmanCode> HuffmanCode::from_frequencies(
+    std::span<const std::uint64_t> freqs, unsigned max_bits) {
+  if (freqs.empty()) {
+    return Result<HuffmanCode>(StatusCode::kInvalidArgument, "empty alphabet");
+  }
+  if (max_bits == 0 || max_bits > 32) {
+    return Result<HuffmanCode>(StatusCode::kInvalidArgument,
+                               "max_bits must be in [1,32]");
+  }
+  std::size_t nonzero = 0;
+  for (const auto f : freqs) {
+    if (f > 0) ++nonzero;
+  }
+  if (nonzero == 0) {
+    return Result<HuffmanCode>(StatusCode::kInvalidArgument,
+                               "all frequencies are zero");
+  }
+  // A full binary code over n symbols needs at least ceil(log2 n) bits.
+  if ((std::uint64_t{1} << max_bits) < nonzero) {
+    return Result<HuffmanCode>(StatusCode::kInvalidArgument,
+                               "max_bits too small for alphabet");
+  }
+
+  HuffmanCode hc;
+  hc.lengths_ = package_merge(freqs, max_bits);
+  if (auto st = hc.assign_canonical(); !st.is_ok()) {
+    return Result<HuffmanCode>(std::move(st));
+  }
+  return hc;
+}
+
+Result<HuffmanCode> HuffmanCode::from_lengths(
+    std::span<const std::uint8_t> lengths) {
+  HuffmanCode hc;
+  hc.lengths_.assign(lengths.begin(), lengths.end());
+  if (auto st = hc.assign_canonical(); !st.is_ok()) {
+    return Result<HuffmanCode>(std::move(st));
+  }
+  return hc;
+}
+
+bool HuffmanCode::encode(std::size_t symbol, common::BitWriter& out) const {
+  const unsigned len = length(symbol);
+  if (len == 0) return false;
+  out.put_bits(codes_[symbol], len);
+  return true;
+}
+
+int HuffmanCode::decode(common::BitReader& in) const {
+  // Canonical decode: extend the code one bit at a time; at each length l,
+  // codes are contiguous starting at first_code_[l].
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    if (in.bits_remaining() == 0) return -1;
+    code = (code << 1) | in.get_bit();
+    const std::uint32_t count =
+        (l < max_len_ ? first_index_[l + 1] : static_cast<std::uint32_t>(
+                                                  sorted_symbols_.size())) -
+        first_index_[l];
+    if (count > 0 && code >= first_code_[l] && code < first_code_[l] + count) {
+      return static_cast<int>(
+          sorted_symbols_[first_index_[l] + (code - first_code_[l])]);
+    }
+  }
+  return -1;
+}
+
+double HuffmanCode::expected_length(
+    std::span<const std::uint64_t> freqs) const noexcept {
+  std::uint64_t total = 0;
+  std::uint64_t bits = 0;
+  const std::size_t n = std::min(freqs.size(), lengths_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    total += freqs[i];
+    bits += freqs[i] * lengths_[i];
+  }
+  return total > 0 ? static_cast<double>(bits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double entropy_bits(std::span<const std::uint64_t> freqs) noexcept {
+  std::uint64_t total = 0;
+  for (const auto f : freqs) total += f;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto f : freqs) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void write_code_lengths(const HuffmanCode& code, common::BitWriter& out) {
+  const auto lengths = code.lengths();
+  out.put_ue(static_cast<std::uint32_t>(lengths.size()));
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    if (lengths[i] == 0) {
+      // Zero run: flag bit 0 + run length.
+      std::size_t run = 0;
+      while (i + run < lengths.size() && lengths[i + run] == 0) ++run;
+      out.put_bit(0);
+      out.put_ue(static_cast<std::uint32_t>(run - 1));
+      i += run;
+    } else {
+      out.put_bit(1);
+      out.put_bits(lengths[i], 6);
+      ++i;
+    }
+  }
+}
+
+common::Result<HuffmanCode> read_code_lengths(common::BitReader& in) {
+  const std::uint32_t n = in.get_ue();
+  if (!in.ok() || n == 0 || n > (1u << 20)) {
+    return common::Result<HuffmanCode>(StatusCode::kCorruptData,
+                                       "bad code-length table size");
+  }
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(n);
+  while (lengths.size() < n && in.ok()) {
+    if (in.get_bit() == 0) {
+      const std::uint32_t run = in.get_ue() + 1;
+      if (lengths.size() + run > n) {
+        return common::Result<HuffmanCode>(StatusCode::kCorruptData,
+                                           "zero run overflows table");
+      }
+      lengths.insert(lengths.end(), run, 0);
+    } else {
+      lengths.push_back(static_cast<std::uint8_t>(in.get_bits(6)));
+    }
+  }
+  if (!in.ok() || lengths.size() != n) {
+    return common::Result<HuffmanCode>(StatusCode::kCorruptData,
+                                       "truncated code-length table");
+  }
+  return HuffmanCode::from_lengths(lengths);
+}
+
+}  // namespace mmsoc::entropy

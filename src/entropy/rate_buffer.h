@@ -1,0 +1,73 @@
+// Leaky-bucket rate buffer model — the "BUFFER" box in Fig. 1.
+//
+// The encoder produces a variable number of bits per frame while the
+// channel drains at a constant rate; the buffer absorbs the difference and
+// its fullness feeds back into the quantizer step so the stream neither
+// overflows the buffer nor starves the channel. This is the classic
+// MPEG-style rate-control loop.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mmsoc::entropy {
+
+class RateBuffer {
+ public:
+  /// `capacity_bits`: physical buffer size. `drain_bits_per_frame`:
+  /// channel rate expressed per frame interval.
+  RateBuffer(std::uint64_t capacity_bits,
+             std::uint64_t drain_bits_per_frame) noexcept
+      : capacity_(capacity_bits), drain_per_frame_(drain_bits_per_frame),
+        fullness_(capacity_bits / 2) {}
+
+  /// Add the bits of one encoded frame, then drain one frame interval.
+  /// Returns true if the buffer neither overflowed nor underflowed.
+  bool add_frame(std::uint64_t frame_bits) noexcept {
+    bool ok = true;
+    fullness_ += frame_bits;
+    if (fullness_ > capacity_) {
+      fullness_ = capacity_;
+      ok = false;
+      ++overflows_;
+    }
+    if (fullness_ < drain_per_frame_) {
+      // Channel would stall waiting for bits: underflow.
+      fullness_ = 0;
+      ++underflows_;
+      ok = false;
+    } else {
+      fullness_ -= drain_per_frame_;
+    }
+    return ok;
+  }
+
+  /// Fullness as a fraction of capacity in [0, 1].
+  [[nodiscard]] double fullness_ratio() const noexcept {
+    return capacity_ > 0
+               ? static_cast<double>(fullness_) / static_cast<double>(capacity_)
+               : 0.0;
+  }
+
+  /// Quantizer scale suggestion in [min_q, max_q]: fuller buffer -> coarser
+  /// quantization. Linear control law, adequate for the experiments here.
+  [[nodiscard]] int suggest_quantizer(int min_q, int max_q) const noexcept {
+    const double t = fullness_ratio();
+    const int q = min_q + static_cast<int>(t * (max_q - min_q) + 0.5);
+    return std::clamp(q, min_q, max_q);
+  }
+
+  [[nodiscard]] std::uint64_t fullness_bits() const noexcept { return fullness_; }
+  [[nodiscard]] std::uint64_t capacity_bits() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+  [[nodiscard]] std::uint64_t underflow_count() const noexcept { return underflows_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t drain_per_frame_;
+  std::uint64_t fullness_;
+  std::uint64_t overflows_ = 0;
+  std::uint64_t underflows_ = 0;
+};
+
+}  // namespace mmsoc::entropy

@@ -1,0 +1,28 @@
+// Zig-zag scan order for 8x8 DCT coefficient blocks.
+//
+// The scan orders coefficients from low to high spatial frequency so that
+// the "higher spatial frequencies [that] represent finer detail" (paper,
+// Section 3) cluster at the tail, where run-length coding removes them
+// cheaply once quantization zeroes them.
+#pragma once
+
+#include <array>
+
+namespace mmsoc::entropy {
+
+/// kZigZag8x8[scan_position] == row-major index into the 8x8 block.
+inline constexpr std::array<int, 64> kZigZag8x8 = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+/// Inverse mapping: kZigZagInv8x8[row_major_index] == scan position.
+inline constexpr std::array<int, 64> make_inverse() {
+  std::array<int, 64> inv{};
+  for (int i = 0; i < 64; ++i) inv[kZigZag8x8[i]] = i;
+  return inv;
+}
+inline constexpr std::array<int, 64> kZigZagInv8x8 = make_inverse();
+
+}  // namespace mmsoc::entropy

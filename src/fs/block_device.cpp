@@ -1,0 +1,54 @@
+#include "fs/block_device.h"
+
+#include <algorithm>
+
+namespace mmsoc::fs {
+
+using common::Status;
+using common::StatusCode;
+
+BlockDevice::BlockDevice(std::uint32_t block_count, std::uint32_t block_size)
+    : block_count_(block_count), block_size_(block_size),
+      data_(static_cast<std::size_t>(block_count) * block_size, 0) {}
+
+void BlockDevice::account(std::uint32_t block) noexcept {
+  const std::uint32_t lo = std::min(head_, block);
+  const std::uint32_t hi = std::max(head_, block);
+  seeks_ += hi - lo;
+  head_ = block;
+}
+
+Status BlockDevice::read(std::uint32_t block, std::span<std::uint8_t> out) {
+  if (block >= block_count_) {
+    return Status(StatusCode::kOutOfRange, "block index out of range");
+  }
+  if (out.size() != block_size_) {
+    return Status(StatusCode::kInvalidArgument, "buffer != block size");
+  }
+  account(block);
+  ++reads_;
+  const auto* src = data_.data() + static_cast<std::size_t>(block) * block_size_;
+  std::copy(src, src + block_size_, out.begin());
+  return Status::ok();
+}
+
+Status BlockDevice::write(std::uint32_t block,
+                          std::span<const std::uint8_t> data) {
+  if (block >= block_count_) {
+    return Status(StatusCode::kOutOfRange, "block index out of range");
+  }
+  if (data.size() != block_size_) {
+    return Status(StatusCode::kInvalidArgument, "buffer != block size");
+  }
+  account(block);
+  ++writes_;
+  std::copy(data.begin(), data.end(),
+            data_.begin() + static_cast<std::size_t>(block) * block_size_);
+  return Status::ok();
+}
+
+void BlockDevice::reset_stats() noexcept {
+  reads_ = writes_ = seeks_ = 0;
+}
+
+}  // namespace mmsoc::fs

@@ -1,0 +1,64 @@
+// Simulated block storage for the §7 file systems: "Devices with local
+// storage, such as personal audio players or digital video recorders,
+// must provide file systems."
+//
+// An in-memory block array with a simple disk-head model: the device
+// tracks read/write counts and cumulative seek distance, which the E-FS
+// bench converts into throughput (sequential I/O is cheap, fragmented
+// chains pay seeks — the cost of "non-sequential allocation of blocks").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmsoc::fs {
+
+class BlockDevice {
+ public:
+  BlockDevice(std::uint32_t block_count, std::uint32_t block_size);
+
+  common::Status read(std::uint32_t block, std::span<std::uint8_t> out);
+  common::Status write(std::uint32_t block, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint32_t block_count() const noexcept { return block_count_; }
+  [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+
+  // --- disk model accounting -------------------------------------------
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  /// Sum over accesses of |block - previous block|.
+  [[nodiscard]] std::uint64_t seek_distance() const noexcept { return seeks_; }
+  void reset_stats() noexcept;
+
+  /// Modeled access time: per-op fixed cost plus per-block seek cost.
+  /// Defaults resemble a small 2000s-era consumer hard drive.
+  struct TimingModel {
+    double per_op_us = 50.0;        ///< command overhead
+    double per_seek_block_us = 2.0; ///< proportional to travel distance
+    double transfer_us = 20.0;      ///< per-block payload transfer
+  };
+  [[nodiscard]] double modeled_time_us(const TimingModel& m) const noexcept {
+    const double ops = static_cast<double>(reads_ + writes_);
+    return ops * (m.per_op_us + m.transfer_us) +
+           static_cast<double>(seeks_) * m.per_seek_block_us;
+  }
+  [[nodiscard]] double modeled_time_us() const noexcept {
+    return modeled_time_us(TimingModel{});
+  }
+
+ private:
+  std::uint32_t block_count_;
+  std::uint32_t block_size_;
+  std::vector<std::uint8_t> data_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t seeks_ = 0;
+  std::uint32_t head_ = 0;
+
+  void account(std::uint32_t block) noexcept;
+};
+
+}  // namespace mmsoc::fs

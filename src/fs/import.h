@@ -1,0 +1,39 @@
+// Foreign-media import (§7): "MP3-enabled CD players are a particularly
+// interesting case since the files are created outside the player. A
+// CD/MP3 player must be able to handle a wide variety of directory
+// structures, file names, etc."
+//
+// Generates a deterministic "burned elsewhere" directory tree — varied
+// depths, name styles, and file sizes — and imports it into a FatVolume,
+// returning the manifest so tests can verify the player handles it all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/fat.h"
+
+namespace mmsoc::fs {
+
+struct ForeignTreeSpec {
+  int num_dirs = 6;              ///< top-level album directories
+  int max_depth = 3;             ///< nesting (artist/album/disc...)
+  int files_per_dir = 8;
+  std::size_t min_file_bytes = 500;
+  std::size_t max_file_bytes = 8000;
+  std::uint64_t seed = 1;
+};
+
+struct ImportedFile {
+  std::string path;
+  std::size_t size = 0;
+  std::uint32_t crc32 = 0;  ///< of the generated contents
+};
+
+/// Create the tree on the volume. Returns the manifest of created files.
+common::Result<std::vector<ImportedFile>> import_foreign_tree(
+    FatVolume& volume, const ForeignTreeSpec& spec);
+
+}  // namespace mmsoc::fs

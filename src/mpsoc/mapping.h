@@ -1,0 +1,56 @@
+// Mapping algorithms: assign application tasks to processing elements.
+//
+// The scattered-tooling problem the calibration note names (SDF3, MAPS,
+// ...) is exactly this: given a task graph and a heterogeneous platform,
+// find the mapping that meets rate/power. Implemented strategies:
+//   * round-robin       — the naive baseline
+//   * greedy loadbalance — longest-task-first onto the fastest free PE
+//   * HEFT              — rank-ordered earliest-finish-time heuristic
+//   * simulated annealing — iterative improvement over full schedules
+#pragma once
+
+#include <cstdint>
+
+#include "mpsoc/schedule.h"
+
+namespace mmsoc::mpsoc {
+
+enum class MapperKind : std::uint8_t {
+  kRoundRobin,
+  kGreedyLoadBalance,
+  kHeft,
+  kSimulatedAnnealing,
+};
+
+[[nodiscard]] constexpr const char* to_string(MapperKind kind) noexcept {
+  switch (kind) {
+    case MapperKind::kRoundRobin: return "round-robin";
+    case MapperKind::kGreedyLoadBalance: return "greedy";
+    case MapperKind::kHeft: return "HEFT";
+    case MapperKind::kSimulatedAnnealing: return "annealing";
+  }
+  return "?";
+}
+
+struct MappingResult {
+  Mapping mapping;
+  Schedule schedule;
+};
+
+struct AnnealingParams {
+  int iterations = 3000;
+  double initial_temperature = 1.0;   ///< relative to initial makespan
+  double cooling = 0.997;
+  std::uint64_t seed = 1;
+  /// Objective = makespan + energy_weight * energy (J scaled to seconds).
+  double energy_weight = 0.0;
+};
+
+/// Run the chosen mapper. Returns an infeasible schedule if no valid
+/// mapping exists (e.g. a task no PE can run).
+[[nodiscard]] MappingResult map_graph(const TaskGraph& graph,
+                                      const Platform& platform,
+                                      MapperKind kind,
+                                      const AnnealingParams& sa_params = AnnealingParams{});
+
+}  // namespace mmsoc::mpsoc

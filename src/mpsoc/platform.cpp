@@ -1,0 +1,75 @@
+#include "mpsoc/platform.h"
+
+namespace mmsoc::mpsoc {
+
+double ProcessingElement::exec_seconds(const Task& task) const noexcept {
+  double speedup = 0.0;
+  if (kind == PeKind::kAccelerator) {
+    // An accelerator only runs its own task class.
+    if (task.accel_tag.empty() || task.accel_tag != accel_tag) return -1.0;
+    const auto it = task.affinity.find(PeKind::kAccelerator);
+    if (it == task.affinity.end()) return -1.0;
+    speedup = it->second;
+  } else {
+    const auto it = task.affinity.find(kind);
+    if (it != task.affinity.end()) {
+      speedup = it->second;
+    } else {
+      // Fall back to the RISC affinity: a programmable core can run any
+      // software task, if slowly. A task with no programmable affinity at
+      // all (hardware-only function) cannot run here.
+      const auto risc = task.affinity.find(PeKind::kRisc);
+      if (risc == task.affinity.end()) return -1.0;
+      speedup = risc->second;
+    }
+  }
+  if (speedup <= 0.0) return -1.0;
+  const double effective_ops_per_s = clock_hz * ops_per_cycle * speedup;
+  return task.work_ops / effective_ops_per_s;
+}
+
+bool Platform::can_run(const TaskGraph& graph) const noexcept {
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    bool runnable = false;
+    for (const auto& pe : pes) {
+      if (pe.exec_seconds(graph.task(t)) >= 0.0) {
+        runnable = true;
+        break;
+      }
+    }
+    if (!runnable) return false;
+  }
+  return true;
+}
+
+Platform scaled_platform(const Platform& platform, double factor) {
+  Platform scaled = platform;
+  if (factor <= 0.0) return scaled;
+  scaled.name = platform.name + "@" + std::to_string(factor).substr(0, 4);
+  for (auto& pe : scaled.pes) {
+    pe.clock_hz *= factor;
+    pe.active_power_w *= factor * factor * factor;
+    pe.idle_power_w *= factor;
+  }
+  // The on-chip interconnect shares the clock domain: bandwidth and
+  // latency track the clock, per-byte energy tracks V^2.
+  scaled.interconnect.bandwidth_bytes_per_s *= factor;
+  scaled.interconnect.latency_s /= factor;
+  scaled.interconnect.energy_per_byte_j *= factor * factor;
+  return scaled;
+}
+
+double mean_exec_seconds(const Platform& platform, const Task& task) noexcept {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& pe : platform.pes) {
+    const double t = pe.exec_seconds(task);
+    if (t >= 0.0) {
+      sum += t;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : -1.0;
+}
+
+}  // namespace mmsoc::mpsoc

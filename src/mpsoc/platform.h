@@ -1,0 +1,68 @@
+// MPSoC platform model: heterogeneous processing elements on a shared
+// interconnect — the "system-on-chip implementations" the paper's
+// consumer devices require (§1-2), where "cost and power are critical".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpsoc/taskgraph.h"
+
+namespace mmsoc::mpsoc {
+
+struct ProcessingElement {
+  std::string name;
+  PeKind kind = PeKind::kRisc;
+  double clock_hz = 200e6;
+  double ops_per_cycle = 1.0;
+  std::string accel_tag;       ///< for kAccelerator: which task class it runs
+  double active_power_w = 0.2;
+  double idle_power_w = 0.02;
+  double area_mm2 = 2.0;       ///< silicon cost proxy
+
+  /// Execution time of `task` on this PE, in seconds, or a negative
+  /// value if the task cannot run here (wrong accelerator tag).
+  [[nodiscard]] double exec_seconds(const Task& task) const noexcept;
+};
+
+enum class InterconnectKind : std::uint8_t { kSharedBus, kMesh };
+
+struct Interconnect {
+  InterconnectKind kind = InterconnectKind::kSharedBus;
+  double bandwidth_bytes_per_s = 400e6;
+  double latency_s = 50e-9;
+  double energy_per_byte_j = 0.3e-9;
+  /// Mesh only: number of independent links (transfers on distinct links
+  /// proceed in parallel; the scheduler hashes src/dst pairs onto links).
+  int mesh_links = 4;
+};
+
+struct Platform {
+  std::string name;
+  std::vector<ProcessingElement> pes;
+  Interconnect interconnect;
+
+  [[nodiscard]] double total_area_mm2() const noexcept {
+    double a = 0.0;
+    for (const auto& pe : pes) a += pe.area_mm2;
+    return a;
+  }
+
+  /// True if every task in the graph can run on at least one PE.
+  [[nodiscard]] bool can_run(const TaskGraph& graph) const noexcept;
+};
+
+/// Mean execution time of a task across all PEs that can run it (used by
+/// HEFT ranks).
+[[nodiscard]] double mean_exec_seconds(const Platform& platform,
+                                       const Task& task) noexcept;
+
+/// Voltage-frequency scaled copy of a platform: clocks scale by `factor`,
+/// active power by factor^3 (dynamic CV^2 f with V tracking f), idle
+/// power by factor (clock tree). The §2 power knob: run only as fast as
+/// the real-time target demands.
+[[nodiscard]] Platform scaled_platform(const Platform& platform,
+                                       double factor);
+
+}  // namespace mmsoc::mpsoc

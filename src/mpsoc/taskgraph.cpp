@@ -1,0 +1,82 @@
+#include "mpsoc/taskgraph.h"
+
+#include <queue>
+
+namespace mmsoc::mpsoc {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+TaskId TaskGraph::add_task(Task task) {
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+Status TaskGraph::add_edge(TaskId src, TaskId dst, double bytes) {
+  if (src >= tasks_.size() || dst >= tasks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "edge endpoint out of range");
+  }
+  if (src == dst) {
+    return Status(StatusCode::kInvalidArgument, "self edge");
+  }
+  edges_.push_back(Edge{src, dst, bytes});
+  return Status::ok();
+}
+
+std::vector<TaskId> TaskGraph::predecessors(TaskId id) const {
+  std::vector<TaskId> out;
+  for (const auto& e : edges_) {
+    if (e.dst == id) out.push_back(e.src);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::successors(TaskId id) const {
+  std::vector<TaskId> out;
+  for (const auto& e : edges_) {
+    if (e.src == id) out.push_back(e.dst);
+  }
+  return out;
+}
+
+Result<std::vector<TaskId>> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.dst];
+  // Kahn's algorithm with a min-heap for deterministic order.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (indegree[t] == 0) ready.push(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (const auto& e : edges_) {
+      if (e.src == t && --indegree[e.dst] == 0) {
+        ready.push(e.dst);
+      }
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    return Result<std::vector<TaskId>>(StatusCode::kInvalidArgument,
+                                       "task graph has a cycle");
+  }
+  return order;
+}
+
+double TaskGraph::total_work() const noexcept {
+  double w = 0.0;
+  for (const auto& t : tasks_) w += t.work_ops;
+  return w;
+}
+
+double TaskGraph::total_traffic() const noexcept {
+  double b = 0.0;
+  for (const auto& e : edges_) b += e.bytes;
+  return b;
+}
+
+}  // namespace mmsoc::mpsoc

@@ -1,0 +1,88 @@
+// Application task graphs for MPSoC mapping.
+//
+// The paper's thesis is that multimedia applications are "sophisticated
+// collections [of] multiple algorithms" (§8) running on multiprocessor
+// systems-on-chips (§1). A TaskGraph captures one iteration (one frame /
+// granule) of such an application as a DAG: nodes are algorithm stages
+// with an operation count and per-processor-kind affinities; edges carry
+// the data volumes flowing between stages (e.g. the reference frame into
+// the motion estimator in Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmsoc::mpsoc {
+
+/// Processor classes available in consumer SoCs.
+enum class PeKind : std::uint8_t { kRisc, kDsp, kAccelerator };
+
+[[nodiscard]] constexpr const char* to_string(PeKind kind) noexcept {
+  switch (kind) {
+    case PeKind::kRisc: return "RISC";
+    case PeKind::kDsp: return "DSP";
+    case PeKind::kAccelerator: return "ACCEL";
+  }
+  return "?";
+}
+
+using TaskId = std::size_t;
+
+struct Task {
+  std::string name;
+  double work_ops = 0.0;  ///< operations for one graph iteration
+
+  /// Speedup of each PE kind relative to a scalar RISC executing
+  /// work_ops at 1 op/cycle. Missing kinds default to kRisc's value.
+  std::map<PeKind, double> affinity = {{PeKind::kRisc, 1.0}};
+
+  /// Non-empty: only an accelerator with a matching tag gets the
+  /// kAccelerator affinity (a DCT engine does not accelerate VLC).
+  std::string accel_tag;
+};
+
+struct Edge {
+  TaskId src = 0;
+  TaskId dst = 0;
+  double bytes = 0.0;  ///< data transferred per iteration
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  TaskId add_task(Task task);
+  common::Status add_edge(TaskId src, TaskId dst, double bytes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_[id]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::vector<TaskId> predecessors(TaskId id) const;
+  [[nodiscard]] std::vector<TaskId> successors(TaskId id) const;
+
+  /// Topological order; empty + error if the graph has a cycle.
+  [[nodiscard]] common::Result<std::vector<TaskId>> topological_order() const;
+
+  [[nodiscard]] bool is_acyclic() const {
+    return topological_order().is_ok();
+  }
+
+  /// Total work across all tasks (RISC-normalized ops).
+  [[nodiscard]] double total_work() const noexcept;
+
+  /// Total bytes across all edges.
+  [[nodiscard]] double total_traffic() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mmsoc::mpsoc

@@ -1,0 +1,17 @@
+// RFC 1071 Internet checksum, used by the IPv4/UDP framing layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mmsoc::net {
+
+/// One's-complement 16-bit Internet checksum of `data` (odd lengths are
+/// zero-padded). Returns the checksum field value (already complemented).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Verify a buffer whose checksum field is included: sums to 0xFFFF.
+[[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace mmsoc::net

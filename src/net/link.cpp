@@ -1,0 +1,43 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace mmsoc::net {
+
+LossyLink::LossyLink(const LinkParams& params)
+    : params_(params), rng_(params.seed) {}
+
+void LossyLink::send(std::vector<std::uint8_t> packet, double now_us) {
+  ++sent_;
+  if (rng_.next_bool(params_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  if (!packet.empty() && rng_.next_bool(params_.corrupt_probability)) {
+    ++corrupted_;
+    const auto byte = rng_.next_below(packet.size());
+    packet[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+  }
+  // Serialization occupies the channel sequentially.
+  const double bits = static_cast<double>(packet.size()) * 8.0;
+  const double ser_us = bits / params_.bandwidth_bps * 1e6;
+  const double start = std::max(now_us, channel_free_at_us_);
+  channel_free_at_us_ = start + ser_us;
+  const double arrival = channel_free_at_us_ + params_.latency_us +
+                         rng_.next_double_in(0.0, params_.jitter_us);
+  // Keep FIFO order even with jitter (links don't reorder here; the
+  // arrival time is clamped to be monotone).
+  const double last = queue_.empty() ? 0.0 : queue_.back().arrival_us;
+  queue_.push_back(InFlight{std::max(arrival, last), std::move(packet)});
+}
+
+std::optional<std::vector<std::uint8_t>> LossyLink::receive(double now_us) {
+  if (queue_.empty() || queue_.front().arrival_us > now_us) {
+    return std::nullopt;
+  }
+  auto packet = std::move(queue_.front().packet);
+  queue_.pop_front();
+  return packet;
+}
+
+}  // namespace mmsoc::net

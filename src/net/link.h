@@ -1,0 +1,70 @@
+// Simulated lossy link (DESIGN.md §3 substitution for a real network).
+//
+// A discrete-time pipe with bandwidth, propagation delay, jitter, random
+// loss, and bit corruption. All randomness is seeded; time is advanced
+// explicitly by the caller (microsecond ticks), so protocol tests are
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mmsoc::net {
+
+struct LinkParams {
+  double bandwidth_bps = 10e6;      ///< serialization rate
+  double latency_us = 2000.0;       ///< propagation delay
+  double jitter_us = 0.0;           ///< uniform extra delay in [0, jitter]
+  double loss_probability = 0.0;    ///< whole-packet drop
+  double corrupt_probability = 0.0; ///< single-bit flip in payload
+  std::uint64_t seed = 1;
+};
+
+/// One direction of a link. Deliveries become available once simulated
+/// time passes their arrival instant.
+class LossyLink {
+ public:
+  explicit LossyLink(const LinkParams& params);
+
+  /// Enqueue a packet at simulated time `now_us`.
+  void send(std::vector<std::uint8_t> packet, double now_us);
+
+  /// Pop the next packet whose arrival time <= now_us (FIFO by arrival).
+  std::optional<std::vector<std::uint8_t>> receive(double now_us);
+
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t packets_corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return queue_.size(); }
+
+ private:
+  struct InFlight {
+    double arrival_us;
+    std::vector<std::uint8_t> packet;
+  };
+  LinkParams params_;
+  common::Rng rng_;
+  std::deque<InFlight> queue_;
+  double channel_free_at_us_ = 0.0;  // serialization is sequential
+  std::uint64_t sent_ = 0, dropped_ = 0, corrupted_ = 0;
+};
+
+/// A bidirectional link built from two independent directions.
+struct DuplexLink {
+  LossyLink a_to_b;
+  LossyLink b_to_a;
+  explicit DuplexLink(const LinkParams& params)
+      : a_to_b(params), b_to_a(with_seed(params, params.seed ^ 0x9E37ull)) {}
+
+ private:
+  static LinkParams with_seed(LinkParams p, std::uint64_t seed) {
+    p.seed = seed;
+    return p;
+  }
+};
+
+}  // namespace mmsoc::net

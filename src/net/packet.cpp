@@ -1,0 +1,130 @@
+#include "net/packet.h"
+
+#include "net/checksum.h"
+
+namespace mmsoc::net {
+
+using common::Result;
+using common::StatusCode;
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+void put32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) | b[off + 3];
+}
+
+// UDP checksum over pseudo-header + UDP header + payload.
+std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> udp) {
+  std::vector<std::uint8_t> pseudo;
+  pseudo.reserve(12 + udp.size());
+  pseudo.resize(12);
+  put32(pseudo, 0, src);
+  put32(pseudo, 4, dst);
+  pseudo[8] = 0;
+  pseudo[9] = 17;
+  put16(pseudo, 10, static_cast<std::uint16_t>(udp.size()));
+  pseudo.insert(pseudo.end(), udp.begin(), udp.end());
+  const auto sum = internet_checksum(pseudo);
+  return sum == 0 ? 0xFFFF : sum;  // 0 is transmitted as all-ones
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_udp_datagram(
+    Ipv4Address src, Ipv4Address dst, std::uint16_t src_port,
+    std::uint16_t dst_port, std::span<const std::uint8_t> payload) {
+  const std::size_t udp_len = kUdpHeaderSize + payload.size();
+  const std::size_t total = kIpv4HeaderSize + udp_len;
+  std::vector<std::uint8_t> pkt(total, 0);
+
+  // IPv4 header.
+  pkt[0] = 0x45;  // version 4, IHL 5
+  put16(pkt, 2, static_cast<std::uint16_t>(total));
+  pkt[8] = 64;  // TTL
+  pkt[9] = 17;  // UDP
+  put32(pkt, 12, src);
+  put32(pkt, 16, dst);
+  const auto ip_sum = internet_checksum({pkt.data(), kIpv4HeaderSize});
+  put16(pkt, 10, ip_sum);
+
+  // UDP header + payload.
+  put16(pkt, 20, src_port);
+  put16(pkt, 22, dst_port);
+  put16(pkt, 24, static_cast<std::uint16_t>(udp_len));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    pkt[kIpv4HeaderSize + kUdpHeaderSize + i] = payload[i];
+  }
+  const auto usum =
+      udp_checksum(src, dst, {pkt.data() + kIpv4HeaderSize, udp_len});
+  put16(pkt, 26, usum);
+  return pkt;
+}
+
+Result<ParsedUdp> parse_udp_datagram(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kIpv4HeaderSize + kUdpHeaderSize) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "datagram too short");
+  }
+  if ((datagram[0] >> 4) != 4 || (datagram[0] & 0x0F) != 5) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "bad version/IHL");
+  }
+  if (!checksum_ok(datagram.first(kIpv4HeaderSize))) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "IP header checksum");
+  }
+  const std::uint16_t total_length = get16(datagram, 2);
+  if (total_length != datagram.size()) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "length mismatch");
+  }
+  if (datagram[9] != 17) {
+    return Result<ParsedUdp>(StatusCode::kInvalidArgument, "not UDP");
+  }
+
+  ParsedUdp out;
+  out.ip.src = get32(datagram, 12);
+  out.ip.dst = get32(datagram, 16);
+  out.ip.ttl = datagram[8];
+  out.ip.protocol = datagram[9];
+  out.ip.total_length = total_length;
+
+  const auto udp = datagram.subspan(kIpv4HeaderSize);
+  out.src_port = get16(udp, 0);
+  out.dst_port = get16(udp, 2);
+  const std::uint16_t udp_len = get16(udp, 4);
+  if (udp_len != udp.size()) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "UDP length mismatch");
+  }
+  // Verify UDP checksum (mandatory in this stack).
+  std::vector<std::uint8_t> pseudo;
+  pseudo.resize(12);
+  put32(pseudo, 0, out.ip.src);
+  put32(pseudo, 4, out.ip.dst);
+  pseudo[8] = 0;
+  pseudo[9] = 17;
+  put16(pseudo, 10, udp_len);
+  pseudo.insert(pseudo.end(), udp.begin(), udp.end());
+  if (!checksum_ok(pseudo)) {
+    return Result<ParsedUdp>(StatusCode::kCorruptData, "UDP checksum");
+  }
+  out.payload.assign(udp.begin() + kUdpHeaderSize, udp.end());
+  return out;
+}
+
+}  // namespace mmsoc::net

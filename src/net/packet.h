@@ -1,0 +1,47 @@
+// Minimal IPv4 + UDP framing — the "small IP stacks that have been
+// developed over the past several years" (§7) for devices that use the
+// Internet "for limited purposes, such as content access or DRM".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmsoc::net {
+
+using Ipv4Address = std::uint32_t;
+
+/// Host byte-order view of the fields this stack supports (no options,
+/// no fragmentation — consumer-device scale).
+struct Ipv4Header {
+  Ipv4Address src = 0;
+  Ipv4Address dst = 0;
+  std::uint8_t protocol = 17;  // UDP
+  std::uint8_t ttl = 64;
+  std::uint16_t total_length = 0;  // filled by serializer
+};
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+/// Build a full IPv4+UDP datagram around `payload`.
+[[nodiscard]] std::vector<std::uint8_t> build_udp_datagram(
+    Ipv4Address src, Ipv4Address dst, std::uint16_t src_port,
+    std::uint16_t dst_port, std::span<const std::uint8_t> payload);
+
+/// A parsed datagram (views into the original buffer are copied out).
+struct ParsedUdp {
+  Ipv4Header ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Parse and validate an IPv4+UDP datagram (header checksum, lengths,
+/// UDP checksum with pseudo-header).
+common::Result<ParsedUdp> parse_udp_datagram(
+    std::span<const std::uint8_t> datagram);
+
+}  // namespace mmsoc::net

@@ -1,0 +1,78 @@
+// RTP-style media streaming over the simulated link — the broadcast /
+// streaming path of §2's asymmetric systems and §7's network devices.
+//
+// Sender stamps media units with sequence numbers and timestamps; the
+// receiver reorders within a jitter buffer, measures interarrival jitter
+// (RFC 3550 style), and conceals losses by repeating the last unit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/link.h"
+
+namespace mmsoc::net {
+
+struct MediaPacket {
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;  ///< media clock ticks
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<MediaPacket> parse(std::span<const std::uint8_t> bytes);
+};
+
+class RtpSender {
+ public:
+  /// Send one media unit (e.g. one encoded frame) at media time `ts`.
+  [[nodiscard]] std::vector<std::uint8_t> packetize(
+      std::span<const std::uint8_t> payload, std::uint32_t ts);
+
+  [[nodiscard]] std::uint16_t next_sequence() const noexcept { return seq_; }
+
+ private:
+  std::uint16_t seq_ = 0;
+};
+
+class RtpReceiver {
+ public:
+  /// `playout_delay_units`: how many units the jitter buffer holds back.
+  explicit RtpReceiver(std::uint32_t playout_delay_units = 3)
+      : playout_delay_(playout_delay_units) {}
+
+  /// Ingest a packet from the network.
+  void push(std::span<const std::uint8_t> bytes, double arrival_us);
+
+  /// Pop the next unit for playout: in-order if available, otherwise a
+  /// concealed copy of the last unit once the gap exceeds the buffer.
+  struct PlayoutUnit {
+    std::vector<std::uint8_t> payload;
+    bool concealed = false;
+    std::uint16_t sequence = 0;
+  };
+  std::optional<PlayoutUnit> pop();
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t lost() const noexcept { return concealed_count_; }
+  /// RFC 3550 interarrival jitter estimate, in microseconds of wallclock
+  /// per media tick deviation.
+  [[nodiscard]] double jitter_us() const noexcept { return jitter_; }
+
+ private:
+  std::uint32_t playout_delay_;
+  std::map<std::uint16_t, MediaPacket> buffer_;  // keyed by sequence
+  std::uint16_t next_play_ = 0;
+  bool started_ = false;
+  std::vector<std::uint8_t> last_payload_;
+  std::uint64_t received_ = 0;
+  std::uint64_t concealed_count_ = 0;
+  double jitter_ = 0.0;
+  bool have_prev_ = false;
+  double prev_arrival_us_ = 0.0;
+  std::uint32_t prev_ts_ = 0;
+};
+
+}  // namespace mmsoc::net

@@ -1,0 +1,108 @@
+// TCP-lite: a reliable byte stream for network-oriented devices (§7:
+// "Other devices are intended to operate as network devices and to
+// support a variety of transactions across the network").
+//
+// Simplified TCP: cumulative ACKs, a fixed sliding window, retransmission
+// timeout with doubling backoff, and CRC-protected segments. No
+// connection handshake (the simulation wires both ends up directly) and
+// no congestion control beyond the window — the features a small-IP-stack
+// consumer device actually ships.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/link.h"
+
+namespace mmsoc::net {
+
+/// Wire format of one TCP-lite segment (own framing, carried as a UDP-less
+/// raw packet over the simulated link).
+struct Segment {
+  std::uint32_t seq = 0;      ///< first byte number of payload
+  std::uint32_t ack = 0;      ///< next byte expected by sender of this seg
+  bool is_ack = false;        ///< pure ACK (no payload)
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Segment> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// One endpoint of a TCP-lite connection. Drive it with poll(now, in, out):
+/// push received packets, collect packets to transmit.
+class TcpLiteEndpoint {
+ public:
+  struct Params {
+    std::size_t mss = 1000;          ///< max payload per segment
+    std::size_t window_segments = 8; ///< in-flight limit
+    double rto_us = 20000.0;         ///< initial retransmission timeout
+    double max_rto_us = 500000.0;
+  };
+
+  TcpLiteEndpoint() : TcpLiteEndpoint(Params{}) {}
+  explicit TcpLiteEndpoint(const Params& params) : params_(params) {}
+
+  /// Queue application data for transmission.
+  void send(std::span<const std::uint8_t> data);
+
+  /// Drain bytes delivered in order.
+  [[nodiscard]] std::vector<std::uint8_t> take_received();
+
+  /// Advance the endpoint: ingest `incoming` packets, emit packets into
+  /// `outgoing`. Call with monotonically increasing `now_us`.
+  void poll(double now_us, std::vector<std::vector<std::uint8_t>>& incoming,
+            std::vector<std::vector<std::uint8_t>>& outgoing);
+
+  /// True when all queued data has been acknowledged.
+  [[nodiscard]] bool all_acked() const noexcept {
+    return send_buffer_.empty() && inflight_.empty();
+  }
+
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+
+ private:
+  struct InFlight {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> payload;
+    double sent_at_us;
+    double rto_us;
+    unsigned attempts;
+  };
+
+  Params params_;
+  // Sender state.
+  std::deque<std::uint8_t> send_buffer_;
+  std::uint32_t next_seq_ = 0;        // next new byte to send
+  std::uint32_t acked_until_ = 0;     // cumulative ack received
+  std::vector<InFlight> inflight_;
+  std::uint64_t retransmissions_ = 0;
+  // Receiver state.
+  std::uint32_t expected_seq_ = 0;
+  std::deque<std::uint8_t> recv_buffer_;
+  // Out-of-order stash: segments ahead of expected_seq_.
+  std::vector<Segment> ooo_;
+  bool need_ack_ = false;
+};
+
+/// Convenience harness: run a one-way bulk transfer over a lossy duplex
+/// link until everything is delivered (or `deadline_us` passes). Returns
+/// the delivered bytes and the simulated completion time.
+struct TransferResult {
+  std::vector<std::uint8_t> delivered;
+  double completion_us = 0.0;
+  std::uint64_t retransmissions = 0;
+  bool complete = false;
+};
+
+TransferResult run_bulk_transfer(std::span<const std::uint8_t> data,
+                                 const LinkParams& link_params,
+                                 double deadline_us = 10e6,
+                                 const TcpLiteEndpoint::Params& tcp_params =
+                                     TcpLiteEndpoint::Params{});
+
+}  // namespace mmsoc::net

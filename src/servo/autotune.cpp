@@ -1,0 +1,67 @@
+#include "servo/autotune.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::servo {
+
+Identification identify_plant(Plant& plant, double probe_amplitude) {
+  Identification id;
+  const double fs = plant.params().sample_rate_hz;
+
+  // --- DC gain: hold a constant command until the position settles.
+  plant.reset();
+  const auto settle_steps = static_cast<std::size_t>(fs * 0.5);
+  for (std::size_t n = 0; n < settle_steps; ++n) {
+    plant.step(probe_amplitude);
+  }
+  id.dc_gain = plant.position() / probe_amplitude;
+
+  // --- Resonance: swept sine, find the frequency of maximum response.
+  double best_amp = 0.0;
+  for (double hz = 2.0; hz <= 40.0; hz += 1.0) {
+    plant.reset();
+    double peak = 0.0;
+    const auto steps = static_cast<std::size_t>(fs * 0.4);
+    for (std::size_t n = 0; n < steps; ++n) {
+      const double t = static_cast<double>(n) / fs;
+      plant.step(probe_amplitude * std::sin(2.0 * common::kPi * hz * t));
+      if (n > steps / 2) {
+        peak = std::max(peak, std::abs(plant.position()));
+      }
+    }
+    if (peak > best_amp) {
+      best_amp = peak;
+      id.resonance_hz = hz;
+    }
+  }
+  plant.reset();
+  return id;
+}
+
+PidGains adapt_gains(const PidGains& nominal, const Identification& measured,
+                     const Identification& reference) {
+  PidGains adapted = nominal;
+  if (measured.dc_gain <= 0.0 || reference.dc_gain <= 0.0) return adapted;
+  // Loop gain correction: if this unit's plant gain is higher than the
+  // design target, back the controller off proportionally (and vice
+  // versa). Frequency terms scale with the resonance shift.
+  const double gain_ratio = reference.dc_gain / measured.dc_gain;
+  adapted.kp *= gain_ratio;
+  adapted.ki *= gain_ratio;
+  adapted.kd *= gain_ratio;
+  if (measured.resonance_hz > 0.0 && reference.resonance_hz > 0.0) {
+    const double freq_ratio = measured.resonance_hz / reference.resonance_hz;
+    adapted.ki *= freq_ratio;         // integral tracks stiffness shift
+    adapted.kd /= freq_ratio;         // derivative backs off for higher resonance
+  }
+  return adapted;
+}
+
+Identification nominal_identification(const PlantParams& nominal) {
+  Plant plant(nominal);
+  return identify_plant(plant);
+}
+
+}  // namespace mmsoc::servo

@@ -1,0 +1,34 @@
+// Per-mechanism adaptation (§7: "the control laws are generally adapted
+// to the particular mechanism being used").
+//
+// At power-up the drive identifies its actual actuator: it injects a
+// probe, measures the DC gain and resonance of *this* unit, and rescales
+// the nominal PID gains accordingly. The E-SERVO experiment compares
+// tracking error with nominal vs adapted gains across a production run of
+// scattered mechanisms.
+#pragma once
+
+#include "servo/controller.h"
+#include "servo/plant.h"
+
+namespace mmsoc::servo {
+
+struct Identification {
+  double dc_gain = 0.0;        ///< measured position per unit command
+  double resonance_hz = 0.0;   ///< estimated resonance frequency
+};
+
+/// Identify the mechanism by applying a constant command and a frequency
+/// probe (open loop, as done in drive start-up calibration).
+Identification identify_plant(Plant& plant, double probe_amplitude = 0.001);
+
+/// Scale nominal gains so the loop gain matches the nominal design on
+/// this particular unit.
+[[nodiscard]] PidGains adapt_gains(const PidGains& nominal,
+                                   const Identification& measured,
+                                   const Identification& reference);
+
+/// Identification of the nominal (design-target) plant.
+[[nodiscard]] Identification nominal_identification(const PlantParams& nominal);
+
+}  // namespace mmsoc::servo

@@ -1,0 +1,85 @@
+#include "servo/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::servo {
+
+PidController::PidController(const PidGains& gains, double sample_rate_hz)
+    : gains_(gains), dt_(1.0 / sample_rate_hz) {
+  // One-pole lowpass on the derivative term.
+  const double rc = 1.0 / (2.0 * common::kPi * gains_.derivative_cutoff_hz);
+  alpha_ = dt_ / (rc + dt_);
+}
+
+double PidController::update(double error) noexcept {
+  integral_ += error * dt_;
+  // Anti-windup clamp keeps the integral from dominating after saturation.
+  integral_ = std::clamp(integral_, -10.0, 10.0);
+  const double raw_deriv = (error - prev_error_) / dt_;
+  deriv_state_ += alpha_ * (raw_deriv - deriv_state_);
+  prev_error_ = error;
+  return gains_.kp * error + gains_.ki * integral_ + gains_.kd * deriv_state_;
+}
+
+void PidController::reset() noexcept {
+  integral_ = prev_error_ = deriv_state_ = 0.0;
+}
+
+LoopMetrics run_step_response(Plant& plant, PidController& controller,
+                              double step_size, double seconds) {
+  LoopMetrics m;
+  const double fs = plant.params().sample_rate_hz;
+  const auto steps = static_cast<std::size_t>(seconds * fs);
+  double peak = 0.0;
+  std::size_t last_outside = 0;
+  for (std::size_t n = 0; n < steps; ++n) {
+    const double error = step_size - plant.position();
+    const double u = controller.update(error);
+    plant.step(u);
+    peak = std::max(peak, plant.position());
+    if (std::abs(plant.position() - step_size) > 0.02 * std::abs(step_size)) {
+      last_outside = n;
+    }
+    if (!std::isfinite(plant.position()) ||
+        std::abs(plant.position()) > 100.0 * std::abs(step_size)) {
+      m.stable = false;
+      return m;
+    }
+  }
+  m.overshoot_fraction = std::max(0.0, (peak - step_size) / step_size);
+  m.settling_time_s = static_cast<double>(last_outside + 1) / fs;
+  return m;
+}
+
+LoopMetrics run_tracking(Plant& plant, PidController& controller,
+                         EccentricityDisturbance& disturbance,
+                         double seconds) {
+  LoopMetrics m;
+  const double fs = plant.params().sample_rate_hz;
+  const auto steps = static_cast<std::size_t>(seconds * fs);
+  double sum_sq = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t n = 0; n < steps; ++n) {
+    const double error = 0.0 - plant.position();
+    const double u = controller.update(error);
+    plant.step(u, disturbance.next());
+    if (!std::isfinite(plant.position()) || std::abs(plant.position()) > 1e6) {
+      m.stable = false;
+      return m;
+    }
+    // Skip the first 20% as transient.
+    if (n > steps / 5) {
+      sum_sq += plant.position() * plant.position();
+      m.max_tracking_error = std::max(m.max_tracking_error,
+                                      std::abs(plant.position()));
+      ++counted;
+    }
+  }
+  m.rms_tracking_error = counted > 0 ? std::sqrt(sum_sq / static_cast<double>(counted)) : 0.0;
+  return m;
+}
+
+}  // namespace mmsoc::servo

@@ -1,0 +1,39 @@
+#include "servo/plant.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::servo {
+
+PlantParams scattered_params(const PlantParams& nominal,
+                             double scatter_fraction, std::uint64_t unit_seed) {
+  common::Rng rng(unit_seed);
+  const auto jitter = [&](double v) {
+    return v * (1.0 + scatter_fraction * rng.next_double_in(-1.0, 1.0));
+  };
+  PlantParams p = nominal;
+  p.mass = jitter(nominal.mass);
+  p.damping = jitter(nominal.damping);
+  p.stiffness = jitter(nominal.stiffness);
+  p.actuator_gain = jitter(nominal.actuator_gain);
+  return p;
+}
+
+double Plant::step(double u, double d) noexcept {
+  const double dt = 1.0 / p_.sample_rate_hz;
+  const double force = p_.actuator_gain * u + d - p_.damping * v_ -
+                       p_.stiffness * x_;
+  // Semi-implicit Euler: stable for stiff spring at servo rates.
+  v_ += dt * force / p_.mass;
+  x_ += dt * v_;
+  return x_;
+}
+
+double EccentricityDisturbance::next() noexcept {
+  const double t = static_cast<double>(n_++) / sample_rate_;
+  return amplitude_ * std::sin(2.0 * common::kPi * spindle_hz_ * t) +
+         noise_sigma_ * rng_.next_gaussian();
+}
+
+}  // namespace mmsoc::servo

@@ -1,0 +1,74 @@
+// DVD drive mechanism model (§7): "DVD recorders and players must control
+// their drives using complex digital filters. The control requires
+// real-time processing at high rates and the control laws are generally
+// adapted to the particular mechanism being used."
+//
+// The focus/tracking actuator is modeled as the standard second-order
+// mass-spring-damper (voice-coil suspension):
+//   m x'' + c x' + k x = gain * u + disturbance
+// discretized by semi-implicit Euler at the servo rate. Per-unit
+// manufacturing scatter (seeded) makes every "mechanism" slightly
+// different — which is what the autotuner must adapt to.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace mmsoc::servo {
+
+struct PlantParams {
+  double mass = 1.0;            ///< normalized moving mass
+  double damping = 12.0;        ///< c
+  double stiffness = 2500.0;    ///< k (resonance ~8 Hz normalized)
+  double actuator_gain = 2000.0;
+  double sample_rate_hz = 44100.0;  ///< servo update rate
+};
+
+/// Draw a unit-specific parameter set: nominal +/- scatter.
+[[nodiscard]] PlantParams scattered_params(const PlantParams& nominal,
+                                           double scatter_fraction,
+                                           std::uint64_t unit_seed);
+
+class Plant {
+ public:
+  explicit Plant(const PlantParams& params) : p_(params) {}
+
+  /// Advance one servo period with control effort `u` and external
+  /// disturbance force `d`; returns the new position.
+  double step(double u, double d = 0.0) noexcept;
+
+  [[nodiscard]] double position() const noexcept { return x_; }
+  [[nodiscard]] double velocity() const noexcept { return v_; }
+  void reset() noexcept { x_ = v_ = 0.0; }
+
+  [[nodiscard]] const PlantParams& params() const noexcept { return p_; }
+
+ private:
+  PlantParams p_;
+  double x_ = 0.0;
+  double v_ = 0.0;
+};
+
+/// Disc eccentricity disturbance: a sinusoid at the spindle rate plus
+/// surface-noise — the dominant tracking disturbance in optical drives.
+class EccentricityDisturbance {
+ public:
+  EccentricityDisturbance(double amplitude, double spindle_hz,
+                          double noise_sigma, double sample_rate_hz,
+                          std::uint64_t seed)
+      : amplitude_(amplitude), spindle_hz_(spindle_hz),
+        noise_sigma_(noise_sigma), sample_rate_(sample_rate_hz), rng_(seed) {}
+
+  double next() noexcept;
+
+ private:
+  double amplitude_;
+  double spindle_hz_;
+  double noise_sigma_;
+  double sample_rate_;
+  common::Rng rng_;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace mmsoc::servo

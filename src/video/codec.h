@@ -1,0 +1,106 @@
+// The complete Fig. 1 video codec.
+//
+// Encoder structure exactly as the paper's Figure 1: DCT -> QUANTIZER ->
+// VARIABLE LENGTH ENCODE -> BUFFER on the forward path, with the local
+// decode loop (INVERSE DCT -> MOTION COMPENSATED PREDICTOR) and the
+// MOTION ESTIMATOR feeding the predictor. I frames are coded standalone;
+// P frames code the motion-compensated residual. The encoder keeps a
+// bit-exact copy of the decoder's reference frame so predictions never
+// drift.
+//
+// Every stage reports operation counts (StageOps) so the Fig. 1 breakdown
+// bench and the MPSoC task-graph builder can both use measured, not
+// assumed, per-stage costs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "entropy/rate_buffer.h"
+#include "video/frame.h"
+#include "video/motion.h"
+#include "video/quantizer.h"
+
+namespace mmsoc::video {
+
+enum class FrameType : std::uint8_t { kIntra = 0, kPredicted = 1 };
+
+/// Per-stage operation counts for one encoded frame (Fig. 1 boxes).
+struct StageOps {
+  std::uint64_t me_sad_ops = 0;      ///< absolute-difference ops in the motion estimator
+  std::uint64_t mc_pixels = 0;       ///< pixels produced by the MC predictor
+  std::uint64_t dct_blocks = 0;      ///< forward 8x8 DCTs
+  std::uint64_t quant_coeffs = 0;    ///< coefficients quantized
+  std::uint64_t vlc_symbols = 0;     ///< Huffman symbols emitted
+  std::uint64_t idct_blocks = 0;     ///< inverse 8x8 DCTs (reconstruction loop)
+
+  StageOps& operator+=(const StageOps& o) noexcept;
+};
+
+/// Result of encoding one frame.
+struct EncodedFrame {
+  std::vector<std::uint8_t> bytes;
+  FrameType type = FrameType::kIntra;
+  int qscale = 0;
+  StageOps ops;
+  double buffer_fullness = 0.0;  ///< rate buffer state after this frame
+};
+
+struct EncoderConfig {
+  int width = 0;
+  int height = 0;
+  int gop_size = 12;       ///< I-frame every gop_size frames (1 = all-intra)
+  int qscale = 8;          ///< base quantizer scale when rate control is off
+  bool rate_control = false;
+  double bitrate_bps = 1.5e6;  ///< channel rate for the Fig. 1 buffer
+  double fps = 30.0;
+  int search_range = 8;
+  SearchAlgorithm me_algo = SearchAlgorithm::kThreeStep;
+  /// Use the alternate quant matrix ("standard B") — transcoding study.
+  bool alternate_standard = false;
+};
+
+class VideoEncoder {
+ public:
+  explicit VideoEncoder(const EncoderConfig& config);
+
+  /// Encode the next frame in display order.
+  EncodedFrame encode(const Frame& frame);
+
+  /// The decoder-identical reconstruction of the last encoded frame.
+  [[nodiscard]] const Frame& reconstructed() const noexcept { return recon_; }
+
+  [[nodiscard]] const EncoderConfig& config() const noexcept { return config_; }
+
+  /// Force the next frame to be coded intra (e.g. at scene cuts).
+  void request_intra() noexcept { force_intra_ = true; }
+
+ private:
+  EncoderConfig config_;
+  entropy::RateBuffer buffer_;
+  Frame recon_;
+  int frame_index_ = 0;
+  bool have_reference_ = false;
+  bool force_intra_ = false;
+
+  int pick_qscale() noexcept;
+};
+
+class VideoDecoder {
+ public:
+  VideoDecoder() = default;
+
+  /// Decode one encoded frame. P frames require the previous output.
+  common::Result<Frame> decode(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const std::optional<Frame>& last_frame() const noexcept {
+    return ref_;
+  }
+
+ private:
+  std::optional<Frame> ref_;
+};
+
+}  // namespace mmsoc::video

@@ -1,0 +1,49 @@
+#include "video/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmsoc::video {
+
+std::uint8_t Plane::at_clamped(int x, int y) const noexcept {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+double Plane::mean() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto p : pixels_) s += p;
+  return s / static_cast<double>(pixels_.size());
+}
+
+double Plane::variance() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const auto p : pixels_) s += (p - m) * (p - m);
+  return s / static_cast<double>(pixels_.size());
+}
+
+Frame Frame::black(int width, int height) {
+  Frame f(width, height);
+  std::fill(f.y().pixels().begin(), f.y().pixels().end(),
+            static_cast<std::uint8_t>(16));
+  return f;
+}
+
+double Frame::mean_saturation() const noexcept {
+  const auto cb = cb_.pixels();
+  const auto cr = cr_.pixels();
+  if (cb.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < cb.size(); ++i) {
+    const double dcb = static_cast<double>(cb[i]) - 128.0;
+    const double dcr = static_cast<double>(cr[i]) - 128.0;
+    s += std::sqrt(dcb * dcb + dcr * dcr);
+  }
+  return s / static_cast<double>(cb.size());
+}
+
+}  // namespace mmsoc::video

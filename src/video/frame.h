@@ -1,0 +1,86 @@
+// Video frames in YCbCr 4:2:0 — the working format of every consumer
+// video codec the paper discusses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmsoc::video {
+
+/// A single 8-bit image plane with edge-clamped sampling.
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height, std::uint8_t fill = 0)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height, fill) {}
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, std::uint8_t v) noexcept {
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = v;
+  }
+
+  /// Edge-clamped read: out-of-bounds coordinates are clamped into range,
+  /// the standard padding convention for motion search at frame borders.
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const noexcept;
+
+  [[nodiscard]] std::span<const std::uint8_t> pixels() const noexcept {
+    return pixels_;
+  }
+  [[nodiscard]] std::span<std::uint8_t> pixels() noexcept { return pixels_; }
+
+  /// Mean pixel value (0 for empty planes).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Population variance of pixel values.
+  [[nodiscard]] double variance() const noexcept;
+
+  bool operator==(const Plane&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// YCbCr 4:2:0 frame: full-resolution luma, half-resolution chroma.
+/// Dimensions must be multiples of 16 (one macroblock) for codec use.
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height)
+      : y_(width, height, 16), cb_(width / 2, height / 2, 128),
+        cr_(width / 2, height / 2, 128) {}
+
+  [[nodiscard]] int width() const noexcept { return y_.width(); }
+  [[nodiscard]] int height() const noexcept { return y_.height(); }
+
+  [[nodiscard]] const Plane& y() const noexcept { return y_; }
+  [[nodiscard]] Plane& y() noexcept { return y_; }
+  [[nodiscard]] const Plane& cb() const noexcept { return cb_; }
+  [[nodiscard]] Plane& cb() noexcept { return cb_; }
+  [[nodiscard]] const Plane& cr() const noexcept { return cr_; }
+  [[nodiscard]] Plane& cr() noexcept { return cr_; }
+
+  /// A fully black frame (Y=16, Cb=Cr=128 — studio-swing black), as used
+  /// between programs and commercials (paper, Section 5).
+  static Frame black(int width, int height);
+
+  /// Mean chroma saturation: average distance of (Cb, Cr) from neutral 128.
+  /// Black-and-white content has near-zero saturation — the color-burst
+  /// commercial-detection cue (paper, Section 5).
+  [[nodiscard]] double mean_saturation() const noexcept;
+
+  bool operator==(const Frame&) const = default;
+
+ private:
+  Plane y_, cb_, cr_;
+};
+
+}  // namespace mmsoc::video

@@ -1,0 +1,59 @@
+#include "video/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmsoc::video {
+
+double mse(const Plane& a, const Plane& b) noexcept {
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  if (pa.empty() || pa.size() != pb.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pa.size());
+}
+
+double psnr(const Plane& a, const Plane& b) noexcept {
+  const double m = mse(a, b);
+  if (m <= 0.0) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / m));
+}
+
+double psnr_luma(const Frame& a, const Frame& b) noexcept {
+  return psnr(a.y(), b.y());
+}
+
+double global_ssim(const Plane& a, const Plane& b) noexcept {
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  if (pa.empty() || pa.size() != pb.size()) return 0.0;
+  const double n = static_cast<double>(pa.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ma += pa[i];
+    mb += pb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double va = 0.0, vb = 0.0, cov = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double da = pa[i] - ma;
+    const double db = pb[i] - mb;
+    va += da * da;
+    vb += db * db;
+    cov += da * db;
+  }
+  va /= n;
+  vb /= n;
+  cov /= n;
+  constexpr double kC1 = 6.5025;   // (0.01 * 255)^2
+  constexpr double kC2 = 58.5225;  // (0.03 * 255)^2
+  return ((2 * ma * mb + kC1) * (2 * cov + kC2)) /
+         ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+}
+
+}  // namespace mmsoc::video

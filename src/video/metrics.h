@@ -1,0 +1,22 @@
+// Objective quality metrics for the lossy-coding experiments (§3).
+#pragma once
+
+#include "video/frame.h"
+
+namespace mmsoc::video {
+
+/// Mean squared error between two equal-size planes.
+[[nodiscard]] double mse(const Plane& a, const Plane& b) noexcept;
+
+/// Peak signal-to-noise ratio in dB (8-bit peak 255). Identical planes
+/// report 99 dB (capped) rather than infinity.
+[[nodiscard]] double psnr(const Plane& a, const Plane& b) noexcept;
+
+/// PSNR of the luma planes of two frames (the standard reporting choice).
+[[nodiscard]] double psnr_luma(const Frame& a, const Frame& b) noexcept;
+
+/// Global structural similarity (single-window SSIM over the whole plane;
+/// adequate as a second opinion next to PSNR in the benches).
+[[nodiscard]] double global_ssim(const Plane& a, const Plane& b) noexcept;
+
+}  // namespace mmsoc::video

@@ -1,0 +1,236 @@
+#include "video/motion.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+namespace mmsoc::video {
+
+std::uint64_t sad16(const Plane& cur, const Plane& ref, int bx, int by, int dx,
+                    int dy) noexcept {
+  std::uint64_t sad = 0;
+  for (int y = 0; y < kMacroblockSize; ++y) {
+    for (int x = 0; x < kMacroblockSize; ++x) {
+      const int a = cur.at(bx + x, by + y);
+      const int b = ref.at_clamped(bx + x + dx, by + y + dy);
+      sad += static_cast<std::uint64_t>(std::abs(a - b));
+    }
+  }
+  return sad;
+}
+
+namespace {
+
+struct Candidate {
+  MotionVector mv;
+  std::uint64_t sad;
+};
+
+Candidate eval(const Plane& cur, const Plane& ref, int bx, int by, int dx,
+               int dy, std::uint32_t& evals) noexcept {
+  ++evals;
+  return Candidate{MotionVector{dx, dy}, sad16(cur, ref, bx, by, dx, dy)};
+}
+
+MotionResult full_search(const Plane& cur, const Plane& ref, int bx, int by,
+                         int range) noexcept {
+  MotionResult best;
+  best.sad = ~std::uint64_t{0};
+  std::uint32_t evals = 0;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const auto c = eval(cur, ref, bx, by, dx, dy, evals);
+      // Prefer shorter vectors on ties: cheaper to code, matches encoders.
+      if (c.sad < best.sad ||
+          (c.sad == best.sad &&
+           std::abs(c.mv.dx) + std::abs(c.mv.dy) <
+               std::abs(best.mv.dx) + std::abs(best.mv.dy))) {
+        best.mv = c.mv;
+        best.sad = c.sad;
+      }
+    }
+  }
+  best.evaluations = evals;
+  return best;
+}
+
+MotionResult three_step_search(const Plane& cur, const Plane& ref, int bx,
+                               int by, int range) noexcept {
+  MotionResult best;
+  std::uint32_t evals = 0;
+  int cx = 0, cy = 0;
+  best.sad = sad16(cur, ref, bx, by, 0, 0);
+  ++evals;
+  int step = std::max(1, range / 2);
+  while (step >= 1) {
+    int nx = cx, ny = cy;
+    std::uint64_t nbest = best.sad;
+    for (int sy = -1; sy <= 1; ++sy) {
+      for (int sx = -1; sx <= 1; ++sx) {
+        if (sx == 0 && sy == 0) continue;
+        const int dx = cx + sx * step;
+        const int dy = cy + sy * step;
+        if (std::abs(dx) > range || std::abs(dy) > range) continue;
+        const auto c = eval(cur, ref, bx, by, dx, dy, evals);
+        if (c.sad < nbest) {
+          nbest = c.sad;
+          nx = dx;
+          ny = dy;
+        }
+      }
+    }
+    cx = nx;
+    cy = ny;
+    best.sad = nbest;
+    step /= 2;
+  }
+  best.mv = MotionVector{cx, cy};
+  best.evaluations = evals;
+  return best;
+}
+
+MotionResult diamond_search(const Plane& cur, const Plane& ref, int bx, int by,
+                            int range) noexcept {
+  // Large diamond search pattern until the center wins, then one small
+  // diamond refinement (classic DS of Zhu & Ma).
+  static constexpr std::array<MotionVector, 8> kLarge = {
+      MotionVector{0, -2}, MotionVector{1, -1}, MotionVector{2, 0},
+      MotionVector{1, 1},  MotionVector{0, 2},  MotionVector{-1, 1},
+      MotionVector{-2, 0}, MotionVector{-1, -1}};
+  static constexpr std::array<MotionVector, 4> kSmall = {
+      MotionVector{0, -1}, MotionVector{1, 0}, MotionVector{0, 1},
+      MotionVector{-1, 0}};
+
+  MotionResult best;
+  std::uint32_t evals = 0;
+  int cx = 0, cy = 0;
+  best.sad = sad16(cur, ref, bx, by, 0, 0);
+  ++evals;
+
+  // Guard against pathological loops on flat content.
+  for (int iter = 0; iter < 4 * range + 8; ++iter) {
+    int nx = cx, ny = cy;
+    std::uint64_t nbest = best.sad;
+    for (const auto& d : kLarge) {
+      const int dx = cx + d.dx;
+      const int dy = cy + d.dy;
+      if (std::abs(dx) > range || std::abs(dy) > range) continue;
+      const auto c = eval(cur, ref, bx, by, dx, dy, evals);
+      if (c.sad < nbest) {
+        nbest = c.sad;
+        nx = dx;
+        ny = dy;
+      }
+    }
+    if (nx == cx && ny == cy) break;  // center is best: refine
+    cx = nx;
+    cy = ny;
+    best.sad = nbest;
+  }
+  for (const auto& d : kSmall) {
+    const int dx = cx + d.dx;
+    const int dy = cy + d.dy;
+    if (std::abs(dx) > range || std::abs(dy) > range) continue;
+    const auto c = eval(cur, ref, bx, by, dx, dy, evals);
+    if (c.sad < best.sad) {
+      best.sad = c.sad;
+      cx = dx;
+      cy = dy;
+    }
+  }
+  best.mv = MotionVector{cx, cy};
+  best.evaluations = evals;
+  return best;
+}
+
+}  // namespace
+
+MotionResult estimate_block(const Plane& cur, const Plane& ref, int bx, int by,
+                            int range, SearchAlgorithm algo) noexcept {
+  switch (algo) {
+    case SearchAlgorithm::kFullSearch:
+      return full_search(cur, ref, bx, by, range);
+    case SearchAlgorithm::kThreeStep:
+      return three_step_search(cur, ref, bx, by, range);
+    case SearchAlgorithm::kDiamond:
+      return diamond_search(cur, ref, bx, by, range);
+    case SearchAlgorithm::kNone:
+      break;
+  }
+  MotionResult r;
+  r.sad = sad16(cur, ref, bx, by, 0, 0);
+  r.evaluations = 1;
+  return r;
+}
+
+std::uint64_t MotionField::total_sad() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& b : blocks) s += b.sad;
+  return s;
+}
+
+std::uint64_t MotionField::total_evaluations() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& b : blocks) s += b.evaluations;
+  return s;
+}
+
+MotionField estimate_frame(const Plane& cur, const Plane& ref, int range,
+                           SearchAlgorithm algo) {
+  MotionField field;
+  field.blocks_x = cur.width() / kMacroblockSize;
+  field.blocks_y = cur.height() / kMacroblockSize;
+  field.blocks.reserve(static_cast<std::size_t>(field.blocks_x) *
+                       field.blocks_y);
+  for (int by = 0; by < field.blocks_y; ++by) {
+    for (int bx = 0; bx < field.blocks_x; ++bx) {
+      field.blocks.push_back(estimate_block(cur, ref,
+                                            bx * kMacroblockSize,
+                                            by * kMacroblockSize, range, algo));
+    }
+  }
+  return field;
+}
+
+Plane compensate(const Plane& ref, const MotionField& field) {
+  Plane out(ref.width(), ref.height());
+  for (int by = 0; by < field.blocks_y; ++by) {
+    for (int bx = 0; bx < field.blocks_x; ++bx) {
+      const auto& mv =
+          field.blocks[static_cast<std::size_t>(by) * field.blocks_x + bx].mv;
+      const int ox = bx * kMacroblockSize;
+      const int oy = by * kMacroblockSize;
+      for (int y = 0; y < kMacroblockSize; ++y) {
+        for (int x = 0; x < kMacroblockSize; ++x) {
+          out.set(ox + x, oy + y,
+                  ref.at_clamped(ox + x + mv.dx, oy + y + mv.dy));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Plane compensate_chroma(const Plane& ref, const MotionField& field) {
+  Plane out(ref.width(), ref.height());
+  const int half = kMacroblockSize / 2;
+  for (int by = 0; by < field.blocks_y; ++by) {
+    for (int bx = 0; bx < field.blocks_x; ++bx) {
+      const auto& mv =
+          field.blocks[static_cast<std::size_t>(by) * field.blocks_x + bx].mv;
+      const int ox = bx * half;
+      const int oy = by * half;
+      // Integer-divide luma vectors by 2 (round toward zero).
+      const int cdx = mv.dx / 2;
+      const int cdy = mv.dy / 2;
+      for (int y = 0; y < half; ++y) {
+        for (int x = 0; x < half; ++x) {
+          out.set(ox + x, oy + y, ref.at_clamped(ox + x + cdx, oy + y + cdy));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mmsoc::video

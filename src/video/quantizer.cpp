@@ -1,0 +1,75 @@
+#include "video/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmsoc::video {
+namespace {
+
+// Classic MPEG-1/2 default intra matrix (ISO/IEC 11172-2 table): step
+// sizes grow along the zig-zag, implementing "finer detail eliminated
+// first".
+constexpr QuantMatrix kIntra = {
+    8,  16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83};
+
+constexpr QuantMatrix kInter = {
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16,
+    16, 16, 16, 16, 16, 16, 16, 16};
+
+// JPEG-annex-K-flavoured luminance matrix: a genuinely different standard's
+// weighting, used as "standard B" by the transcoding experiment.
+constexpr QuantMatrix kAlternate = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+}  // namespace
+
+const QuantMatrix& default_intra_matrix() noexcept { return kIntra; }
+const QuantMatrix& default_inter_matrix() noexcept { return kInter; }
+const QuantMatrix& alternate_intra_matrix() noexcept { return kAlternate; }
+
+Quantizer::Quantizer(const QuantMatrix& matrix, int qscale) noexcept
+    : qscale_(std::clamp(qscale, 1, 31)) {
+  for (int i = 0; i < 64; ++i) {
+    steps_[i] = std::max(1.0f, static_cast<float>(matrix[i]) *
+                                   static_cast<float>(qscale_) / 8.0f);
+  }
+}
+
+void Quantizer::quantize(std::span<const float, 64> coeffs,
+                         std::span<std::int16_t, 64> levels) const noexcept {
+  for (int i = 0; i < 64; ++i) {
+    const float v = coeffs[i] / steps_[i];
+    const long q = std::lroundf(v);
+    levels[i] = static_cast<std::int16_t>(
+        std::clamp<long>(q, -32768, 32767));
+  }
+}
+
+void Quantizer::dequantize(std::span<const std::int16_t, 64> levels,
+                           std::span<float, 64> coeffs) const noexcept {
+  for (int i = 0; i < 64; ++i) {
+    coeffs[i] = static_cast<float>(levels[i]) * steps_[i];
+  }
+}
+
+}  // namespace mmsoc::video

@@ -1,0 +1,54 @@
+// DCT coefficient quantization — the "QUANTIZER" box of Fig. 1.
+//
+// "The DCT itself does not fundamentally reduce the amount of information
+// ... The higher spatial frequencies represent finer detail that is
+// eliminated first" (paper, §3). The perceptual weighting matrix makes
+// exactly that happen: step sizes grow with spatial frequency, so coarse
+// quantization zeroes the high-frequency tail first.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mmsoc::video {
+
+/// An 8x8 matrix of per-coefficient base step sizes.
+using QuantMatrix = std::array<std::uint8_t, 64>;
+
+/// MPEG-style intra matrix: steps increase with spatial frequency.
+[[nodiscard]] const QuantMatrix& default_intra_matrix() noexcept;
+
+/// Flat matrix used for prediction-residual (inter) blocks.
+[[nodiscard]] const QuantMatrix& default_inter_matrix() noexcept;
+
+/// A slightly different perceptual matrix, standing in for a *different
+/// compression standard* in the transcoding experiment (§3: "different
+/// devices may use different compression standards").
+[[nodiscard]] const QuantMatrix& alternate_intra_matrix() noexcept;
+
+/// Quantizer with a scale factor `qscale` in [1, 31] (MPEG-like):
+/// step(u,v) = matrix[u,v] * qscale / 8, minimum 1.
+class Quantizer {
+ public:
+  Quantizer(const QuantMatrix& matrix, int qscale) noexcept;
+
+  /// Quantize float DCT coefficients to integer levels.
+  void quantize(std::span<const float, 64> coeffs,
+                std::span<std::int16_t, 64> levels) const noexcept;
+
+  /// Reconstruct coefficients from levels.
+  void dequantize(std::span<const std::int16_t, 64> levels,
+                  std::span<float, 64> coeffs) const noexcept;
+
+  [[nodiscard]] int qscale() const noexcept { return qscale_; }
+
+  /// Effective step size for coefficient position `i` (row-major).
+  [[nodiscard]] float step(int i) const noexcept { return steps_[i]; }
+
+ private:
+  std::array<float, 64> steps_;
+  int qscale_;
+};
+
+}  // namespace mmsoc::video

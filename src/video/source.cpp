@@ -1,0 +1,193 @@
+#include "video/source.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace mmsoc::video {
+namespace {
+
+// Hash-based value noise: deterministic pseudo-random value per lattice
+// point, bilinearly interpolated. Two octaves give the texture both bulk
+// structure (for ME to latch onto) and fine detail (for the DCT to code).
+double lattice_value(std::uint64_t seed, int xi, int yi) noexcept {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(xi)) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(yi)) * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+double value_noise(std::uint64_t seed, double x, double y, double cell) noexcept {
+  const double gx = x / cell;
+  const double gy = y / cell;
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+  // Smoothstep interpolation weights.
+  const double sx = fx * fx * (3.0 - 2.0 * fx);
+  const double sy = fy * fy * (3.0 - 2.0 * fy);
+  const double v00 = lattice_value(seed, x0, y0);
+  const double v10 = lattice_value(seed, x0 + 1, y0);
+  const double v01 = lattice_value(seed, x0, y0 + 1);
+  const double v11 = lattice_value(seed, x0 + 1, y0 + 1);
+  const double a = common::lerp(v00, v10, sx);
+  const double b = common::lerp(v01, v11, sx);
+  return common::lerp(a, b, sy);  // [0, 1)
+}
+
+struct ObjectSpec {
+  double x0, y0;      // initial position
+  double vx, vy;      // velocity px/frame
+  int w, h;           // size
+  double luma_delta;  // brightness offset of the object
+};
+
+std::vector<ObjectSpec> make_objects(const SceneParams& p, int width,
+                                     int height) {
+  common::Rng rng(p.seed * 0x5851F42D4C957F2Dull + 7);
+  std::vector<ObjectSpec> objs;
+  objs.reserve(static_cast<std::size_t>(p.num_objects));
+  for (int i = 0; i < p.num_objects; ++i) {
+    ObjectSpec o;
+    o.w = static_cast<int>(rng.next_in(width / 16, width / 6));
+    o.h = static_cast<int>(rng.next_in(height / 16, height / 6));
+    o.x0 = rng.next_double_in(0, width);
+    o.y0 = rng.next_double_in(0, height);
+    o.vx = rng.next_double_in(-2.0, 2.0) * (1.0 + std::abs(p.pan_x));
+    o.vy = rng.next_double_in(-1.5, 1.5) * (1.0 + std::abs(p.pan_y));
+    o.luma_delta = rng.next_double_in(-70.0, 70.0);
+    objs.push_back(o);
+  }
+  return objs;
+}
+
+}  // namespace
+
+SceneParams scene_low_motion(std::uint64_t seed) {
+  SceneParams p;
+  p.pan_x = 0.5;
+  p.pan_y = 0.0;
+  p.detail = 0.4;
+  p.num_objects = 1;
+  p.seed = seed;
+  return p;
+}
+
+SceneParams scene_high_motion(std::uint64_t seed) {
+  SceneParams p;
+  p.pan_x = 6.0;
+  p.pan_y = 2.5;
+  p.detail = 0.5;
+  p.num_objects = 4;
+  p.seed = seed;
+  return p;
+}
+
+SceneParams scene_high_detail(std::uint64_t seed) {
+  SceneParams p;
+  p.pan_x = 1.0;
+  p.detail = 1.0;
+  p.num_objects = 3;
+  p.seed = seed;
+  return p;
+}
+
+SceneParams scene_flat(std::uint64_t seed) {
+  SceneParams p;
+  p.pan_x = 0.0;
+  p.detail = 0.05;
+  p.num_objects = 0;
+  p.noise_sigma = 0.3;
+  p.seed = seed;
+  return p;
+}
+
+Frame SyntheticVideo::render(int width, int height, const SceneParams& scene,
+                             int frame_index) {
+  Frame f(width, height);
+  const double ox = scene.pan_x * frame_index;
+  const double oy = scene.pan_y * frame_index;
+  const auto objects = make_objects(scene, width, height);
+  common::Rng noise_rng(scene.seed ^ (0xABCDull + static_cast<std::uint64_t>(frame_index) * 0x10001ull));
+
+  // Luma: two noise octaves panned by (ox, oy), plus objects, plus noise.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double wx = x + ox;
+      const double wy = y + oy;
+      const double coarse = value_noise(scene.seed, wx, wy, 24.0);
+      const double fine = value_noise(scene.seed + 1, wx, wy, 5.0);
+      double v = scene.brightness +
+                 scene.detail * (90.0 * (coarse - 0.5) + 40.0 * (fine - 0.5));
+      // Objects move independently of the background pan.
+      for (const auto& o : objects) {
+        const double px = std::fmod(o.x0 + o.vx * frame_index, static_cast<double>(width));
+        const double py = std::fmod(o.y0 + o.vy * frame_index, static_cast<double>(height));
+        const double dx = x - (px < 0 ? px + width : px);
+        const double dy = y - (py < 0 ? py + height : py);
+        if (dx >= 0 && dx < o.w && dy >= 0 && dy < o.h) {
+          v += o.luma_delta;
+        }
+      }
+      v += scene.noise_sigma * noise_rng.next_gaussian();
+      f.y().set(x, y, common::clamp_u8(static_cast<int>(v + 0.5)));
+    }
+  }
+
+  // Chroma at half resolution: slow noise field scaled by saturation.
+  const int cw = width / 2, ch = height / 2;
+  for (int y = 0; y < ch; ++y) {
+    for (int x = 0; x < cw; ++x) {
+      const double wx = 2.0 * x + ox;
+      const double wy = 2.0 * y + oy;
+      const double ncb = value_noise(scene.seed + 2, wx, wy, 40.0) - 0.5;
+      const double ncr = value_noise(scene.seed + 3, wx, wy, 40.0) - 0.5;
+      f.cb().set(x, y, common::clamp_u8(static_cast<int>(128.0 + 2.0 * scene.saturation * ncb + 0.5)));
+      f.cr().set(x, y, common::clamp_u8(static_cast<int>(128.0 + 2.0 * scene.saturation * ncr + 0.5)));
+    }
+  }
+  return f;
+}
+
+SyntheticVideo::SyntheticVideo(int width, int height,
+                               std::vector<SceneParams> scenes,
+                               int black_separator_frames)
+    : width_(width), height_(height), scenes_(std::move(scenes)),
+      separator_(black_separator_frames) {
+  int at = 0;
+  for (std::size_t i = 0; i < scenes_.size(); ++i) {
+    if (i > 0) at += separator_;
+    scene_starts_.push_back(at);
+    at += scenes_[i].frames;
+  }
+}
+
+int SyntheticVideo::total_frames() const noexcept {
+  int total = 0;
+  for (const auto& s : scenes_) total += s.frames;
+  if (!scenes_.empty())
+    total += separator_ * static_cast<int>(scenes_.size() - 1);
+  return total;
+}
+
+std::optional<Frame> SyntheticVideo::next() {
+  if (scene_idx_ >= scenes_.size()) return std::nullopt;
+  if (separator_left_ > 0) {
+    --separator_left_;
+    return Frame::black(width_, height_);
+  }
+  const auto& scene = scenes_[scene_idx_];
+  Frame f = render(width_, height_, scene, frame_in_scene_);
+  if (++frame_in_scene_ >= scene.frames) {
+    frame_in_scene_ = 0;
+    ++scene_idx_;
+    if (scene_idx_ < scenes_.size()) separator_left_ = separator_;
+  }
+  return f;
+}
+
+}  // namespace mmsoc::video

@@ -1,0 +1,41 @@
+// Transcoding between "standards" — §3: "Since different devices may use
+// different compression standards, content must be recoded to be used on a
+// different device. Because encoding is lossy, each generation of
+// transcoding reduces image quality."
+//
+// We model two standards as two quantization-matrix families (the default
+// MPEG-style intra matrix vs the JPEG-style alternate matrix) and measure
+// quality across repeated decode -> re-encode generations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "video/codec.h"
+#include "video/frame.h"
+
+namespace mmsoc::video {
+
+/// Decode-then-re-encode one full sequence with the given encoder config.
+/// Returns the decoded output of the *new* encoding (i.e. what the next
+/// device in the chain would display). Input is the decoded frames of the
+/// previous generation.
+[[nodiscard]] std::vector<Frame> transcode_sequence(
+    std::span<const Frame> decoded_in, const EncoderConfig& out_config);
+
+/// Quality measured at one generation of the transcoding chain.
+struct GenerationPoint {
+  int generation = 0;       ///< 1 = first encoding, 2 = first transcode, ...
+  double psnr_db = 0.0;     ///< luma PSNR vs the pristine originals
+  double bits_per_frame = 0.0;
+};
+
+/// Run `generations` rounds of encode/decode over `originals`, alternating
+/// between standard A (generation odd) and standard B (generation even),
+/// as content hops between devices. Reports PSNR vs the originals after
+/// each generation.
+[[nodiscard]] std::vector<GenerationPoint> generation_study(
+    std::span<const Frame> originals, int generations,
+    EncoderConfig config_a, EncoderConfig config_b);
+
+}  // namespace mmsoc::video

@@ -1,0 +1,141 @@
+#include "video/wavelet_codec.h"
+
+#include <cstdlib>
+
+#include "common/bitstream.h"
+#include "common/mathutil.h"
+#include "dsp/wavelet.h"
+
+namespace mmsoc::video {
+
+using common::BitReader;
+using common::BitWriter;
+using common::Result;
+using common::StatusCode;
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x57C;  // 11-bit "wavelet codec" marker
+
+// Deadzone quantizer pair: integer-exact for step == 1.
+std::int32_t quantize(std::int32_t v, int step) noexcept {
+  if (step <= 1) return v;
+  return v >= 0 ? v / step : -((-v) / step);
+}
+
+std::int32_t dequantize(std::int32_t q, int step) noexcept {
+  if (step <= 1) return q;
+  // Reconstruct mid-bin (except the zero bin, which stays zero).
+  if (q > 0) return q * step + step / 2;
+  if (q < 0) return q * step - step / 2;
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> wavelet_encode_plane(
+    const Plane& plane, const WaveletCodecConfig& config) {
+  const int w = plane.width();
+  const int h = plane.height();
+  if (w <= 0 || h <= 0) {
+    return Result<std::vector<std::uint8_t>>(StatusCode::kInvalidArgument,
+                                             "empty plane");
+  }
+  if (config.levels < 1 || config.levels > 8) {
+    return Result<std::vector<std::uint8_t>>(StatusCode::kInvalidArgument,
+                                             "levels must be in [1,8]");
+  }
+  const int div = 1 << config.levels;
+  if (w % div != 0 || h % div != 0) {
+    return Result<std::vector<std::uint8_t>>(
+        StatusCode::kInvalidArgument,
+        "dimensions must be divisible by 2^levels");
+  }
+  if (config.qstep < 1 || config.qstep > 4096) {
+    return Result<std::vector<std::uint8_t>>(StatusCode::kInvalidArgument,
+                                             "qstep must be in [1,4096]");
+  }
+
+  // Level-shift to signed and transform.
+  std::vector<std::int32_t> img(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img[static_cast<std::size_t>(y) * w + x] = plane.at(x, y) - 128;
+    }
+  }
+  dsp::dwt53_2d_forward(img, w, h, config.levels);
+
+  BitWriter out;
+  out.put_bits(kMagic, 11);
+  out.put_ue(static_cast<std::uint32_t>(w));
+  out.put_ue(static_cast<std::uint32_t>(h));
+  out.put_ue(static_cast<std::uint32_t>(config.levels));
+  out.put_ue(static_cast<std::uint32_t>(config.qstep));
+
+  // Zero-run + signed Exp-Golomb over the quantized coefficients in
+  // raster order (the LL band's low coordinates come first, so the
+  // significant mass leads the stream).
+  std::uint32_t run = 0;
+  for (const auto v : img) {
+    const std::int32_t q = quantize(v, config.qstep);
+    if (q == 0) {
+      ++run;
+      continue;
+    }
+    out.put_ue(run);
+    run = 0;
+    out.put_se(q);
+  }
+  if (run > 0) {
+    // Trailing zeros: the decoder infers them from the coefficient count,
+    // but a final run marker keeps decode logic uniform.
+    out.put_ue(run);
+  }
+  return out.take();
+}
+
+Result<Plane> wavelet_decode_plane(std::span<const std::uint8_t> bytes) {
+  BitReader in(bytes);
+  if (in.get_bits(11) != kMagic || !in.ok()) {
+    return Result<Plane>(StatusCode::kCorruptData, "bad wavelet magic");
+  }
+  const auto w = static_cast<int>(in.get_ue());
+  const auto h = static_cast<int>(in.get_ue());
+  const auto levels = static_cast<int>(in.get_ue());
+  const auto qstep = static_cast<int>(in.get_ue());
+  if (!in.ok() || w <= 0 || h <= 0 || w > 1 << 15 || h > 1 << 15 ||
+      levels < 1 || levels > 8 || qstep < 1) {
+    return Result<Plane>(StatusCode::kCorruptData, "bad wavelet header");
+  }
+  const std::size_t count = static_cast<std::size_t>(w) * h;
+  std::vector<std::int32_t> img(count, 0);
+  std::size_t pos = 0;
+  while (pos < count) {
+    const std::uint32_t run = in.get_ue();
+    if (!in.ok()) {
+      return Result<Plane>(StatusCode::kCorruptData, "truncated coefficients");
+    }
+    if (pos + run > count) {
+      return Result<Plane>(StatusCode::kCorruptData, "zero run overflows");
+    }
+    pos += run;
+    if (pos == count) break;  // trailing-zero marker consumed everything
+    const std::int32_t q = in.get_se();
+    if (!in.ok()) {
+      return Result<Plane>(StatusCode::kCorruptData, "truncated coefficient");
+    }
+    img[pos++] = dequantize(q, qstep);
+  }
+
+  dsp::dwt53_2d_inverse(img, w, h, levels);
+  Plane out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out.set(x, y,
+              common::clamp_u8(img[static_cast<std::size_t>(y) * w + x] + 128));
+    }
+  }
+  return out;
+}
+
+}  // namespace mmsoc::video

@@ -1,0 +1,35 @@
+// Wavelet still-image codec (§3: "Wavelets [have] been incorporated into
+// JPEG2000 for image encoding").
+//
+// JPEG2000-style structure on this library's primitives: multi-level
+// reversible 5/3 lifting transform, deadzone quantization of the subband
+// coefficients, and zero-run/Exp-Golomb entropy coding. With qstep == 1
+// the pipeline is exactly lossless (the 5/3 transform is integer
+// reversible); larger steps trade rate for distortion. Complements the
+// DCT intra path so the E-DCT experiment can compare the two §3 transform
+// families.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "video/frame.h"
+
+namespace mmsoc::video {
+
+struct WaveletCodecConfig {
+  int levels = 3;  ///< dyadic decomposition depth
+  int qstep = 1;   ///< quantizer step; 1 = lossless
+};
+
+/// Encode one 8-bit plane. Width and height must be positive and
+/// divisible by 2^levels.
+[[nodiscard]] common::Result<std::vector<std::uint8_t>> wavelet_encode_plane(
+    const Plane& plane, const WaveletCodecConfig& config);
+
+/// Decode a plane produced by wavelet_encode_plane.
+[[nodiscard]] common::Result<Plane> wavelet_decode_plane(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mmsoc::video

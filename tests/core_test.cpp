@@ -1,0 +1,248 @@
+// Tests for the core integration layer: device profiles, application
+// graph builders, deployment evaluation, symmetric/asymmetric study.
+#include <gtest/gtest.h>
+
+#include "audio/source.h"
+#include "core/appgraphs.h"
+#include "core/deploy.h"
+#include "core/profiles.h"
+#include "video/source.h"
+
+namespace mmsoc::core {
+namespace {
+
+// Measured encoder ops for a small frame, shared across tests.
+video::StageOps measured_encode_ops() {
+  video::EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.gop_size = 4;
+  video::VideoEncoder enc(cfg);
+  const auto scene = video::scene_low_motion(3);
+  video::StageOps total;
+  for (int i = 0; i < 4; ++i) {
+    total += enc.encode(video::SyntheticVideo::render(64, 64, scene, i)).ops;
+  }
+  return total;
+}
+
+audio::AudioStageOps measured_audio_ops() {
+  audio::AudioEncoderConfig cfg;
+  cfg.sample_rate = 32000.0;
+  audio::SubbandEncoder enc(cfg);
+  const auto music = audio::make_music(audio::kGranuleSamples, 32000.0, 4);
+  return enc
+      .encode(std::span<const double, audio::kGranuleSamples>(
+          music.data(), audio::kGranuleSamples))
+      .ops;
+}
+
+// ----------------------------------------------------------------- profiles
+
+TEST(Profiles, AllDevicesHavePes) {
+  for (const auto device : consumer_devices()) {
+    const auto p = device_platform(device);
+    EXPECT_FALSE(p.pes.empty()) << to_string(device);
+    EXPECT_GT(p.total_area_mm2(), 0.0);
+    EXPECT_GT(realtime_target_hz(device), 0.0);
+  }
+}
+
+TEST(Profiles, CostPowerOrderingMatchesProductClass) {
+  // §2: devices cover "a broad range of cost/performance/power points".
+  const auto phone = device_platform(DeviceClass::kCellPhone);
+  const auto player = device_platform(DeviceClass::kAudioPlayer);
+  const auto settop = device_platform(DeviceClass::kSetTopBox);
+  const auto headend = device_platform(DeviceClass::kBroadcastHeadend);
+  EXPECT_LT(player.total_area_mm2(), phone.total_area_mm2());
+  EXPECT_LT(phone.total_area_mm2(), settop.total_area_mm2());
+  EXPECT_LT(settop.total_area_mm2(), headend.total_area_mm2());
+}
+
+// ---------------------------------------------------------------- appgraphs
+
+TEST(AppGraphs, EncoderGraphIsValidDag) {
+  const auto g = video_encoder_graph(64, 64, measured_encode_ops());
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.task_count(), 9u);
+  EXPECT_GT(g.total_work(), 0.0);
+  EXPECT_GT(g.total_traffic(), 0.0);
+}
+
+TEST(AppGraphs, EncoderHeavierThanDecoder) {
+  // §2/§3: the encoder carries motion estimation, the decoder does not.
+  const auto ops = measured_encode_ops();
+  const auto enc = video_encoder_graph(64, 64, ops);
+  const auto dec = video_decoder_graph(64, 64, ops);
+  EXPECT_GT(enc.total_work(), 1.5 * dec.total_work());
+}
+
+TEST(AppGraphs, ConferenceGraphCombinesBoth) {
+  const auto ops = measured_encode_ops();
+  const auto enc = video_encoder_graph(64, 64, ops);
+  const auto dec = video_decoder_graph(64, 64, ops);
+  const auto conf = videoconference_graph(64, 64, ops);
+  EXPECT_TRUE(conf.is_acyclic());
+  EXPECT_EQ(conf.task_count(), enc.task_count() + dec.task_count());
+  EXPECT_NEAR(conf.total_work(), enc.total_work() + dec.total_work(), 1.0);
+}
+
+TEST(AppGraphs, AudioGraphMatchesFig2Structure) {
+  const auto g = audio_encoder_graph(measured_audio_ops());
+  EXPECT_TRUE(g.is_acyclic());
+  ASSERT_EQ(g.task_count(), 5u);
+  // Psychoacoustic model feeds the quantizer but not the mapper (Fig. 2).
+  bool psycho_to_quant = false, psycho_to_mapper = false;
+  for (const auto& e : g.edges()) {
+    if (g.task(e.src).name == "psychoacoustic-model") {
+      if (g.task(e.dst).name == "quantizer-coder") psycho_to_quant = true;
+      if (g.task(e.dst).name == "mapper-filterbank") psycho_to_mapper = true;
+    }
+  }
+  EXPECT_TRUE(psycho_to_quant);
+  EXPECT_FALSE(psycho_to_mapper);
+}
+
+TEST(AppGraphs, GsmGraphRunsOnPhone) {
+  const auto g = gsm_codec_graph();
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(device_platform(DeviceClass::kCellPhone).can_run(g));
+}
+
+TEST(AppGraphs, DvrGraphIncludesAnalysis) {
+  const auto g = dvr_analysis_graph(64, 64, measured_encode_ops());
+  EXPECT_TRUE(g.is_acyclic());
+  bool has_detector = false;
+  for (mpsoc::TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.task(t).name == "commercial-detector") has_detector = true;
+  }
+  EXPECT_TRUE(has_detector);
+}
+
+// ------------------------------------------------------------------- deploy
+
+TEST(Deploy, EncoderOnCameraMeetsRealtime) {
+  const auto g = video_encoder_graph(64, 64, measured_encode_ops());
+  const auto r = evaluate(g, device_platform(DeviceClass::kVideoCamera),
+                          mpsoc::MapperKind::kHeft, 30.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.meets_realtime) << report_row(r);
+  EXPECT_GT(r.average_power_w, 0.0);
+  EXPECT_GT(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0);
+}
+
+TEST(Deploy, DecoderCheaperThanEncoderOnSamePlatform) {
+  const auto ops = measured_encode_ops();
+  const auto platform = device_platform(DeviceClass::kSetTopBox);
+  const auto enc = evaluate(video_encoder_graph(64, 64, ops), platform,
+                            mpsoc::MapperKind::kHeft, 30.0);
+  const auto dec = evaluate(video_decoder_graph(64, 64, ops), platform,
+                            mpsoc::MapperKind::kHeft, 30.0);
+  ASSERT_TRUE(enc.feasible);
+  ASSERT_TRUE(dec.feasible);
+  EXPECT_GT(dec.throughput_hz, enc.throughput_hz);
+  EXPECT_LT(dec.energy_per_iteration_mj, enc.energy_per_iteration_mj);
+}
+
+TEST(Deploy, SymmetryStudyShowsAsymmetry) {
+  const auto report = symmetry_study(64, 64, measured_encode_ops());
+  // §2/§3: encoding costs several times decoding.
+  EXPECT_GT(report.compute_ratio, 1.5);
+  // The asymmetric receiver is cheaper silicon than an encode-capable one.
+  EXPECT_LT(report.receiver_area_ratio, 1.0);
+  // Set-top decode meets broadcast rate.
+  ASSERT_TRUE(report.settop_decoder.feasible);
+  EXPECT_TRUE(report.settop_decoder.meets_realtime);
+  // Headend encodes in real time with its big silicon.
+  ASSERT_TRUE(report.headend_encoder.feasible);
+  EXPECT_TRUE(report.headend_encoder.meets_realtime);
+}
+
+TEST(Deploy, DeviceStudyCoversAllConsumerDevices) {
+  const auto reports =
+      device_study(64, 64, measured_encode_ops(), measured_audio_ops());
+  ASSERT_EQ(reports.size(), consumer_devices().size());
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.feasible) << r.application << " on " << r.platform;
+  }
+  // The audio player draws the least power of all devices.
+  double player_power = 1e9, max_power = 0.0;
+  for (const auto& r : reports) {
+    if (r.platform == "audio-player") player_power = r.average_power_w;
+    max_power = std::max(max_power, r.average_power_w);
+  }
+  EXPECT_LT(player_power, max_power);
+}
+
+TEST(Deploy, ReportRowFormatting) {
+  const auto g = gsm_codec_graph();
+  const auto r = evaluate(g, device_platform(DeviceClass::kCellPhone),
+                          mpsoc::MapperKind::kHeft, 50.0);
+  const auto row = report_row(r);
+  EXPECT_NE(row.find("gsm-rpe-ltp"), std::string::npos);
+  EXPECT_NE(row.find("cell-phone"), std::string::npos);
+  EXPECT_FALSE(report_header().empty());
+}
+
+TEST(Deploy, DvfsSweepScalesThroughputAndPower) {
+  const auto g = video_encoder_graph(64, 64, measured_encode_ops());
+  const auto platform = device_platform(DeviceClass::kVideoCamera);
+  const double factors[] = {0.25, 0.5, 1.0, 1.5};
+  const auto sweep = dvfs_sweep(g, platform, mpsoc::MapperKind::kHeft, 30.0,
+                                factors);
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    ASSERT_TRUE(sweep[i].report.feasible);
+    // Faster clock: more throughput, more power (compute-bound graph).
+    EXPECT_GT(sweep[i].report.throughput_hz,
+              sweep[i - 1].report.throughput_hz);
+    EXPECT_GT(sweep[i].report.average_power_w,
+              sweep[i - 1].report.average_power_w);
+  }
+}
+
+TEST(Deploy, OperatingPointPicksLowestPowerMeetingTarget) {
+  const auto g = video_encoder_graph(64, 64, measured_encode_ops());
+  const auto platform = device_platform(DeviceClass::kVideoCamera);
+  const double factors[] = {0.0625, 0.125, 0.25, 0.5, 1.0};
+  const auto sweep = dvfs_sweep(g, platform, mpsoc::MapperKind::kHeft, 30.0,
+                                factors);
+  const auto pick = pick_operating_point(sweep);
+  ASSERT_TRUE(pick.report.feasible);
+  EXPECT_TRUE(pick.report.meets_realtime);
+  // The pick draws no more power than running flat out.
+  EXPECT_LE(pick.report.average_power_w,
+            sweep.back().report.average_power_w + 1e-12);
+  // And every slower point in the sweep misses the target.
+  for (const auto& p : sweep) {
+    if (p.clock_factor < pick.clock_factor) {
+      EXPECT_FALSE(p.report.meets_realtime)
+          << "factor " << p.clock_factor << " also met target";
+    }
+  }
+}
+
+TEST(Deploy, ScaledPlatformPowerModel) {
+  const auto base = device_platform(DeviceClass::kCellPhone);
+  const auto half = mpsoc::scaled_platform(base, 0.5);
+  ASSERT_EQ(half.pes.size(), base.pes.size());
+  EXPECT_DOUBLE_EQ(half.pes[0].clock_hz, base.pes[0].clock_hz * 0.5);
+  EXPECT_NEAR(half.pes[0].active_power_w, base.pes[0].active_power_w * 0.125,
+              1e-12);
+  EXPECT_NEAR(half.pes[0].idle_power_w, base.pes[0].idle_power_w * 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(half.total_area_mm2(), base.total_area_mm2());
+}
+
+TEST(Deploy, GsmRealtimeOnPhoneWithHugeMargin) {
+  // A 13 kbit/s speech codec is trivial for even the phone SoC — the
+  // margin should be orders of magnitude.
+  const auto r = evaluate(gsm_codec_graph(),
+                          device_platform(DeviceClass::kCellPhone),
+                          mpsoc::MapperKind::kHeft, 50.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.realtime_margin, 50.0);
+}
+
+}  // namespace
+}  // namespace mmsoc::core

@@ -1,0 +1,402 @@
+// Tests for DRM (§6): cipher, rights model, license store integrity,
+// authority transactions, and playback enforcement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "drm/authority.h"
+#include "drm/player.h"
+#include "drm/rights.h"
+#include "drm/xtea.h"
+
+namespace mmsoc::drm {
+namespace {
+
+using common::Rng;
+
+const XteaKey kTestKey = {0x01234567, 0x89ABCDEF, 0xFEDCBA98, 0x76543210};
+const XteaKey kMasterKey = {0xA5A5A5A5, 0x5A5A5A5A, 0xDEADBEEF, 0xCAFEBABE};
+
+// --------------------------------------------------------------------- xtea
+
+TEST(Xtea, BlockRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t v[2] = {static_cast<std::uint32_t>(rng.next()),
+                          static_cast<std::uint32_t>(rng.next())};
+    const std::uint32_t orig[2] = {v[0], v[1]};
+    xtea_encrypt_block(kTestKey, v);
+    EXPECT_TRUE(v[0] != orig[0] || v[1] != orig[1]);
+    xtea_decrypt_block(kTestKey, v);
+    EXPECT_EQ(v[0], orig[0]);
+    EXPECT_EQ(v[1], orig[1]);
+  }
+}
+
+TEST(Xtea, DifferentKeysDifferentCiphertext) {
+  std::uint32_t a[2] = {1, 2}, b[2] = {1, 2};
+  XteaKey other = kTestKey;
+  other[0] ^= 1;
+  xtea_encrypt_block(kTestKey, a);
+  xtea_encrypt_block(other, b);
+  EXPECT_TRUE(a[0] != b[0] || a[1] != b[1]);
+}
+
+TEST(XteaCtr, CryptTwiceIsIdentity) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const auto original = data;
+  XteaCtr enc(kTestKey, 42);
+  enc.crypt(data);
+  EXPECT_NE(data, original);
+  XteaCtr dec(kTestKey, 42);
+  dec.crypt(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(XteaCtr, SeekableKeystream) {
+  std::vector<std::uint8_t> whole(256, 0);
+  XteaCtr a(kTestKey, 7);
+  a.crypt(whole);  // whole keystream
+
+  std::vector<std::uint8_t> tail(156, 0);
+  XteaCtr b(kTestKey, 7);
+  b.seek(100);
+  b.crypt(tail);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], whole[100 + i]);
+  }
+}
+
+TEST(XteaCtr, DifferentNoncesDifferentStreams) {
+  std::vector<std::uint8_t> a(64, 0), b(64, 0);
+  XteaCtr ca(kTestKey, 1), cb(kTestKey, 2);
+  ca.crypt(a);
+  cb.crypt(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(CbcMac, DetectsModification) {
+  Rng rng(3);
+  std::vector<std::uint8_t> msg(100);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const auto tag = xtea_cbc_mac(kTestKey, msg);
+  msg[50] ^= 1;
+  EXPECT_NE(xtea_cbc_mac(kTestKey, msg), tag);
+}
+
+TEST(CbcMac, KeyDependent) {
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  XteaKey other = kTestKey;
+  other[3] ^= 0x80000000u;
+  EXPECT_NE(xtea_cbc_mac(kTestKey, msg), xtea_cbc_mac(other, msg));
+}
+
+TEST(DeriveKey, DistinctLabelsDistinctKeys) {
+  const auto a = derive_key(kMasterKey, 1);
+  const auto b = derive_key(kMasterKey, 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, derive_key(kMasterKey, 1));  // deterministic
+}
+
+// ------------------------------------------------------------------- rights
+
+TEST(Rights, DeviceAuthorization) {
+  Rights r;
+  r.devices = {10, 20};
+  EXPECT_TRUE(r.device_authorized(10));
+  EXPECT_TRUE(r.device_authorized(20));
+  EXPECT_FALSE(r.device_authorized(30));
+}
+
+TEST(Rights, TimeWindow) {
+  Rights r;
+  r.not_before = 100;
+  r.not_after = 200;
+  EXPECT_FALSE(r.within_window(99));
+  EXPECT_TRUE(r.within_window(100));
+  EXPECT_TRUE(r.within_window(150));
+  EXPECT_TRUE(r.within_window(200));
+  EXPECT_FALSE(r.within_window(201));
+  Rights unbounded;
+  EXPECT_TRUE(unbounded.within_window(-1000000));
+  EXPECT_TRUE(unbounded.within_window(1000000));
+}
+
+TEST(LicenseStore, UpsertFindRemove) {
+  LicenseStore store(kTestKey);
+  Rights r;
+  r.title = 5;
+  r.plays_remaining = 3;
+  store.upsert(r);
+  ASSERT_NE(store.find(5), nullptr);
+  EXPECT_EQ(store.find(5)->plays_remaining, 3u);
+  r.plays_remaining = 7;
+  store.upsert(r);  // replaces
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(5)->plays_remaining, 7u);
+  EXPECT_TRUE(store.remove(5));
+  EXPECT_EQ(store.find(5), nullptr);
+  EXPECT_FALSE(store.remove(5));
+}
+
+TEST(LicenseStore, SerializeParseRoundTrip) {
+  LicenseStore store(kTestKey);
+  Rights r1;
+  r1.title = 1;
+  r1.plays_remaining = 5;
+  r1.not_before = 1000;
+  r1.not_after = 2000;
+  r1.devices = {11, 22, 33};
+  r1.analog_output_only = true;
+  store.upsert(r1);
+  Rights r2;
+  r2.title = 2;
+  r2.devices = {11};
+  store.upsert(r2);
+
+  const auto bytes = store.serialize();
+  auto parsed = LicenseStore::parse(kTestKey, bytes);
+  ASSERT_TRUE(parsed.is_ok());
+  const auto* p1 = parsed.value().find(1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->plays_remaining, 5u);
+  EXPECT_EQ(p1->not_before, 1000);
+  EXPECT_EQ(p1->not_after, 2000);
+  EXPECT_EQ(p1->devices, (std::vector<DeviceId>{11, 22, 33}));
+  EXPECT_TRUE(p1->analog_output_only);
+  ASSERT_NE(parsed.value().find(2), nullptr);
+}
+
+TEST(LicenseStore, TamperingDetected) {
+  // The offline attack the MAC exists for: bump your own play count.
+  LicenseStore store(kTestKey);
+  Rights r;
+  r.title = 9;
+  r.plays_remaining = 1;
+  r.devices = {1};
+  store.upsert(r);
+  auto bytes = store.serialize();
+  bytes[4] ^= 0xFF;  // flip bits inside the serialized play count region
+  auto parsed = LicenseStore::parse(kTestKey, bytes);
+  EXPECT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), common::StatusCode::kPermissionDenied);
+}
+
+TEST(LicenseStore, WrongKeyRejected) {
+  LicenseStore store(kTestKey);
+  Rights r;
+  r.title = 9;
+  store.upsert(r);
+  const auto bytes = store.serialize();
+  EXPECT_FALSE(LicenseStore::parse(kMasterKey, bytes).is_ok());
+}
+
+// ---------------------------------------------------------------- authority
+
+struct AuthorityFixture : ::testing::Test {
+  LicenseAuthority authority{kMasterKey};
+  XteaKey content_key{};
+  XteaKey device_key{};
+
+  void SetUp() override {
+    content_key = authority.register_title(100);
+    device_key = authority.register_device(1);
+    Rights r;
+    r.title = 100;
+    r.plays_remaining = 3;
+    r.devices = {1};
+    authority.grant(r);
+  }
+};
+
+TEST_F(AuthorityFixture, LicenseIssuedForGrantedDevice) {
+  auto lic = authority.request_license(100, 1, 50);
+  ASSERT_TRUE(lic.is_ok());
+  EXPECT_EQ(lic.value().rights.title, 100u);
+  auto key = LicenseAuthority::unwrap_content_key(lic.value(), device_key);
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(key.value(), content_key);
+}
+
+TEST_F(AuthorityFixture, UnknownTitleRejected) {
+  EXPECT_FALSE(authority.request_license(999, 1, 50).is_ok());
+}
+
+TEST_F(AuthorityFixture, UnknownDeviceRejected) {
+  EXPECT_FALSE(authority.request_license(100, 77, 50).is_ok());
+}
+
+TEST_F(AuthorityFixture, UngrantedDeviceRejected) {
+  authority.register_device(2);
+  EXPECT_FALSE(authority.request_license(100, 2, 50).is_ok());
+}
+
+TEST_F(AuthorityFixture, WrongDeviceKeyYieldsWrongContentKey) {
+  auto lic = authority.request_license(100, 1, 50);
+  ASSERT_TRUE(lic.is_ok());
+  XteaKey wrong = device_key;
+  wrong[0] ^= 1;
+  auto key = LicenseAuthority::unwrap_content_key(lic.value(), wrong);
+  ASSERT_TRUE(key.is_ok());       // unwrap always "succeeds"...
+  EXPECT_NE(key.value(), content_key);  // ...but yields garbage
+}
+
+// ----------------------------------------------------------------- playback
+
+struct PlayerFixture : ::testing::Test {
+  LicenseAuthority authority{kMasterKey};
+  XteaKey content_key{};
+  XteaKey device_key{};
+  std::vector<std::uint8_t> plaintext;
+  std::vector<std::uint8_t> encrypted;
+
+  void SetUp() override {
+    content_key = authority.register_title(7);
+    device_key = authority.register_device(1);
+    plaintext.resize(256);
+    for (std::size_t i = 0; i < plaintext.size(); ++i) {
+      plaintext[i] = static_cast<std::uint8_t>(i * 13 + 5);
+    }
+    encrypted = plaintext;
+    XteaCtr ctr(content_key, 0);
+    ctr.crypt(encrypted);
+  }
+
+  Rights basic_rights(std::uint32_t plays = kUnlimitedPlays) {
+    Rights r;
+    r.title = 7;
+    r.plays_remaining = plays;
+    r.devices = {1};
+    return r;
+  }
+
+  PlaybackDevice online_device() {
+    return PlaybackDevice(1, device_key, [this](TitleId t, Timestamp now) {
+      return authority.request_license(t, 1, now);
+    });
+  }
+};
+
+TEST_F(PlayerFixture, OnlinePlaybackDecryptsContent) {
+  authority.grant(basic_rights());
+  auto dev = online_device();
+  const auto res = dev.play(7, 100, encrypted, OutputPath::kDigital);
+  ASSERT_TRUE(res.allowed());
+  EXPECT_TRUE(res.used_online_authorization);
+  EXPECT_EQ(res.content, plaintext);
+}
+
+TEST_F(PlayerFixture, SecondPlayUsesCachedLicense) {
+  authority.grant(basic_rights());
+  auto dev = online_device();
+  dev.play(7, 100, encrypted, OutputPath::kDigital);
+  const auto res = dev.play(7, 101, encrypted, OutputPath::kDigital);
+  ASSERT_TRUE(res.allowed());
+  EXPECT_FALSE(res.used_online_authorization);
+  EXPECT_EQ(authority.requests_served(), 1u);
+}
+
+TEST_F(PlayerFixture, OfflineDeviceWithInstalledLicense) {
+  authority.grant(basic_rights());
+  auto lic = authority.request_license(7, 1, 100);
+  ASSERT_TRUE(lic.is_ok());
+  PlaybackDevice dev(1, device_key);  // no online connection
+  dev.install_license(lic.value());
+  const auto res = dev.play(7, 100, encrypted, OutputPath::kDigital);
+  ASSERT_TRUE(res.allowed());
+  EXPECT_EQ(res.content, plaintext);
+}
+
+TEST_F(PlayerFixture, OfflineDeviceWithoutLicenseDenied) {
+  PlaybackDevice dev(1, device_key);
+  const auto res = dev.play(7, 100, encrypted, OutputPath::kAnalog);
+  EXPECT_FALSE(res.allowed());
+  EXPECT_EQ(res.denial, DenialReason::kNoLicense);
+}
+
+TEST_F(PlayerFixture, PlayCountEnforced) {
+  authority.grant(basic_rights(2));
+  auto dev = online_device();
+  EXPECT_TRUE(dev.play(7, 1, encrypted, OutputPath::kAnalog).allowed());
+  EXPECT_TRUE(dev.play(7, 2, encrypted, OutputPath::kAnalog).allowed());
+  const auto third = dev.play(7, 3, encrypted, OutputPath::kAnalog);
+  EXPECT_FALSE(third.allowed());
+  EXPECT_EQ(third.denial, DenialReason::kPlayCountExhausted);
+}
+
+TEST_F(PlayerFixture, TimeWindowEnforced) {
+  auto r = basic_rights();
+  r.not_before = 100;
+  r.not_after = 200;
+  authority.grant(r);
+  auto lic = authority.request_license(7, 1, 150);
+  ASSERT_TRUE(lic.is_ok());
+  PlaybackDevice dev(1, device_key);
+  dev.install_license(lic.value());
+  EXPECT_EQ(dev.play(7, 50, encrypted, OutputPath::kAnalog).denial,
+            DenialReason::kOutsideTimeWindow);
+  EXPECT_TRUE(dev.play(7, 150, encrypted, OutputPath::kAnalog).allowed());
+  EXPECT_EQ(dev.play(7, 300, encrypted, OutputPath::kAnalog).denial,
+            DenialReason::kOutsideTimeWindow);
+}
+
+TEST_F(PlayerFixture, MultiDeviceRight) {
+  auto r = basic_rights();
+  r.devices = {1, 2};
+  authority.grant(r);
+  const auto dk2 = authority.register_device(2);
+  auto lic1 = authority.request_license(7, 1, 10);
+  auto lic2 = authority.request_license(7, 2, 10);
+  ASSERT_TRUE(lic1.is_ok());
+  ASSERT_TRUE(lic2.is_ok());
+  PlaybackDevice d1(1, device_key), d2(2, dk2);
+  d1.install_license(lic1.value());
+  d2.install_license(lic2.value());
+  EXPECT_TRUE(d1.play(7, 10, encrypted, OutputPath::kAnalog).allowed());
+  EXPECT_TRUE(d2.play(7, 10, encrypted, OutputPath::kAnalog).allowed());
+}
+
+TEST_F(PlayerFixture, UnauthorizedDeviceDenied) {
+  authority.grant(basic_rights());  // devices = {1}
+  const auto dk3 = authority.register_device(3);
+  // Device 3 somehow obtained device 1's license bytes.
+  auto lic = authority.request_license(7, 1, 10);
+  ASSERT_TRUE(lic.is_ok());
+  PlaybackDevice d3(3, dk3);
+  d3.install_license(lic.value());
+  const auto res = d3.play(7, 10, encrypted, OutputPath::kAnalog);
+  EXPECT_FALSE(res.allowed());
+  EXPECT_EQ(res.denial, DenialReason::kDeviceNotAuthorized);
+}
+
+TEST_F(PlayerFixture, AnalogOnlyBlocksDigitalOutput) {
+  auto r = basic_rights();
+  r.analog_output_only = true;
+  authority.grant(r);
+  auto dev = online_device();
+  const auto digital = dev.play(7, 10, encrypted, OutputPath::kDigital);
+  EXPECT_FALSE(digital.allowed());
+  EXPECT_EQ(digital.denial, DenialReason::kOutputNotPermitted);
+  const auto analog = dev.play(7, 10, encrypted, OutputPath::kAnalog);
+  EXPECT_TRUE(analog.allowed());
+  EXPECT_EQ(analog.content, plaintext);
+}
+
+TEST_F(PlayerFixture, PlayCountSurvivesSerializeReload) {
+  authority.grant(basic_rights(3));
+  auto dev = online_device();
+  dev.play(7, 1, encrypted, OutputPath::kAnalog);
+  dev.play(7, 2, encrypted, OutputPath::kAnalog);
+  // Persist and reload the store (device power cycle).
+  const auto bytes = dev.store().serialize();
+  const auto storage_key = derive_key(device_key, 0x73746F7265ull);
+  auto reloaded = LicenseStore::parse(storage_key, bytes);
+  ASSERT_TRUE(reloaded.is_ok());
+  EXPECT_EQ(reloaded.value().find(7)->plays_remaining, 1u);
+}
+
+}  // namespace
+}  // namespace mmsoc::drm

@@ -1,0 +1,397 @@
+// Tests for the DSP kernels: DCT, FFT, wavelets, filters, windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "dsp/dct.h"
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "dsp/wavelet.h"
+#include "dsp/window.h"
+
+namespace mmsoc::dsp {
+namespace {
+
+using common::Rng;
+
+Block random_block(Rng& rng, float lo = -128.0f, float hi = 127.0f) {
+  Block b;
+  for (auto& v : b)
+    v = static_cast<float>(rng.next_double_in(lo, hi));
+  return b;
+}
+
+// ---------------------------------------------------------------------- DCT
+
+TEST(Dct, ForwardInverseIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Block in = random_block(rng);
+    Block coeffs, back;
+    dct2d(in, coeffs);
+    idct2d(coeffs, back);
+    for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[i], in[i], 1e-3f);
+  }
+}
+
+TEST(Dct, SeparableMatchesDirect) {
+  // The paper's claim: "a 2-D DCT can be computed from two 1-D DCTs".
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Block in = random_block(rng);
+    Block direct, separable;
+    dct2d_direct(in, direct);
+    dct2d(in, separable);
+    for (int i = 0; i < 64; ++i) EXPECT_NEAR(direct[i], separable[i], 1e-2f);
+  }
+}
+
+TEST(Dct, InverseDirectMatchesInverseSeparable) {
+  Rng rng(3);
+  const Block in = random_block(rng);
+  Block a, b;
+  idct2d_direct(in, a);
+  idct2d(in, b);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(a[i], b[i], 1e-2f);
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  Block in;
+  in.fill(50.0f);
+  Block coeffs;
+  dct2d(in, coeffs);
+  EXPECT_NEAR(coeffs[0], 50.0f * 8.0f, 1e-2f);  // DC = N * mean for orthonormal
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(coeffs[i], 0.0f, 1e-3f);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  // Orthonormal transform preserves the sum of squares.
+  Rng rng(4);
+  const Block in = random_block(rng);
+  Block coeffs;
+  dct2d(in, coeffs);
+  double e_in = 0.0, e_out = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += static_cast<double>(in[i]) * in[i];
+    e_out += static_cast<double>(coeffs[i]) * coeffs[i];
+  }
+  EXPECT_NEAR(e_out / e_in, 1.0, 1e-4);
+}
+
+TEST(Dct, Linearity) {
+  Rng rng(5);
+  const Block a = random_block(rng);
+  const Block b = random_block(rng);
+  Block sum;
+  for (int i = 0; i < 64; ++i) sum[i] = 2.0f * a[i] + 3.0f * b[i];
+  Block ca, cb, csum;
+  dct2d(a, ca);
+  dct2d(b, cb);
+  dct2d(sum, csum);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(csum[i], 2.0f * ca[i] + 3.0f * cb[i], 1e-2f);
+}
+
+TEST(Dct, FixedPointCloseToFloat) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    BlockI16 in;
+    Block inf;
+    for (int i = 0; i < 64; ++i) {
+      in[i] = static_cast<std::int16_t>(rng.next_in(-255, 255));
+      inf[i] = static_cast<float>(in[i]);
+    }
+    BlockI16 qcoeffs;
+    Block fcoeffs;
+    dct2d_q15(in, qcoeffs);
+    dct2d(inf, fcoeffs);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(static_cast<float>(qcoeffs[i]), fcoeffs[i], 2.0f)
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(Dct, FixedPointRoundTripBounded) {
+  Rng rng(7);
+  BlockI16 in, coeffs, back;
+  for (int i = 0; i < 64; ++i)
+    in[i] = static_cast<std::int16_t>(rng.next_in(-255, 255));
+  dct2d_q15(in, coeffs);
+  idct2d_q15(coeffs, back);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[i], in[i], 3);
+}
+
+TEST(Dct, EnergyCompactionOnSmoothBlock) {
+  // A smooth gradient compacts almost all energy into few coefficients —
+  // the property quantization exploits (§3).
+  Block in;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      in[static_cast<std::size_t>(y) * 8 + x] = static_cast<float>(8 * x + 3 * y);
+  Block coeffs;
+  dct2d(in, coeffs);
+  EXPECT_GT(energy_compaction(coeffs, 10), 0.99);
+  // And compaction is monotone in k.
+  double prev = 0.0;
+  for (int k = 1; k <= 64; k *= 2) {
+    const double c = energy_compaction(coeffs, k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(energy_compaction(coeffs, 64), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------- FFT
+
+TEST(Fft, RoundTrip) {
+  Rng rng(8);
+  std::vector<Complex> data(256);
+  for (auto& c : data)
+    c = Complex(rng.next_double_in(-1, 1), rng.next_double_in(-1, 1));
+  const auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(64, Complex{});
+  data[0] = Complex(1.0, 0.0);
+  fft(data);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-9);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, PureToneLandsInCorrectBin) {
+  const std::size_t n = 512;
+  const int bin = 37;
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i)
+    samples[i] = std::cos(2.0 * common::kPi * bin * static_cast<double>(i) / n);
+  const auto power = power_spectrum(samples, n);
+  // Bin 37 dominates everything else by orders of magnitude.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < power.size(); ++i)
+    if (power[i] > power[peak]) peak = i;
+  EXPECT_EQ(peak, static_cast<std::size_t>(bin));
+  EXPECT_GT(power[bin], 1e6 * power[bin + 5]);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(9);
+  const std::size_t n = 256;
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = Complex(rng.next_double_in(-1, 1), 0.0);
+    time_energy += std::norm(c);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(Fft, NonPowerOfTwoIsNoOp) {
+  std::vector<Complex> data(100, Complex(1.0, 0.0));
+  const auto original = data;
+  fft(data);
+  EXPECT_EQ(data, original);
+}
+
+// ------------------------------------------------------------------ wavelet
+
+class Dwt53RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Dwt53RoundTrip, ExactIntegerReversibility) {
+  // The 5/3 transform is the *reversible* JPEG2000 filter: bit-exact.
+  Rng rng(10);
+  std::vector<std::int32_t> data(static_cast<std::size_t>(GetParam()));
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.next_in(-1000, 1000));
+  const auto original = data;
+  dwt53_forward(data);
+  dwt53_inverse(data);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Dwt53RoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Dwt97, RoundTripWithinEpsilon) {
+  Rng rng(11);
+  std::vector<float> data(512);
+  for (auto& v : data) v = static_cast<float>(rng.next_double_in(-100, 100));
+  const auto original = data;
+  dwt97_forward(data);
+  dwt97_inverse(data);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(data[i], original[i], 1e-3f);
+}
+
+TEST(Dwt53, SmoothSignalCompactsIntoLowBand) {
+  std::vector<std::int32_t> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::int32_t>(
+        100.0 * std::sin(2.0 * common::kPi * static_cast<double>(i) / 256.0));
+  dwt53_forward(data);
+  double low = 0.0, high = 0.0;
+  for (std::size_t i = 0; i < 128; ++i) low += std::abs(data[i]);
+  for (std::size_t i = 128; i < 256; ++i) high += std::abs(data[i]);
+  EXPECT_GT(low, 20.0 * high);
+}
+
+TEST(Dwt2d, Integer53RoundTrip) {
+  Rng rng(12);
+  const int w = 64, h = 32;
+  std::vector<std::int32_t> img(static_cast<std::size_t>(w) * h);
+  for (auto& v : img) v = static_cast<std::int32_t>(rng.next_in(0, 255));
+  const auto original = img;
+  dwt53_2d_forward(img, w, h, 3);
+  dwt53_2d_inverse(img, w, h, 3);
+  EXPECT_EQ(img, original);
+}
+
+TEST(Dwt2d, Float97RoundTrip) {
+  Rng rng(13);
+  const int w = 32, h = 32;
+  std::vector<float> img(static_cast<std::size_t>(w) * h);
+  for (auto& v : img) v = static_cast<float>(rng.next_double_in(0, 255));
+  const auto original = img;
+  dwt97_2d_forward(img, w, h, 2);
+  dwt97_2d_inverse(img, w, h, 2);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_NEAR(img[i], original[i], 1e-2f);
+}
+
+TEST(Dwt2d, LlEnergyFractionHighForSmoothImage) {
+  const int w = 64, h = 64;
+  std::vector<float> img(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img[static_cast<std::size_t>(y) * w + x] =
+          static_cast<float>(100.0 + 50.0 * std::sin(x * 0.1) * std::cos(y * 0.08));
+  EXPECT_GT(ll_energy_fraction(img, w, h, 2), 0.95);
+}
+
+// ------------------------------------------------------------------ filters
+
+TEST(Fir, DesignHasUnitDcGain) {
+  const auto taps = design_lowpass_fir(63, 0.1);
+  double sum = 0.0;
+  for (const auto t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Fir, LowpassPassesLowAndStopsHigh) {
+  FirFilter f(design_lowpass_fir(127, 0.1));
+  // Measure steady-state amplitude of a low and a high tone.
+  auto amplitude_at = [&](double freq) {
+    f.reset();
+    double peak = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const double y = f.process(std::sin(2.0 * common::kPi * freq * i));
+      if (i > 500) peak = std::max(peak, std::abs(y));
+    }
+    return peak;
+  };
+  EXPECT_GT(amplitude_at(0.02), 0.9);
+  EXPECT_LT(amplitude_at(0.3), 0.01);
+}
+
+TEST(Fir, ImpulseResponseEqualsTaps) {
+  const std::vector<double> taps = {0.5, 0.25, 0.125};
+  FirFilter f(taps);
+  EXPECT_DOUBLE_EQ(f.process(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.process(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.process(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(f.process(0.0), 0.0);
+}
+
+TEST(Biquad, LowpassAttenuatesHighFrequencies) {
+  Biquad f(Biquad::lowpass(0.05, 0.707));
+  auto amplitude_at = [&](double freq) {
+    f.reset();
+    double peak = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+      const double y = f.process(std::sin(2.0 * common::kPi * freq * i));
+      if (i > 1000) peak = std::max(peak, std::abs(y));
+    }
+    return peak;
+  };
+  EXPECT_GT(amplitude_at(0.005), 0.95);
+  EXPECT_LT(amplitude_at(0.4), 0.02);
+}
+
+TEST(Biquad, NotchRemovesTargetFrequency) {
+  Biquad f(Biquad::notch(0.1, 5.0));
+  double peak = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double y = f.process(std::sin(2.0 * common::kPi * 0.1 * i));
+    if (i > 2000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_LT(peak, 0.05);
+}
+
+TEST(Biquad, StableUnderWhiteNoise) {
+  Rng rng(14);
+  Biquad f(Biquad::lowpass(0.2, 0.707));
+  double max_out = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    max_out = std::max(max_out, std::abs(f.process(rng.next_double_in(-1, 1))));
+  }
+  EXPECT_LT(max_out, 10.0);  // bounded output = stable
+}
+
+TEST(BiquadQ15, TracksFloatBiquad) {
+  const auto coeffs = Biquad::lowpass(0.1, 0.707);
+  Biquad ref(coeffs);
+  BiquadQ15 fix(coeffs);
+  Rng rng(15);
+  double max_err = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_double_in(-1000.0, 1000.0);
+    const double yr = ref.process(x);
+    const double yf = fix.process(common::Q15::from_double(x)).to_double();
+    max_err = std::max(max_err, std::abs(yr - yf));
+  }
+  EXPECT_LT(max_err, 1.0);  // < 0.1% of the +/-1000 signal range
+}
+
+// ------------------------------------------------------------------ windows
+
+TEST(Window, HannEndpointsZeroCenterOne) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, AllKindsBoundedByOne) {
+  for (const auto kind : {WindowKind::kRect, WindowKind::kHann,
+                          WindowKind::kHamming, WindowKind::kBlackman,
+                          WindowKind::kSine}) {
+    const auto w = make_window(kind, 128);
+    for (const auto v : w) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Window, DegenerateSizes) {
+  EXPECT_EQ(make_window(WindowKind::kHann, 0).size(), 0u);
+  EXPECT_EQ(make_window(WindowKind::kHann, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mmsoc::dsp

@@ -1,0 +1,322 @@
+// Cross-module integration tests: the end-to-end device pipelines the
+// examples demonstrate, verified with assertions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/broadcast.h"
+#include "analysis/detectors.h"
+#include "analysis/frame_features.h"
+#include "audio/metrics.h"
+#include "audio/rpe_ltp.h"
+#include "audio/source.h"
+#include "audio/subband_codec.h"
+#include "core/appgraphs.h"
+#include "core/deploy.h"
+#include "core/profiles.h"
+#include "drm/authority.h"
+#include "drm/player.h"
+#include "fs/block_device.h"
+#include "fs/fat.h"
+#include "net/link.h"
+#include "net/rtp.h"
+#include "net/tcp_lite.h"
+#include "video/codec.h"
+#include "video/metrics.h"
+#include "video/source.h"
+
+namespace mmsoc {
+namespace {
+
+// ------------------------------------------------------------ DVR pipeline
+
+TEST(Integration, DvrRecordStoreAnalyzeSkip) {
+  // Broadcast -> encode -> store on FAT -> read back -> decode -> detect
+  // commercials -> verify skip list against ground truth.
+  analysis::BroadcastSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.program_segments = 2;
+  spec.program_frames = 60;
+  spec.commercials_per_break = 1;
+  spec.commercial_frames = 24;
+  spec.separator_frames = 3;
+  spec.seed = 5;
+  analysis::SyntheticBroadcast broadcast(spec);
+
+  video::EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.gop_size = 12;
+  video::VideoEncoder encoder(cfg);
+
+  fs::BlockDevice disk(8192, 512);
+  auto volume = fs::FatVolume::format(disk).value();
+
+  // Record: length-prefixed access units into one file.
+  std::vector<std::uint8_t> recording;
+  std::vector<video::Frame> originals;
+  while (auto frame = broadcast.next()) {
+    originals.push_back(*frame);
+    const auto e = encoder.encode(*frame);
+    recording.push_back(static_cast<std::uint8_t>(e.bytes.size() >> 16));
+    recording.push_back(static_cast<std::uint8_t>(e.bytes.size() >> 8));
+    recording.push_back(static_cast<std::uint8_t>(e.bytes.size()));
+    recording.insert(recording.end(), e.bytes.begin(), e.bytes.end());
+  }
+  ASSERT_TRUE(volume.write_file("/show.mmv", recording).is_ok());
+
+  // Play back from disk, decode, and analyze the *decoded* frames (the
+  // real DVR analyzes what it stored, not the pristine input).
+  const auto stored = volume.read_file("/show.mmv").value();
+  ASSERT_EQ(stored, recording);
+  video::VideoDecoder decoder;
+  std::vector<analysis::FrameFeatures> features;
+  std::size_t pos = 0;
+  std::size_t frame_idx = 0;
+  double psnr_sum = 0.0;
+  while (pos + 3 <= stored.size()) {
+    const std::size_t len = (static_cast<std::size_t>(stored[pos]) << 16) |
+                            (static_cast<std::size_t>(stored[pos + 1]) << 8) |
+                            stored[pos + 2];
+    pos += 3;
+    ASSERT_LE(pos + len, stored.size());
+    auto decoded = decoder.decode({stored.data() + pos, len});
+    pos += len;
+    ASSERT_TRUE(decoded.is_ok());
+    psnr_sum += video::psnr_luma(originals[frame_idx], decoded.value());
+    features.push_back(analysis::extract_features(decoded.value()));
+    ++frame_idx;
+  }
+  ASSERT_EQ(frame_idx, originals.size());
+  EXPECT_GT(psnr_sum / static_cast<double>(frame_idx), 28.0);
+
+  // Detection still works on lossy-decoded frames.
+  analysis::BlackFrameCommercialDetector::Params params;
+  params.max_commercial_frames = 40;
+  const auto segments =
+      analysis::BlackFrameCommercialDetector(params).segment(features);
+  const auto score = analysis::score_segments(
+      segments, broadcast.ground_truth(), broadcast.total_frames());
+  EXPECT_GT(score.f1(), 0.9);
+
+  const auto play = analysis::playback_ranges(segments);
+  int shown = 0;
+  for (const auto& s : play) shown += s.end - s.begin;
+  EXPECT_EQ(shown, spec.program_segments * spec.program_frames);
+}
+
+// -------------------------------------------------- protected audio player
+
+TEST(Integration, ProtectedAudioEndToEnd) {
+  // Encode -> encrypt -> store -> authorize -> decrypt -> decode, with the
+  // DRM rights marker carried in the Fig. 2 ancillary field.
+  const double fs_hz = 32000.0;
+  audio::AudioEncoderConfig acfg;
+  acfg.sample_rate = fs_hz;
+  acfg.bitrate_bps = 192000.0;
+  audio::SubbandEncoder enc(acfg);
+  const int granules = 8;
+  const auto music = audio::make_music(
+      static_cast<std::size_t>(audio::kGranuleSamples) * granules, fs_hz, 9);
+
+  const drm::XteaKey master = {1, 2, 3, 4};
+  drm::LicenseAuthority authority(master);
+  const auto content_key = authority.register_title(9);
+  const auto device_key = authority.register_device(5);
+  drm::Rights rights;
+  rights.title = 9;
+  rights.plays_remaining = 1;
+  rights.devices = {5};
+  authority.grant(rights);
+
+  const std::vector<std::uint8_t> marker = {0x44, 0x52, 0x4D};
+  std::vector<std::uint8_t> stream;
+  for (int g = 0; g < granules; ++g) {
+    const auto e = enc.encode(
+        std::span<const double, audio::kGranuleSamples>(
+            music.data() + g * audio::kGranuleSamples, audio::kGranuleSamples),
+        marker);
+    stream.push_back(static_cast<std::uint8_t>(e.bytes.size() >> 8));
+    stream.push_back(static_cast<std::uint8_t>(e.bytes.size()));
+    stream.insert(stream.end(), e.bytes.begin(), e.bytes.end());
+  }
+  drm::XteaCtr ctr(content_key, 9);
+  ctr.crypt(stream);
+
+  fs::BlockDevice disk(4096, 512);
+  auto volume = fs::FatVolume::format(disk).value();
+  ASSERT_TRUE(volume.write_file("/t9.enc", stream).is_ok());
+
+  drm::PlaybackDevice player(5, device_key,
+                             [&](drm::TitleId t, drm::Timestamp now) {
+                               return authority.request_license(t, 5, now);
+                             });
+  const auto file = volume.read_file("/t9.enc").value();
+  const auto res = player.play(9, 100, file, drm::OutputPath::kAnalog, 9);
+  ASSERT_TRUE(res.allowed());
+
+  audio::SubbandDecoder dec;
+  std::vector<double> pcm;
+  std::size_t pos = 0;
+  while (pos + 2 <= res.content.size()) {
+    const std::size_t len = (static_cast<std::size_t>(res.content[pos]) << 8) |
+                            res.content[pos + 1];
+    pos += 2;
+    ASSERT_LE(pos + len, res.content.size());
+    auto d = dec.decode({res.content.data() + pos, len});
+    pos += len;
+    ASSERT_TRUE(d.is_ok());
+    EXPECT_EQ(d.value().ancillary, marker);  // rights marker intact
+    pcm.insert(pcm.end(), d.value().samples.begin(), d.value().samples.end());
+  }
+  std::vector<double> ref(music.begin(), music.end() - audio::kSubbands);
+  std::vector<double> test(pcm.begin() + audio::kSubbands, pcm.end());
+  EXPECT_GT(audio::segmental_snr_db(
+                std::span<const double>(ref).subspan(audio::kGranuleSamples),
+                std::span<const double>(test).subspan(audio::kGranuleSamples)),
+            15.0);
+
+  // Second play exhausts the 1-play right.
+  EXPECT_FALSE(player.play(9, 101, file, drm::OutputPath::kAnalog, 9).allowed());
+}
+
+// ------------------------------------------------- media over the network
+
+TEST(Integration, VideoOverRtpLossyLink) {
+  // Encoded access units streamed over a 3% lossy link; everything that
+  // plays un-concealed must decode bit-exactly to the sender's recon.
+  constexpr int kFrames = 30;
+  video::EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.gop_size = 5;  // frequent I frames bound loss propagation
+  video::VideoEncoder encoder(cfg);
+  const auto scene = video::scene_low_motion(15);
+
+  net::LinkParams lp;
+  lp.bandwidth_bps = 5e6;
+  lp.latency_us = 10000.0;
+  lp.loss_probability = 0.03;
+  lp.seed = 77;
+  net::LossyLink link(lp);
+  net::RtpSender tx;
+  net::RtpReceiver rx(3);
+  video::VideoDecoder decoder;
+
+  double now = 0.0;
+  int displayed = 0, decode_failures = 0;
+  bool reference_intact = true;  // decoder has seen every frame so far
+  for (int i = 0; i < kFrames; ++i, now += 33333.0) {
+    const auto frame = video::SyntheticVideo::render(64, 64, scene, i);
+    const auto e = encoder.encode(frame);
+    link.send(tx.packetize(e.bytes, static_cast<std::uint32_t>(i)), now);
+    while (auto pkt = link.receive(now)) rx.push(*pkt, now);
+    while (auto unit = rx.pop()) {
+      if (unit->concealed) {
+        reference_intact = false;  // P chain broken until next I frame
+        continue;
+      }
+      auto d = decoder.decode(unit->payload);
+      if (d.is_ok()) {
+        ++displayed;
+      } else {
+        ++decode_failures;
+        // Only acceptable when the reference chain was broken by loss.
+        EXPECT_FALSE(reference_intact);
+      }
+      // An I frame repairs the chain regardless of history.
+      if (d.is_ok()) reference_intact = true;
+    }
+  }
+  EXPECT_GT(displayed, kFrames / 2);
+}
+
+TEST(Integration, GsmSpeechOverTcpLite) {
+  // Speech frames carried over the reliable stream across a 10% lossy
+  // link: every frame arrives, decoder output matches a direct local
+  // decode bit-for-bit.
+  const int frames = 20;
+  const auto speech = audio::make_speech(
+      static_cast<std::size_t>(audio::kGsmFrameSamples) * frames, 8000.0, 19);
+  const auto pcm = audio::to_pcm16(speech);
+
+  audio::RpeLtpEncoder enc;
+  std::vector<std::uint8_t> bitstream;
+  for (int f = 0; f < frames; ++f) {
+    const auto bytes = enc.encode(
+        std::span<const std::int16_t, audio::kGsmFrameSamples>(
+            pcm.data() + static_cast<std::size_t>(f) * audio::kGsmFrameSamples,
+            audio::kGsmFrameSamples));
+    bitstream.insert(bitstream.end(), bytes.begin(), bytes.end());
+  }
+
+  net::LinkParams lp;
+  lp.latency_us = 1000.0;
+  lp.loss_probability = 0.1;
+  lp.seed = 21;
+  const auto result = net::run_bulk_transfer(bitstream, lp, 30e6);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.delivered, bitstream);
+
+  audio::RpeLtpDecoder remote, local;
+  for (int f = 0; f < frames; ++f) {
+    const std::span<const std::uint8_t> frame_bytes(
+        result.delivered.data() +
+            static_cast<std::size_t>(f) * audio::kGsmFrameBytes,
+        audio::kGsmFrameBytes);
+    auto a = remote.decode(frame_bytes);
+    auto b = local.decode(
+        {bitstream.data() + static_cast<std::size_t>(f) * audio::kGsmFrameBytes,
+         audio::kGsmFrameBytes});
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+// ----------------------------------------- measured workloads onto silicon
+
+TEST(Integration, MeasuredWorkloadsMapOntoEveryDevice) {
+  // The full chain the core layer exists for: run the real codecs, take
+  // their measured op counts, and verify every §2 device class schedules
+  // its primary workload feasibly with both HEFT and annealing.
+  video::EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.gop_size = 6;
+  video::VideoEncoder enc(cfg);
+  const auto scene = video::scene_low_motion(23);
+  video::StageOps vops;
+  for (int i = 0; i < 6; ++i) {
+    vops += enc.encode(video::SyntheticVideo::render(64, 64, scene, i)).ops;
+  }
+  audio::AudioEncoderConfig acfg;
+  acfg.sample_rate = 32000.0;
+  audio::SubbandEncoder aenc(acfg);
+  const auto music = audio::make_music(audio::kGranuleSamples, 32000.0, 24);
+  const auto aops = aenc
+                        .encode(std::span<const double, audio::kGranuleSamples>(
+                            music.data(), audio::kGranuleSamples))
+                        .ops;
+
+  const auto devices = core::consumer_devices();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto graph = core::device_workload(64, 64, vops, aops,
+                                             static_cast<std::uint8_t>(i));
+    const auto platform = core::device_platform(devices[i]);
+    ASSERT_TRUE(platform.can_run(graph)) << platform.name;
+    for (const auto mapper :
+         {mpsoc::MapperKind::kHeft, mpsoc::MapperKind::kSimulatedAnnealing}) {
+      const auto r = core::evaluate(graph, platform, mapper,
+                                    core::realtime_target_hz(devices[i]));
+      EXPECT_TRUE(r.feasible)
+          << graph.name() << " on " << platform.name << " via "
+          << mpsoc::to_string(mapper);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmsoc

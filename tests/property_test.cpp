@@ -1,0 +1,261 @@
+// Property-based suites cutting across modules: parameterized sweeps over
+// configuration spaces, checking invariants rather than point values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsp/wavelet.h"
+#include "entropy/huffman.h"
+#include "mpsoc/mapping.h"
+#include "video/codec.h"
+#include "video/metrics.h"
+#include "video/source.h"
+
+namespace mmsoc {
+namespace {
+
+// --------------------------------------------- rate-distortion monotonicity
+
+class QscaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QscaleSweep, RoundTripQualityAndSizeWellOrdered) {
+  // Property: for any qscale, the codec round-trips losslessly enough to
+  // decode, and quality/size are sane. Cross-qscale monotonicity is
+  // checked in the _Monotone test below.
+  const int q = GetParam();
+  video::EncoderConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.gop_size = 3;
+  cfg.qscale = q;
+  video::VideoEncoder enc(cfg);
+  video::VideoDecoder dec;
+  const auto scene = video::scene_high_detail(31);
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = video::SyntheticVideo::render(64, 64, scene, i);
+    const auto e = enc.encode(frame);
+    auto d = dec.decode(e.bytes);
+    ASSERT_TRUE(d.is_ok()) << "qscale " << q;
+    EXPECT_EQ(d.value(), enc.reconstructed());
+    EXPECT_GT(video::psnr_luma(frame, d.value()), 18.0) << "qscale " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScales, QscaleSweep,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 24, 31));
+
+TEST(RateDistortion, MonotoneAcrossQscale) {
+  const auto scene = video::scene_high_detail(32);
+  std::vector<video::Frame> frames;
+  for (int i = 0; i < 3; ++i)
+    frames.push_back(video::SyntheticVideo::render(64, 64, scene, i));
+
+  double prev_bits = 1e18;
+  double prev_psnr = 1e18;
+  for (const int q : {2, 6, 12, 24}) {
+    video::EncoderConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.gop_size = 1;
+    cfg.qscale = q;
+    video::VideoEncoder enc(cfg);
+    video::VideoDecoder dec;
+    double bits = 0.0, psnr = 0.0;
+    for (const auto& f : frames) {
+      const auto e = enc.encode(f);
+      bits += static_cast<double>(e.bytes.size()) * 8;
+      psnr += video::psnr_luma(f, dec.decode(e.bytes).value());
+    }
+    // Coarser quantization never costs more bits nor gains quality.
+    EXPECT_LT(bits, prev_bits) << "q=" << q;
+    EXPECT_LT(psnr, prev_psnr + 1e-9) << "q=" << q;
+    prev_bits = bits;
+    prev_psnr = psnr;
+  }
+}
+
+// -------------------------------------------------- Huffman across sources
+
+class HuffmanDistribution
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HuffmanDistribution, RoundTripAndNearEntropy) {
+  // Property: for geometric-ish sources of any size/skew, the code round
+  // trips and its expected length is within 1 bit of the entropy bound.
+  const auto [alphabet, decay] = GetParam();
+  std::vector<std::uint64_t> freqs(static_cast<std::size_t>(alphabet));
+  double p = 1e9;
+  for (auto& f : freqs) {
+    f = static_cast<std::uint64_t>(p) + 1;
+    p *= decay;
+  }
+  auto built = entropy::HuffmanCode::from_frequencies(freqs);
+  ASSERT_TRUE(built.is_ok());
+  const auto& code = built.value();
+  const double h = entropy::entropy_bits(freqs);
+  const double l = code.expected_length(freqs);
+  EXPECT_GE(l, h - 1e-9);
+  EXPECT_LE(l, h + 1.0);
+
+  common::Rng rng(static_cast<std::uint64_t>(alphabet) * 131 + 7);
+  common::BitWriter w;
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = rng.next_below(freqs.size());
+    symbols.push_back(s);
+    ASSERT_TRUE(code.encode(s, w));
+  }
+  const auto bytes = w.take();
+  common::BitReader r(bytes);
+  for (const auto s : symbols) {
+    ASSERT_EQ(code.decode(r), static_cast<int>(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, HuffmanDistribution,
+    ::testing::Combine(::testing::Values(2, 5, 17, 64, 257),
+                       ::testing::Values(0.5, 0.8, 0.95, 1.0)));
+
+// ------------------------------------------------------- wavelet 2-D sweep
+
+class Dwt2dSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Dwt2dSweep, IntegerTransformExactlyInvertible) {
+  const auto [w, h, levels] = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(w) * 1000 + static_cast<std::uint64_t>(h));
+  std::vector<std::int32_t> img(static_cast<std::size_t>(w) * h);
+  for (auto& v : img) v = static_cast<std::int32_t>(rng.next_in(-512, 512));
+  const auto original = img;
+  dsp::dwt53_2d_forward(img, w, h, levels);
+  if (levels > 0) EXPECT_NE(img, original);
+  dsp::dwt53_2d_inverse(img, w, h, levels);
+  EXPECT_EQ(img, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Dwt2dSweep,
+    ::testing::Values(std::tuple{8, 8, 1}, std::tuple{16, 16, 2},
+                      std::tuple{32, 16, 2}, std::tuple{64, 64, 3},
+                      std::tuple{128, 32, 2}, std::tuple{16, 64, 4}));
+
+// -------------------------------------------------- schedule invariants
+
+mpsoc::TaskGraph random_dag(std::uint64_t seed, std::size_t tasks) {
+  common::Rng rng(seed);
+  mpsoc::TaskGraph g("random");
+  for (std::size_t t = 0; t < tasks; ++t) {
+    mpsoc::Task task;
+    task.name = "t" + std::to_string(t);
+    task.work_ops = rng.next_double_in(1e4, 1e6);
+    if (rng.next_bool(0.5)) {
+      task.affinity[mpsoc::PeKind::kDsp] = rng.next_double_in(1.5, 6.0);
+    }
+    g.add_task(std::move(task));
+  }
+  // Forward edges only: guaranteed acyclic.
+  for (std::size_t t = 1; t < tasks; ++t) {
+    const auto preds = 1 + rng.next_below(std::min<std::size_t>(t, 3));
+    for (std::size_t k = 0; k < preds; ++k) {
+      (void)g.add_edge(rng.next_below(t), t, rng.next_double_in(0, 1e5));
+    }
+  }
+  return g;
+}
+
+mpsoc::Platform random_platform(std::uint64_t seed) {
+  common::Rng rng(seed);
+  mpsoc::Platform p;
+  p.name = "random";
+  const auto n = 2 + rng.next_below(3);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mpsoc::ProcessingElement pe;
+    pe.name = "pe" + std::to_string(i);
+    pe.kind = rng.next_bool(0.5) ? mpsoc::PeKind::kRisc : mpsoc::PeKind::kDsp;
+    pe.clock_hz = rng.next_double_in(50e6, 400e6);
+    pe.ops_per_cycle = pe.kind == mpsoc::PeKind::kDsp ? 2.0 : 1.0;
+    pe.active_power_w = rng.next_double_in(0.05, 0.5);
+    pe.idle_power_w = pe.active_power_w * 0.1;
+    p.pes.push_back(pe);
+  }
+  p.interconnect.bandwidth_bytes_per_s = rng.next_double_in(50e6, 1e9);
+  return p;
+}
+
+class ScheduleInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleInvariants, HoldForAllMappers) {
+  const auto seed = GetParam();
+  const auto graph = random_dag(seed, 12);
+  const auto platform = random_platform(seed ^ 0xABCD);
+  for (const auto kind :
+       {mpsoc::MapperKind::kRoundRobin, mpsoc::MapperKind::kGreedyLoadBalance,
+        mpsoc::MapperKind::kHeft, mpsoc::MapperKind::kSimulatedAnnealing}) {
+    const auto r = mpsoc::map_graph(graph, platform, kind);
+    ASSERT_TRUE(r.schedule.feasible) << mpsoc::to_string(kind);
+
+    // Invariant 1: precedence — no task starts before all predecessors end.
+    for (const auto& e : graph.edges()) {
+      EXPECT_GE(r.schedule.intervals[e.dst].start_s,
+                r.schedule.intervals[e.src].finish_s - 1e-12)
+          << mpsoc::to_string(kind) << " seed " << seed;
+    }
+    // Invariant 2: PE exclusivity — intervals on one PE never overlap.
+    for (std::size_t p = 0; p < platform.pes.size(); ++p) {
+      std::vector<mpsoc::TaskInterval> on_pe;
+      for (const auto& iv : r.schedule.intervals) {
+        if (iv.pe == p) on_pe.push_back(iv);
+      }
+      std::sort(on_pe.begin(), on_pe.end(),
+                [](const auto& a, const auto& b) { return a.start_s < b.start_s; });
+      for (std::size_t i = 1; i < on_pe.size(); ++i) {
+        EXPECT_GE(on_pe[i].start_s, on_pe[i - 1].finish_s - 1e-12);
+      }
+    }
+    // Invariant 3: makespan is the max finish time.
+    double max_finish = 0.0;
+    for (const auto& iv : r.schedule.intervals) {
+      max_finish = std::max(max_finish, iv.finish_s);
+    }
+    EXPECT_NEAR(r.schedule.makespan_s, max_finish, 1e-12);
+    // Invariant 4: II <= makespan, energy positive, utilization in (0,1].
+    EXPECT_LE(r.schedule.initiation_interval_s(), r.schedule.makespan_s + 1e-12);
+    EXPECT_GT(r.schedule.energy_j, 0.0);
+    EXPECT_GT(r.schedule.mean_utilization(), 0.0);
+    EXPECT_LE(r.schedule.mean_utilization(), 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------- encoder determinism across runs
+
+TEST(Determinism, EncoderBitstreamsReproducible) {
+  // Property: everything in the pipeline is deterministic — two fresh
+  // encoders over the same synthetic input emit identical bytes.
+  const auto run = [] {
+    video::EncoderConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.gop_size = 4;
+    cfg.rate_control = true;
+    video::VideoEncoder enc(cfg);
+    const auto scene = video::scene_high_motion(55);
+    std::vector<std::uint8_t> all;
+    for (int i = 0; i < 8; ++i) {
+      const auto e = enc.encode(video::SyntheticVideo::render(64, 64, scene, i));
+      all.insert(all.end(), e.bytes.begin(), e.bytes.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mmsoc

@@ -1,0 +1,689 @@
+// Tests for the video subsystem: frames, synthetic source, quantizer,
+// motion estimation/compensation, VLC, the full Fig. 1 codec, metrics,
+// and the transcoding study.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "video/codec.h"
+#include "video/frame.h"
+#include "video/metrics.h"
+#include "video/motion.h"
+#include "video/quantizer.h"
+#include "video/source.h"
+#include "video/transcode.h"
+#include "video/vlc.h"
+#include "video/wavelet_codec.h"
+
+namespace mmsoc::video {
+namespace {
+
+using common::Rng;
+
+// -------------------------------------------------------------------- frame
+
+TEST(Plane, ClampedSampling) {
+  Plane p(4, 4);
+  p.set(0, 0, 10);
+  p.set(3, 3, 99);
+  EXPECT_EQ(p.at_clamped(-5, -5), 10);
+  EXPECT_EQ(p.at_clamped(100, 100), 99);
+  EXPECT_EQ(p.at_clamped(0, 100), p.at(0, 3));
+}
+
+TEST(Plane, MeanAndVariance) {
+  Plane p(2, 2);
+  p.set(0, 0, 0);
+  p.set(1, 0, 100);
+  p.set(0, 1, 100);
+  p.set(1, 1, 200);
+  EXPECT_DOUBLE_EQ(p.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 5000.0);
+}
+
+TEST(Frame, BlackFrameProperties) {
+  const Frame f = Frame::black(32, 32);
+  EXPECT_DOUBLE_EQ(f.y().mean(), 16.0);       // studio black
+  EXPECT_DOUBLE_EQ(f.mean_saturation(), 0.0); // neutral chroma
+}
+
+TEST(Frame, ChromaIsHalfResolution) {
+  const Frame f(64, 48);
+  EXPECT_EQ(f.cb().width(), 32);
+  EXPECT_EQ(f.cb().height(), 24);
+  EXPECT_EQ(f.cr().width(), 32);
+}
+
+// ------------------------------------------------------------------- source
+
+TEST(SyntheticVideo, DeterministicForSeed) {
+  const auto scene = scene_low_motion(99);
+  const Frame a = SyntheticVideo::render(64, 64, scene, 5);
+  const Frame b = SyntheticVideo::render(64, 64, scene, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticVideo, FramesDifferOverTime) {
+  const auto scene = scene_high_motion(1);
+  const Frame a = SyntheticVideo::render(64, 64, scene, 0);
+  const Frame b = SyntheticVideo::render(64, 64, scene, 10);
+  EXPECT_NE(a, b);
+  EXPECT_LT(psnr_luma(a, b), 40.0);  // genuinely different content
+}
+
+TEST(SyntheticVideo, ScriptLengthAndSeparators) {
+  std::vector<SceneParams> scenes = {scene_flat(1), scene_flat(2)};
+  scenes[0].frames = 5;
+  scenes[1].frames = 7;
+  SyntheticVideo src(32, 32, scenes, /*black_separator_frames=*/3);
+  EXPECT_EQ(src.total_frames(), 15);
+  int count = 0, black = 0;
+  while (auto f = src.next()) {
+    ++count;
+    if (f->y().mean() < 17.0 && f->y().variance() < 1.0) ++black;
+  }
+  EXPECT_EQ(count, 15);
+  EXPECT_EQ(black, 3);
+  ASSERT_EQ(src.scene_starts().size(), 2u);
+  EXPECT_EQ(src.scene_starts()[0], 0);
+  EXPECT_EQ(src.scene_starts()[1], 8);  // 5 content + 3 separator
+}
+
+TEST(SyntheticVideo, SaturationControlsChroma) {
+  auto colorful = scene_low_motion(5);
+  colorful.saturation = 60.0;
+  auto bw = scene_low_motion(5);
+  bw.saturation = 0.0;
+  const Frame fc = SyntheticVideo::render(64, 64, colorful, 0);
+  const Frame fb = SyntheticVideo::render(64, 64, bw, 0);
+  EXPECT_GT(fc.mean_saturation(), 10.0);
+  EXPECT_LT(fb.mean_saturation(), 1.0);
+}
+
+// ---------------------------------------------------------------- quantizer
+
+TEST(Quantizer, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(1);
+  const Quantizer q(default_intra_matrix(), 8);
+  std::array<float, 64> coeffs;
+  for (auto& c : coeffs) c = static_cast<float>(rng.next_double_in(-500, 500));
+  std::array<std::int16_t, 64> levels;
+  std::array<float, 64> back;
+  q.quantize(coeffs, levels);
+  q.dequantize(levels, back);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LE(std::abs(back[i] - coeffs[i]), q.step(i) / 2.0f + 1e-3f);
+  }
+}
+
+TEST(Quantizer, HigherQscaleCoarserSteps) {
+  const Quantizer fine(default_intra_matrix(), 2);
+  const Quantizer coarse(default_intra_matrix(), 20);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(coarse.step(i), fine.step(i));
+}
+
+TEST(Quantizer, IntraMatrixPenalizesHighFrequencies) {
+  const auto& m = default_intra_matrix();
+  EXPECT_LT(m[0], m[63]);  // DC step < highest-frequency step
+}
+
+TEST(Quantizer, CoarseQuantizationZeroesHighFrequenciesFirst) {
+  // The paper's §3 claim, directly: code a natural-statistics block at
+  // increasing qscale and watch the high-frequency tail die first.
+  Rng rng(2);
+  std::array<float, 64> coeffs;
+  for (int i = 0; i < 64; ++i) {
+    // 1/f-style spectrum.
+    coeffs[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.next_double_in(-1, 1) * 800.0 / (1 + i));
+  }
+  const Quantizer coarse(default_intra_matrix(), 24);
+  std::array<std::int16_t, 64> levels;
+  coarse.quantize(coeffs, levels);
+  int low_nonzero = 0, high_nonzero = 0;
+  for (int i = 0; i < 8; ++i)
+    if (levels[static_cast<std::size_t>(i)] != 0) ++low_nonzero;
+  for (int i = 48; i < 64; ++i)
+    if (levels[static_cast<std::size_t>(i)] != 0) ++high_nonzero;
+  EXPECT_GT(low_nonzero, 0);
+  EXPECT_EQ(high_nonzero, 0);
+}
+
+TEST(Quantizer, QscaleClampedToValidRange) {
+  const Quantizer q0(default_intra_matrix(), 0);
+  const Quantizer q99(default_intra_matrix(), 99);
+  EXPECT_EQ(q0.qscale(), 1);
+  EXPECT_EQ(q99.qscale(), 31);
+}
+
+// ------------------------------------------------------------------- motion
+
+Plane translated_noise_plane(int w, int h, int dx, int dy, std::uint64_t seed) {
+  // Build a large noise field and cut two windows displaced by (dx, dy).
+  Rng rng(seed);
+  const int margin = 32;
+  std::vector<std::uint8_t> big(static_cast<std::size_t>(w + 2 * margin) *
+                                (h + 2 * margin));
+  for (auto& p : big) p = static_cast<std::uint8_t>(rng.next());
+  Plane out(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      out.set(x, y, big[static_cast<std::size_t>(y + margin + dy) * (w + 2 * margin) +
+                        (x + margin + dx)]);
+  return out;
+}
+
+class FullSearchRecovery
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FullSearchRecovery, FindsExactTranslation) {
+  // Property (§3): if the current frame is the reference translated by
+  // (dx, dy), full-search ME must find exactly that vector with SAD 0.
+  const auto [dx, dy] = GetParam();
+  const Plane ref = translated_noise_plane(64, 64, 0, 0, 77);
+  const Plane cur = translated_noise_plane(64, 64, dx, dy, 77);
+  const auto field = estimate_frame(cur, ref, 8, SearchAlgorithm::kFullSearch);
+  // Interior blocks (away from clamped borders) must find the exact vector.
+  const auto& b = field.blocks[static_cast<std::size_t>(1) * field.blocks_x + 1];
+  EXPECT_EQ(b.mv.dx, dx);
+  EXPECT_EQ(b.mv.dy, dy);
+  EXPECT_EQ(b.sad, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, FullSearchRecovery,
+    ::testing::Values(std::pair{0, 0}, std::pair{1, 0}, std::pair{-1, 2},
+                      std::pair{3, -3}, std::pair{-7, 5}, std::pair{8, -8},
+                      std::pair{-8, 8}, std::pair{4, 7}));
+
+TEST(Motion, FastSearchesCheaperThanFull) {
+  const auto scene = scene_high_motion(3);
+  const Plane cur = SyntheticVideo::render(96, 96, scene, 4).y();
+  const Plane ref = SyntheticVideo::render(96, 96, scene, 3).y();
+  const auto full = estimate_frame(cur, ref, 8, SearchAlgorithm::kFullSearch);
+  const auto tss = estimate_frame(cur, ref, 8, SearchAlgorithm::kThreeStep);
+  const auto ds = estimate_frame(cur, ref, 8, SearchAlgorithm::kDiamond);
+  EXPECT_LT(tss.total_evaluations(), full.total_evaluations() / 5);
+  EXPECT_LT(ds.total_evaluations(), full.total_evaluations() / 5);
+  // Fast searches are suboptimal but close: within 2x of optimal SAD.
+  EXPECT_LE(full.total_sad(), tss.total_sad());
+  EXPECT_LE(full.total_sad(), ds.total_sad());
+  EXPECT_LT(tss.total_sad(), 2 * full.total_sad() + 1000);
+  EXPECT_LT(ds.total_sad(), 2 * full.total_sad() + 1000);
+}
+
+TEST(Motion, CompensationReconstructsTranslation) {
+  const Plane ref = translated_noise_plane(64, 64, 0, 0, 9);
+  const Plane cur = translated_noise_plane(64, 64, 5, -3, 9);
+  const auto field = estimate_frame(cur, ref, 8, SearchAlgorithm::kFullSearch);
+  const Plane pred = compensate(ref, field);
+  // Interior (non-border) pixels of prediction match the current frame.
+  int exact = 0, total = 0;
+  for (int y = 16; y < 48; ++y)
+    for (int x = 16; x < 48; ++x) {
+      ++total;
+      if (pred.at(x, y) == cur.at(x, y)) ++exact;
+    }
+  EXPECT_EQ(exact, total);
+}
+
+TEST(Motion, SadZeroForIdenticalBlocks) {
+  const Plane p = translated_noise_plane(32, 32, 0, 0, 10);
+  EXPECT_EQ(sad16(p, p, 8, 8, 0, 0), 0u);
+}
+
+TEST(Motion, SearchRespectsRange) {
+  const Plane ref = translated_noise_plane(64, 64, 0, 0, 11);
+  const Plane cur = translated_noise_plane(64, 64, 0, 0, 12);
+  for (const auto algo : {SearchAlgorithm::kFullSearch,
+                          SearchAlgorithm::kThreeStep,
+                          SearchAlgorithm::kDiamond}) {
+    const auto field = estimate_frame(cur, ref, 4, algo);
+    for (const auto& b : field.blocks) {
+      EXPECT_LE(std::abs(b.mv.dx), 4);
+      EXPECT_LE(std::abs(b.mv.dy), 4);
+    }
+  }
+}
+
+TEST(Motion, NoneAlgorithmReturnsZeroVector) {
+  const Plane p = translated_noise_plane(32, 32, 0, 0, 13);
+  const auto r = estimate_block(p, p, 16, 16, 8, SearchAlgorithm::kNone);
+  EXPECT_EQ(r.mv, (MotionVector{0, 0}));
+  EXPECT_EQ(r.evaluations, 1u);
+}
+
+// ---------------------------------------------------------------------- vlc
+
+TEST(Vlc, BlockRoundTripRandomLevels) {
+  Rng rng(20);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::array<std::int16_t, 64> levels{};
+    levels[0] = static_cast<std::int16_t>(rng.next_in(-200, 200));
+    const int n = static_cast<int>(rng.next_below(25));
+    for (int i = 0; i < n; ++i) {
+      auto v = static_cast<std::int16_t>(rng.next_in(-40, 40));
+      if (v == 0) v = 1;
+      levels[1 + rng.next_below(63)] = v;
+    }
+    common::BitWriter w;
+    std::int16_t dc_pred_enc = 0;
+    encode_block(levels, true, dc_pred_enc, w);
+    const auto bytes = w.take();
+    common::BitReader r(bytes);
+    std::array<std::int16_t, 64> decoded{};
+    std::int16_t dc_pred_dec = 0;
+    ASSERT_TRUE(decode_block(r, true, dc_pred_dec, decoded));
+    EXPECT_EQ(decoded, levels) << "trial " << trial;
+    EXPECT_EQ(dc_pred_enc, dc_pred_dec);
+  }
+}
+
+TEST(Vlc, EscapePathForLargeLevels) {
+  std::array<std::int16_t, 64> levels{};
+  levels[0] = 0;
+  levels[9] = 3000;   // |level| > 16 forces escape
+  levels[17] = -2500;
+  common::BitWriter w;
+  std::int16_t dc = 0;
+  encode_block(levels, false, dc, w);
+  const auto bytes = w.take();
+  common::BitReader r(bytes);
+  std::array<std::int16_t, 64> decoded{};
+  std::int16_t dc2 = 0;
+  ASSERT_TRUE(decode_block(r, false, dc2, decoded));
+  EXPECT_EQ(decoded, levels);
+}
+
+TEST(Vlc, DcPredictionChains) {
+  common::BitWriter w;
+  std::int16_t dc_pred = 0;
+  std::array<std::int16_t, 64> a{}, b{};
+  a[0] = 100;
+  b[0] = 103;
+  encode_block(a, true, dc_pred, w);
+  encode_block(b, true, dc_pred, w);
+  EXPECT_EQ(dc_pred, 103);
+  const auto bytes = w.take();
+  common::BitReader r(bytes);
+  std::array<std::int16_t, 64> da{}, db{};
+  std::int16_t dc2 = 0;
+  ASSERT_TRUE(decode_block(r, true, dc2, da));
+  ASSERT_TRUE(decode_block(r, true, dc2, db));
+  EXPECT_EQ(da[0], 100);
+  EXPECT_EQ(db[0], 103);
+}
+
+TEST(Vlc, TruncatedStreamFailsCleanly) {
+  std::array<std::int16_t, 64> levels{};
+  levels[5] = 7;
+  common::BitWriter w;
+  std::int16_t dc = 0;
+  encode_block(levels, true, dc, w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() / 2);
+  common::BitReader r(bytes);
+  std::array<std::int16_t, 64> decoded{};
+  std::int16_t dc2 = 0;
+  // Either decodes garbage-free or fails; must not crash. Most truncations
+  // fail; all leave the reader in a detectable state.
+  const bool ok = decode_block(r, true, dc2, decoded);
+  if (!ok) SUCCEED();
+}
+
+// -------------------------------------------------------------------- codec
+
+EncoderConfig small_config() {
+  EncoderConfig c;
+  c.width = 64;
+  c.height = 64;
+  c.gop_size = 6;
+  c.qscale = 6;
+  c.search_range = 8;
+  return c;
+}
+
+std::vector<Frame> test_sequence(int n, int w = 64, int h = 64) {
+  std::vector<Frame> frames;
+  const auto scene = scene_low_motion(42);
+  for (int i = 0; i < n; ++i)
+    frames.push_back(SyntheticVideo::render(w, h, scene, i));
+  return frames;
+}
+
+TEST(Codec, IntraRoundTripQuality) {
+  auto cfg = small_config();
+  cfg.gop_size = 1;  // all intra
+  cfg.qscale = 4;
+  VideoEncoder enc(cfg);
+  VideoDecoder dec;
+  const auto frames = test_sequence(3);
+  for (const auto& f : frames) {
+    const auto encoded = enc.encode(f);
+    EXPECT_EQ(encoded.type, FrameType::kIntra);
+    auto decoded = dec.decode(encoded.bytes);
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_GT(psnr_luma(f, decoded.value()), 32.0);
+  }
+}
+
+TEST(Codec, DecoderMatchesEncoderReconstructionExactly) {
+  // The drift-free invariant of the Fig. 1 loop: the encoder's local
+  // decode must be bit-exact with the real decoder, frame after frame.
+  VideoEncoder enc(small_config());
+  VideoDecoder dec;
+  for (const auto& f : test_sequence(8)) {
+    const auto encoded = enc.encode(f);
+    auto decoded = dec.decode(encoded.bytes);
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), enc.reconstructed());
+  }
+}
+
+TEST(Codec, GopStructure) {
+  VideoEncoder enc(small_config());  // gop_size = 6
+  std::vector<FrameType> types;
+  for (const auto& f : test_sequence(13)) types.push_back(enc.encode(f).type);
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_EQ(types[static_cast<std::size_t>(i)],
+              i % 6 == 0 ? FrameType::kIntra : FrameType::kPredicted)
+        << "frame " << i;
+  }
+}
+
+TEST(Codec, PFramesSmallerThanIFramesOnStaticContent) {
+  VideoEncoder enc(small_config());
+  // Integer pan + rich texture: intra coding must spend bits on the
+  // texture every frame, while MC finds it in the reference for free.
+  SceneParams scene = scene_high_detail(42);
+  scene.pan_x = 2.0;  // exactly representable by integer motion vectors
+  scene.noise_sigma = 0.5;
+  std::vector<Frame> frames;
+  for (int i = 0; i < 6; ++i)
+    frames.push_back(SyntheticVideo::render(64, 64, scene, i));
+  std::size_t i_bits = 0, p_bits = 0;
+  int p_count = 0;
+  for (const auto& f : frames) {
+    const auto e = enc.encode(f);
+    if (e.type == FrameType::kIntra) {
+      i_bits = e.bytes.size() * 8;
+    } else {
+      p_bits += e.bytes.size() * 8;
+      ++p_count;
+    }
+  }
+  ASSERT_GT(p_count, 0);
+  // §3: motion estimation/compensation reduce the number of bits. (The
+  // stronger "greatly reduce" claim is exercised against a no-motion
+  // encoder in MotionSearchReducesResidualBits.)
+  const double p_mean = static_cast<double>(p_bits) / p_count;
+  EXPECT_LT(p_mean, 0.8 * static_cast<double>(i_bits));
+}
+
+TEST(Codec, MotionSearchReducesResidualBits) {
+  auto with_me = small_config();
+  with_me.me_algo = SearchAlgorithm::kFullSearch;
+  auto without_me = small_config();
+  without_me.me_algo = SearchAlgorithm::kNone;
+  // Strong panning makes ME matter.
+  std::vector<Frame> frames;
+  auto scene = scene_high_motion(7);
+  for (int i = 0; i < 6; ++i)
+    frames.push_back(SyntheticVideo::render(64, 64, scene, i));
+
+  auto total_p_bits = [&](const EncoderConfig& cfg) {
+    VideoEncoder enc(cfg);
+    std::size_t bits = 0;
+    for (const auto& f : frames) {
+      const auto e = enc.encode(f);
+      if (e.type == FrameType::kPredicted) bits += e.bytes.size() * 8;
+    }
+    return bits;
+  };
+  EXPECT_LT(total_p_bits(with_me), total_p_bits(without_me));
+}
+
+TEST(Codec, RequestIntraForcesIFrame) {
+  VideoEncoder enc(small_config());
+  const auto frames = test_sequence(4);
+  enc.encode(frames[0]);
+  enc.encode(frames[1]);
+  enc.request_intra();
+  EXPECT_EQ(enc.encode(frames[2]).type, FrameType::kIntra);
+  EXPECT_EQ(enc.encode(frames[3]).type, FrameType::kPredicted);
+}
+
+TEST(Codec, RateControlTracksBudget) {
+  auto cfg = small_config();
+  cfg.rate_control = true;
+  cfg.bitrate_bps = 400000.0;
+  cfg.fps = 30.0;
+  VideoEncoder enc(cfg);
+  std::size_t total_bits = 0;
+  const int n = 30;
+  std::vector<Frame> frames;
+  const auto scene = scene_high_detail(8);
+  for (int i = 0; i < n; ++i)
+    frames.push_back(SyntheticVideo::render(64, 64, scene, i));
+  for (const auto& f : frames) total_bits += enc.encode(f).bytes.size() * 8;
+  const double achieved_bps = static_cast<double>(total_bits) / (n / 30.0);
+  // Rate control is coarse but must land within 2x of target.
+  EXPECT_LT(achieved_bps, cfg.bitrate_bps * 2.0);
+  EXPECT_GT(achieved_bps, cfg.bitrate_bps * 0.2);
+}
+
+TEST(Codec, HigherQscaleFewerBitsLowerQuality) {
+  auto fine = small_config();
+  fine.qscale = 2;
+  fine.gop_size = 1;
+  auto coarse = small_config();
+  coarse.qscale = 24;
+  coarse.gop_size = 1;
+  const auto frames = test_sequence(2);
+
+  auto run = [&](const EncoderConfig& cfg) {
+    VideoEncoder enc(cfg);
+    VideoDecoder dec;
+    std::size_t bits = 0;
+    double psnr_sum = 0;
+    for (const auto& f : frames) {
+      const auto e = enc.encode(f);
+      bits += e.bytes.size() * 8;
+      auto d = dec.decode(e.bytes);
+      psnr_sum += psnr_luma(f, d.value());
+    }
+    return std::pair{bits, psnr_sum / static_cast<double>(frames.size())};
+  };
+  const auto [fine_bits, fine_psnr] = run(fine);
+  const auto [coarse_bits, coarse_psnr] = run(coarse);
+  EXPECT_GT(fine_bits, coarse_bits);
+  EXPECT_GT(fine_psnr, coarse_psnr + 3.0);
+}
+
+TEST(Codec, StageOpsPopulated) {
+  VideoEncoder enc(small_config());
+  const auto frames = test_sequence(2);
+  const auto e0 = enc.encode(frames[0]);
+  EXPECT_GT(e0.ops.dct_blocks, 0u);
+  EXPECT_GT(e0.ops.idct_blocks, 0u);
+  EXPECT_GT(e0.ops.vlc_symbols, 0u);
+  EXPECT_EQ(e0.ops.me_sad_ops, 0u);  // intra frame: no motion search
+  const auto e1 = enc.encode(frames[1]);
+  EXPECT_GT(e1.ops.me_sad_ops, 0u);
+  EXPECT_GT(e1.ops.mc_pixels, 0u);
+}
+
+TEST(Codec, PFrameWithoutReferenceFails) {
+  VideoEncoder enc(small_config());
+  VideoDecoder dec;
+  const auto frames = test_sequence(2);
+  enc.encode(frames[0]);                      // I
+  const auto p = enc.encode(frames[1]);       // P
+  ASSERT_EQ(p.type, FrameType::kPredicted);
+  const auto r = dec.decode(p.bytes);         // decoder never saw the I frame
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Codec, TruncatedStreamFailsGracefully) {
+  VideoEncoder enc(small_config());
+  const auto frames = test_sequence(1);
+  auto e = enc.encode(frames[0]);
+  e.bytes.resize(e.bytes.size() / 3);
+  VideoDecoder dec;
+  EXPECT_FALSE(dec.decode(e.bytes).is_ok());
+}
+
+TEST(Codec, EmptyStreamFails) {
+  VideoDecoder dec;
+  EXPECT_FALSE(dec.decode({}).is_ok());
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, PsnrIdenticalIsCapped) {
+  const Frame f = SyntheticVideo::render(32, 32, scene_flat(1), 0);
+  EXPECT_DOUBLE_EQ(psnr_luma(f, f), 99.0);
+}
+
+TEST(Metrics, PsnrDecreasesWithNoise) {
+  const Frame f = SyntheticVideo::render(32, 32, scene_flat(2), 0);
+  Rng rng(3);
+  Frame noisy1 = f, noisy2 = f;
+  for (auto& p : noisy1.y().pixels())
+    p = common::clamp_u8(p + static_cast<int>(rng.next_in(-2, 2)));
+  for (auto& p : noisy2.y().pixels())
+    p = common::clamp_u8(p + static_cast<int>(rng.next_in(-20, 20)));
+  EXPECT_GT(psnr_luma(f, noisy1), psnr_luma(f, noisy2));
+}
+
+TEST(Metrics, SsimIdenticalIsOne) {
+  const Frame f = SyntheticVideo::render(32, 32, scene_high_detail(4), 0);
+  EXPECT_NEAR(global_ssim(f.y(), f.y()), 1.0, 1e-9);
+}
+
+TEST(Metrics, MseOfKnownDifference) {
+  Plane a(4, 4, 100), b(4, 4, 110);
+  EXPECT_DOUBLE_EQ(mse(a, b), 100.0);
+}
+
+// ------------------------------------------------------------ wavelet codec
+
+TEST(WaveletCodec, LosslessAtUnitStep) {
+  // qstep 1 over the reversible 5/3 transform: bit-exact reconstruction.
+  const auto frame = SyntheticVideo::render(64, 64, scene_high_detail(71), 0);
+  const WaveletCodecConfig cfg{3, 1};
+  auto encoded = wavelet_encode_plane(frame.y(), cfg);
+  ASSERT_TRUE(encoded.is_ok());
+  auto decoded = wavelet_decode_plane(encoded.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), frame.y());
+}
+
+class WaveletQstepSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveletQstepSweep, RoundTripQualityReasonable) {
+  const auto frame = SyntheticVideo::render(64, 64, scene_high_detail(72), 0);
+  const WaveletCodecConfig cfg{3, GetParam()};
+  auto encoded = wavelet_encode_plane(frame.y(), cfg);
+  ASSERT_TRUE(encoded.is_ok());
+  auto decoded = wavelet_decode_plane(encoded.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_GT(psnr(frame.y(), decoded.value()), 26.0) << "qstep " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, WaveletQstepSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(WaveletCodec, RateDistortionMonotone) {
+  const auto frame = SyntheticVideo::render(64, 64, scene_high_detail(73), 0);
+  std::size_t prev_bytes = static_cast<std::size_t>(-1);
+  double prev_psnr = 1e9;
+  for (const int qstep : {1, 4, 16, 64}) {
+    auto encoded = wavelet_encode_plane(frame.y(), WaveletCodecConfig{3, qstep});
+    ASSERT_TRUE(encoded.is_ok());
+    auto decoded = wavelet_decode_plane(encoded.value());
+    ASSERT_TRUE(decoded.is_ok());
+    const double p = psnr(frame.y(), decoded.value());
+    EXPECT_LT(encoded.value().size(), prev_bytes);
+    EXPECT_LE(p, prev_psnr + 1e-9);
+    prev_bytes = encoded.value().size();
+    prev_psnr = p;
+  }
+}
+
+TEST(WaveletCodec, LosslessBeatsRawSize) {
+  // Even lossless, the transform + zero-run coding compresses natural
+  // content below 8 bits/pixel.
+  const auto frame = SyntheticVideo::render(64, 64, scene_low_motion(74), 0);
+  auto encoded = wavelet_encode_plane(frame.y(), WaveletCodecConfig{3, 1});
+  ASSERT_TRUE(encoded.is_ok());
+  EXPECT_LT(encoded.value().size(), 64u * 64u);
+}
+
+TEST(WaveletCodec, RejectsBadConfigs) {
+  const Plane p(48, 48);  // not divisible by 2^3... 48/8 = 6, actually fine
+  EXPECT_TRUE(wavelet_encode_plane(p, WaveletCodecConfig{3, 1}).is_ok());
+  const Plane odd(50, 50);  // 50 % 8 != 0
+  EXPECT_FALSE(wavelet_encode_plane(odd, WaveletCodecConfig{3, 1}).is_ok());
+  EXPECT_FALSE(wavelet_encode_plane(p, WaveletCodecConfig{0, 1}).is_ok());
+  EXPECT_FALSE(wavelet_encode_plane(p, WaveletCodecConfig{3, 0}).is_ok());
+}
+
+TEST(WaveletCodec, CorruptStreamRejected) {
+  const auto frame = SyntheticVideo::render(32, 32, scene_flat(75), 0);
+  auto encoded = wavelet_encode_plane(frame.y(), WaveletCodecConfig{2, 2});
+  ASSERT_TRUE(encoded.is_ok());
+  auto bytes = encoded.value();
+  bytes[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(wavelet_decode_plane(bytes).is_ok());
+  EXPECT_FALSE(wavelet_decode_plane({}).is_ok());
+  auto truncated = encoded.value();
+  truncated.resize(truncated.size() / 4);
+  // Truncation may decode fewer coefficients or fail; must not crash, and
+  // if it fails it reports corrupt data.
+  const auto r = wavelet_decode_plane(truncated);
+  if (!r.is_ok()) {
+    EXPECT_EQ(r.status().code(), common::StatusCode::kCorruptData);
+  }
+}
+
+// ---------------------------------------------------------------- transcode
+
+TEST(Transcode, GenerationalQualityLoss) {
+  // §3: "each generation of transcoding reduces image quality."
+  const auto frames = test_sequence(4);
+  auto cfg_a = small_config();
+  cfg_a.qscale = 6;
+  auto cfg_b = small_config();
+  cfg_b.qscale = 6;
+  cfg_b.alternate_standard = true;
+  const auto points = generation_study(frames, 5, cfg_a, cfg_b);
+  ASSERT_EQ(points.size(), 5u);
+  // Quality after 5 generations is strictly worse than after 1.
+  EXPECT_LT(points[4].psnr_db, points[0].psnr_db - 0.2);
+  // And the first generation is itself lossy.
+  EXPECT_LT(points[0].psnr_db, 99.0);
+  // Degradation is (weakly) monotone within tolerance.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].psnr_db, points[i - 1].psnr_db + 0.3);
+  }
+}
+
+TEST(Transcode, SameStandardIsNearlyIdempotent) {
+  // Re-encoding with the identical quantizer mostly re-makes the same
+  // decisions: generation 2 loses far less than generation 1.
+  const auto frames = test_sequence(3);
+  const auto cfg = small_config();
+  const auto points = generation_study(frames, 3, cfg, cfg);
+  ASSERT_EQ(points.size(), 3u);
+  const double loss1 = 99.0 - points[0].psnr_db;
+  const double loss2 = points[0].psnr_db - points[1].psnr_db;
+  EXPECT_LT(loss2, loss1 * 0.5);
+}
+
+}  // namespace
+}  // namespace mmsoc::video
