@@ -24,6 +24,29 @@ Status TaskGraph::add_edge(TaskId src, TaskId dst, double bytes) {
   return Status::ok();
 }
 
+bool TaskGraph::fully_executable() const noexcept {
+  for (const auto& t : tasks_) {
+    if (!t.has_body()) return false;
+  }
+  return !tasks_.empty();
+}
+
+std::vector<std::size_t> TaskGraph::in_edges(TaskId id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].dst == id) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> TaskGraph::out_edges(TaskId id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].src == id) out.push_back(i);
+  }
+  return out;
+}
+
 std::vector<TaskId> TaskGraph::predecessors(TaskId id) const {
   std::vector<TaskId> out;
   for (const auto& e : edges_) {

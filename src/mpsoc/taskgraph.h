@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +33,25 @@ enum class PeKind : std::uint8_t { kRisc, kDsp, kAccelerator };
 
 using TaskId = std::size_t;
 
+/// Bytes flowing along one edge for one graph iteration when the graph is
+/// *executed* (src/runtime) rather than analytically scheduled.
+using Payload = std::vector<std::uint8_t>;
+
+/// One firing of a task: the runtime hands the body one payload per
+/// inbound edge and collects one payload per outbound edge. Edge order is
+/// the order the edges were added to the graph (restricted to this task),
+/// i.e. TaskGraph::in_edges / out_edges.
+struct TaskFiring {
+  std::uint64_t iteration = 0;
+  std::vector<const Payload*> inputs;  ///< one per in-edge, never null
+  std::vector<Payload> outputs;        ///< one per out-edge, body fills
+};
+
+/// Executable hook: called once per iteration, in iteration order, always
+/// from a single thread. Bodies may keep state in their closure (e.g. a
+/// reference frame); cross-task communication must go through payloads.
+using TaskBody = std::function<void(TaskFiring&)>;
+
 struct Task {
   std::string name;
   double work_ops = 0.0;  ///< operations for one graph iteration
@@ -43,6 +63,14 @@ struct Task {
   /// Non-empty: only an accelerator with a matching tag gets the
   /// kAccelerator affinity (a DCT engine does not accelerate VLC).
   std::string accel_tag;
+
+  /// Optional executable body (empty for analytic-only graphs). The
+  /// dataflow runtime refuses to run graphs with body-less tasks.
+  TaskBody body;
+
+  [[nodiscard]] bool has_body() const noexcept {
+    return static_cast<bool>(body);
+  }
 };
 
 struct Edge {
@@ -58,6 +86,12 @@ class TaskGraph {
   TaskId add_task(Task task);
   common::Status add_edge(TaskId src, TaskId dst, double bytes);
 
+  /// Attach (or replace) the executable body of `id`.
+  void set_body(TaskId id, TaskBody body) { tasks_[id].body = std::move(body); }
+
+  /// True when every task carries an executable body.
+  [[nodiscard]] bool fully_executable() const noexcept;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] const Task& task(TaskId id) const { return tasks_[id]; }
@@ -65,6 +99,11 @@ class TaskGraph {
 
   [[nodiscard]] std::vector<TaskId> predecessors(TaskId id) const;
   [[nodiscard]] std::vector<TaskId> successors(TaskId id) const;
+
+  /// Indices into edges() of the edges into / out of `id`, in insertion
+  /// order — the payload order a TaskBody sees.
+  [[nodiscard]] std::vector<std::size_t> in_edges(TaskId id) const;
+  [[nodiscard]] std::vector<std::size_t> out_edges(TaskId id) const;
 
   /// Topological order; empty + error if the graph has a cycle.
   [[nodiscard]] common::Result<std::vector<TaskId>> topological_order() const;

@@ -1,0 +1,346 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace mmsoc::runtime {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+double SessionReport::total_busy_s() const noexcept {
+  double s = 0.0;
+  for (const auto& t : tasks) s += t.busy_s;
+  return s;
+}
+
+struct Engine::Impl {
+  // ---- static description, built by add_session ------------------------
+  struct TaskRun {
+    const mpsoc::TaskGraph* graph = nullptr;
+    mpsoc::TaskId id = 0;
+    std::size_t session = 0;
+    std::size_t pe = 0;
+    std::vector<SpscQueue<mpsoc::Payload>*> in;   // channel per in-edge
+    std::vector<SpscQueue<mpsoc::Payload>*> out;  // channel per out-edge
+    std::uint64_t next_iteration = 0;
+    std::uint64_t limit = 0;
+    // measured
+    std::uint64_t firings = 0;
+    double busy_s = 0.0;
+    double min_firing_s = std::numeric_limits<double>::infinity();
+    double max_firing_s = 0.0;
+  };
+
+  struct SessionState {
+    const mpsoc::TaskGraph* graph = nullptr;
+    mpsoc::Mapping mapping;
+    std::uint64_t iterations = 0;
+    std::vector<std::unique_ptr<SpscQueue<mpsoc::Payload>>> channels;  // per edge
+    std::atomic<std::uint64_t> remaining_firings{0};
+    std::once_flag start_once;
+    Clock::time_point start{};   // first firing of this session
+    Clock::time_point finish{};  // last firing of this session
+    SessionReport report;
+  };
+
+  EngineOptions options;
+  std::vector<std::unique_ptr<SessionState>> sessions;
+  std::vector<std::vector<TaskRun*>> per_worker;  // ownership lists
+  std::vector<std::unique_ptr<TaskRun>> runs;
+  std::size_t resolved_workers = 0;
+  bool ran = false;
+
+  // ---- run-time coordination ------------------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<int> parked{0};
+  std::mutex park_mu;
+  std::condition_variable park_cv;
+  std::mutex error_mu;
+  Status first_error = Status::ok();
+
+  void notify_progress() {
+    if (parked.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard lock(park_mu);
+      park_cv.notify_all();
+    }
+  }
+
+  void park() {
+    std::unique_lock lock(park_mu);
+    parked.fetch_add(1, std::memory_order_relaxed);
+    park_cv.wait_for(lock, options.park_timeout);
+    parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void record_error(Status status) {
+    std::lock_guard lock(error_mu);
+    if (first_error.is_ok()) first_error = std::move(status);
+    stop.store(true, std::memory_order_release);
+    notify_progress();
+  }
+
+  // A task may fire when it still has iterations left, every input
+  // channel holds a token, and every output channel has space.
+  static bool ready(const TaskRun& r) {
+    if (r.next_iteration >= r.limit) return false;
+    for (auto* ch : r.in) {
+      if (ch->empty()) return false;
+    }
+    for (auto* ch : r.out) {
+      if (ch->full()) return false;
+    }
+    return true;
+  }
+
+  void fire(TaskRun& r) {
+    mpsoc::TaskFiring firing;
+    firing.iteration = r.next_iteration;
+    firing.inputs.reserve(r.in.size());
+    for (auto* ch : r.in) firing.inputs.push_back(ch->front());
+    firing.outputs.resize(r.out.size());
+
+    const auto t0 = Clock::now();
+    // Session wall clock runs from its own first firing, not engine
+    // start — a multiplexed session that is starved early must not have
+    // the wait billed to its throughput.
+    std::call_once(sessions[r.session]->start_once,
+                   [&] { sessions[r.session]->start = t0; });
+    r.graph->task(r.id).body(firing);
+    const auto t1 = Clock::now();
+
+    for (std::size_t k = 0; k < r.out.size(); ++k) {
+      // Space was checked in ready(); this worker is the only producer,
+      // so the push cannot fail.
+      (void)r.out[k]->try_push(std::move(firing.outputs[k]));
+    }
+    for (auto* ch : r.in) ch->pop();
+
+    const double dt = seconds_between(t0, t1);
+    r.busy_s += dt;
+    r.min_firing_s = std::min(r.min_firing_s, dt);
+    r.max_firing_s = std::max(r.max_firing_s, dt);
+    ++r.firings;
+    ++r.next_iteration;
+
+    auto& sess = *sessions[r.session];
+    if (sess.remaining_firings.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      sess.finish = Clock::now();
+    }
+    notify_progress();
+  }
+
+  void worker_main(std::size_t worker_id) {
+    auto& owned = per_worker[worker_id];
+    std::uint64_t outstanding = 0;
+    for (const auto* r : owned) outstanding += r->limit;
+
+    while (outstanding > 0 && !stop.load(std::memory_order_acquire)) {
+      bool fired = false;
+      for (auto* r : owned) {
+        // Drain each task as far as its channels allow before moving on:
+        // keeps the pipeline full without starving siblings (bounded by
+        // channel capacity).
+        while (ready(*r)) {
+          try {
+            fire(*r);
+          } catch (const std::exception& e) {
+            record_error(Status(StatusCode::kInternal,
+                                std::string("task '") +
+                                    r->graph->task(r->id).name +
+                                    "' threw: " + e.what()));
+            return;
+          } catch (...) {
+            record_error(Status(StatusCode::kInternal,
+                                std::string("task '") +
+                                    r->graph->task(r->id).name +
+                                    "' threw"));
+            return;
+          }
+          fired = true;
+          --outstanding;
+        }
+      }
+      if (!fired && outstanding > 0) park();
+    }
+  }
+};
+
+Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+Engine::~Engine() = default;
+
+Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
+                                        mpsoc::Mapping mapping,
+                                        std::uint64_t iterations) {
+  if (impl_->ran) {
+    return Result<std::size_t>(StatusCode::kInternal,
+                               "engine already ran");
+  }
+  if (iterations == 0) {
+    return Result<std::size_t>(StatusCode::kInvalidArgument,
+                               "iterations must be >= 1");
+  }
+  if (graph.task_count() == 0) {
+    return Result<std::size_t>(StatusCode::kInvalidArgument, "empty graph");
+  }
+  if (mapping.size() != graph.task_count()) {
+    return Result<std::size_t>(StatusCode::kInvalidArgument,
+                               "mapping size != task count");
+  }
+  if (!graph.is_acyclic()) {
+    return Result<std::size_t>(StatusCode::kInvalidArgument,
+                               "graph has a cycle");
+  }
+  for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
+    if (!graph.task(t).has_body()) {
+      return Result<std::size_t>(
+          StatusCode::kInvalidArgument,
+          "task '" + graph.task(t).name + "' has no executable body");
+    }
+  }
+
+  auto sess = std::make_unique<Impl::SessionState>();
+  sess->graph = &graph;
+  sess->mapping = std::move(mapping);
+  sess->iterations = iterations;
+  for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+    sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
+        impl_->options.channel_capacity));
+  }
+  sess->remaining_firings.store(iterations * graph.task_count(),
+                                std::memory_order_relaxed);
+  impl_->sessions.push_back(std::move(sess));
+  return impl_->sessions.size() - 1;
+}
+
+Status Engine::run() {
+  auto& impl = *impl_;
+  if (impl.ran) return Status(StatusCode::kInternal, "engine already ran");
+  impl.ran = true;
+  if (impl.sessions.empty()) {
+    return Status(StatusCode::kInvalidArgument, "no sessions registered");
+  }
+
+  // Resolve the pool size: explicit, or one worker per referenced PE.
+  std::size_t workers = impl.options.workers;
+  if (workers == 0) {
+    std::size_t max_pe = 0;
+    for (const auto& sess : impl.sessions) {
+      for (const std::size_t pe : sess->mapping) max_pe = std::max(max_pe, pe);
+    }
+    workers = max_pe + 1;
+  }
+  impl.resolved_workers = workers;
+
+  // Build the ownership lists: task -> worker = mapped PE mod pool size.
+  // Exactly one worker per task keeps every edge single-producer/
+  // single-consumer and makes stateful bodies race-free.
+  impl.per_worker.assign(workers, {});
+  for (std::size_t s = 0; s < impl.sessions.size(); ++s) {
+    auto& sess = *impl.sessions[s];
+    const auto& graph = *sess.graph;
+    for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
+      auto run = std::make_unique<Impl::TaskRun>();
+      run->graph = &graph;
+      run->id = t;
+      run->session = s;
+      run->pe = sess.mapping[t];
+      run->limit = sess.iterations;
+      for (const std::size_t e : graph.in_edges(t)) {
+        run->in.push_back(sess.channels[e].get());
+      }
+      for (const std::size_t e : graph.out_edges(t)) {
+        run->out.push_back(sess.channels[e].get());
+      }
+      impl.per_worker[run->pe % workers].push_back(run.get());
+      impl.runs.push_back(std::move(run));
+    }
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&impl, w] { impl.worker_main(w); });
+  }
+  for (auto& th : pool) th.join();
+
+  // Assemble reports.
+  for (std::size_t s = 0; s < impl.sessions.size(); ++s) {
+    auto& sess = *impl.sessions[s];
+    auto& rep = sess.report;
+    rep.graph = sess.graph->name();
+    rep.iterations = sess.iterations;
+    rep.channel_capacity = impl.options.channel_capacity;
+    const auto from = sess.start == Clock::time_point{} ? start : sess.start;
+    rep.wall_s = sess.finish == Clock::time_point{}
+                     ? seconds_between(from, Clock::now())
+                     : seconds_between(from, sess.finish);
+    rep.tasks.assign(sess.graph->task_count(), TaskStats{});
+    for (auto& ch : sess.channels) {
+      rep.max_channel_occupancy =
+          std::max(rep.max_channel_occupancy, ch->max_occupancy());
+    }
+  }
+  for (const auto& run : impl.runs) {
+    auto& stats = impl.sessions[run->session]->report.tasks[run->id];
+    stats.name = run->graph->task(run->id).name;
+    stats.pe = run->pe;
+    stats.worker = run->pe % workers;
+    stats.firings = run->firings;
+    stats.busy_s = run->busy_s;
+    stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
+    stats.max_firing_s = run->max_firing_s;
+  }
+
+  {
+    std::lock_guard lock(impl.error_mu);
+    return impl.first_error;
+  }
+}
+
+std::size_t Engine::session_count() const noexcept {
+  return impl_->sessions.size();
+}
+
+const SessionReport& Engine::report(std::size_t session) const {
+  return impl_->sessions[session]->report;
+}
+
+std::size_t Engine::worker_count() const noexcept {
+  return impl_->resolved_workers != 0 ? impl_->resolved_workers
+                                      : impl_->options.workers;
+}
+
+Result<SessionReport> run_pipeline(const mpsoc::TaskGraph& graph,
+                                   const mpsoc::Mapping& mapping,
+                                   std::uint64_t iterations,
+                                   const EngineOptions& options) {
+  Engine engine(options);
+  auto added = engine.add_session(graph, mapping, iterations);
+  if (!added.is_ok()) return Result<SessionReport>(added.status());
+  const Status status = engine.run();
+  if (!status.is_ok()) return Result<SessionReport>(status);
+  return engine.report(added.value());
+}
+
+}  // namespace mmsoc::runtime

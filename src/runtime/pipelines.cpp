@@ -1,0 +1,483 @@
+#include "runtime/pipelines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "audio/allocation.h"
+#include "audio/filterbank.h"
+#include "audio/psycho.h"
+#include "audio/subband_codec.h"
+#include "common/bitstream.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/appgraphs.h"
+#include "dsp/dct.h"
+#include "video/frame.h"
+#include "video/quantizer.h"
+#include "video/source.h"
+#include "video/vlc.h"
+
+namespace mmsoc::runtime {
+
+namespace {
+
+using mpsoc::Payload;
+using mpsoc::TaskFiring;
+using mpsoc::TaskGraph;
+using mpsoc::TaskId;
+
+// ---- payload (de)serialization -------------------------------------------
+
+template <typename T>
+Payload to_payload(const T* data, std::size_t count) {
+  Payload p(count * sizeof(T));
+  std::memcpy(p.data(), data, p.size());
+  return p;
+}
+
+// Payload storage comes from operator new and is max-aligned, so viewing
+// it as the element type it was serialized from is safe.
+template <typename T>
+const T* payload_as(const Payload& p) {
+  return reinterpret_cast<const T*>(p.data());
+}
+
+// Pipeline construction binds bodies by stage name; a rename in the
+// core:: graph builders is a programmer error, surfaced loudly here
+// rather than as an out-of-bounds set_body.
+TaskId find_task(const TaskGraph& g, const char* name) {
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.task(t).name == name) return t;
+  }
+  throw std::logic_error(std::string("pipeline binding: no task named '") +
+                         name + "' in graph '" + g.name() + "'");
+}
+
+// ---- video stage states ---------------------------------------------------
+
+struct RefPlaneState {
+  video::Plane ref;
+};
+
+struct CrcState {
+  common::Crc32 crc;
+};
+
+video::Plane plane_from_payload(const Payload& p, int w, int h) {
+  video::Plane plane(w, h);
+  std::memcpy(plane.pixels().data(), p.data(), static_cast<std::size_t>(w) * h);
+  return plane;
+}
+
+video::MotionField field_from_payload(const Payload& p, int w, int h) {
+  video::MotionField field;
+  field.blocks_x = w / video::kMacroblockSize;
+  field.blocks_y = h / video::kMacroblockSize;
+  const auto* mv = payload_as<std::int16_t>(p);
+  field.blocks.resize(static_cast<std::size_t>(field.blocks_x) * field.blocks_y);
+  for (std::size_t i = 0; i < field.blocks.size(); ++i) {
+    field.blocks[i].mv.dx = mv[2 * i];
+    field.blocks[i].mv.dy = mv[2 * i + 1];
+  }
+  return field;
+}
+
+// Analytic per-frame stage op counts sizing the graph's edge/node weights
+// (three-step search visits ~25 candidates per macroblock).
+video::StageOps analytic_video_ops(int w, int h) {
+  const auto mb = static_cast<std::uint64_t>(w / 16) * static_cast<std::uint64_t>(h / 16);
+  const auto nb = static_cast<std::uint64_t>(w / 8) * static_cast<std::uint64_t>(h / 8);
+  video::StageOps ops;
+  ops.me_sad_ops = mb * 25 * 256;
+  ops.mc_pixels = static_cast<std::uint64_t>(w) * h;
+  ops.dct_blocks = nb;
+  ops.idct_blocks = nb;
+  ops.quant_coeffs = nb * 64;
+  ops.vlc_symbols = nb * 20;
+  return ops;
+}
+
+}  // namespace
+
+VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
+  const int w = config.width;
+  const int h = config.height;
+  const int bx = w / 8;
+  const int by = h / 8;
+  const std::size_t blocks = static_cast<std::size_t>(bx) * by;
+
+  VideoPipeline pipe{core::video_encoder_graph(w, h, analytic_video_ops(w, h)),
+                     std::make_shared<VideoSinkState>()};
+  TaskGraph& g = pipe.graph;
+  auto sink = pipe.sink;
+
+  // CAPTURE: deterministic synthetic scene, one luma frame per iteration,
+  // broadcast to the motion estimator and the MC predictor.
+  const auto scene = video::scene_high_motion(config.seed);
+  g.set_body(find_task(g, "capture"), [w, h, scene](TaskFiring& f) {
+    const video::Frame frame =
+        video::SyntheticVideo::render(w, h, scene, static_cast<int>(f.iteration));
+    Payload luma = to_payload(frame.y().pixels().data(),
+                              frame.y().pixels().size());
+    f.outputs[0] = luma;             // -> motion estimator
+    f.outputs[1] = std::move(luma);  // -> MC predictor
+  });
+
+  // MOTION ESTIMATOR: real block search against the previous source frame
+  // (open-loop reference, kept task-local for determinism).
+  {
+    auto st = std::make_shared<RefPlaneState>();
+    st->ref = video::Plane(w, h, 16);
+    g.set_body(find_task(g, "motion-estimator"),
+               [w, h, st, range = config.search_range,
+                algo = config.algo](TaskFiring& f) {
+                 video::Plane cur = plane_from_payload(*f.inputs[0], w, h);
+                 const auto field =
+                     video::estimate_frame(cur, st->ref, range, algo);
+                 std::vector<std::int16_t> mv;
+                 mv.reserve(field.blocks.size() * 2);
+                 for (const auto& b : field.blocks) {
+                   mv.push_back(static_cast<std::int16_t>(b.mv.dx));
+                   mv.push_back(static_cast<std::int16_t>(b.mv.dy));
+                 }
+                 f.outputs[0] = to_payload(mv.data(), mv.size());
+                 st->ref = std::move(cur);
+               });
+  }
+
+  // MC PREDICTOR: build the prediction, emit the residual (to DCT) and
+  // the prediction itself (to the reconstruction adder).
+  {
+    auto st = std::make_shared<RefPlaneState>();
+    st->ref = video::Plane(w, h, 16);
+    g.set_body(find_task(g, "mc-predictor"), [w, h, st](TaskFiring& f) {
+      video::Plane cur = plane_from_payload(*f.inputs[0], w, h);
+      const auto field = field_from_payload(*f.inputs[1], w, h);
+      const video::Plane pred = video::compensate(st->ref, field);
+      std::vector<std::int16_t> residual(static_cast<std::size_t>(w) * h);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          residual[static_cast<std::size_t>(y) * w + x] =
+              static_cast<std::int16_t>(static_cast<int>(cur.at(x, y)) -
+                                        static_cast<int>(pred.at(x, y)));
+        }
+      }
+      f.outputs[0] = to_payload(residual.data(), residual.size());
+      f.outputs[1] = to_payload(pred.pixels().data(), pred.pixels().size());
+      st->ref = std::move(cur);
+    });
+  }
+
+  // DCT: separable 8x8 forward transform of each residual block,
+  // block-linear float coefficients out.
+  g.set_body(find_task(g, "dct"), [w, bx, by, blocks](TaskFiring& f) {
+    const auto* residual = payload_as<std::int16_t>(*f.inputs[0]);
+    std::vector<float> coeffs(blocks * 64);
+    dsp::Block in{}, out{};
+    for (int byi = 0; byi < by; ++byi) {
+      for (int bxi = 0; bxi < bx; ++bxi) {
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            in[static_cast<std::size_t>(y) * 8 + x] = static_cast<float>(
+                residual[(static_cast<std::size_t>(byi) * 8 + y) * w + bxi * 8 + x]);
+          }
+        }
+        dsp::dct2d(in, out);
+        std::memcpy(&coeffs[(static_cast<std::size_t>(byi) * bx + bxi) * 64],
+                    out.data(), 64 * sizeof(float));
+      }
+    }
+    f.outputs[0] = to_payload(coeffs.data(), coeffs.size());
+  });
+
+  // QUANTIZER: perceptual quantization, levels broadcast to VLC and IDCT.
+  {
+    const video::Quantizer quant(video::default_inter_matrix(), config.qscale);
+    g.set_body(find_task(g, "quantizer"), [quant, blocks](TaskFiring& f) {
+      const auto* coeffs = payload_as<float>(*f.inputs[0]);
+      std::vector<std::int16_t> levels(blocks * 64);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        quant.quantize(std::span<const float, 64>(coeffs + b * 64, 64),
+                       std::span<std::int16_t, 64>(&levels[b * 64], 64));
+      }
+      Payload out = to_payload(levels.data(), levels.size());
+      f.outputs[0] = out;             // -> vlc
+      f.outputs[1] = std::move(out);  // -> inverse dct
+    });
+  }
+
+  // VLC: (run, level) Huffman coding, one bitstream chunk per frame.
+  g.set_body(find_task(g, "vlc"), [blocks, sink](TaskFiring& f) {
+    const auto* levels = payload_as<std::int16_t>(*f.inputs[0]);
+    common::BitWriter writer;
+    std::int16_t dc_pred = 0;
+    std::uint64_t symbols = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto stats = video::encode_block(
+          std::span<const std::int16_t, 64>(levels + b * 64, 64), true,
+          dc_pred, writer);
+      symbols += stats.symbols;
+    }
+    sink->vlc_symbols += symbols;
+    f.outputs[0] = writer.take();
+  });
+
+  // INVERSE DCT: dequantize + inverse transform back to a residual.
+  {
+    const video::Quantizer quant(video::default_inter_matrix(), config.qscale);
+    g.set_body(find_task(g, "inverse-dct"),
+               [quant, w, bx, by, blocks](TaskFiring& f) {
+                 const auto* levels = payload_as<std::int16_t>(*f.inputs[0]);
+                 std::vector<std::int16_t> residual(
+                     static_cast<std::size_t>(w) * (by * 8));
+                 dsp::Block coeffs{}, pixels{};
+                 for (int byi = 0; byi < by; ++byi) {
+                   for (int bxi = 0; bxi < bx; ++bxi) {
+                     const std::size_t base =
+                         (static_cast<std::size_t>(byi) * bx + bxi) * 64;
+                     std::array<float, 64> fc{};
+                     quant.dequantize(
+                         std::span<const std::int16_t, 64>(levels + base, 64),
+                         std::span<float, 64>(fc));
+                     std::copy(fc.begin(), fc.end(), coeffs.begin());
+                     dsp::idct2d(coeffs, pixels);
+                     for (int y = 0; y < 8; ++y) {
+                       for (int x = 0; x < 8; ++x) {
+                         residual[(static_cast<std::size_t>(byi) * 8 + y) * w +
+                                  bxi * 8 + x] =
+                             static_cast<std::int16_t>(std::lround(
+                                 pixels[static_cast<std::size_t>(y) * 8 + x]));
+                       }
+                     }
+                   }
+                 }
+                 f.outputs[0] = to_payload(residual.data(), residual.size());
+               });
+  }
+
+  // RECONSTRUCT: prediction + decoded residual, clamped; CRC-chained so
+  // the whole reconstructed sequence is summarized in one word.
+  {
+    auto st = std::make_shared<CrcState>();
+    g.set_body(find_task(g, "reconstruct"), [w, h, st, sink](TaskFiring& f) {
+      const auto* residual = payload_as<std::int16_t>(*f.inputs[0]);
+      const auto* pred = f.inputs[1]->data();
+      std::vector<std::uint8_t> recon(static_cast<std::size_t>(w) * h);
+      for (std::size_t i = 0; i < recon.size(); ++i) {
+        recon[i] = static_cast<std::uint8_t>(
+            std::clamp(static_cast<int>(pred[i]) + residual[i], 0, 255));
+      }
+      st->crc.update(recon);
+      sink->recon_crc = st->crc.value();
+      ++sink->frames_reconstructed;
+    });
+  }
+
+  // RATE BUFFER: the bitstream sink.
+  {
+    auto st = std::make_shared<CrcState>();
+    g.set_body(find_task(g, "rate-buffer"), [st, sink](TaskFiring& f) {
+      st->crc.update(*f.inputs[0]);
+      sink->bitstream_crc = st->crc.value();
+      sink->bitstream_bytes += f.inputs[0]->size();
+      ++sink->frames_coded;
+    });
+  }
+
+  return pipe;
+}
+
+// ---------------------------------------------------------------------------
+// Audio pipeline
+// ---------------------------------------------------------------------------
+
+AudioPipeline make_audio_encoder_pipeline(const AudioPipelineConfig& config) {
+  audio::AudioStageOps ops;
+  ops.mapper_macs = static_cast<std::uint64_t>(audio::kBlocksPerGranule) *
+                    audio::kSubbands * (2 * audio::kSubbands);
+  ops.psycho_ops = 1024 * 10 + audio::kSubbands * audio::kSubbands;
+  ops.quant_ops = audio::kGranuleSamples;
+  ops.packer_bits = static_cast<std::uint64_t>(
+      config.bitrate_bps * audio::kGranuleSamples / config.sample_rate);
+
+  AudioPipeline pipe{core::audio_encoder_graph(ops),
+                     std::make_shared<AudioSinkState>()};
+  TaskGraph& g = pipe.graph;
+  auto sink = pipe.sink;
+
+  // PCM INPUT: deterministic sine mix + seeded dither, broadcast to the
+  // mapper and the psychoacoustic model.
+  g.set_body(find_task(g, "pcm-input"),
+             [sr = config.sample_rate, seed = config.seed](TaskFiring& f) {
+               std::array<double, audio::kGranuleSamples> pcm{};
+               common::Rng rng(seed ^ (f.iteration * 0x9E3779B97F4A7C15ull));
+               const double base = 220.0 + 55.0 * static_cast<double>(f.iteration % 8);
+               for (int n = 0; n < audio::kGranuleSamples; ++n) {
+                 const double t =
+                     (static_cast<double>(f.iteration) * audio::kGranuleSamples + n) / sr;
+                 const double dither =
+                     (static_cast<double>(rng.next() >> 40) / 16777216.0 - 0.5) * 1e-3;
+                 pcm[static_cast<std::size_t>(n)] =
+                     0.5 * std::sin(2.0 * M_PI * base * t) +
+                     0.25 * std::sin(2.0 * M_PI * base * 3.0 * t) + dither;
+               }
+               Payload p = to_payload(pcm.data(), pcm.size());
+               f.outputs[0] = p;             // -> mapper
+               f.outputs[1] = std::move(p);  // -> psycho model
+             });
+
+  // MAPPER: streaming 32-band analysis (stateful lapped transform).
+  {
+    auto analyzer = std::make_shared<audio::SubbandAnalyzer>();
+    g.set_body(find_task(g, "mapper-filterbank"), [analyzer](TaskFiring& f) {
+      const auto* pcm = payload_as<double>(*f.inputs[0]);
+      std::array<double, audio::kGranuleSamples> bands{};
+      for (int t = 0; t < audio::kBlocksPerGranule; ++t) {
+        const auto block = analyzer->analyze(std::span<const double, audio::kSubbands>(
+            pcm + t * audio::kSubbands, audio::kSubbands));
+        std::copy(block.begin(), block.end(),
+                  bands.begin() + t * audio::kSubbands);
+      }
+      f.outputs[0] = to_payload(bands.data(), bands.size());
+    });
+  }
+
+  // PSYCHOACOUSTIC MODEL: SMR + signal level per subband.
+  {
+    auto model = std::make_shared<audio::PsychoModel>(config.sample_rate);
+    g.set_body(find_task(g, "psychoacoustic-model"), [model](TaskFiring& f) {
+      const auto* pcm = payload_as<double>(*f.inputs[0]);
+      const auto psy = model->analyze(
+          std::span<const double>(pcm, audio::kGranuleSamples));
+      std::array<double, 2 * audio::kSubbands> out{};
+      std::copy(psy.smr_db.begin(), psy.smr_db.end(), out.begin());
+      std::copy(psy.signal_db.begin(), psy.signal_db.end(),
+                out.begin() + audio::kSubbands);
+      f.outputs[0] = to_payload(out.data(), out.size());
+    });
+  }
+
+  // QUANTIZER/CODER: greedy masking-driven bit allocation, then uniform
+  // scalefactor quantization of every subband sample.
+  {
+    const double granule_seconds =
+        static_cast<double>(audio::kGranuleSamples) / config.sample_rate;
+    const int bit_pool = std::max(
+        0, static_cast<int>(config.bitrate_bps * granule_seconds) -
+               (12 + 4 * audio::kSubbands + 16 + 6 * audio::kSubbands));
+    g.set_body(find_task(g, "quantizer-coder"), [bit_pool](TaskFiring& f) {
+      const auto* bands = payload_as<double>(*f.inputs[0]);
+      const auto* psy = payload_as<double>(*f.inputs[1]);
+      std::array<double, audio::kSubbands> smr{};
+      std::array<double, audio::kSubbands> signal_db{};
+      std::copy(psy, psy + audio::kSubbands, smr.begin());
+      std::copy(psy + audio::kSubbands, psy + 2 * audio::kSubbands,
+                signal_db.begin());
+      const auto alloc = audio::allocate_bits(smr, bit_pool,
+                                              audio::kBlocksPerGranule,
+                                              signal_db);
+      // Serialized frame plan: alloc[32], sf_idx[32], levels[32*12] i16.
+      std::vector<std::uint8_t> plan(2 * audio::kSubbands);
+      std::vector<std::int16_t> levels(
+          static_cast<std::size_t>(audio::kSubbands) * audio::kBlocksPerGranule);
+      for (int k = 0; k < audio::kSubbands; ++k) {
+        double peak = 0.0;
+        for (int t = 0; t < audio::kBlocksPerGranule; ++t) {
+          peak = std::max(peak, std::abs(bands[t * audio::kSubbands + k]));
+        }
+        const int sf = audio::scalefactor_index_for(peak);
+        plan[static_cast<std::size_t>(k)] = alloc[static_cast<std::size_t>(k)];
+        plan[static_cast<std::size_t>(audio::kSubbands + k)] =
+            static_cast<std::uint8_t>(sf);
+        const int bits = alloc[static_cast<std::size_t>(k)];
+        if (bits == 0) continue;
+        const double scale = audio::scalefactor_value(sf);
+        const int max_level = (1 << bits) - 1;
+        for (int t = 0; t < audio::kBlocksPerGranule; ++t) {
+          const double normalized =
+              scale > 0.0 ? bands[t * audio::kSubbands + k] / scale : 0.0;
+          const double unit = (std::clamp(normalized, -1.0, 1.0) + 1.0) / 2.0;
+          levels[static_cast<std::size_t>(k) * audio::kBlocksPerGranule + t] =
+              static_cast<std::int16_t>(std::lround(unit * max_level));
+        }
+      }
+      Payload out = to_payload(plan.data(), plan.size());
+      const Payload lv = to_payload(levels.data(), levels.size());
+      out.insert(out.end(), lv.begin(), lv.end());
+      f.outputs[0] = std::move(out);
+    });
+  }
+
+  // FRAME PACKER: bit-pack allocation, scalefactors and samples.
+  {
+    auto st = std::make_shared<CrcState>();
+    g.set_body(find_task(g, "frame-packer"), [st, sink](TaskFiring& f) {
+      const auto& in = *f.inputs[0];
+      const std::uint8_t* alloc = in.data();
+      const std::uint8_t* sf = in.data() + audio::kSubbands;
+      const auto* levels =
+          reinterpret_cast<const std::int16_t*>(in.data() + 2 * audio::kSubbands);
+      common::BitWriter writer;
+      writer.put_bits(0xFFF, 12);  // sync
+      for (int k = 0; k < audio::kSubbands; ++k) writer.put_bits(alloc[k], 4);
+      for (int k = 0; k < audio::kSubbands; ++k) {
+        if (alloc[k] > 0) writer.put_bits(sf[k], 6);
+      }
+      for (int k = 0; k < audio::kSubbands; ++k) {
+        const int bits = alloc[k];
+        if (bits == 0) continue;
+        for (int t = 0; t < audio::kBlocksPerGranule; ++t) {
+          writer.put_bits(
+              static_cast<std::uint64_t>(
+                  levels[static_cast<std::size_t>(k) * audio::kBlocksPerGranule + t]),
+              static_cast<unsigned>(bits));
+        }
+      }
+      const auto bytes = writer.take();
+      st->crc.update(bytes);
+      sink->frame_crc = st->crc.value();
+      sink->frame_bytes += bytes.size();
+      ++sink->granules_packed;
+    });
+  }
+
+  return pipe;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic bodies
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
+    mpsoc::TaskGraph& graph, double ops_scale) {
+  auto sink = std::make_shared<SyntheticSinkState>();
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const bool is_sink = graph.out_edges(t).empty();
+    const auto spin = static_cast<std::uint64_t>(
+        std::max(0.0, graph.task(t).work_ops * ops_scale));
+    graph.set_body(t, [t, spin, is_sink, sink](TaskFiring& f) {
+      // Mix inputs and iteration into a digest, then burn a calibrated
+      // amount of sequentially-dependent arithmetic (not optimizable
+      // away: the chain feeds the digest).
+      std::uint64_t h = 0xcbf29ce484222325ull ^ (f.iteration * 0x100000001b3ull) ^
+                        (static_cast<std::uint64_t>(t) << 32);
+      for (const auto* in : f.inputs) {
+        for (const std::uint8_t b : *in) h = (h ^ b) * 0x100000001b3ull;
+      }
+      for (std::uint64_t k = 0; k < spin; ++k) {
+        h = h * 6364136223846793005ull + 1442695040888963407ull;
+      }
+      if (is_sink) {
+        sink->digest.fetch_xor(h * (t + 1), std::memory_order_relaxed);
+        sink->tokens.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (auto& out : f.outputs) out = to_payload(&h, 1);
+      }
+    });
+  }
+  return sink;
+}
+
+}  // namespace mmsoc::runtime

@@ -1,0 +1,107 @@
+// Executable bindings: attach real kernel bodies from this repository to
+// the analytic task graphs, so the dataflow runtime runs the paper's
+// Fig. 1 / Fig. 2 applications for real.
+//
+//  * Video encoder (Fig. 1): synthetic capture -> three-step motion
+//    estimation -> motion-compensated prediction -> 8x8 DCT of the
+//    residual -> perceptual quantization -> (run,level) Huffman VLC ->
+//    rate buffer, with the inverse-DCT reconstruction branch. Luma-only,
+//    open-loop prediction (reference = previous source frame), which
+//    keeps every stage's state task-local so output is bit-identical for
+//    any worker count.
+//  * Audio encoder (Fig. 2): sine-mix PCM source -> 32-band subband
+//    mapper -> psychoacoustic model -> bit-allocated quantizer -> frame
+//    packer.
+//  * Synthetic bodies: calibrated spin loops proportional to each task's
+//    modeled work_ops, for scaling benches and engine tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "mpsoc/taskgraph.h"
+#include "video/motion.h"
+
+namespace mmsoc::runtime {
+
+// ---------------------------------------------------------------------------
+// Video encoder pipeline (Fig. 1)
+// ---------------------------------------------------------------------------
+
+struct VideoPipelineConfig {
+  int width = 64;
+  int height = 64;
+  int qscale = 8;         ///< quantizer scale, [1, 31]
+  int search_range = 8;   ///< motion search range, +/- pixels
+  video::SearchAlgorithm algo = video::SearchAlgorithm::kThreeStep;
+  std::uint64_t seed = 1; ///< synthetic scene seed
+};
+
+/// Everything the sink stages observed; lives behind a shared_ptr so the
+/// caller can read it after the engine finishes.
+struct VideoSinkState {
+  std::uint32_t bitstream_crc = 0;   ///< chained CRC-32 over all frames' VLC bytes
+  std::uint64_t bitstream_bytes = 0;
+  std::uint64_t vlc_symbols = 0;
+  std::uint32_t recon_crc = 0;       ///< chained CRC-32 over reconstructed luma
+  std::uint64_t frames_coded = 0;    ///< frames through the rate buffer
+  std::uint64_t frames_reconstructed = 0;
+};
+
+struct VideoPipeline {
+  mpsoc::TaskGraph graph;  ///< core::video_encoder_graph topology + bodies
+  std::shared_ptr<VideoSinkState> sink;
+};
+
+/// Build a fully executable Fig. 1 encoder graph. Each call returns an
+/// independent pipeline instance (bodies carry per-instance state), so a
+/// multi-session engine needs one per session.
+[[nodiscard]] VideoPipeline make_video_encoder_pipeline(
+    const VideoPipelineConfig& config);
+
+// ---------------------------------------------------------------------------
+// Audio encoder pipeline (Fig. 2)
+// ---------------------------------------------------------------------------
+
+struct AudioPipelineConfig {
+  double sample_rate = 44100.0;
+  double bitrate_bps = 192000.0;
+  std::uint64_t seed = 1;
+};
+
+struct AudioSinkState {
+  std::uint32_t frame_crc = 0;      ///< chained CRC-32 over packed frames
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t granules_packed = 0;
+};
+
+struct AudioPipeline {
+  mpsoc::TaskGraph graph;  ///< core::audio_encoder_graph topology + bodies
+  std::shared_ptr<AudioSinkState> sink;
+};
+
+[[nodiscard]] AudioPipeline make_audio_encoder_pipeline(
+    const AudioPipelineConfig& config);
+
+// ---------------------------------------------------------------------------
+// Synthetic bodies
+// ---------------------------------------------------------------------------
+
+/// Digest of everything that reached the graph's sink tasks, XOR-reduced
+/// (commutative, so identical across worker counts). Atomic because
+/// distinct sink tasks may fire on distinct workers.
+struct SyntheticSinkState {
+  std::atomic<std::uint64_t> digest{0};
+  std::atomic<std::uint64_t> tokens{0};
+};
+
+/// Attach deterministic spin-loop bodies to every task of `graph`: each
+/// firing hashes its inputs and iteration index, burns roughly
+/// `work_ops * ops_scale` arithmetic ops, and forwards an 8-byte digest.
+/// Returns the shared sink state (digest of everything that reached the
+/// graph's sinks).
+std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
+    mpsoc::TaskGraph& graph, double ops_scale = 1.0);
+
+}  // namespace mmsoc::runtime

@@ -1,0 +1,180 @@
+// Bounded queues for the dataflow runtime.
+//
+// SpscQueue is the inter-task channel primitive: each task-graph edge has
+// exactly one producer task and one consumer task, and every task is
+// owned by exactly one worker thread, so single-producer/single-consumer
+// holds by construction. The ring uses only two atomics (classic
+// Lamport), giving wait-free push/pop without locks — the queue *is* the
+// back-pressure: a full ring stalls the producer task, never grows.
+//
+// MpmcQueue trades the lock-free property for generality (any number of
+// producers/consumers, blocking semantics, close()). The engine itself
+// coordinates purely via SpscQueue + park/notify; MpmcQueue is the
+// building block for the planned asynchronous boundary tasks (net/fs
+// sources and sinks feeding a running engine — see ROADMAP).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mmsoc::runtime {
+
+/// Bounded single-producer/single-consumer ring buffer.
+///
+/// One thread may call the producer side (try_push / full), one thread
+/// the consumer side (front / pop / try_pop / empty). size() (and so
+/// empty()/full()) is exact from the owning threads; from any other
+/// thread it is a racy snapshot (head and tail are read separately) and
+/// must be treated as approximate. max_occupancy() is exact once the
+/// producer has quiesced.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        slots_(capacity_ + 1) {}  // one empty slot distinguishes full/empty
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? t - h : slots_.size() - (h - t);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] bool full() const noexcept { return size() == capacity_; }
+
+  /// Highest size() ever observed by the producer after a push — lets the
+  /// back-pressure tests prove occupancy never exceeded capacity.
+  [[nodiscard]] std::size_t max_occupancy() const noexcept {
+    return max_occupancy_.load(std::memory_order_relaxed);
+  }
+
+  /// Producer side. False when the ring is full (back-pressure).
+  bool try_push(T&& value) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(t);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    slots_[t] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    const std::size_t occ = size();
+    if (occ > max_occupancy_.load(std::memory_order_relaxed)) {
+      max_occupancy_.store(occ, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Consumer side: the oldest element, or nullptr when empty. The
+  /// pointer stays valid until the matching pop().
+  [[nodiscard]] T* front() noexcept {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[h];
+  }
+
+  /// Consumer side: discard the oldest element (front() must be valid).
+  void pop() noexcept {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    slots_[h] = T{};  // release payload storage eagerly
+    head_.store(advance(h), std::memory_order_release);
+  }
+
+  /// Consumer side: move out the oldest element if any.
+  std::optional<T> try_pop() {
+    T* f = front();
+    if (f == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(*f));
+    pop();
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t i) const noexcept {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> max_occupancy_{0};
+};
+
+/// Bounded multi-producer/multi-consumer queue (mutex + condvars).
+/// close() wakes all waiters; pop() then drains the backlog and finally
+/// returns nullopt.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocking push; false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.erase(items_.begin());
+    not_full_.notify_one();
+    return out;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.erase(items_.begin());
+    not_full_.notify_one();
+    return out;
+  }
+
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mmsoc::runtime

@@ -1,0 +1,130 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "mpsoc/mapping.h"
+
+namespace mmsoc::runtime {
+
+namespace {
+
+// Spearman rank correlation between two equal-length series.
+double rank_correlation(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = ra[i] - rb[i];
+    d2 += d * d;
+  }
+  const double nn = static_cast<double>(n);
+  return 1.0 - 6.0 * d2 / (nn * (nn * nn - 1.0));
+}
+
+}  // namespace
+
+ModelComparison compare_with_schedule(const SessionReport& measured,
+                                      const mpsoc::TaskGraph& graph,
+                                      const mpsoc::Platform& platform,
+                                      const mpsoc::Mapping& mapping,
+                                      const mpsoc::Schedule& predicted) {
+  ModelComparison c;
+  c.predicted_makespan_s = predicted.makespan_s;
+  c.predicted_ii_s = predicted.initiation_interval_s();
+  c.measured_wall_s = measured.wall_s;
+  c.measured_ii_s = measured.measured_ii_s();
+  c.ii_error_ratio =
+      c.predicted_ii_s > 0.0 ? c.measured_ii_s / c.predicted_ii_s : 0.0;
+
+  double predicted_sum = 0.0;
+  double measured_sum = 0.0;
+  std::vector<double> pred_series, meas_series;
+  for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
+    StageComparison s;
+    s.name = graph.task(t).name;
+    s.pe = t < mapping.size() ? mapping[t] : 0;
+    s.predicted_s = s.pe < platform.pes.size()
+                        ? std::max(0.0, platform.pes[s.pe].exec_seconds(graph.task(t)))
+                        : 0.0;
+    s.measured_mean_s =
+        t < measured.tasks.size() ? measured.tasks[t].mean_firing_s() : 0.0;
+    predicted_sum += s.predicted_s;
+    measured_sum += s.measured_mean_s;
+    pred_series.push_back(s.predicted_s);
+    meas_series.push_back(s.measured_mean_s);
+    c.stages.push_back(std::move(s));
+  }
+  for (auto& s : c.stages) {
+    s.predicted_share = predicted_sum > 0.0 ? s.predicted_s / predicted_sum : 0.0;
+    s.measured_share = measured_sum > 0.0 ? s.measured_mean_s / measured_sum : 0.0;
+  }
+  c.stage_rank_correlation = rank_correlation(pred_series, meas_series);
+  return c;
+}
+
+std::string format_comparison(const ModelComparison& c) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%-20s %12s %12s %8s %8s\n", "stage", "pred us", "meas us",
+                "pred %", "meas %");
+  out += line;
+  for (const auto& s : c.stages) {
+    std::snprintf(line, sizeof line, "%-20s %12.2f %12.2f %7.1f%% %7.1f%%\n",
+                  s.name.c_str(), s.predicted_s * 1e6, s.measured_mean_s * 1e6,
+                  s.predicted_share * 100.0, s.measured_share * 100.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "predicted II %.3f ms | measured II %.3f ms | "
+                "error ratio %.2fx | stage rank corr %.2f\n",
+                c.predicted_ii_s * 1e3, c.measured_ii_s * 1e3,
+                c.ii_error_ratio, c.stage_rank_correlation);
+  out += line;
+  return out;
+}
+
+common::Result<core::DeploymentReport> evaluate_measured(
+    const mpsoc::TaskGraph& graph, const mpsoc::Platform& platform,
+    mpsoc::MapperKind mapper, double target_hz, std::uint64_t iterations,
+    const EngineOptions& options) {
+  // map_graph is deterministic for a given (graph, platform, mapper), so
+  // this mapping is the same one core::evaluate reports on below.
+  const auto mapped = mpsoc::map_graph(graph, platform, mapper);
+  if (!mapped.schedule.feasible) {
+    return common::Result<core::DeploymentReport>(
+        common::StatusCode::kInvalidArgument,
+        "no feasible mapping of '" + graph.name() + "' onto '" +
+            platform.name + "'");
+  }
+  core::DeploymentReport report =
+      core::evaluate(graph, platform, mapper, target_hz);
+
+  auto measured = run_pipeline(graph, mapped.mapping, iterations, options);
+  if (!measured.is_ok()) {
+    return common::Result<core::DeploymentReport>(measured.status());
+  }
+  const auto& sr = measured.value();
+  report.measured_wall_s = sr.wall_s;
+  report.measured_throughput_hz = sr.measured_throughput_hz();
+  const double predicted_ii = mapped.schedule.initiation_interval_s();
+  report.model_error_ratio =
+      predicted_ii > 0.0 ? sr.measured_ii_s() / predicted_ii : 0.0;
+  return report;
+}
+
+}  // namespace mmsoc::runtime

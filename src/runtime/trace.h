@@ -1,0 +1,59 @@
+// Model-vs-reality: line up the analytic Schedule prediction with what
+// the dataflow runtime actually measured, making prediction error a
+// first-class metric (the calibration loop the paper's methodology
+// implies: predict, build, measure, refine the model).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deploy.h"
+#include "mpsoc/schedule.h"
+#include "runtime/engine.h"
+
+namespace mmsoc::runtime {
+
+/// One Fig.1/Fig.2 box: predicted vs measured execution time.
+struct StageComparison {
+  std::string name;
+  std::size_t pe = 0;
+  double predicted_s = 0.0;       ///< model: exec_seconds on the mapped PE
+  double measured_mean_s = 0.0;   ///< runtime: mean body time per firing
+  double predicted_share = 0.0;   ///< fraction of summed predicted time
+  double measured_share = 0.0;    ///< fraction of summed measured time
+};
+
+struct ModelComparison {
+  double predicted_makespan_s = 0.0;  ///< analytic one-iteration latency
+  double predicted_ii_s = 0.0;        ///< analytic initiation interval
+  double measured_wall_s = 0.0;
+  double measured_ii_s = 0.0;
+  /// measured II / predicted II: 1.0 = the model nailed it. The modeled
+  /// silicon and the host CPU differ in absolute speed, so compare
+  /// *shapes* (shares, ratios), not absolute seconds.
+  double ii_error_ratio = 0.0;
+  /// Rank correlation (-1..1) between predicted and measured per-stage
+  /// cost orderings; high = the model identifies the right bottlenecks.
+  double stage_rank_correlation = 0.0;
+  std::vector<StageComparison> stages;
+};
+
+/// Line up a measured session with its analytic schedule. `mapping` must
+/// be the one the session ran under.
+[[nodiscard]] ModelComparison compare_with_schedule(
+    const SessionReport& measured, const mpsoc::TaskGraph& graph,
+    const mpsoc::Platform& platform, const mpsoc::Mapping& mapping,
+    const mpsoc::Schedule& predicted);
+
+/// Fixed-width text table of a comparison.
+[[nodiscard]] std::string format_comparison(const ModelComparison& c);
+
+/// Deploy integration: analytic core::evaluate, then actually execute
+/// the graph on the runtime and fill DeploymentReport's measured fields.
+/// The graph must be fully executable.
+[[nodiscard]] common::Result<core::DeploymentReport> evaluate_measured(
+    const mpsoc::TaskGraph& graph, const mpsoc::Platform& platform,
+    mpsoc::MapperKind mapper, double target_hz, std::uint64_t iterations,
+    const EngineOptions& options = {});
+
+}  // namespace mmsoc::runtime

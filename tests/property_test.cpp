@@ -133,7 +133,9 @@ TEST_P(Dwt2dSweep, IntegerTransformExactlyInvertible) {
   for (auto& v : img) v = static_cast<std::int32_t>(rng.next_in(-512, 512));
   const auto original = img;
   dsp::dwt53_2d_forward(img, w, h, levels);
-  if (levels > 0) EXPECT_NE(img, original);
+  if (levels > 0) {
+    EXPECT_NE(img, original);
+  }
   dsp::dwt53_2d_inverse(img, w, h, levels);
   EXPECT_EQ(img, original);
 }

@@ -1,0 +1,370 @@
+// Tests for the concurrent dataflow runtime: queue primitives, engine
+// correctness (determinism across worker counts, back-pressure bounds,
+// multi-session multiplexing), real-kernel pipelines, and the
+// predicted-vs-measured model comparison.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/appgraphs.h"
+#include "core/profiles.h"
+#include "mpsoc/mapping.h"
+#include "runtime/engine.h"
+#include "runtime/pipelines.h"
+#include "runtime/queue.h"
+#include "runtime/trace.h"
+
+namespace mmsoc::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderAndWraparound) {
+  SpscQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.try_push(round * 10 + i));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.try_push(99));
+    for (int i = 0; i < 3; ++i) {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 10 + i);
+    }
+    EXPECT_FALSE(q.try_pop().has_value());
+  }
+  EXPECT_LE(q.max_occupancy(), q.capacity());
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumer) {
+  SpscQueue<std::uint64_t> q(8);
+  constexpr std::uint64_t kCount = 20000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (q.try_push(std::uint64_t{i})) ++i;
+      else std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_LE(q.max_occupancy(), q.capacity());
+}
+
+TEST(MpmcQueue, BlockingPushPopAndClose) {
+  MpmcQueue<int> q(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) sum.fetch_add(*v);
+    });
+  }
+  int pushed = 0;
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(q.push(i));
+    pushed += i;
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sum.load(), pushed);
+  EXPECT_FALSE(q.push(7));  // closed
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+mpsoc::TaskGraph diamond_graph() {
+  mpsoc::TaskGraph g("diamond");
+  auto task = [](const char* name, double ops) {
+    mpsoc::Task t;
+    t.name = name;
+    t.work_ops = ops;
+    return t;
+  };
+  const auto a = g.add_task(task("a", 2000));
+  const auto b = g.add_task(task("b", 4000));
+  const auto c = g.add_task(task("c", 3000));
+  const auto d = g.add_task(task("d", 1000));
+  (void)g.add_edge(a, b, 8);
+  (void)g.add_edge(a, c, 8);
+  (void)g.add_edge(b, d, 8);
+  (void)g.add_edge(c, d, 8);
+  return g;
+}
+
+TEST(Engine, RejectsInvalidSessions) {
+  Engine engine;
+  mpsoc::TaskGraph g = diamond_graph();  // no bodies attached
+  EXPECT_FALSE(engine.add_session(g, mpsoc::Mapping(4, 0), 10).is_ok());
+
+  auto g2 = diamond_graph();
+  (void)attach_synthetic_bodies(g2);
+  EXPECT_FALSE(engine.add_session(g2, mpsoc::Mapping(3, 0), 10).is_ok())
+      << "mapping size mismatch must be rejected";
+  EXPECT_FALSE(engine.add_session(g2, mpsoc::Mapping(4, 0), 0).is_ok())
+      << "zero iterations must be rejected";
+
+  mpsoc::TaskGraph cyclic("cycle");
+  mpsoc::Task t;
+  t.name = "x";
+  t.body = [](mpsoc::TaskFiring&) {};
+  const auto x = cyclic.add_task(t);
+  t.name = "y";
+  const auto y = cyclic.add_task(t);
+  (void)cyclic.add_edge(x, y, 1);
+  (void)cyclic.add_edge(y, x, 1);
+  EXPECT_FALSE(engine.add_session(cyclic, mpsoc::Mapping(2, 0), 1).is_ok());
+}
+
+TEST(Engine, DeterministicAcrossWorkerCounts) {
+  constexpr std::uint64_t kIters = 64;
+  std::uint64_t reference_digest = 0;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    auto g = diamond_graph();
+    auto sink = attach_synthetic_bodies(g, 0.1);
+    EngineOptions opts;
+    opts.workers = workers;
+    const mpsoc::Mapping mapping = {0, 1, 2, 3};
+    auto report = run_pipeline(g, mapping, kIters, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+    EXPECT_EQ(report.value().iterations, kIters);
+    EXPECT_EQ(sink->tokens.load(), kIters);
+    if (workers == 1) {
+      reference_digest = sink->digest.load();
+    } else {
+      EXPECT_EQ(sink->digest.load(), reference_digest)
+          << "digest must not depend on worker count (" << workers << ")";
+    }
+  }
+}
+
+TEST(Engine, BackPressureNeverExceedsCapacity) {
+  // Fast producer into slow consumer: the bounded channel must cap
+  // in-flight tokens at its capacity.
+  mpsoc::TaskGraph g("producer-consumer");
+  mpsoc::Task prod;
+  prod.name = "producer";
+  prod.body = [](mpsoc::TaskFiring& f) {
+    f.outputs[0] = mpsoc::Payload{static_cast<std::uint8_t>(f.iteration)};
+  };
+  mpsoc::Task cons;
+  cons.name = "consumer";
+  cons.body = [](mpsoc::TaskFiring& f) {
+    // ~50us of work per token so the producer runs far ahead.
+    volatile double x = 1.0;
+    for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+    (void)f;
+  };
+  const auto p = g.add_task(prod);
+  const auto c = g.add_task(cons);
+  (void)g.add_edge(p, c, 1);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.channel_capacity = 3;
+  auto report = run_pipeline(g, {0, 1}, 200, opts);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  EXPECT_LE(report.value().max_channel_occupancy, 3u);
+  EXPECT_GE(report.value().max_channel_occupancy, 1u);
+}
+
+TEST(Engine, MultiSessionStress) {
+  constexpr std::size_t kSessions = 6;
+  constexpr std::uint64_t kIters = 32;
+
+  // Reference digest from an isolated 1-worker run.
+  std::uint64_t reference = 0;
+  {
+    auto g = diamond_graph();
+    auto sink = attach_synthetic_bodies(g, 0.05);
+    EngineOptions opts;
+    opts.workers = 1;
+    auto r = run_pipeline(g, {0, 0, 0, 0}, kIters, opts);
+    ASSERT_TRUE(r.is_ok());
+    reference = sink->digest.load();
+  }
+
+  EngineOptions opts;
+  opts.workers = 3;
+  opts.channel_capacity = 2;
+  Engine engine(opts);
+  std::vector<mpsoc::TaskGraph> graphs;
+  std::vector<std::shared_ptr<SyntheticSinkState>> sinks;
+  graphs.reserve(kSessions);  // graphs must not reallocate after add_session
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    graphs.push_back(diamond_graph());
+    sinks.push_back(attach_synthetic_bodies(graphs.back(), 0.05));
+    // Spread sessions over different PEs to exercise the shared pool.
+    const mpsoc::Mapping mapping = {s % 3, (s + 1) % 3, (s + 2) % 3, s % 3};
+    auto added = engine.add_session(graphs.back(), mapping, kIters);
+    ASSERT_TRUE(added.is_ok()) << added.status().to_text();
+  }
+  const auto status = engine.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(sinks[s]->tokens.load(), kIters) << "session " << s;
+    EXPECT_EQ(sinks[s]->digest.load(), reference)
+        << "session " << s << " output diverged";
+    const auto& rep = engine.report(s);
+    EXPECT_EQ(rep.iterations, kIters);
+    EXPECT_GT(rep.wall_s, 0.0);
+    for (const auto& t : rep.tasks) EXPECT_EQ(t.firings, kIters);
+  }
+}
+
+TEST(Engine, PropagatesBodyErrors) {
+  mpsoc::TaskGraph g("throws");
+  mpsoc::Task t;
+  t.name = "boom";
+  t.body = [](mpsoc::TaskFiring& f) {
+    if (f.iteration == 3) throw std::runtime_error("kernel fault");
+  };
+  (void)g.add_task(t);
+  auto r = run_pipeline(g, {0}, 10);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().to_text().find("kernel fault"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Real-kernel pipelines
+// ---------------------------------------------------------------------------
+
+TEST(VideoPipeline, BitIdenticalAcrossWorkerCounts) {
+  constexpr std::uint64_t kFrames = 8;
+  VideoPipelineConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+
+  std::uint32_t ref_bits = 0, ref_recon = 0;
+  std::uint64_t ref_bytes = 0;
+  for (const std::size_t workers : {1u, 4u}) {
+    auto pipe = make_video_encoder_pipeline(cfg);
+    ASSERT_TRUE(pipe.graph.fully_executable());
+    EngineOptions opts;
+    opts.workers = workers;
+    const mpsoc::Mapping mapping(pipe.graph.task_count(),
+                                 0);  // PEs resolved mod pool anyway
+    mpsoc::Mapping spread = mapping;
+    for (std::size_t i = 0; i < spread.size(); ++i) spread[i] = i % 4;
+    auto report = run_pipeline(pipe.graph, spread, kFrames, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+
+    EXPECT_EQ(pipe.sink->frames_coded, kFrames);
+    EXPECT_EQ(pipe.sink->frames_reconstructed, kFrames);
+    EXPECT_GT(pipe.sink->bitstream_bytes, 0u);
+    if (workers == 1) {
+      ref_bits = pipe.sink->bitstream_crc;
+      ref_recon = pipe.sink->recon_crc;
+      ref_bytes = pipe.sink->bitstream_bytes;
+    } else {
+      EXPECT_EQ(pipe.sink->bitstream_crc, ref_bits)
+          << "bitstream must be bit-identical at " << workers << " workers";
+      EXPECT_EQ(pipe.sink->recon_crc, ref_recon);
+      EXPECT_EQ(pipe.sink->bitstream_bytes, ref_bytes);
+    }
+  }
+}
+
+TEST(AudioPipeline, BitIdenticalAcrossWorkerCounts) {
+  constexpr std::uint64_t kGranules = 12;
+  AudioPipelineConfig cfg;
+
+  std::uint32_t ref_crc = 0;
+  for (const std::size_t workers : {1u, 3u}) {
+    auto pipe = make_audio_encoder_pipeline(cfg);
+    ASSERT_TRUE(pipe.graph.fully_executable());
+    EngineOptions opts;
+    opts.workers = workers;
+    mpsoc::Mapping mapping(pipe.graph.task_count(), 0);
+    for (std::size_t i = 0; i < mapping.size(); ++i) mapping[i] = i % 3;
+    auto report = run_pipeline(pipe.graph, mapping, kGranules, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+    EXPECT_EQ(pipe.sink->granules_packed, kGranules);
+    EXPECT_GT(pipe.sink->frame_bytes, 0u);
+    if (workers == 1) {
+      ref_crc = pipe.sink->frame_crc;
+    } else {
+      EXPECT_EQ(pipe.sink->frame_crc, ref_crc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predicted vs measured
+// ---------------------------------------------------------------------------
+
+TEST(Trace, ComparisonIsSaneForVideoPipeline) {
+  VideoPipelineConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  auto pipe = make_video_encoder_pipeline(cfg);
+  const auto platform = core::device_platform(core::DeviceClass::kVideoCamera);
+  const auto mapped =
+      mpsoc::map_graph(pipe.graph, platform, mpsoc::MapperKind::kHeft);
+  ASSERT_TRUE(mapped.schedule.feasible);
+
+  auto report = run_pipeline(pipe.graph, mapped.mapping, 6);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  const auto& sr = report.value();
+
+  // Sanity bounds: wall clock positive, every task fired every iteration,
+  // busy time is contained in wall * workers (loose upper bound).
+  EXPECT_GT(sr.wall_s, 0.0);
+  EXPECT_GT(sr.measured_ii_s(), 0.0);
+  for (const auto& t : sr.tasks) {
+    EXPECT_EQ(t.firings, 6u) << t.name;
+    EXPECT_GE(t.max_firing_s, t.min_firing_s) << t.name;
+  }
+  EXPECT_LE(sr.total_busy_s(), sr.wall_s * static_cast<double>(sr.tasks.size()));
+
+  const auto cmp = compare_with_schedule(sr, pipe.graph, platform,
+                                         mapped.mapping, mapped.schedule);
+  EXPECT_GT(cmp.predicted_ii_s, 0.0);
+  EXPECT_GT(cmp.measured_ii_s, 0.0);
+  EXPECT_GT(cmp.ii_error_ratio, 0.0);
+  ASSERT_EQ(cmp.stages.size(), pipe.graph.task_count());
+  double pred_share = 0.0, meas_share = 0.0;
+  for (const auto& s : cmp.stages) {
+    pred_share += s.predicted_share;
+    meas_share += s.measured_share;
+  }
+  EXPECT_NEAR(pred_share, 1.0, 1e-9);
+  EXPECT_NEAR(meas_share, 1.0, 1e-9);
+  EXPECT_GE(cmp.stage_rank_correlation, -1.0);
+  EXPECT_LE(cmp.stage_rank_correlation, 1.0);
+  EXPECT_FALSE(format_comparison(cmp).empty());
+}
+
+TEST(Trace, EvaluateMeasuredFillsDeploymentReport) {
+  VideoPipelineConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  auto pipe = make_video_encoder_pipeline(cfg);
+  const auto platform = core::device_platform(core::DeviceClass::kVideoCamera);
+  auto report = evaluate_measured(pipe.graph, platform,
+                                  mpsoc::MapperKind::kHeft, 30.0, 4);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  const auto& r = report.value();
+  EXPECT_TRUE(r.has_measurement());
+  EXPECT_GT(r.measured_wall_s, 0.0);
+  EXPECT_GT(r.measured_throughput_hz, 0.0);
+  EXPECT_GT(r.model_error_ratio, 0.0);
+  EXPECT_NE(core::report_row(r).find("meas"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmsoc::runtime
