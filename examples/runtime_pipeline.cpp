@@ -7,12 +7,14 @@
 // Touches the new layer of the library: src/runtime (worker threads,
 // bounded channels, sessions) on top of src/mpsoc (graphs, mapping,
 // schedule prediction) and the real kernels in src/video + src/audio.
+#include <chrono>
 #include <cstdio>
 
 #include "core/profiles.h"
 #include "mpsoc/mapping.h"
 #include "runtime/engine.h"
 #include "runtime/pipelines.h"
+#include "runtime/shard.h"
 #include "runtime/trace.h"
 
 int main() {
@@ -86,5 +88,63 @@ int main() {
               static_cast<unsigned long long>(audio.sink->granules_packed),
               static_cast<unsigned long long>(audio.sink->frame_bytes),
               audio.sink->frame_crc);
+
+  // --- 6. Runaway-session control: a per-session deadline cancels a
+  // transcode that would run (nearly) forever, without touching the
+  // well-behaved session sharing the pool.
+  runtime::Engine guard(opts);
+  auto runaway = runtime::make_synthetic_chain(3, 20000.0);
+  auto behaved = runtime::make_video_encoder_pipeline(vcfg);
+  runtime::SessionOptions budget;
+  budget.timeout = std::chrono::milliseconds(50);
+  const auto s_runaway =
+      guard.add_session(runaway.graph, {0, 1, 2}, 200'000'000, budget);
+  const auto s_behaved = guard.add_session(behaved.graph, vmap, 10);
+  if (s_runaway.is_ok() && s_behaved.is_ok() && guard.run().is_ok()) {
+    const auto& rr = guard.report(s_runaway.value());
+    const auto& br = guard.report(s_behaved.value());
+    std::printf("\nrunaway session: %s after %llu firings (%.1f ms); "
+                "co-scheduled encode: %s\n",
+                std::string(runtime::to_string(rr.outcome)).c_str(),
+                static_cast<unsigned long long>(rr.completed_firings),
+                rr.wall_s * 1e3,
+                std::string(runtime::to_string(br.outcome)).c_str());
+  }
+
+  // --- 7. Heavy traffic: submit 32 transcodes to a 2-shard front-end
+  // that only admits 8 in flight per shard — the overflow is rejected
+  // with a reason instead of oversubscribing the pools.
+  runtime::ShardedEngineOptions sopts;
+  sopts.shards = 2;
+  sopts.max_sessions_per_shard = 8;
+  sopts.engine.workers = 2;
+  runtime::ShardedEngine front(sopts);
+  std::vector<runtime::SyntheticPipeline> jobs;
+  std::vector<runtime::SessionTicket> admitted;
+  jobs.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back(runtime::make_synthetic_chain(4, 2000.0));
+    mpsoc::Mapping m(4);
+    for (std::size_t t = 0; t < 4; ++t) m[t] = t % 2;
+    auto ticket = front.submit(jobs.back().graph, m, 20);
+    if (ticket.is_ok()) admitted.push_back(ticket.value());
+  }
+  const auto fstats = front.stats();
+  std::printf("\nsharded front-end: %llu submitted, %llu admitted, "
+              "%llu rejected (%.0f%%)\n",
+              static_cast<unsigned long long>(fstats.submitted),
+              static_cast<unsigned long long>(fstats.accepted),
+              static_cast<unsigned long long>(fstats.rejected),
+              fstats.reject_rate() * 100.0);
+  if (front.run().is_ok()) {
+    std::size_t completed = 0;
+    for (const auto t : admitted) {
+      if (front.report(t).outcome == runtime::SessionOutcome::kCompleted) {
+        ++completed;
+      }
+    }
+    std::printf("admitted sessions completed: %zu/%zu across %zu shards\n",
+                completed, admitted.size(), front.shard_count());
+  }
   return 0;
 }

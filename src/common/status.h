@@ -22,6 +22,8 @@ enum class StatusCode {
   kCorruptData,
   kPermissionDenied,
   kUnavailable,
+  kCancelled,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -36,6 +38,8 @@ enum class StatusCode {
     case StatusCode::kCorruptData: return "corrupt_data";
     case StatusCode::kPermissionDenied: return "permission_denied";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -22,7 +22,24 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// Cancellation codes stored in SessionState::cancel_code. Zero means the
+// session is live; the first CAS winner decides the reported outcome.
+constexpr int kLive = 0;
+constexpr int kCancelledByUser = 1;
+constexpr int kDeadlineExpired = 2;
+
 }  // namespace
+
+std::string_view to_string(SessionOutcome outcome) noexcept {
+  switch (outcome) {
+    case SessionOutcome::kPending: return "pending";
+    case SessionOutcome::kCompleted: return "completed";
+    case SessionOutcome::kCancelled: return "cancelled";
+    case SessionOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case SessionOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
 
 double SessionReport::total_busy_s() const noexcept {
   double s = 0.0;
@@ -39,6 +56,9 @@ struct Engine::Impl {
     std::size_t pe = 0;
     std::vector<SpscQueue<mpsoc::Payload>*> in;   // channel per in-edge
     std::vector<SpscQueue<mpsoc::Payload>*> out;  // channel per out-edge
+    // Workers owning the tasks at the far end of this task's channels
+    // (deduped, self removed): the precise wakeup set after a firing.
+    std::vector<std::size_t> notify;
     std::uint64_t next_iteration = 0;
     std::uint64_t limit = 0;
     // measured
@@ -52,48 +72,99 @@ struct Engine::Impl {
     const mpsoc::TaskGraph* graph = nullptr;
     mpsoc::Mapping mapping;
     std::uint64_t iterations = 0;
+    SessionOptions options;
     std::vector<std::unique_ptr<SpscQueue<mpsoc::Payload>>> channels;  // per edge
     std::atomic<std::uint64_t> remaining_firings{0};
+    /// kLive until the first cancel wins the CAS; the winning code is the
+    /// reported outcome. cancel_ns is CAS'd from zero *before* the code
+    /// CAS, so the first cancel's timestamp sticks and an acquire-load of
+    /// a nonzero code also publishes it.
+    std::atomic<int> cancel_code{kLive};
+    std::atomic<Clock::rep> cancel_ns{0};
+    Clock::time_point deadline{};  // set at start() when options.timeout > 0
     std::once_flag start_once;
     Clock::time_point start{};   // first firing of this session
     Clock::time_point finish{};  // last firing of this session
     SessionReport report;
   };
 
+  /// One eventcount per worker. A worker sleeps on its own version word
+  /// (std::atomic::wait — an indefinite futex-style park, zero CPU); any
+  /// peer that may have made one of its tasks ready bumps the version and
+  /// notifies. Cache-line aligned so notifies don't false-share.
+  struct alignas(64) WorkerSignal {
+    std::atomic<std::uint32_t> version{0};
+  };
+
+  enum class RunState { kIdle, kStarting, kRunning, kJoining, kDone };
+
   EngineOptions options;
   std::vector<std::unique_ptr<SessionState>> sessions;
   std::vector<std::vector<TaskRun*>> per_worker;  // ownership lists
   std::vector<std::unique_ptr<TaskRun>> runs;
+  std::vector<WorkerSignal> signals;  // one per worker
   std::size_t resolved_workers = 0;
-  bool ran = false;
+  Clock::time_point run_start{};
 
   // ---- run-time coordination ------------------------------------------
+  std::atomic<RunState> state{RunState::kIdle};
+  std::vector<std::thread> pool;
   std::atomic<bool> stop{false};
-  std::atomic<int> parked{0};
-  std::mutex park_mu;
-  std::condition_variable park_cv;
   std::mutex error_mu;
   Status first_error = Status::ok();
+  /// Serializes start()'s construction of `signals` against the cold
+  /// broadcast path (cancel/error may run concurrently with start() from
+  /// another thread). Per-fire notify_worker needs no lock: workers only
+  /// exist after `signals` is fully built and it is never reassigned.
+  std::mutex signals_mu;
 
-  void notify_progress() {
-    if (parked.load(std::memory_order_relaxed) > 0) {
-      std::lock_guard lock(park_mu);
-      park_cv.notify_all();
-    }
+  // Deadline monitor: one thread sleeping until the earliest pending
+  // deadline (not the worker hot path — workers never timed-wait).
+  std::thread deadline_thread;
+  std::mutex dl_mu;
+  std::condition_variable dl_cv;
+  bool dl_stop = false;
+
+  void notify_worker(std::size_t w) {
+    signals[w].version.fetch_add(1, std::memory_order_release);
+    signals[w].version.notify_one();
   }
 
-  void park() {
-    std::unique_lock lock(park_mu);
-    parked.fetch_add(1, std::memory_order_relaxed);
-    park_cv.wait_for(lock, options.park_timeout);
-    parked.fetch_sub(1, std::memory_order_relaxed);
+  void notify_all_workers() {
+    std::lock_guard lock(signals_mu);
+    for (std::size_t w = 0; w < signals.size(); ++w) notify_worker(w);
   }
 
   void record_error(Status status) {
-    std::lock_guard lock(error_mu);
-    if (first_error.is_ok()) first_error = std::move(status);
+    {
+      std::lock_guard lock(error_mu);
+      if (first_error.is_ok()) first_error = std::move(status);
+    }
     stop.store(true, std::memory_order_release);
-    notify_progress();
+    notify_all_workers();
+  }
+
+  /// First cancel wins; subsequent calls (and cancels of finished
+  /// sessions) are no-ops. Safe from any thread while the engine is
+  /// idle, running, or done — but, like any container mutation, not
+  /// concurrently with add_session (which may reallocate `sessions`).
+  void cancel_session(std::size_t s, int code) {
+    if (s >= sessions.size()) return;
+    auto& sess = *sessions[s];
+    // First cancel's timestamp sticks: a later cancel_all/destructor must
+    // not inflate the wall clock of a session that died long before.
+    Clock::rep expected_ns = 0;
+    sess.cancel_ns.compare_exchange_strong(
+        expected_ns, Clock::now().time_since_epoch().count(),
+        std::memory_order_acq_rel);
+    int expected = kLive;
+    if (sess.cancel_code.compare_exchange_strong(expected, code,
+                                                 std::memory_order_acq_rel)) {
+      // Wake everyone: parked workers must observe the flag to retire the
+      // session's tasks (a targeted wakeup is not enough — any worker may
+      // own one of its tasks).
+      notify_all_workers();
+    }
   }
 
   // A task may fire when it still has iterations left, every input
@@ -143,17 +214,41 @@ struct Engine::Impl {
     if (sess.remaining_firings.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       sess.finish = Clock::now();
     }
-    notify_progress();
+    // Precise wakeup: only the workers owning this task's channel peers
+    // can have been unblocked (token arrived / space freed).
+    for (const std::size_t w : r.notify) notify_worker(w);
+  }
+
+  /// Drop a cancelled task's remaining iterations and drain its input
+  /// channels so a back-pressured upstream producer is never left parked
+  /// against a dead consumer. Owner-worker only (consumer side of `in`).
+  void retire(TaskRun& r, std::uint64_t& outstanding) {
+    outstanding -= r.limit - r.next_iteration;
+    r.next_iteration = r.limit;
+    for (auto* ch : r.in) ch->clear();
+    for (const std::size_t w : r.notify) notify_worker(w);
   }
 
   void worker_main(std::size_t worker_id) {
     auto& owned = per_worker[worker_id];
+    auto& version = signals[worker_id].version;
     std::uint64_t outstanding = 0;
     for (const auto* r : owned) outstanding += r->limit;
 
     while (outstanding > 0 && !stop.load(std::memory_order_acquire)) {
-      bool fired = false;
+      // Eventcount: capture the version *before* scanning. A peer that
+      // makes a task ready after this load bumps the version, so the
+      // wait() below returns immediately instead of missing the wakeup.
+      const std::uint32_t v = version.load(std::memory_order_acquire);
+      bool progressed = false;
       for (auto* r : owned) {
+        if (r->next_iteration >= r->limit) continue;  // task done/retired
+        auto& sess = *sessions[r->session];
+        if (sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+          retire(*r, outstanding);
+          progressed = true;
+          continue;
+        }
         // Drain each task as far as its channels allow before moving on:
         // keeps the pipeline full without starving siblings (bounded by
         // channel capacity).
@@ -173,11 +268,261 @@ struct Engine::Impl {
                                     "' threw"));
             return;
           }
-          fired = true;
+          progressed = true;
           --outstanding;
+          // Iteration boundary: a cancel or engine abort must stop a
+          // free-running task promptly — an edge-free task is never
+          // bounded by channel capacity, so without this check it would
+          // drain every remaining iteration.
+          if (stop.load(std::memory_order_acquire) ||
+              sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+            break;
+          }
         }
       }
-      if (!fired && outstanding > 0) park();
+      if (!progressed && outstanding > 0 &&
+          !stop.load(std::memory_order_acquire)) {
+        // Nothing ready and version unchanged since the scan started:
+        // park indefinitely (zero CPU) until a peer bumps our version.
+        version.wait(v, std::memory_order_acquire);
+      }
+    }
+  }
+
+  void deadline_main() {
+    std::unique_lock lock(dl_mu);
+    while (!dl_stop) {
+      Clock::time_point next = Clock::time_point::max();
+      bool any = false;
+      for (const auto& sess : sessions) {
+        if (sess->deadline == Clock::time_point{}) continue;
+        if (sess->remaining_firings.load(std::memory_order_acquire) == 0)
+          continue;  // finished
+        if (sess->cancel_code.load(std::memory_order_acquire) != kLive)
+          continue;  // already cancelled
+        any = true;
+        next = std::min(next, sess->deadline);
+      }
+      if (!any) {
+        // No pending deadline can appear after start(); just wait for
+        // shutdown so wait() can join us.
+        dl_cv.wait(lock, [&] { return dl_stop; });
+        return;
+      }
+      if (dl_cv.wait_until(lock, next, [&] { return dl_stop; })) return;
+      const auto now = Clock::now();
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        auto& sess = *sessions[s];
+        if (sess.deadline == Clock::time_point{} || now < sess.deadline)
+          continue;
+        if (sess.remaining_firings.load(std::memory_order_acquire) == 0)
+          continue;
+        cancel_session(s, kDeadlineExpired);
+      }
+    }
+  }
+
+  Status start() {
+    // kStarting keeps a concurrent wait() from claiming the join while
+    // the pool vector is still being built; kRunning is published (and
+    // kStarting waiters notified) only once every worker is spawned.
+    RunState expected = RunState::kIdle;
+    if (!state.compare_exchange_strong(expected, RunState::kStarting)) {
+      return Status(StatusCode::kInternal, "engine already started");
+    }
+    if (sessions.empty()) {
+      const Status err(StatusCode::kInvalidArgument,
+                       "no sessions registered");
+      {
+        // A later wait() must report the same failure, not ok.
+        std::lock_guard lock(error_mu);
+        if (first_error.is_ok()) first_error = err;
+      }
+      state.store(RunState::kDone);
+      state.notify_all();
+      return err;
+    }
+
+    // Resolve the pool size: explicit, or one worker per referenced PE.
+    std::size_t workers = options.workers;
+    if (workers == 0) {
+      std::size_t max_pe = 0;
+      for (const auto& sess : sessions) {
+        for (const std::size_t pe : sess->mapping) max_pe = std::max(max_pe, pe);
+      }
+      workers = max_pe + 1;
+    }
+    resolved_workers = workers;
+    {
+      std::lock_guard lock(signals_mu);
+      signals = std::vector<WorkerSignal>(workers);
+    }
+
+    // Build the ownership lists: task -> worker = mapped PE mod pool size.
+    // Exactly one worker per task keeps every edge single-producer/
+    // single-consumer and makes stateful bodies race-free.
+    per_worker.assign(workers, {});
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      auto& sess = *sessions[s];
+      const auto& graph = *sess.graph;
+      const auto owner = [&](mpsoc::TaskId t) { return sess.mapping[t] % workers; };
+      for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
+        auto run = std::make_unique<TaskRun>();
+        run->graph = &graph;
+        run->id = t;
+        run->session = s;
+        run->pe = sess.mapping[t];
+        run->limit = sess.iterations;
+        for (const std::size_t e : graph.in_edges(t)) {
+          run->in.push_back(sess.channels[e].get());
+          run->notify.push_back(owner(graph.edges()[e].src));
+        }
+        for (const std::size_t e : graph.out_edges(t)) {
+          run->out.push_back(sess.channels[e].get());
+          run->notify.push_back(owner(graph.edges()[e].dst));
+        }
+        std::sort(run->notify.begin(), run->notify.end());
+        run->notify.erase(std::unique(run->notify.begin(), run->notify.end()),
+                          run->notify.end());
+        std::erase(run->notify, owner(t));  // never self-notify
+        per_worker[owner(t)].push_back(run.get());
+        runs.push_back(std::move(run));
+      }
+    }
+
+    run_start = Clock::now();
+    bool any_deadline = false;
+    for (auto& sess : sessions) {
+      if (sess->options.timeout.count() > 0) {
+        sess->deadline = run_start + sess->options.timeout;
+        any_deadline = true;
+      }
+    }
+
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([this, w] { worker_main(w); });
+    }
+    if (any_deadline) {
+      deadline_thread = std::thread([this] { deadline_main(); });
+    }
+    state.store(RunState::kRunning, std::memory_order_release);
+    state.notify_all();
+    return Status::ok();
+  }
+
+  Status wait() {
+    // Claim the join exclusively: concurrent wait() calls must not
+    // double-join the pool. A loser parks on the state word until the
+    // winner publishes kDone; a wait() that lands mid-start() parks on
+    // kStarting, then retries the claim. (As with standard library
+    // types, destroying the engine while another thread is still inside
+    // a member function is undefined — the destructor itself calls
+    // wait() only to reap its own pool.)
+    for (;;) {
+      RunState expected = RunState::kRunning;
+      if (state.compare_exchange_strong(expected, RunState::kJoining,
+                                        std::memory_order_acq_rel)) {
+        break;  // we are the joiner
+      }
+      if (expected == RunState::kIdle) {
+        return Status(StatusCode::kInternal, "engine not started");
+      }
+      if (expected == RunState::kStarting) {
+        state.wait(RunState::kStarting, std::memory_order_acquire);
+        continue;  // start() finished (or failed); retry the claim
+      }
+      while (state.load(std::memory_order_acquire) != RunState::kDone) {
+        state.wait(RunState::kJoining, std::memory_order_acquire);
+      }
+      std::lock_guard lock(error_mu);
+      return first_error;
+    }
+
+    for (auto& th : pool) th.join();
+    pool.clear();
+    {
+      std::lock_guard lock(dl_mu);
+      dl_stop = true;
+    }
+    dl_cv.notify_all();
+    if (deadline_thread.joinable()) deadline_thread.join();
+
+    assemble_reports();
+    // Capture the result *before* publishing kDone so the winner never
+    // takes error_mu after a loser can already have returned. As with
+    // any C++ type, destroying the engine still requires every wait()
+    // call (winner and losers alike) to have returned first — the final
+    // notify_all below is itself an access to the state word.
+    Status result;
+    {
+      std::lock_guard lock(error_mu);
+      result = first_error;
+    }
+    state.store(RunState::kDone, std::memory_order_release);
+    state.notify_all();
+    return result;
+  }
+
+  void assemble_reports() {
+    for (auto& sp : sessions) {
+      auto& sess = *sp;
+      auto& rep = sess.report;
+      rep.graph = sess.graph->name();
+      rep.iterations = sess.iterations;
+      rep.channel_capacity = options.channel_capacity;
+      rep.tasks.assign(sess.graph->task_count(), TaskStats{});
+      for (auto& ch : sess.channels) {
+        rep.max_channel_occupancy =
+            std::max(rep.max_channel_occupancy, ch->max_occupancy());
+      }
+    }
+    for (const auto& run : runs) {
+      auto& rep = sessions[run->session]->report;
+      auto& stats = rep.tasks[run->id];
+      stats.name = run->graph->task(run->id).name;
+      stats.pe = run->pe;
+      stats.worker = run->pe % resolved_workers;
+      stats.firings = run->firings;
+      stats.busy_s = run->busy_s;
+      stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
+      stats.max_firing_s = run->max_firing_s;
+      rep.completed_firings += run->firings;
+    }
+    const auto now = Clock::now();
+    for (auto& sp : sessions) {
+      auto& sess = *sp;
+      auto& rep = sess.report;
+      const std::uint64_t total =
+          sess.iterations * sess.graph->task_count();
+      const int code = sess.cancel_code.load(std::memory_order_acquire);
+      if (rep.completed_firings == total) {
+        rep.outcome = SessionOutcome::kCompleted;
+        rep.status = Status::ok();
+      } else if (code == kCancelledByUser || code == kDeadlineExpired) {
+        rep.outcome = code == kDeadlineExpired
+                          ? SessionOutcome::kDeadlineExceeded
+                          : SessionOutcome::kCancelled;
+        rep.status = Status(
+            code == kDeadlineExpired ? StatusCode::kDeadlineExceeded
+                                     : StatusCode::kCancelled,
+            "session '" + rep.graph + "' ended after " +
+                std::to_string(rep.completed_firings) + " of " +
+                std::to_string(total) + " firings");
+      } else {
+        rep.outcome = SessionOutcome::kAborted;
+        rep.status = Status(StatusCode::kUnavailable,
+                            "engine stopped before session completed");
+      }
+      const auto from = sess.start == Clock::time_point{} ? run_start : sess.start;
+      Clock::time_point until = sess.finish;
+      if (until == Clock::time_point{}) {
+        const auto cancel_ns = sess.cancel_ns.load(std::memory_order_relaxed);
+        until = cancel_ns != 0
+                    ? Clock::time_point(Clock::duration(cancel_ns))
+                    : now;
+      }
+      rep.wall_s = std::max(0.0, seconds_between(from, until));
     }
   }
 };
@@ -186,14 +531,23 @@ Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>()) {
   impl_->options = options;
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (!impl_) return;
+  const auto st = impl_->state.load(std::memory_order_acquire);
+  if (st == Impl::RunState::kRunning || st == Impl::RunState::kJoining) {
+    cancel_all();
+    (void)wait();
+  }
+}
 
 Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
                                         mpsoc::Mapping mapping,
-                                        std::uint64_t iterations) {
-  if (impl_->ran) {
+                                        std::uint64_t iterations,
+                                        SessionOptions session_options) {
+  if (impl_->state.load(std::memory_order_acquire) !=
+      Impl::RunState::kIdle) {
     return Result<std::size_t>(StatusCode::kInternal,
-                               "engine already ran");
+                               "engine already started");
   }
   if (iterations == 0) {
     return Result<std::size_t>(StatusCode::kInvalidArgument,
@@ -222,6 +576,7 @@ Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
   sess->graph = &graph;
   sess->mapping = std::move(mapping);
   sess->iterations = iterations;
+  sess->options = session_options;
   for (std::size_t e = 0; e < graph.edges().size(); ++e) {
     sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
         impl_->options.channel_capacity));
@@ -232,90 +587,29 @@ Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
   return impl_->sessions.size() - 1;
 }
 
+Status Engine::start() { return impl_->start(); }
+
+Status Engine::wait() { return impl_->wait(); }
+
 Status Engine::run() {
-  auto& impl = *impl_;
-  if (impl.ran) return Status(StatusCode::kInternal, "engine already ran");
-  impl.ran = true;
-  if (impl.sessions.empty()) {
-    return Status(StatusCode::kInvalidArgument, "no sessions registered");
-  }
+  const Status started = impl_->start();
+  if (!started.is_ok()) return started;
+  return impl_->wait();
+}
 
-  // Resolve the pool size: explicit, or one worker per referenced PE.
-  std::size_t workers = impl.options.workers;
-  if (workers == 0) {
-    std::size_t max_pe = 0;
-    for (const auto& sess : impl.sessions) {
-      for (const std::size_t pe : sess->mapping) max_pe = std::max(max_pe, pe);
-    }
-    workers = max_pe + 1;
-  }
-  impl.resolved_workers = workers;
+void Engine::cancel(std::size_t session) {
+  impl_->cancel_session(session, kCancelledByUser);
+}
 
-  // Build the ownership lists: task -> worker = mapped PE mod pool size.
-  // Exactly one worker per task keeps every edge single-producer/
-  // single-consumer and makes stateful bodies race-free.
-  impl.per_worker.assign(workers, {});
-  for (std::size_t s = 0; s < impl.sessions.size(); ++s) {
-    auto& sess = *impl.sessions[s];
-    const auto& graph = *sess.graph;
-    for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
-      auto run = std::make_unique<Impl::TaskRun>();
-      run->graph = &graph;
-      run->id = t;
-      run->session = s;
-      run->pe = sess.mapping[t];
-      run->limit = sess.iterations;
-      for (const std::size_t e : graph.in_edges(t)) {
-        run->in.push_back(sess.channels[e].get());
-      }
-      for (const std::size_t e : graph.out_edges(t)) {
-        run->out.push_back(sess.channels[e].get());
-      }
-      impl.per_worker[run->pe % workers].push_back(run.get());
-      impl.runs.push_back(std::move(run));
-    }
+void Engine::cancel_all() {
+  for (std::size_t s = 0; s < impl_->sessions.size(); ++s) {
+    impl_->cancel_session(s, kCancelledByUser);
   }
+}
 
-  const auto start = Clock::now();
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&impl, w] { impl.worker_main(w); });
-  }
-  for (auto& th : pool) th.join();
-
-  // Assemble reports.
-  for (std::size_t s = 0; s < impl.sessions.size(); ++s) {
-    auto& sess = *impl.sessions[s];
-    auto& rep = sess.report;
-    rep.graph = sess.graph->name();
-    rep.iterations = sess.iterations;
-    rep.channel_capacity = impl.options.channel_capacity;
-    const auto from = sess.start == Clock::time_point{} ? start : sess.start;
-    rep.wall_s = sess.finish == Clock::time_point{}
-                     ? seconds_between(from, Clock::now())
-                     : seconds_between(from, sess.finish);
-    rep.tasks.assign(sess.graph->task_count(), TaskStats{});
-    for (auto& ch : sess.channels) {
-      rep.max_channel_occupancy =
-          std::max(rep.max_channel_occupancy, ch->max_occupancy());
-    }
-  }
-  for (const auto& run : impl.runs) {
-    auto& stats = impl.sessions[run->session]->report.tasks[run->id];
-    stats.name = run->graph->task(run->id).name;
-    stats.pe = run->pe;
-    stats.worker = run->pe % workers;
-    stats.firings = run->firings;
-    stats.busy_s = run->busy_s;
-    stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
-    stats.max_firing_s = run->max_firing_s;
-  }
-
-  {
-    std::lock_guard lock(impl.error_mu);
-    return impl.first_error;
-  }
+bool Engine::running() const noexcept {
+  return impl_->state.load(std::memory_order_acquire) ==
+         Impl::RunState::kRunning;
 }
 
 std::size_t Engine::session_count() const noexcept {
@@ -323,7 +617,7 @@ std::size_t Engine::session_count() const noexcept {
 }
 
 const SessionReport& Engine::report(std::size_t session) const {
-  return impl_->sessions[session]->report;
+  return impl_->sessions.at(session)->report;
 }
 
 std::size_t Engine::worker_count() const noexcept {

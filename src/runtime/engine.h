@@ -13,6 +13,25 @@
 // iterations in order, consuming from and producing into FIFO channels.
 // Task bodies may therefore keep closure state, and the streamed output
 // is bit-identical no matter how many workers execute the graph.
+//
+// Wakeup protocol (eventcount): each worker owns a 32-bit version word.
+// An idle worker loads its version, rescans its tasks once more, and if
+// still nothing is ready calls std::atomic::wait(v) — sleeping
+// indefinitely (zero CPU) until a peer bumps the version. A firing task
+// bumps (fetch_add + notify_one) only the versions of the workers that
+// own the tasks at the other end of the channels it touched, so a wakeup
+// is O(1) and precisely targeted. The load-scan-wait order makes the
+// protocol race-free: any notify after the version load forces wait() to
+// return immediately, and any notify before it happened-before the scan.
+//
+// Cancellation: Session::cancel() (via Engine::cancel) flips a per-
+// session flag and wakes every worker. Workers observe the flag at
+// iteration boundaries only — a firing in progress completes — then
+// retire the session's tasks: remaining iterations are dropped and input
+// channels drained so back-pressured upstream peers can never deadlock
+// against a dead consumer. Per-session deadlines are enforced by a
+// monitor thread that sleeps until the earliest pending deadline and
+// cancels expired sessions with kDeadlineExceeded.
 #pragma once
 
 #include <chrono>
@@ -35,9 +54,26 @@ struct EngineOptions {
   /// Tokens buffered per edge — the software-pipelining depth. 1 degrades
   /// to lock-step execution; larger values decouple stage jitter.
   std::size_t channel_capacity = 4;
-  /// How long an idle worker parks before rescanning its tasks.
-  std::chrono::microseconds park_timeout{200};
 };
+
+/// Per-session execution policy.
+struct SessionOptions {
+  /// Wall-clock budget measured from Engine::start(); zero = unlimited.
+  /// An expired session is cancelled exactly like Engine::cancel, but
+  /// its report carries kDeadlineExceeded instead of kCancelled.
+  std::chrono::nanoseconds timeout{0};
+};
+
+/// How a session ended.
+enum class SessionOutcome {
+  kPending,           ///< engine not run yet
+  kCompleted,         ///< every task fired every iteration
+  kCancelled,         ///< Engine::cancel / cancel_all / destructor
+  kDeadlineExceeded,  ///< per-session timeout expired
+  kAborted,           ///< engine stopped early (another session's error)
+};
+
+[[nodiscard]] std::string_view to_string(SessionOutcome outcome) noexcept;
 
 /// Measured execution statistics of one task.
 struct TaskStats {
@@ -62,6 +98,14 @@ struct SessionReport {
   std::size_t channel_capacity = 0;
   std::size_t max_channel_occupancy = 0;  ///< max over all edges; <= capacity
 
+  SessionOutcome outcome = SessionOutcome::kPending;
+  /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable
+  /// status otherwise. Distinct from Engine::run()'s return: a cancelled
+  /// session is a *graceful* end, not an engine failure.
+  common::Status status;
+  /// Firings that actually happened (== iterations * tasks when complete).
+  std::uint64_t completed_firings = 0;
+
   /// Steady-state initiation interval actually achieved.
   [[nodiscard]] double measured_ii_s() const noexcept {
     return iterations > 0 ? wall_s / static_cast<double>(iterations) : 0.0;
@@ -77,6 +121,8 @@ struct SessionReport {
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+  /// Cancels every in-flight session and joins the pool if the engine is
+  /// still running (a back-pressured session must never wedge teardown).
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -88,16 +134,32 @@ class Engine {
   /// its own graph instance when bodies carry mutable closure state.
   [[nodiscard]] common::Result<std::size_t> add_session(
       const mpsoc::TaskGraph& graph, mpsoc::Mapping mapping,
-      std::uint64_t iterations);
+      std::uint64_t iterations, SessionOptions session_options = {});
 
-  /// Execute every registered session to completion on the worker pool.
-  /// Blocking; returns the first body error if any. May be called once.
+  /// Launch the worker pool and return immediately; pair with wait().
+  [[nodiscard]] common::Status start();
+  /// Block until every session completed or was cancelled, then assemble
+  /// per-session reports. Returns the first *error* (a body throwing);
+  /// cancellation and deadline expiry are reported per-session instead.
+  [[nodiscard]] common::Status wait();
+  /// start() + wait(). May be called once.
   [[nodiscard]] common::Status run();
 
+  /// Gracefully cancel one session (thread-safe against the running
+  /// engine, callable while run() blocks in another thread — though not
+  /// concurrently with add_session). Workers observe the flag at
+  /// iteration boundaries, drop remaining iterations, and drain the
+  /// session's channels so back-pressured peers never deadlock.
+  /// Idempotent; a no-op on sessions that already finished.
+  void cancel(std::size_t session);
+  /// Cancel every session.
+  void cancel_all();
+
+  [[nodiscard]] bool running() const noexcept;
   [[nodiscard]] std::size_t session_count() const noexcept;
-  /// Valid after run().
+  /// Valid after wait()/run().
   [[nodiscard]] const SessionReport& report(std::size_t session) const;
-  /// Workers the pool resolved to (valid after run(); before run, the
+  /// Workers the pool resolved to (valid after start(); before, the
   /// configured value, which may be 0 = auto).
   [[nodiscard]] std::size_t worker_count() const noexcept;
 

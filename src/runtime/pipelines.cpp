@@ -480,4 +480,21 @@ std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
   return sink;
 }
 
+SyntheticPipeline make_synthetic_chain(std::size_t stages, double stage_ops) {
+  if (stages == 0) stages = 1;
+  mpsoc::TaskGraph graph("chain" + std::to_string(stages));
+  mpsoc::TaskId prev = 0;
+  for (std::size_t i = 0; i < stages; ++i) {
+    mpsoc::Task t;
+    t.name = "stage" + std::to_string(i);
+    t.work_ops = stage_ops;
+    const auto id = graph.add_task(std::move(t));
+    if (i > 0) (void)graph.add_edge(prev, id, 8);
+    prev = id;
+  }
+  SyntheticPipeline pipe{std::move(graph), nullptr};
+  pipe.sink = attach_synthetic_bodies(pipe.graph);
+  return pipe;
+}
+
 }  // namespace mmsoc::runtime

@@ -104,4 +104,17 @@ struct SyntheticSinkState {
 std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
     mpsoc::TaskGraph& graph, double ops_scale = 1.0);
 
+/// A ready-to-run linear chain (source -> stage1 -> ... -> sink) with
+/// synthetic bodies attached — the stress/saturation workload: cheap to
+/// build by the thousand, deterministic digest, tunable per-firing cost.
+struct SyntheticPipeline {
+  mpsoc::TaskGraph graph;
+  std::shared_ptr<SyntheticSinkState> sink;
+};
+
+/// Build an N-stage chain whose every stage burns ~`stage_ops` ops per
+/// firing (`stages` >= 1; a 1-stage chain is a lone source/sink task).
+[[nodiscard]] SyntheticPipeline make_synthetic_chain(std::size_t stages,
+                                                     double stage_ops = 2000.0);
+
 }  // namespace mmsoc::runtime

@@ -88,6 +88,15 @@ class SpscQueue {
     head_.store(advance(h), std::memory_order_release);
   }
 
+  /// Consumer side: discard everything currently buffered. Used by
+  /// session cancellation to unblock a back-pressured producer without
+  /// handing the tokens to a dead consumer. Safe against a concurrent
+  /// producer; the ring may be non-empty again afterwards if the
+  /// producer kept pushing.
+  void clear() noexcept {
+    while (front() != nullptr) pop();
+  }
+
   /// Consumer side: move out the oldest element if any.
   std::optional<T> try_pop() {
     T* f = front();

@@ -1,0 +1,163 @@
+#include "runtime/shard.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mmsoc::runtime {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+struct ShardedEngine::Impl {
+  ShardedEngineOptions options;
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<bool> started;  // shards we launched (empty ones are skipped)
+  mutable std::mutex mu;      // guards admission counters and stats
+  std::vector<std::size_t> inflight;  // admitted sessions per shard
+  AdmissionStats admission;
+  bool running = false;
+  bool done = false;
+};
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  if (impl_->options.shards == 0) impl_->options.shards = 1;
+  if (impl_->options.max_sessions_per_shard == 0) {
+    impl_->options.max_sessions_per_shard = 1;
+  }
+  impl_->engines.reserve(impl_->options.shards);
+  for (std::size_t i = 0; i < impl_->options.shards; ++i) {
+    impl_->engines.push_back(
+        std::make_unique<Engine>(impl_->options.engine));
+  }
+  impl_->inflight.assign(impl_->options.shards, 0);
+  impl_->started.assign(impl_->options.shards, false);
+}
+
+ShardedEngine::~ShardedEngine() = default;  // shard Engines cancel+join
+
+Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
+                                            mpsoc::Mapping mapping,
+                                            std::uint64_t iterations,
+                                            SessionOptions session_options) {
+  std::lock_guard lock(impl_->mu);
+  ++impl_->admission.submitted;
+  if (impl_->running || impl_->done) {
+    ++impl_->admission.failed;
+    return Result<SessionTicket>(StatusCode::kInternal,
+                                 "sharded engine already started");
+  }
+  // Least-loaded placement.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < impl_->inflight.size(); ++i) {
+    if (impl_->inflight[i] < impl_->inflight[best]) best = i;
+  }
+  if (impl_->inflight[best] >= impl_->options.max_sessions_per_shard) {
+    ++impl_->admission.rejected;
+    return Result<SessionTicket>(
+        StatusCode::kResourceExhausted,
+        "admission reject: all " + std::to_string(impl_->options.shards) +
+            " shards at " +
+            std::to_string(impl_->options.max_sessions_per_shard) +
+            " in-flight sessions");
+  }
+  auto added = impl_->engines[best]->add_session(
+      graph, std::move(mapping), iterations, session_options);
+  if (!added.is_ok()) {
+    ++impl_->admission.failed;  // invalid graph/mapping, not overload
+    return Result<SessionTicket>(added.status());
+  }
+  ++impl_->inflight[best];
+  ++impl_->admission.accepted;
+  return SessionTicket{best, added.value()};
+}
+
+Status ShardedEngine::start() {
+  std::lock_guard lock(impl_->mu);
+  if (impl_->running || impl_->done) {
+    return Status(StatusCode::kInternal, "sharded engine already started");
+  }
+  if (impl_->admission.accepted == 0) {
+    return Status(StatusCode::kInvalidArgument, "no sessions admitted");
+  }
+  impl_->running = true;
+  for (std::size_t i = 0; i < impl_->engines.size(); ++i) {
+    if (impl_->inflight[i] == 0) continue;  // empty shard: nothing to run
+    const Status st = impl_->engines[i]->start();
+    if (!st.is_ok()) return st;
+    impl_->started[i] = true;
+  }
+  return Status::ok();
+}
+
+Status ShardedEngine::wait() {
+  {
+    std::lock_guard lock(impl_->mu);
+    if (!impl_->running && !impl_->done) {
+      return Status(StatusCode::kInternal, "sharded engine not started");
+    }
+  }
+  Status first = Status::ok();
+  for (std::size_t i = 0; i < impl_->engines.size(); ++i) {
+    if (!impl_->started[i]) continue;
+    const Status st = impl_->engines[i]->wait();
+    if (first.is_ok() && !st.is_ok()) first = st;
+  }
+  std::lock_guard lock(impl_->mu);
+  impl_->running = false;
+  impl_->done = true;
+  return first;
+}
+
+Status ShardedEngine::run() {
+  const Status started = start();
+  if (!started.is_ok()) return started;
+  return wait();
+}
+
+void ShardedEngine::cancel(SessionTicket ticket) {
+  // mu serializes against submit(): Engine::cancel may not run
+  // concurrently with add_session (session vector reallocation).
+  std::lock_guard lock(impl_->mu);
+  if (ticket.shard >= impl_->engines.size()) return;
+  impl_->engines[ticket.shard]->cancel(ticket.session);
+}
+
+void ShardedEngine::cancel_all() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& engine : impl_->engines) engine->cancel_all();
+}
+
+std::size_t ShardedEngine::shard_count() const noexcept {
+  return impl_->engines.size();
+}
+
+std::size_t ShardedEngine::session_count(std::size_t shard) const {
+  return impl_->engines.at(shard)->session_count();
+}
+
+std::size_t ShardedEngine::total_sessions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& engine : impl_->engines) n += engine->session_count();
+  return n;
+}
+
+AdmissionStats ShardedEngine::stats() const noexcept {
+  std::lock_guard lock(impl_->mu);
+  return impl_->admission;
+}
+
+const SessionReport& ShardedEngine::report(SessionTicket ticket) const {
+  // .at(): a stale/forged ticket is a defined out_of_range, not UB.
+  return impl_->engines.at(ticket.shard)->report(ticket.session);
+}
+
+const Engine& ShardedEngine::shard(std::size_t index) const {
+  return *impl_->engines.at(index);
+}
+
+}  // namespace mmsoc::runtime

@@ -1,0 +1,94 @@
+// Sharded multi-engine front-end: scale-out across Engine instances.
+//
+// One Engine multiplexes sessions over one worker pool; under "heavy
+// traffic" (thousands of submitted transcodes — the Nexperia set-top
+// scenario of dozens of concurrent A/V sessions, scaled up) a single
+// pool oversubscribes and every session's latency collapses together.
+// ShardedEngine spreads sessions across N independent Engine shards
+// (least-loaded placement) and puts an admission controller in front:
+// each shard accepts a bounded number of in-flight sessions, and once
+// every shard is saturated further submits are *rejected with a reason*
+// (kResourceExhausted) instead of queued — graceful degradation, the
+// overload policy platform papers insist on. Rejected work never costs a
+// worker thread; accepted work keeps its latency budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/engine.h"
+
+namespace mmsoc::runtime {
+
+struct ShardedEngineOptions {
+  /// Independent Engine instances (think: one per socket / process).
+  std::size_t shards = 2;
+  /// Admission bound: in-flight sessions a single shard will accept.
+  std::size_t max_sessions_per_shard = 64;
+  /// Worker pool + channel configuration applied to every shard.
+  EngineOptions engine;
+};
+
+/// Where an admitted session landed; pass back to cancel() / report().
+struct SessionTicket {
+  std::size_t shard = 0;
+  std::size_t session = 0;  ///< session index within that shard's Engine
+};
+
+struct AdmissionStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  /// Capacity rejections only (every shard at max in-flight) — the
+  /// overload signal. Invalid graphs / lifecycle misuse count as
+  /// `failed`, not `rejected`, so reject_rate() stays an admission
+  /// metric.
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  [[nodiscard]] double reject_rate() const noexcept {
+    return submitted > 0
+               ? static_cast<double>(rejected) / static_cast<double>(submitted)
+               : 0.0;
+  }
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Admit a session onto the least-loaded shard, or reject with
+  /// kResourceExhausted when every shard is at max_sessions_per_shard.
+  /// Thread-safe. Same graph-validity rules as Engine::add_session.
+  [[nodiscard]] common::Result<SessionTicket> submit(
+      const mpsoc::TaskGraph& graph, mpsoc::Mapping mapping,
+      std::uint64_t iterations, SessionOptions session_options = {});
+
+  /// Launch every non-empty shard's worker pool; non-blocking.
+  [[nodiscard]] common::Status start();
+  /// Block until every shard finished; first shard error wins.
+  [[nodiscard]] common::Status wait();
+  /// start() + wait().
+  [[nodiscard]] common::Status run();
+
+  void cancel(SessionTicket ticket);
+  void cancel_all();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  [[nodiscard]] std::size_t session_count(std::size_t shard) const;
+  [[nodiscard]] std::size_t total_sessions() const noexcept;
+  [[nodiscard]] AdmissionStats stats() const noexcept;
+
+  /// Valid after wait()/run().
+  [[nodiscard]] const SessionReport& report(SessionTicket ticket) const;
+  /// The underlying shard Engine (e.g. for worker_count()).
+  [[nodiscard]] const Engine& shard(std::size_t index) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mmsoc::runtime

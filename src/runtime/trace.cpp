@@ -119,6 +119,11 @@ common::Result<core::DeploymentReport> evaluate_measured(
     return common::Result<core::DeploymentReport>(measured.status());
   }
   const auto& sr = measured.value();
+  if (sr.outcome != SessionOutcome::kCompleted) {
+    // A cancelled/expired measurement run has no steady-state II to
+    // report — surface the session's own status instead of bogus numbers.
+    return common::Result<core::DeploymentReport>(sr.status);
+  }
   report.measured_wall_s = sr.wall_s;
   report.measured_throughput_hz = sr.measured_throughput_hz();
   const double predicted_ii = mapped.schedule.initiation_interval_s();

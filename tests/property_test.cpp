@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "dsp/wavelet.h"
 #include "entropy/huffman.h"
 #include "mpsoc/mapping.h"
+#include "runtime/queue.h"
 #include "video/codec.h"
 #include "video/metrics.h"
 #include "video/source.h"
@@ -235,6 +238,118 @@ TEST_P(ScheduleInvariants, HoldForAllMappers) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleInvariants,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// -------------------------------------------------- SpscQueue fuzzing
+
+// Model-based fuzz: drive the ring with a randomized operation sequence
+// and mirror every step in a std::deque oracle. Catches FIFO violations,
+// capacity-bound violations, and lost/duplicated/phantom tokens.
+class SpscModelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpscModelFuzz, MatchesDequeOracleOver10kOps) {
+  common::Rng rng(GetParam());
+  const auto capacity = static_cast<std::size_t>(1 + rng.next_below(7));
+  runtime::SpscQueue<std::uint64_t> q(capacity);
+  std::deque<std::uint64_t> oracle;
+  std::uint64_t next_token = 0;
+
+  for (int op = 0; op < 10000; ++op) {
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1: {  // push
+        const bool pushed = q.try_push(std::uint64_t{next_token});
+        EXPECT_EQ(pushed, oracle.size() < capacity) << "op " << op;
+        if (pushed) oracle.push_back(next_token++);
+        break;
+      }
+      case 2: {  // pop
+        const auto got = q.try_pop();
+        ASSERT_EQ(got.has_value(), !oracle.empty()) << "op " << op;
+        if (got) {
+          EXPECT_EQ(*got, oracle.front()) << "FIFO violated at op " << op;
+          oracle.pop_front();
+        }
+        break;
+      }
+      case 3: {  // peek
+        auto* f = q.front();
+        ASSERT_EQ(f != nullptr, !oracle.empty()) << "op " << op;
+        if (f) {
+          EXPECT_EQ(*f, oracle.front());
+        }
+        break;
+      }
+      case 4: {  // occasional bulk drain (the cancellation path)
+        if (rng.next_below(50) == 0) {
+          q.clear();
+          oracle.clear();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(q.size(), oracle.size()) << "op " << op;
+    EXPECT_EQ(q.empty(), oracle.empty());
+    EXPECT_EQ(q.full(), oracle.size() == capacity);
+    EXPECT_LE(q.max_occupancy(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpscModelFuzz,
+                         ::testing::Values(0x1u, 0x2u, 0x3u, 0x5eedu, 0xfu,
+                                           0xabcdefu, 0x123456789u, 0x42u));
+
+class SpscConcurrentFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpscConcurrentFuzz, RandomInterleavingsLoseNothingDuplicateNothing) {
+  // Producer and consumer run with randomized burst lengths and yields so
+  // the interleaving differs per seed and per run. The consumer must see
+  // exactly 0..N-1 in order: any lost, duplicated, reordered, or phantom
+  // token fails; occupancy must never exceed capacity.
+  const std::uint64_t seed = GetParam();
+  common::Rng setup(seed);
+  const auto capacity = static_cast<std::size_t>(1 + setup.next_below(7));
+  constexpr std::uint64_t kTokens = 10000;
+  runtime::SpscQueue<std::uint64_t> q(capacity);
+
+  std::thread producer([&q, seed] {
+    common::Rng rng(seed ^ 0xBADC0FFEEull);
+    std::uint64_t i = 0;
+    while (i < kTokens) {
+      const std::uint64_t burst = 1 + rng.next_below(8);
+      for (std::uint64_t b = 0; b < burst && i < kTokens;) {
+        if (q.try_push(std::uint64_t{i})) {
+          ++i;
+          ++b;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      if (rng.next_below(4) == 0) std::this_thread::yield();
+    }
+  });
+
+  common::Rng rng(seed ^ 0xF00Dull);
+  std::uint64_t expected = 0;
+  while (expected < kTokens) {
+    const std::uint64_t burst = 1 + rng.next_below(8);
+    for (std::uint64_t b = 0; b < burst && expected < kTokens; ++b) {
+      if (auto v = q.try_pop()) {
+        ASSERT_EQ(*v, expected) << "token lost/duplicated/reordered";
+        ++expected;
+      } else {
+        std::this_thread::yield();
+        break;
+      }
+    }
+    if (rng.next_below(4) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop().has_value()) << "phantom token after drain";
+  EXPECT_LE(q.max_occupancy(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpscConcurrentFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
 // ---------------------------------------- encoder determinism across runs
 

@@ -1,10 +1,12 @@
 // Tests for the concurrent dataflow runtime: queue primitives, engine
 // correctness (determinism across worker counts, back-pressure bounds,
-// multi-session multiplexing), real-kernel pipelines, and the
-// predicted-vs-measured model comparison.
+// multi-session multiplexing), precise wakeups under cancellation and
+// deadlines, real-kernel pipelines, and the predicted-vs-measured model
+// comparison.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -226,6 +228,196 @@ TEST(Engine, MultiSessionStress) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cancellation, deadlines, shutdown
+// ---------------------------------------------------------------------------
+
+// A chain whose stages burn enough per firing that a huge iteration
+// count cannot finish within the test: the cancellation workload.
+SyntheticPipeline endless_chain() {
+  return make_synthetic_chain(/*stages=*/3, /*stage_ops=*/20000.0);
+}
+
+TEST(Engine, CancelMidPipelineStopsPromptlyAndReportsPartial) {
+  auto pipe = endless_chain();
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  constexpr std::uint64_t kIters = 200'000'000;  // would take hours
+  auto added = engine.add_session(pipe.graph, {0, 1, 0}, kIters);
+  ASSERT_TRUE(added.is_ok()) << added.status().to_text();
+
+  ASSERT_TRUE(engine.start().is_ok());
+  EXPECT_TRUE(engine.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.cancel(added.value());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto status = engine.wait();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(status.is_ok()) << status.to_text();  // cancel is not an error
+  EXPECT_LT(waited, std::chrono::seconds(10)) << "cancel must not drain "
+                                                 "the remaining iterations";
+  EXPECT_FALSE(engine.running());
+
+  const auto& rep = engine.report(added.value());
+  EXPECT_EQ(rep.outcome, SessionOutcome::kCancelled);
+  EXPECT_EQ(rep.status.code(), common::StatusCode::kCancelled);
+  EXPECT_GT(rep.completed_firings, 0u) << "ran for 20ms before the cancel";
+  EXPECT_LT(rep.completed_firings, kIters * pipe.graph.task_count());
+  // Cancel is graceful at iteration boundaries: no task may be more than
+  // the pipeline depth (channel capacity per edge) ahead of the sink.
+  for (const auto& t : rep.tasks) {
+    EXPECT_LT(t.firings, kIters) << t.name;
+  }
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeOnFinishedSessions) {
+  auto pipe = make_synthetic_chain(2, 100.0);
+  Engine engine;
+  auto added = engine.add_session(pipe.graph, {0, 0}, 10);
+  ASSERT_TRUE(added.is_ok());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+  engine.cancel(added.value());  // after completion: no-op
+  engine.cancel(added.value());
+  engine.cancel(99);  // out of range: no-op
+  EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(engine.report(0).completed_firings, 20u);
+}
+
+TEST(Engine, CancelBeforeStartRetiresSessionImmediately) {
+  auto pipe = endless_chain();
+  Engine engine;
+  auto added = engine.add_session(pipe.graph, {0, 0, 0}, 1'000'000'000);
+  ASSERT_TRUE(added.is_ok());
+  engine.cancel(added.value());
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto& rep = engine.report(added.value());
+  EXPECT_EQ(rep.outcome, SessionOutcome::kCancelled);
+  EXPECT_EQ(rep.completed_firings, 0u);
+}
+
+TEST(Engine, DeadlineExpiryCancelsWithDeadlineExceeded) {
+  auto slow = endless_chain();
+  auto fast = make_synthetic_chain(2, 100.0);
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  SessionOptions deadline;
+  deadline.timeout = std::chrono::milliseconds(30);
+  auto s_slow =
+      engine.add_session(slow.graph, {0, 1, 0}, 200'000'000, deadline);
+  auto s_fast = engine.add_session(fast.graph, {1, 0}, 50);
+  ASSERT_TRUE(s_slow.is_ok());
+  ASSERT_TRUE(s_fast.is_ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+
+  const auto& slow_rep = engine.report(s_slow.value());
+  EXPECT_EQ(slow_rep.outcome, SessionOutcome::kDeadlineExceeded);
+  EXPECT_EQ(slow_rep.status.code(), common::StatusCode::kDeadlineExceeded);
+  // The co-scheduled in-budget session must be untouched.
+  const auto& fast_rep = engine.report(s_fast.value());
+  EXPECT_EQ(fast_rep.outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(fast_rep.completed_firings, 100u);
+}
+
+TEST(Engine, GenerousDeadlineDoesNotFire) {
+  auto pipe = make_synthetic_chain(3, 200.0);
+  Engine engine;
+  SessionOptions o;
+  o.timeout = std::chrono::minutes(10);
+  auto added = engine.add_session(pipe.graph, {0, 0, 0}, 25, o);
+  ASSERT_TRUE(added.is_ok());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(engine.report(added.value()).outcome, SessionOutcome::kCompleted);
+}
+
+// Regression: destroying an engine whose sessions are still back-pressured
+// (producer parked on a full channel, consumer slow) must cancel and join
+// instead of wedging on workers that sleep indefinitely.
+TEST(Engine, DestructorCancelsBackPressuredSessions) {
+  auto pipe = endless_chain();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    EngineOptions opts;
+    opts.workers = 2;
+    opts.channel_capacity = 1;  // maximal back-pressure
+    Engine engine(opts);
+    auto added = engine.add_session(pipe.graph, {0, 1, 0}, 200'000'000);
+    ASSERT_TRUE(added.is_ok());
+    ASSERT_TRUE(engine.start().is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Engine goes out of scope with ~2e8 iterations outstanding and
+    // workers parked on full/empty channels.
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30))
+      << "destructor must cancel all sessions and join promptly";
+}
+
+TEST(Engine, ManySessionsFewWorkersNoStarvation) {
+  // 16 sessions multiplexed over 2 workers: every session must finish
+  // and every task must fire exactly its iteration count (no session
+  // starved by its siblings, no firing lost at the wakeup boundary).
+  constexpr std::size_t kSessions = 16;
+  constexpr std::uint64_t kIters = 40;
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.channel_capacity = 2;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(kSessions);  // graphs must not reallocate after add_session
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    pipes.push_back(make_synthetic_chain(4, 500.0));
+    const mpsoc::Mapping mapping = {s % 2, (s + 1) % 2, s % 2, (s + 1) % 2};
+    auto added = engine.add_session(pipes.back().graph, mapping, kIters);
+    ASSERT_TRUE(added.is_ok()) << added.status().to_text();
+  }
+  const auto status = engine.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto& rep = engine.report(s);
+    EXPECT_EQ(rep.outcome, SessionOutcome::kCompleted) << "session " << s;
+    EXPECT_EQ(rep.completed_firings, kIters * 4) << "session " << s;
+    EXPECT_EQ(pipes[s].sink->tokens.load(), kIters) << "session " << s;
+    for (const auto& t : rep.tasks) EXPECT_EQ(t.firings, kIters);
+  }
+}
+
+TEST(Engine, ConcurrentWaitIsSafe) {
+  // Two threads wait() on the same engine: exactly one joins the pool,
+  // the other parks until kDone; both see the same result — never a
+  // double-join (std::system_error) or a race on the thread vector.
+  auto pipe = make_synthetic_chain(3, 2000.0);
+  Engine engine;
+  ASSERT_TRUE(engine.add_session(pipe.graph, {0, 0, 0}, 500).is_ok());
+  ASSERT_TRUE(engine.start().is_ok());
+  common::Status a = common::Status(common::StatusCode::kInternal, "unset");
+  std::thread other([&] { a = engine.wait(); });
+  const auto b = engine.wait();
+  other.join();
+  EXPECT_TRUE(a.is_ok()) << a.to_text();
+  EXPECT_TRUE(b.is_ok()) << b.to_text();
+  EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+}
+
+TEST(Engine, StartWaitLifecycleIsEnforced) {
+  auto pipe = make_synthetic_chain(2, 100.0);
+  Engine engine;
+  EXPECT_FALSE(engine.wait().is_ok()) << "wait before start must fail";
+  ASSERT_TRUE(engine.add_session(pipe.graph, {0, 0}, 5).is_ok());
+  ASSERT_TRUE(engine.start().is_ok());
+  EXPECT_FALSE(engine.start().is_ok()) << "double start must fail";
+  EXPECT_FALSE(engine.add_session(pipe.graph, {0, 0}, 5).is_ok())
+      << "add_session after start must fail";
+  ASSERT_TRUE(engine.wait().is_ok());
+  EXPECT_TRUE(engine.wait().is_ok()) << "wait after done is idempotent";
+  EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+}
+
 TEST(Engine, PropagatesBodyErrors) {
   mpsoc::TaskGraph g("throws");
   mpsoc::Task t;
@@ -237,6 +429,30 @@ TEST(Engine, PropagatesBodyErrors) {
   auto r = run_pipeline(g, {0}, 10);
   ASSERT_FALSE(r.is_ok());
   EXPECT_NE(r.status().to_text().find("kernel fault"), std::string::npos);
+}
+
+TEST(Engine, BodyErrorAbortsEdgeFreeSiblingSessionPromptly) {
+  // Regression: an edge-free (single-task) session has no channel bound,
+  // so its drain loop must observe the engine stop flag at iteration
+  // boundaries — not run its full 2e8 remaining iterations after a
+  // sibling session's body threw.
+  mpsoc::TaskGraph bad("throws");
+  mpsoc::Task t;
+  t.name = "boom";
+  t.body = [](mpsoc::TaskFiring&) { throw std::runtime_error("fault"); };
+  (void)bad.add_task(t);
+  auto endless = make_synthetic_chain(1, 20000.0);  // lone source/sink
+
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.add_session(bad, {0}, 10).is_ok());
+  ASSERT_TRUE(engine.add_session(endless.graph, {1}, 200'000'000).is_ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto status = engine.run();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(engine.report(1).outcome, SessionOutcome::kAborted);
 }
 
 // ---------------------------------------------------------------------------

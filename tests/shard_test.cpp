@@ -1,0 +1,230 @@
+// Tests for the sharded multi-engine front-end: admission control
+// (bounded in-flight sessions, reject-with-reason on saturation),
+// least-loaded placement, ticketed cancellation, and graceful
+// degradation when submissions far exceed capacity.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/pipelines.h"
+#include "runtime/shard.h"
+
+namespace mmsoc::runtime {
+namespace {
+
+mpsoc::Mapping chain_mapping(std::size_t tasks, std::size_t stride) {
+  mpsoc::Mapping m(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) m[t] = t % (stride == 0 ? 1 : stride);
+  return m;
+}
+
+TEST(ShardedEngine, RejectsWithReasonWhenAllShardsSaturated) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.max_sessions_per_shard = 2;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(10);
+  std::vector<SessionTicket> tickets;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    pipes.push_back(make_synthetic_chain(3, 200.0));
+    auto r = sharded.submit(pipes.back().graph, chain_mapping(3, 1), 20);
+    if (r.is_ok()) {
+      tickets.push_back(r.value());
+    } else {
+      ++rejected;
+      EXPECT_EQ(r.status().code(), common::StatusCode::kResourceExhausted);
+      EXPECT_NE(r.status().message().find("admission reject"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(tickets.size(), 4u) << "2 shards x 2 in-flight";
+  EXPECT_EQ(rejected, 6u);
+
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 6u);
+  EXPECT_NEAR(stats.reject_rate(), 0.6, 1e-12);
+
+  const auto status = sharded.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  for (const auto t : tickets) {
+    EXPECT_EQ(sharded.report(t).outcome, SessionOutcome::kCompleted);
+    EXPECT_EQ(sharded.report(t).completed_firings, 60u);
+  }
+}
+
+TEST(ShardedEngine, LeastLoadedPlacementBalancesShards) {
+  ShardedEngineOptions opts;
+  opts.shards = 4;
+  opts.max_sessions_per_shard = 8;
+  ShardedEngine sharded(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(12);
+  for (int i = 0; i < 12; ++i) {
+    pipes.push_back(make_synthetic_chain(2, 100.0));
+    auto r = sharded.submit(pipes.back().graph, chain_mapping(2, 1), 4);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_text();
+  }
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    EXPECT_EQ(sharded.session_count(s), 3u) << "shard " << s;
+  }
+  EXPECT_EQ(sharded.total_sessions(), 12u);
+}
+
+TEST(ShardedEngine, SaturationDegradesGracefully) {
+  // Submissions >> capacity: the accepted subset completes with correct
+  // output, the overflow is rejected, nothing hangs or oversubscribes.
+  ShardedEngineOptions opts;
+  opts.shards = 4;
+  opts.max_sessions_per_shard = 8;
+  opts.engine.workers = 2;
+  opts.engine.channel_capacity = 2;
+  ShardedEngine sharded(opts);
+
+  // Reference digest: one isolated run of the same chain.
+  std::uint64_t reference = 0;
+  {
+    auto pipe = make_synthetic_chain(4, 300.0);
+    auto r = run_pipeline(pipe.graph, chain_mapping(4, 1), 16);
+    ASSERT_TRUE(r.is_ok());
+    reference = pipe.sink->digest.load();
+  }
+
+  constexpr int kSubmitted = 128;
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(kSubmitted);
+  std::vector<SessionTicket> tickets;
+  for (int i = 0; i < kSubmitted; ++i) {
+    pipes.push_back(make_synthetic_chain(4, 300.0));
+    auto r = sharded.submit(pipes.back().graph, chain_mapping(4, 2), 16);
+    if (r.is_ok()) tickets.push_back(r.value());
+  }
+  EXPECT_EQ(tickets.size(), 32u) << "4 shards x 8 in-flight";
+  EXPECT_EQ(sharded.stats().rejected,
+            static_cast<std::uint64_t>(kSubmitted) - 32u);
+
+  const auto status = sharded.run();
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const auto& rep = sharded.report(tickets[i]);
+    EXPECT_EQ(rep.outcome, SessionOutcome::kCompleted) << "ticket " << i;
+    EXPECT_EQ(pipes[i].sink->digest.load(), reference)
+        << "accepted session " << i << " output diverged under load";
+  }
+}
+
+TEST(ShardedEngine, CancelByTicketWhileRunning) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.max_sessions_per_shard = 4;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+
+  auto endless = make_synthetic_chain(3, 20000.0);
+  auto quick = make_synthetic_chain(3, 200.0);
+  auto t_endless =
+      sharded.submit(endless.graph, chain_mapping(3, 1), 200'000'000);
+  auto t_quick = sharded.submit(quick.graph, chain_mapping(3, 1), 10);
+  ASSERT_TRUE(t_endless.is_ok());
+  ASSERT_TRUE(t_quick.is_ok());
+  EXPECT_NE(t_endless.value().shard, t_quick.value().shard)
+      << "least-loaded placement must spread the two sessions";
+
+  ASSERT_TRUE(sharded.start().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sharded.cancel(t_endless.value());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(sharded.wait().is_ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+
+  EXPECT_EQ(sharded.report(t_endless.value()).outcome,
+            SessionOutcome::kCancelled);
+  EXPECT_EQ(sharded.report(t_quick.value()).outcome,
+            SessionOutcome::kCompleted);
+}
+
+TEST(ShardedEngine, PerSessionDeadlinePropagatesThroughSubmit) {
+  ShardedEngineOptions opts;
+  opts.shards = 1;
+  opts.max_sessions_per_shard = 2;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+  auto endless = make_synthetic_chain(2, 20000.0);
+  SessionOptions deadline;
+  deadline.timeout = std::chrono::milliseconds(25);
+  auto t = sharded.submit(endless.graph, chain_mapping(2, 1), 200'000'000,
+                          deadline);
+  ASSERT_TRUE(t.is_ok());
+  ASSERT_TRUE(sharded.run().is_ok());
+  EXPECT_EQ(sharded.report(t.value()).outcome,
+            SessionOutcome::kDeadlineExceeded);
+}
+
+TEST(ShardedEngine, LifecycleErrors) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  ShardedEngine sharded(opts);
+  EXPECT_FALSE(sharded.run().is_ok()) << "no sessions admitted";
+
+  ShardedEngine sharded2(opts);
+  auto pipe = make_synthetic_chain(2, 100.0);
+  ASSERT_TRUE(sharded2.submit(pipe.graph, chain_mapping(2, 1), 5).is_ok());
+  ASSERT_TRUE(sharded2.start().is_ok());
+  auto late = make_synthetic_chain(2, 100.0);
+  EXPECT_FALSE(sharded2.submit(late.graph, chain_mapping(2, 1), 5).is_ok())
+      << "submit after start must be rejected";
+  ASSERT_TRUE(sharded2.wait().is_ok());
+  // Lifecycle misuse is a failure, not an admission reject: the overload
+  // metric must stay clean.
+  EXPECT_EQ(sharded2.stats().failed, 1u);
+  EXPECT_EQ(sharded2.stats().rejected, 0u);
+  EXPECT_NEAR(sharded2.stats().reject_rate(), 0.0, 1e-12);
+}
+
+TEST(ShardedEngine, InvalidGraphCountsAsFailureNotReject) {
+  ShardedEngineOptions opts;
+  opts.shards = 1;
+  ShardedEngine sharded(opts);
+  auto bodyless = mpsoc::TaskGraph("no-bodies");
+  mpsoc::Task t;
+  t.name = "x";
+  (void)bodyless.add_task(t);
+  EXPECT_FALSE(sharded.submit(bodyless, chain_mapping(1, 1), 5).is_ok());
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ShardedEngine, DestructorWhileRunningCancelsAllShards) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Graphs outlive the engine: workers may still be firing when the
+  // ShardedEngine destructor starts cancelling.
+  auto a = make_synthetic_chain(3, 20000.0);
+  auto b = make_synthetic_chain(3, 20000.0);
+  {
+    ShardedEngineOptions opts;
+    opts.shards = 2;
+    opts.max_sessions_per_shard = 2;
+    opts.engine.workers = 1;
+    opts.engine.channel_capacity = 1;
+    ShardedEngine sharded(opts);
+    ASSERT_TRUE(
+        sharded.submit(a.graph, chain_mapping(3, 1), 200'000'000).is_ok());
+    ASSERT_TRUE(
+        sharded.submit(b.graph, chain_mapping(3, 1), 200'000'000).is_ok());
+    ASSERT_TRUE(sharded.start().is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+}
+
+}  // namespace
+}  // namespace mmsoc::runtime
