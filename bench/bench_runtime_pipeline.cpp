@@ -1,8 +1,10 @@
 // E-RT — concurrent dataflow runtime: throughput scaling of the Fig. 1
 // video-encoder task graph at 1/2/4/8 workers, model-vs-measured
-// comparison for the real-kernel pipeline, and a sharded saturation
-// scenario (sessions >> capacity) whose throughput / p99 latency /
-// admission-reject numbers are emitted to BENCH_runtime.json.
+// comparison for the real-kernel pipeline, a work-stealing scenario
+// (skewed Fig. 1 pipeline, p50/p99 session latency with stealing on vs
+// off), and a sharded saturation scenario (sessions >> capacity). The
+// steal and saturation numbers are emitted together to
+// BENCH_runtime.json.
 //
 // The scaling table uses synthetic calibrated bodies (spin loops sized by
 // each task's modeled work_ops) so the compute-to-coordination ratio is
@@ -57,7 +59,45 @@ double run_synthetic(std::size_t workers, std::uint64_t iterations,
   return report.value().measured_throughput_hz();
 }
 
-void run_shard_saturation();
+struct ShardResult {
+  runtime::ShardedEngineOptions opts;
+  std::uint64_t iters = 0;
+  runtime::AdmissionStats stats;
+  double run_s = 0.0;
+  double session_hz = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  bool ok = false;
+};
+
+struct StealMode {
+  double run_s = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t migrations = 0;
+  bool ok = false;
+};
+
+struct StealResult {
+  std::size_t workers = 0;
+  std::size_t sessions = 0;
+  std::uint64_t iters = 0;
+  double skew = 0.0;
+  StealMode on;
+  StealMode off;
+};
+
+double percentile(std::vector<double>& sorted_walls, double p) {
+  if (sorted_walls.empty()) return 0.0;
+  // Ceiling nearest-rank: flooring would report ~p98.4 as p99 at n=64.
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_walls.size() - 1)));
+  return sorted_walls[idx];
+}
+
+ShardResult run_shard_saturation();
+StealResult run_steal_skew();
+void write_bench_json(const ShardResult& shard, const StealResult& steal);
 
 void print_tables() {
   mmsoc::bench::banner("E-RT/SCALE",
@@ -98,16 +138,117 @@ void print_tables() {
     std::printf("pipeline failed: %s\n", report.status().to_text().c_str());
   }
 
-  run_shard_saturation();
+  const StealResult steal = run_steal_skew();
+  const ShardResult shard = run_shard_saturation();
+  write_bench_json(shard, steal);
+}
+
+// E-RT/STEAL: N concurrent sessions of the Fig. 1 graph with its
+// heaviest stage skewed 10x, every task *hinted* at worker (task mod
+// pool) — so the skewed stage of every session lands on the same worker.
+// Under the static binding that worker serializes all the heavy work
+// while its neighbours go idle; with bounded stealing, whole tasks
+// migrate at iteration boundaries and the tail collapses. Reports p50 /
+// p99 session wall with stealing on vs off.
+StealResult run_steal_skew() {
+  mmsoc::bench::banner("E-RT/STEAL",
+                       "skewed Fig.1 pipeline: stealing on vs off");
+  StealResult result;
+  result.workers = 4;
+  result.sessions = 12;
+  result.iters = 12;
+  result.skew = 10.0;
+
+  // Fig. 1 topology with the heaviest stage scaled by the skew factor
+  // (same boxes and edges; only that stage's synthetic work changes).
+  const auto base = core::video_encoder_graph(128, 128, measure_ops(128, 128));
+  std::size_t heavy = 0;
+  for (mpsoc::TaskId t = 1; t < base.task_count(); ++t) {
+    if (base.task(t).work_ops > base.task(heavy).work_ops) heavy = t;
+  }
+  const auto make_skewed_fig1 = [&] {
+    mpsoc::TaskGraph g("fig1-skewed");
+    for (mpsoc::TaskId t = 0; t < base.task_count(); ++t) {
+      mpsoc::Task copy = base.task(t);
+      if (t == heavy) copy.work_ops *= result.skew;
+      (void)g.add_task(std::move(copy));
+    }
+    for (const auto& e : base.edges()) (void)g.add_edge(e.src, e.dst, e.bytes);
+    return g;
+  };
+
+  const auto run_mode = [&](bool stealing) {
+    StealMode mode;
+    runtime::EngineOptions opts;
+    opts.workers = result.workers;
+    opts.work_stealing = stealing;
+    runtime::Engine engine(opts);
+    std::vector<mpsoc::TaskGraph> graphs;
+    graphs.reserve(result.sessions);
+    for (std::size_t s = 0; s < result.sessions; ++s) {
+      graphs.push_back(make_skewed_fig1());
+      (void)runtime::attach_synthetic_bodies(graphs.back(), 0.05);
+      mpsoc::Mapping mapping(graphs.back().task_count());
+      for (std::size_t t = 0; t < mapping.size(); ++t) {
+        mapping[t] = t % result.workers;  // heavy stage -> one worker
+      }
+      auto added = engine.add_session(graphs.back(), mapping, result.iters);
+      if (!added.is_ok()) return mode;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!engine.run().is_ok()) return mode;
+    mode.run_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::vector<double> walls;
+    walls.reserve(result.sessions);
+    for (std::size_t s = 0; s < result.sessions; ++s) {
+      const auto& rep = engine.report(s);
+      if (rep.outcome != runtime::SessionOutcome::kCompleted) return mode;
+      walls.push_back(rep.wall_s);
+      mode.migrations += rep.task_migrations;
+    }
+    std::sort(walls.begin(), walls.end());
+    mode.p50 = percentile(walls, 0.50);
+    mode.p99 = percentile(walls, 0.99);
+    mode.ok = true;
+    return mode;
+  };
+
+  result.off = run_mode(false);
+  result.on = run_mode(true);
+  if (!result.on.ok || !result.off.ok) {
+    std::printf("steal scenario failed\n");
+    return result;
+  }
+
+  std::printf("%10s %10s %10s %10s %12s\n", "stealing", "wall s", "p50 ms",
+              "p99 ms", "migrations");
+  mmsoc::bench::rule();
+  std::printf("%10s %10.3f %10.2f %10.2f %12llu\n", "off", result.off.run_s,
+              result.off.p50 * 1e3, result.off.p99 * 1e3,
+              static_cast<unsigned long long>(result.off.migrations));
+  std::printf("%10s %10.3f %10.2f %10.2f %12llu\n", "on", result.on.run_s,
+              result.on.p50 * 1e3, result.on.p99 * 1e3,
+              static_cast<unsigned long long>(result.on.migrations));
+  std::printf(
+      "\nShape to verify (multicore host): stealing cuts p99 (static binding\n"
+      "serializes every session's %zux-skewed stage on one worker of %zu);\n"
+      "migrations > 0 only when stealing is on. A 1-core container shows\n"
+      "~parity instead: with one hardware thread every binding is work-\n"
+      "conserving, so the table then measures steal overhead, not benefit.\n",
+      static_cast<std::size_t>(result.skew), result.workers);
+  return result;
 }
 
 // E-RT/SHARD: submit far more transcode sessions than the admission
 // controller will take (sessions >> capacity) and measure how the
 // accepted subset behaves — the "heavy traffic degrades gracefully"
-// experiment. Emits BENCH_runtime.json for the perf trajectory.
-void run_shard_saturation() {
+// experiment.
+ShardResult run_shard_saturation() {
   mmsoc::bench::banner("E-RT/SHARD",
                        "sharded saturation: sessions >> capacity");
+  ShardResult result;
   constexpr int kSubmitted = 512;
   constexpr std::uint64_t kIters = 24;
   runtime::ShardedEngineOptions opts;
@@ -115,6 +256,8 @@ void run_shard_saturation() {
   opts.max_sessions_per_shard = 16;
   opts.engine.workers = 2;
   opts.engine.channel_capacity = 4;
+  result.opts = opts;
+  result.iters = kIters;
   runtime::ShardedEngine sharded(opts);
 
   std::vector<runtime::SyntheticPipeline> pipes;
@@ -127,73 +270,100 @@ void run_shard_saturation() {
     auto r = sharded.submit(pipes.back().graph, mapping, kIters);
     if (r.is_ok()) tickets.push_back(r.value());
   }
-  const auto stats = sharded.stats();
+  result.stats = sharded.stats();
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto status = sharded.run();
-  const double run_s =
+  result.run_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (!status.is_ok()) {
     std::printf("sharded run failed: %s\n", status.to_text().c_str());
-    return;
+    return result;
   }
 
   std::vector<double> walls;
   walls.reserve(tickets.size());
   for (const auto t : tickets) walls.push_back(sharded.report(t).wall_s);
   std::sort(walls.begin(), walls.end());
-  const auto pct = [&](double p) {
-    if (walls.empty()) return 0.0;
-    // Ceiling nearest-rank: flooring would report ~p98.4 as p99 at n=64.
-    const auto idx = static_cast<std::size_t>(
-        std::ceil(p * static_cast<double>(walls.size() - 1)));
-    return walls[idx];
-  };
-  const double p50 = pct(0.50), p99 = pct(0.99);
-  const double session_hz =
-      run_s > 0.0 ? static_cast<double>(tickets.size()) / run_s : 0.0;
+  result.p50 = percentile(walls, 0.50);
+  result.p99 = percentile(walls, 0.99);
+  result.session_hz =
+      result.run_s > 0.0
+          ? static_cast<double>(tickets.size()) / result.run_s
+          : 0.0;
+  result.ok = true;
 
   std::printf("%12s %10s %10s %12s %10s %10s\n", "submitted", "accepted",
               "rejected", "sessions/s", "p50 ms", "p99 ms");
   mmsoc::bench::rule();
   std::printf("%12llu %10llu %10llu %12.1f %10.2f %10.2f\n",
-              static_cast<unsigned long long>(stats.submitted),
-              static_cast<unsigned long long>(stats.accepted),
-              static_cast<unsigned long long>(stats.rejected), session_hz,
-              p50 * 1e3, p99 * 1e3);
+              static_cast<unsigned long long>(result.stats.submitted),
+              static_cast<unsigned long long>(result.stats.accepted),
+              static_cast<unsigned long long>(result.stats.rejected),
+              result.session_hz, result.p50 * 1e3, result.p99 * 1e3);
   std::printf("\nShape to verify: reject rate = 1 - capacity/submitted "
               "(%.0f%%); accepted\nsessions all complete; p99 stays bounded "
               "because rejected work never queues.\n",
-              stats.reject_rate() * 100.0);
+              result.stats.reject_rate() * 100.0);
+  return result;
+}
 
-  if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"experiment\": \"runtime_shard_saturation\",\n"
-        "  \"shards\": %zu,\n"
-        "  \"max_sessions_per_shard\": %zu,\n"
-        "  \"workers_per_shard\": %zu,\n"
-        "  \"iterations_per_session\": %llu,\n"
-        "  \"sessions_submitted\": %llu,\n"
-        "  \"sessions_accepted\": %llu,\n"
-        "  \"sessions_rejected\": %llu,\n"
-        "  \"admission_reject_rate\": %.4f,\n"
-        "  \"run_wall_s\": %.6f,\n"
-        "  \"throughput_sessions_per_s\": %.2f,\n"
-        "  \"p50_session_wall_s\": %.6f,\n"
-        "  \"p99_session_wall_s\": %.6f\n"
-        "}\n",
-        opts.shards, opts.max_sessions_per_shard, opts.engine.workers,
-        static_cast<unsigned long long>(kIters),
-        static_cast<unsigned long long>(stats.submitted),
-        static_cast<unsigned long long>(stats.accepted),
-        static_cast<unsigned long long>(stats.rejected),
-        stats.reject_rate(), run_s, session_hz, p50, p99);
-    std::fclose(f);
-    std::printf("wrote BENCH_runtime.json\n");
-  }
+void write_bench_json(const ShardResult& shard, const StealResult& steal) {
+  FILE* f = std::fopen("BENCH_runtime.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiments\": {\n");
+  std::fprintf(
+      f,
+      "    \"runtime_steal_skew\": {\n"
+      "      \"workers\": %zu,\n"
+      "      \"sessions\": %zu,\n"
+      "      \"iterations_per_session\": %llu,\n"
+      "      \"skew_factor\": %.1f,\n"
+      "      \"stealing_off\": {\"ok\": %s, \"run_wall_s\": %.6f, "
+      "\"p50_session_wall_s\": %.6f, \"p99_session_wall_s\": %.6f, "
+      "\"migrations\": %llu},\n"
+      "      \"stealing_on\": {\"ok\": %s, \"run_wall_s\": %.6f, "
+      "\"p50_session_wall_s\": %.6f, \"p99_session_wall_s\": %.6f, "
+      "\"migrations\": %llu},\n"
+      "      \"p99_speedup_steal\": %.3f\n"
+      "    },\n",
+      steal.workers, steal.sessions,
+      static_cast<unsigned long long>(steal.iters), steal.skew,
+      steal.off.ok ? "true" : "false", steal.off.run_s, steal.off.p50,
+      steal.off.p99, static_cast<unsigned long long>(steal.off.migrations),
+      steal.on.ok ? "true" : "false", steal.on.run_s, steal.on.p50,
+      steal.on.p99, static_cast<unsigned long long>(steal.on.migrations),
+      steal.on.p99 > 0.0 ? steal.off.p99 / steal.on.p99 : 0.0);
+  std::fprintf(
+      f,
+      "    \"runtime_shard_saturation\": {\n"
+      "      \"ok\": %s,\n"
+      "      \"shards\": %zu,\n"
+      "      \"max_sessions_per_shard\": %zu,\n"
+      "      \"workers_per_shard\": %zu,\n"
+      "      \"iterations_per_session\": %llu,\n"
+      "      \"sessions_submitted\": %llu,\n"
+      "      \"sessions_accepted\": %llu,\n"
+      "      \"sessions_rejected\": %llu,\n"
+      "      \"admission_reject_rate\": %.4f,\n"
+      "      \"run_wall_s\": %.6f,\n"
+      "      \"throughput_sessions_per_s\": %.2f,\n"
+      "      \"p50_session_wall_s\": %.6f,\n"
+      "      \"p99_session_wall_s\": %.6f\n"
+      "    }\n"
+      "  }\n"
+      "}\n",
+      shard.ok ? "true" : "false", shard.opts.shards,
+      shard.opts.max_sessions_per_shard, shard.opts.engine.workers,
+      static_cast<unsigned long long>(shard.iters),
+      static_cast<unsigned long long>(shard.stats.submitted),
+      static_cast<unsigned long long>(shard.stats.accepted),
+      static_cast<unsigned long long>(shard.stats.rejected),
+      shard.stats.reject_rate(), shard.run_s, shard.session_hz, shard.p50,
+      shard.p99);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_runtime.json\n");
 }
 
 void BM_SyntheticGraphThroughput(benchmark::State& state) {

@@ -111,14 +111,50 @@ int main() {
                 std::string(runtime::to_string(br.outcome)).c_str());
   }
 
-  // --- 7. Heavy traffic: submit 32 transcodes to a 2-shard front-end
-  // that only admits 8 in flight per shard — the overflow is rejected
-  // with a reason instead of oversubscribing the pools.
+  // --- 7. The scheduler decouples logical PEs from physical workers:
+  // every task of eight skewed pipelines *hints* at worker 0 of 4 (a
+  // deliberately bad static mapping). Bounded work stealing migrates
+  // whole tasks at iteration boundaries, so the other workers pick up
+  // the slack — and the output stays bit-identical.
+  runtime::EngineOptions steal_opts;
+  steal_opts.workers = 4;
+  steal_opts.work_stealing = true;
+  runtime::Engine skewed(steal_opts);
+  std::vector<runtime::SyntheticPipeline> skew_jobs;
+  skew_jobs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    skew_jobs.push_back(runtime::make_skewed_chain(4, 2000.0, 1));
+    (void)skewed.add_session(skew_jobs.back().graph, {0, 0, 0, 0}, 48);
+  }
+  if (skewed.run().is_ok()) {
+    std::uint64_t migrations = 0;
+    for (std::size_t s = 0; s < skewed.session_count(); ++s) {
+      migrations += skewed.report(s).task_migrations;
+    }
+    std::printf("\nwork stealing: 8 skewed pipelines hinted at worker 0/4 -> "
+                "%llu task migrations\n",
+                static_cast<unsigned long long>(migrations));
+    const auto& rep = skewed.report(0);
+    for (const auto& t : rep.tasks) {
+      std::printf("  %-8s pe %zu, home worker %zu, finished on worker %zu "
+                  "(%llu migrations, mean %.1f us)\n",
+                  t.name.c_str(), t.pe, t.home_worker, t.worker,
+                  static_cast<unsigned long long>(t.migrations),
+                  t.mean_firing_s() * 1e6);
+    }
+  }
+
+  // --- 8. Heavy traffic with a front door that never closes: START the
+  // 2-shard front-end first, then pour 32 transcodes into the *running*
+  // shards. Each shard admits 8 in flight; the overflow is rejected with
+  // a reason instead of oversubscribing the pools, and slots free the
+  // moment a session completes.
   runtime::ShardedEngineOptions sopts;
   sopts.shards = 2;
   sopts.max_sessions_per_shard = 8;
   sopts.engine.workers = 2;
   runtime::ShardedEngine front(sopts);
+  if (!front.start().is_ok()) return 1;  // idle shards park until traffic
   std::vector<runtime::SyntheticPipeline> jobs;
   std::vector<runtime::SessionTicket> admitted;
   jobs.reserve(32);
@@ -130,21 +166,23 @@ int main() {
     if (ticket.is_ok()) admitted.push_back(ticket.value());
   }
   const auto fstats = front.stats();
-  std::printf("\nsharded front-end: %llu submitted, %llu admitted, "
-              "%llu rejected (%.0f%%)\n",
+  std::printf("\nsharded front-end (dynamic admission): %llu submitted into "
+              "running shards,\n%llu admitted, %llu rejected (%.0f%%)\n",
               static_cast<unsigned long long>(fstats.submitted),
               static_cast<unsigned long long>(fstats.accepted),
               static_cast<unsigned long long>(fstats.rejected),
               fstats.reject_rate() * 100.0);
-  if (front.run().is_ok()) {
+  if (front.wait().is_ok()) {
     std::size_t completed = 0;
     for (const auto t : admitted) {
       if (front.report(t).outcome == runtime::SessionOutcome::kCompleted) {
         ++completed;
       }
     }
-    std::printf("admitted sessions completed: %zu/%zu across %zu shards\n",
-                completed, admitted.size(), front.shard_count());
+    std::printf("admitted sessions completed: %zu/%zu across %zu shards "
+                "(%llu slots recycled)\n",
+                completed, admitted.size(), front.shard_count(),
+                static_cast<unsigned long long>(front.stats().completed));
   }
   return 0;
 }

@@ -8,6 +8,13 @@
 #include <mutex>
 #include <thread>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstring>
+#endif
+
 namespace mmsoc::runtime {
 
 using common::Result;
@@ -47,18 +54,37 @@ double SessionReport::total_busy_s() const noexcept {
   return s;
 }
 
+std::vector<double> SessionReport::mean_service_times() const {
+  std::vector<double> means;
+  means.reserve(tasks.size());
+  for (const auto& t : tasks) means.push_back(t.mean_firing_s());
+  return means;
+}
+
 struct Engine::Impl {
-  // ---- static description, built by add_session ------------------------
+  struct SessionState;
+
+  // One task of one session, as scheduled: a handle that lives in exactly
+  // one worker's runqueue at a time. The worker whose queue holds it is
+  // the only thread that fires it; `owner` mirrors that placement for the
+  // wakeup path. All non-atomic fields are owned by the current owner;
+  // migration hands them off under the queue mutexes (see try_steal).
   struct TaskRun {
     const mpsoc::TaskGraph* graph = nullptr;
     mpsoc::TaskId id = 0;
-    std::size_t session = 0;
-    std::size_t pe = 0;
+    SessionState* sess = nullptr;
+    std::size_t session_index = 0;
+    std::size_t pe = 0;    // logical PE (mapping) — attribution key
+    std::size_t home = 0;  // placement hint: pe mod pool size
+    /// Worker whose runqueue currently holds this task. Read by firing
+    /// peers to target wakeups; written only during migration.
+    std::atomic<std::size_t> owner{0};
+    std::uint64_t migrations = 0;
     std::vector<SpscQueue<mpsoc::Payload>*> in;   // channel per in-edge
     std::vector<SpscQueue<mpsoc::Payload>*> out;  // channel per out-edge
-    // Workers owning the tasks at the far end of this task's channels
-    // (deduped, self removed): the precise wakeup set after a firing.
-    std::vector<std::size_t> notify;
+    /// Tasks at the far end of this task's channels (deduped, self
+    /// removed). The wakeup set after a firing is their *current* owners.
+    std::vector<TaskRun*> peers;
     std::uint64_t next_iteration = 0;
     std::uint64_t limit = 0;
     // measured
@@ -74,35 +100,52 @@ struct Engine::Impl {
     std::uint64_t iterations = 0;
     SessionOptions options;
     std::vector<std::unique_ptr<SpscQueue<mpsoc::Payload>>> channels;  // per edge
-    std::atomic<std::uint64_t> remaining_firings{0};
+    std::vector<std::unique_ptr<TaskRun>> runs;  // filled when wired
+    /// Firings not yet executed *or dropped by retirement*. Hits zero
+    /// exactly once — when the session stops consuming engine capacity —
+    /// which is the completion-callback trigger for both graceful ends.
+    std::atomic<std::uint64_t> outstanding{0};
     /// kLive until the first cancel wins the CAS; the winning code is the
     /// reported outcome. cancel_ns is CAS'd from zero *before* the code
     /// CAS, so the first cancel's timestamp sticks and an acquire-load of
     /// a nonzero code also publishes it.
     std::atomic<int> cancel_code{kLive};
     std::atomic<Clock::rep> cancel_ns{0};
-    Clock::time_point deadline{};  // set at start() when options.timeout > 0
+    Clock::time_point deadline{};  // set at start()/submit() when timeout > 0
+    Clock::time_point admitted{};  // start() for pre-start, submit() after
     std::once_flag start_once;
     Clock::time_point start{};   // first firing of this session
     Clock::time_point finish{};  // last firing of this session
     SessionReport report;
   };
 
-  /// One eventcount per worker. A worker sleeps on its own version word
-  /// (std::atomic::wait — an indefinite futex-style park, zero CPU); any
-  /// peer that may have made one of its tasks ready bumps the version and
-  /// notifies. Cache-line aligned so notifies don't false-share.
-  struct alignas(64) WorkerSignal {
+  /// One physical worker: a runqueue of task handles plus an eventcount.
+  /// The mutex serializes everything that touches the queue — the owner's
+  /// scan-and-fire pass, dynamic admission appending tasks, and a thief
+  /// removing one — so a migration can never interleave with a firing
+  /// (iteration-boundary-only migration by construction). A worker sleeps
+  /// on its own version word (std::atomic::wait — an indefinite
+  /// futex-style park, zero CPU); any peer that may have made one of its
+  /// tasks ready bumps the version and notifies. Cache-line aligned so
+  /// notifies don't false-share.
+  struct alignas(64) Worker {
+    std::mutex mu;
+    std::vector<TaskRun*> queue;
     std::atomic<std::uint32_t> version{0};
   };
 
   enum class RunState { kIdle, kStarting, kRunning, kJoining, kDone };
+  enum class ScanResult { kIdle, kProgress, kFatal };
 
   EngineOptions options;
+  /// Guards the session table (grows under dynamic admission) and the
+  /// draining flag. Lock order: sessions_mu -> worker.mu / pool_mu /
+  /// dl_mu; workers never take sessions_mu (TaskRun carries its
+  /// SessionState pointer), so the firing path stays lock-cheap.
+  mutable std::mutex sessions_mu;
   std::vector<std::unique_ptr<SessionState>> sessions;
-  std::vector<std::vector<TaskRun*>> per_worker;  // ownership lists
-  std::vector<std::unique_ptr<TaskRun>> runs;
-  std::vector<WorkerSignal> signals;  // one per worker
+  std::atomic<std::size_t> session_count_{0};
+  std::vector<Worker> workers_;
   std::size_t resolved_workers = 0;
   Clock::time_point run_start{};
 
@@ -110,29 +153,42 @@ struct Engine::Impl {
   std::atomic<RunState> state{RunState::kIdle};
   std::vector<std::thread> pool;
   std::atomic<bool> stop{false};
+  /// Start line for the pool: workers park here until start() finished
+  /// provisioning (worker pinning in particular), so a failed start
+  /// never lets a task body fire first.
+  std::atomic<bool> released{false};
+  /// wait() closes admission by setting this under sessions_mu; workers
+  /// exit once draining && global_outstanding == 0.
+  std::atomic<bool> draining{false};
+  /// Firings not yet executed or dropped, across every live session.
+  std::atomic<std::uint64_t> global_outstanding{0};
+  std::atomic<std::uint64_t> total_steals{0};
   std::mutex error_mu;
   Status first_error = Status::ok();
-  /// Serializes start()'s construction of `signals` against the cold
+  /// Serializes start()'s construction of `workers_` against the cold
   /// broadcast path (cancel/error may run concurrently with start() from
   /// another thread). Per-fire notify_worker needs no lock: workers only
-  /// exist after `signals` is fully built and it is never reassigned.
-  std::mutex signals_mu;
+  /// exist after `workers_` is fully built and it is never reassigned.
+  std::mutex pool_mu;
 
   // Deadline monitor: one thread sleeping until the earliest pending
   // deadline (not the worker hot path — workers never timed-wait).
+  // Dynamic admission marks dl_dirty so a new, earlier deadline shortens
+  // the sleep.
   std::thread deadline_thread;
   std::mutex dl_mu;
   std::condition_variable dl_cv;
   bool dl_stop = false;
+  bool dl_dirty = false;
 
   void notify_worker(std::size_t w) {
-    signals[w].version.fetch_add(1, std::memory_order_release);
-    signals[w].version.notify_one();
+    workers_[w].version.fetch_add(1, std::memory_order_release);
+    workers_[w].version.notify_one();
   }
 
   void notify_all_workers() {
-    std::lock_guard lock(signals_mu);
-    for (std::size_t w = 0; w < signals.size(); ++w) notify_worker(w);
+    std::lock_guard lock(pool_mu);
+    for (std::size_t w = 0; w < workers_.size(); ++w) notify_worker(w);
   }
 
   void record_error(Status status) {
@@ -145,10 +201,14 @@ struct Engine::Impl {
   }
 
   /// First cancel wins; subsequent calls (and cancels of finished
-  /// sessions) are no-ops. Safe from any thread while the engine is
-  /// idle, running, or done — but, like any container mutation, not
-  /// concurrently with add_session (which may reallocate `sessions`).
+  /// sessions) are no-ops. Safe from any thread at any lifecycle stage,
+  /// including concurrently with submit().
   void cancel_session(std::size_t s, int code) {
+    std::lock_guard lock(sessions_mu);
+    cancel_session_locked(s, code);
+  }
+
+  void cancel_session_locked(std::size_t s, int code) {
     if (s >= sessions.size()) return;
     auto& sess = *sessions[s];
     // First cancel's timestamp sticks: a later cancel_all/destructor must
@@ -161,14 +221,16 @@ struct Engine::Impl {
     if (sess.cancel_code.compare_exchange_strong(expected, code,
                                                  std::memory_order_acq_rel)) {
       // Wake everyone: parked workers must observe the flag to retire the
-      // session's tasks (a targeted wakeup is not enough — any worker may
-      // own one of its tasks).
+      // session's tasks (a targeted wakeup is not enough — migration
+      // means any worker may hold one of its tasks).
       notify_all_workers();
     }
   }
 
   // A task may fire when it still has iterations left, every input
-  // channel holds a token, and every output channel has space.
+  // channel holds a token, and every output channel has space. Exact for
+  // the owning worker; a thief's pre-steal call is an (atomically read,
+  // possibly stale) heuristic that the post-migration rescan corrects.
   static bool ready(const TaskRun& r) {
     if (r.next_iteration >= r.limit) return false;
     for (auto* ch : r.in) {
@@ -180,7 +242,39 @@ struct Engine::Impl {
     return true;
   }
 
-  void fire(TaskRun& r) {
+  /// Wake the current owners of this task's channel peers. The seq_cst
+  /// fence pairs with the fence in try_steal: either the notifier sees
+  /// the post-migration owner, or the thief's first scan (after its own
+  /// fence) sees the channel state the notifier published — so a
+  /// migration can never swallow a wakeup.
+  void notify_peers(const TaskRun& r, std::size_t self) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (const TaskRun* peer : r.peers) {
+      const std::size_t ow = peer->owner.load(std::memory_order_relaxed);
+      if (ow != self) notify_worker(ow);
+    }
+  }
+
+  /// Session/global accounting for `n` firings leaving the system (fired
+  /// or dropped). Records session completion into `completed` (callback
+  /// runs later, outside the queue lock) and wakes the pool when the
+  /// engine drains dry while wait() is pending.
+  void account_done(TaskRun& r, std::uint64_t n, bool fired,
+                    std::vector<std::size_t>& completed) {
+    auto& sess = *r.sess;
+    if (sess.outstanding.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      if (fired && sess.cancel_code.load(std::memory_order_acquire) == kLive) {
+        sess.finish = Clock::now();
+      }
+      completed.push_back(r.session_index);
+    }
+    if (global_outstanding.fetch_sub(n, std::memory_order_acq_rel) == n &&
+        draining.load(std::memory_order_acquire)) {
+      notify_all_workers();
+    }
+  }
+
+  void fire(TaskRun& r, std::size_t self, std::vector<std::size_t>& completed) {
     mpsoc::TaskFiring firing;
     firing.iteration = r.next_iteration;
     firing.inputs.reserve(r.in.size());
@@ -191,8 +285,7 @@ struct Engine::Impl {
     // Session wall clock runs from its own first firing, not engine
     // start — a multiplexed session that is starved early must not have
     // the wait billed to its throughput.
-    std::call_once(sessions[r.session]->start_once,
-                   [&] { sessions[r.session]->start = t0; });
+    std::call_once(r.sess->start_once, [&] { r.sess->start = t0; });
     r.graph->task(r.id).body(firing);
     const auto t1 = Clock::now();
 
@@ -210,116 +303,411 @@ struct Engine::Impl {
     ++r.firings;
     ++r.next_iteration;
 
-    auto& sess = *sessions[r.session];
-    if (sess.remaining_firings.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      sess.finish = Clock::now();
-    }
+    account_done(r, 1, /*fired=*/true, completed);
     // Precise wakeup: only the workers owning this task's channel peers
     // can have been unblocked (token arrived / space freed).
-    for (const std::size_t w : r.notify) notify_worker(w);
+    notify_peers(r, self);
   }
 
   /// Drop a cancelled task's remaining iterations and drain its input
   /// channels so a back-pressured upstream producer is never left parked
   /// against a dead consumer. Owner-worker only (consumer side of `in`).
-  void retire(TaskRun& r, std::uint64_t& outstanding) {
-    outstanding -= r.limit - r.next_iteration;
+  void retire(TaskRun& r, std::size_t self,
+              std::vector<std::size_t>& completed) {
+    const std::uint64_t drop = r.limit - r.next_iteration;
     r.next_iteration = r.limit;
     for (auto* ch : r.in) ch->clear();
-    for (const std::size_t w : r.notify) notify_worker(w);
+    account_done(r, drop, /*fired=*/false, completed);
+    notify_peers(r, self);
   }
 
-  void worker_main(std::size_t worker_id) {
-    auto& owned = per_worker[worker_id];
-    auto& version = signals[worker_id].version;
-    std::uint64_t outstanding = 0;
-    for (const auto* r : owned) outstanding += r->limit;
+  /// One pass over this worker's runqueue: retire cancelled tasks, fire
+  /// ready ones (bounded batch per task so the queue mutex is released
+  /// regularly for admission and thieves), and compact finished handles
+  /// out of the queue. Caller holds me.mu. Sets `surplus` when the queue
+  /// still holds stealable work after the pass (>= 2 unfinished tasks,
+  /// at least one ready) — the overloaded worker then hints an idle peer
+  /// to come steal, because a worker with an empty queue owns no tasks
+  /// and would otherwise never be woken to retry a failed steal.
+  ScanResult scan_queue(std::size_t w, Worker& me,
+                        std::vector<std::size_t>& completed, bool& surplus) {
+    bool progressed = false;
+    // Bound the per-task drain so an edge-free task (never limited by
+    // channel capacity) cannot monopolize the queue mutex — and so stop/
+    // cancel flags are observed at a bounded iteration distance.
+    const std::uint64_t batch =
+        std::max<std::size_t>(options.channel_capacity, 16);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < me.queue.size(); ++i) {
+      TaskRun* r = me.queue[i];
+      bool done = r->next_iteration >= r->limit;
+      if (!done) {
+        auto& sess = *r->sess;
+        if (sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+          retire(*r, w, completed);
+          progressed = true;
+          done = true;
+        } else {
+          std::uint64_t fired = 0;
+          while (ready(*r) && fired < batch) {
+            try {
+              fire(*r, w, completed);
+            } catch (const std::exception& e) {
+              record_error(Status(StatusCode::kInternal,
+                                  std::string("task '") +
+                                      r->graph->task(r->id).name +
+                                      "' threw: " + e.what()));
+              return ScanResult::kFatal;
+            } catch (...) {
+              record_error(Status(StatusCode::kInternal,
+                                  std::string("task '") +
+                                      r->graph->task(r->id).name + "' threw"));
+              return ScanResult::kFatal;
+            }
+            progressed = true;
+            ++fired;
+            // Iteration boundary: a cancel or engine abort must stop a
+            // free-running task promptly — the next outer pass retires it.
+            if (stop.load(std::memory_order_acquire) ||
+                sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+              break;
+            }
+          }
+          done = r->next_iteration >= r->limit;
+        }
+      }
+      if (!done) me.queue[keep++] = r;
+    }
+    me.queue.resize(keep);
+    if (progressed && me.queue.size() >= 2) {
+      for (const TaskRun* r : me.queue) {
+        if (ready(*r)) {
+          surplus = true;
+          break;
+        }
+      }
+    }
+    return progressed ? ScanResult::kProgress : ScanResult::kIdle;
+  }
 
-    while (outstanding > 0 && !stop.load(std::memory_order_acquire)) {
+  /// Bounded steal: migrate ONE whole task from the first lockable victim
+  /// that holds at least two unfinished tasks and at least one that is
+  /// ready to fire. Leaving a lone task with its owner prevents
+  /// ping-pong; try_lock keeps thieves from stalling behind a victim's
+  /// firing batch. Returns true when a task was migrated.
+  bool try_steal(std::size_t self) {
+    const std::size_t n = workers_.size();
+    if (n < 2) return false;
+    for (std::size_t k = 1; k < n; ++k) {
+      const std::size_t v = (self + k) % n;
+      auto& victim = workers_[v];
+      std::unique_lock lock(victim.mu, std::try_to_lock);
+      if (!lock.owns_lock()) continue;
+      std::size_t live = 0;
+      TaskRun* pick = nullptr;
+      std::size_t pick_at = 0;
+      for (std::size_t i = 0; i < victim.queue.size(); ++i) {
+        TaskRun* r = victim.queue[i];
+        if (r->next_iteration >= r->limit) continue;
+        if (r->sess->cancel_code.load(std::memory_order_acquire) != kLive) {
+          continue;  // retirement stays with the current owner
+        }
+        ++live;
+        if (pick == nullptr && ready(*r)) {
+          pick = r;
+          pick_at = i;
+        }
+      }
+      if (live < 2 || pick == nullptr) continue;
+      victim.queue.erase(victim.queue.begin() +
+                         static_cast<std::ptrdiff_t>(pick_at));
+      pick->owner.store(self, std::memory_order_relaxed);
+      ++pick->migrations;  // ordered by the victim-mu hand-off
+      lock.unlock();
+      {
+        std::lock_guard own(workers_[self].mu);
+        workers_[self].queue.push_back(pick);
+      }
+      // Pairs with the fence in notify_peers: after this fence, either a
+      // concurrent notifier read owner == self (and will wake us), or our
+      // next scan reads the channel state it published before notifying
+      // the stale owner. Either way the token is not lost.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      total_steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void flush_completed(const std::vector<std::size_t>& completed) {
+    if (!options.on_session_complete) return;
+    for (const std::size_t s : completed) options.on_session_complete(s);
+  }
+
+  bool drained_dry() {
+    return draining.load(std::memory_order_acquire) &&
+           global_outstanding.load(std::memory_order_acquire) == 0;
+  }
+
+  void worker_main(std::size_t w) {
+    // Hold at the start line until the pool is fully provisioned: no
+    // body may fire before pinning succeeded (a pin failure must fail
+    // start() *before* any side effect, not after).
+    released.wait(false, std::memory_order_acquire);
+    auto& me = workers_[w];
+    std::vector<std::size_t> completed;
+    std::size_t hint_rr = w;  // rotating target for come-steal hints
+    while (!stop.load(std::memory_order_acquire)) {
       // Eventcount: capture the version *before* scanning. A peer that
       // makes a task ready after this load bumps the version, so the
       // wait() below returns immediately instead of missing the wakeup.
-      const std::uint32_t v = version.load(std::memory_order_acquire);
-      bool progressed = false;
-      for (auto* r : owned) {
-        if (r->next_iteration >= r->limit) continue;  // task done/retired
-        auto& sess = *sessions[r->session];
-        if (sess.cancel_code.load(std::memory_order_acquire) != kLive) {
-          retire(*r, outstanding);
-          progressed = true;
-          continue;
-        }
-        // Drain each task as far as its channels allow before moving on:
-        // keeps the pipeline full without starving siblings (bounded by
-        // channel capacity).
-        while (ready(*r)) {
-          try {
-            fire(*r);
-          } catch (const std::exception& e) {
-            record_error(Status(StatusCode::kInternal,
-                                std::string("task '") +
-                                    r->graph->task(r->id).name +
-                                    "' threw: " + e.what()));
-            return;
-          } catch (...) {
-            record_error(Status(StatusCode::kInternal,
-                                std::string("task '") +
-                                    r->graph->task(r->id).name +
-                                    "' threw"));
-            return;
-          }
-          progressed = true;
-          --outstanding;
-          // Iteration boundary: a cancel or engine abort must stop a
-          // free-running task promptly — an edge-free task is never
-          // bounded by channel capacity, so without this check it would
-          // drain every remaining iteration.
-          if (stop.load(std::memory_order_acquire) ||
-              sess.cancel_code.load(std::memory_order_acquire) != kLive) {
-            break;
-          }
-        }
+      const std::uint32_t v = me.version.load(std::memory_order_acquire);
+      ScanResult res;
+      bool surplus = false;
+      completed.clear();
+      {
+        std::lock_guard lock(me.mu);
+        res = scan_queue(w, me, completed, surplus);
       }
-      if (!progressed && outstanding > 0 &&
-          !stop.load(std::memory_order_acquire)) {
-        // Nothing ready and version unchanged since the scan started:
-        // park indefinitely (zero CPU) until a peer bumps our version.
-        version.wait(v, std::memory_order_acquire);
+      // Completion callbacks run outside the queue mutex so they may
+      // re-enter the engine (submit/cancel) or take caller locks without
+      // deadlocking against admission.
+      flush_completed(completed);
+      if (res == ScanResult::kFatal) return;
+      if (res == ScanResult::kProgress) {
+        if (surplus && options.work_stealing && workers_.size() > 1) {
+          // Come-steal hint: wake one (rotating) peer so a parked idle
+          // worker retries its steal. An idle worker owns no tasks, so
+          // no firing would ever bump its version otherwise; the hint
+          // restores steal liveness at one cheap notify per busy pass.
+          hint_rr = (hint_rr + 1) % workers_.size();
+          if (hint_rr == w) hint_rr = (hint_rr + 1) % workers_.size();
+          notify_worker(hint_rr);
+        }
+        continue;
       }
+      if (drained_dry()) return;
+      if (options.work_stealing && try_steal(w)) continue;
+      if (stop.load(std::memory_order_acquire) || drained_dry()) return;
+      // Nothing ready, nothing stealable, version unchanged since the
+      // scan started: park indefinitely (zero CPU) until a peer bumps
+      // our version.
+      me.version.wait(v, std::memory_order_acquire);
     }
   }
 
   void deadline_main() {
-    std::unique_lock lock(dl_mu);
-    while (!dl_stop) {
+    for (;;) {
       Clock::time_point next = Clock::time_point::max();
-      bool any = false;
-      for (const auto& sess : sessions) {
-        if (sess->deadline == Clock::time_point{}) continue;
-        if (sess->remaining_firings.load(std::memory_order_acquire) == 0)
-          continue;  // finished
-        if (sess->cancel_code.load(std::memory_order_acquire) != kLive)
-          continue;  // already cancelled
-        any = true;
-        next = std::min(next, sess->deadline);
+      {
+        std::lock_guard lock(sessions_mu);
+        for (const auto& sp : sessions) {
+          const auto& sess = *sp;
+          if (sess.deadline == Clock::time_point{}) continue;
+          if (sess.outstanding.load(std::memory_order_acquire) == 0) continue;
+          if (sess.cancel_code.load(std::memory_order_acquire) != kLive)
+            continue;
+          next = std::min(next, sess.deadline);
+        }
       }
-      if (!any) {
-        // No pending deadline can appear after start(); just wait for
-        // shutdown so wait() can join us.
-        dl_cv.wait(lock, [&] { return dl_stop; });
-        return;
+      {
+        std::unique_lock lock(dl_mu);
+        if (dl_stop) return;
+        if (next == Clock::time_point::max()) {
+          // No pending deadline; sleep until shutdown or a dynamic
+          // submit registers one (dl_dirty).
+          dl_cv.wait(lock, [&] { return dl_stop || dl_dirty; });
+        } else {
+          (void)dl_cv.wait_until(lock, next,
+                                 [&] { return dl_stop || dl_dirty; });
+        }
+        if (dl_stop) return;
+        dl_dirty = false;
       }
-      if (dl_cv.wait_until(lock, next, [&] { return dl_stop; })) return;
       const auto now = Clock::now();
-      for (std::size_t s = 0; s < sessions.size(); ++s) {
-        auto& sess = *sessions[s];
-        if (sess.deadline == Clock::time_point{} || now < sess.deadline)
-          continue;
-        if (sess.remaining_firings.load(std::memory_order_acquire) == 0)
-          continue;
+      std::vector<std::size_t> expired;
+      {
+        std::lock_guard lock(sessions_mu);
+        for (std::size_t s = 0; s < sessions.size(); ++s) {
+          const auto& sess = *sessions[s];
+          if (sess.deadline == Clock::time_point{} || now < sess.deadline)
+            continue;
+          if (sess.outstanding.load(std::memory_order_acquire) == 0) continue;
+          if (sess.cancel_code.load(std::memory_order_acquire) != kLive)
+            continue;
+          expired.push_back(s);
+        }
+      }
+      for (const std::size_t s : expired) {
         cancel_session(s, kDeadlineExpired);
       }
     }
+  }
+
+  Status validate(const mpsoc::TaskGraph& graph, const mpsoc::Mapping& mapping,
+                  std::uint64_t iterations) {
+    if (iterations == 0) {
+      return Status(StatusCode::kInvalidArgument, "iterations must be >= 1");
+    }
+    if (graph.task_count() == 0) {
+      return Status(StatusCode::kInvalidArgument, "empty graph");
+    }
+    if (mapping.size() != graph.task_count()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "mapping size != task count");
+    }
+    if (!graph.is_acyclic()) {
+      return Status(StatusCode::kInvalidArgument, "graph has a cycle");
+    }
+    for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
+      if (!graph.task(t).has_body()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "task '" + graph.task(t).name +
+                          "' has no executable body");
+      }
+    }
+    return Status::ok();
+  }
+
+  /// Build the session's TaskRuns, place each on its hint worker, and
+  /// publish the work to the pool. Caller holds sessions_mu; the pool
+  /// (workers_ + resolved_workers) must exist.
+  void wire_session_locked(SessionState& sess, std::size_t index) {
+    const auto& graph = *sess.graph;
+    const std::size_t tasks = graph.task_count();
+    sess.runs.reserve(tasks);
+    for (mpsoc::TaskId t = 0; t < tasks; ++t) {
+      auto run = std::make_unique<TaskRun>();
+      run->graph = &graph;
+      run->id = t;
+      run->sess = &sess;
+      run->session_index = index;
+      run->pe = sess.mapping[t];
+      run->home = sess.mapping[t] % resolved_workers;
+      run->owner.store(run->home, std::memory_order_relaxed);
+      run->limit = sess.iterations;
+      for (const std::size_t e : graph.in_edges(t)) {
+        run->in.push_back(sess.channels[e].get());
+      }
+      for (const std::size_t e : graph.out_edges(t)) {
+        run->out.push_back(sess.channels[e].get());
+      }
+      sess.runs.push_back(std::move(run));
+    }
+    for (mpsoc::TaskId t = 0; t < tasks; ++t) {
+      auto& run = *sess.runs[t];
+      for (const std::size_t e : graph.in_edges(t)) {
+        run.peers.push_back(sess.runs[graph.edges()[e].src].get());
+      }
+      for (const std::size_t e : graph.out_edges(t)) {
+        run.peers.push_back(sess.runs[graph.edges()[e].dst].get());
+      }
+      std::sort(run.peers.begin(), run.peers.end());
+      run.peers.erase(std::unique(run.peers.begin(), run.peers.end()),
+                      run.peers.end());
+      std::erase(run.peers, &run);  // never self-notify
+    }
+    // Capacity must be registered before any worker can see (and burn
+    // down) the new tasks, or the drain accounting would go negative.
+    global_outstanding.fetch_add(sess.iterations * tasks,
+                                 std::memory_order_acq_rel);
+    std::vector<bool> touched(resolved_workers, false);
+    for (const auto& run : sess.runs) {
+      auto& home = workers_[run->home];
+      {
+        std::lock_guard lock(home.mu);
+        home.queue.push_back(run.get());
+      }
+      touched[run->home] = true;
+    }
+    for (std::size_t w = 0; w < resolved_workers; ++w) {
+      if (touched[w]) notify_worker(w);
+    }
+  }
+
+  Result<std::size_t> submit(const mpsoc::TaskGraph& graph,
+                             mpsoc::Mapping mapping, std::uint64_t iterations,
+                             SessionOptions session_options) {
+    const Status valid = validate(graph, mapping, iterations);
+    if (!valid.is_ok()) return Result<std::size_t>(valid);
+
+    std::lock_guard lock(sessions_mu);
+    const RunState st = state.load(std::memory_order_acquire);
+    if (st == RunState::kJoining || st == RunState::kDone ||
+        draining.load(std::memory_order_acquire)) {
+      return Result<std::size_t>(StatusCode::kInternal,
+                                 "engine is draining; submit rejected");
+    }
+    if (stop.load(std::memory_order_acquire)) {
+      // A body threw and the pool already exited (state flips to kDone
+      // only in wait()): admitting now would wire work no worker will
+      // ever run — and leak the caller's admission slot forever.
+      return Result<std::size_t>(StatusCode::kUnavailable,
+                                 "engine stopped on error; submit rejected");
+    }
+    if (st == RunState::kStarting) {
+      return Result<std::size_t>(StatusCode::kUnavailable,
+                                 "engine is starting; retry submit");
+    }
+
+    auto sess = std::make_unique<SessionState>();
+    sess->graph = &graph;
+    sess->mapping = std::move(mapping);
+    sess->iterations = iterations;
+    sess->options = session_options;
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+      sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
+          options.channel_capacity));
+    }
+    sess->outstanding.store(iterations * graph.task_count(),
+                            std::memory_order_relaxed);
+    const std::size_t index = sessions.size();
+    sessions.push_back(std::move(sess));
+    session_count_.store(sessions.size(), std::memory_order_relaxed);
+
+    if (st == RunState::kRunning) {
+      // Dynamic admission: wire and publish immediately. sessions_mu
+      // serializes this against wait()'s draining flip, so work admitted
+      // here is always drained before wait() returns.
+      auto& live = *sessions[index];
+      live.admitted = Clock::now();
+      if (live.options.timeout.count() > 0) {
+        live.deadline = live.admitted + live.options.timeout;
+        {
+          std::lock_guard dl(dl_mu);
+          dl_dirty = true;
+        }
+        dl_cv.notify_all();
+      }
+      wire_session_locked(live, index);
+    }
+    return index;
+  }
+
+  /// Pin worker w to CPU (w mod hardware threads). Returns the first
+  /// failure instead of silently ignoring it.
+  Status pin_pool() {
+    if (!options.pin_workers) return Status::ok();
+#if defined(__linux__)
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<int>(w % ncpu), &set);
+      const int rc =
+          pthread_setaffinity_np(pool[w].native_handle(), sizeof(set), &set);
+      if (rc != 0) {
+        return Status(StatusCode::kInternal,
+                      "pthread_setaffinity_np(worker " + std::to_string(w) +
+                          " -> cpu " + std::to_string(w % ncpu) +
+                          ") failed: " + std::strerror(rc));
+      }
+    }
+    return Status::ok();
+#else
+    return Status(StatusCode::kUnavailable,
+                  "pin_workers is not supported on this platform");
+#endif
   }
 
   Status start() {
@@ -330,82 +718,69 @@ struct Engine::Impl {
     if (!state.compare_exchange_strong(expected, RunState::kStarting)) {
       return Status(StatusCode::kInternal, "engine already started");
     }
-    if (sessions.empty()) {
-      const Status err(StatusCode::kInvalidArgument,
-                       "no sessions registered");
+    {
+      std::lock_guard lock(sessions_mu);
+      // Resolve the pool size: explicit; or one worker per referenced PE;
+      // or — starting empty to serve dynamic submits — one per hardware
+      // thread. The pool size is a *physical* resource decision; logical
+      // PE ids are folded into it as placement hints.
+      std::size_t workers = options.workers;
+      if (workers == 0) {
+        std::size_t max_pe = 0;
+        bool any = false;
+        for (const auto& sess : sessions) {
+          for (const std::size_t pe : sess->mapping) {
+            max_pe = std::max(max_pe, pe);
+            any = true;
+          }
+        }
+        workers = any ? max_pe + 1
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+      }
+      resolved_workers = workers;
       {
-        // A later wait() must report the same failure, not ok.
+        std::lock_guard pl(pool_mu);
+        workers_ = std::vector<Worker>(workers);
+      }
+      run_start = Clock::now();
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        auto& sess = *sessions[s];
+        sess.admitted = run_start;
+        if (sess.options.timeout.count() > 0) {
+          sess.deadline = run_start + sess.options.timeout;
+        }
+        wire_session_locked(sess, s);
+      }
+    }
+
+    pool.reserve(resolved_workers);
+    for (std::size_t w = 0; w < resolved_workers; ++w) {
+      pool.emplace_back([this, w] { worker_main(w); });
+    }
+    const Status pinned = pin_pool();
+    if (!pinned.is_ok()) {
+      // Surface the failure instead of running unpinned: the workers are
+      // still parked at the start line, so no body has fired — tear the
+      // pool back down and report through start() and any later wait().
+      stop.store(true, std::memory_order_release);
+      released.store(true, std::memory_order_release);
+      released.notify_all();
+      for (auto& th : pool) th.join();
+      pool.clear();
+      {
         std::lock_guard lock(error_mu);
-        if (first_error.is_ok()) first_error = err;
+        if (first_error.is_ok()) first_error = pinned;
       }
       state.store(RunState::kDone);
       state.notify_all();
-      return err;
+      return pinned;
     }
-
-    // Resolve the pool size: explicit, or one worker per referenced PE.
-    std::size_t workers = options.workers;
-    if (workers == 0) {
-      std::size_t max_pe = 0;
-      for (const auto& sess : sessions) {
-        for (const std::size_t pe : sess->mapping) max_pe = std::max(max_pe, pe);
-      }
-      workers = max_pe + 1;
-    }
-    resolved_workers = workers;
-    {
-      std::lock_guard lock(signals_mu);
-      signals = std::vector<WorkerSignal>(workers);
-    }
-
-    // Build the ownership lists: task -> worker = mapped PE mod pool size.
-    // Exactly one worker per task keeps every edge single-producer/
-    // single-consumer and makes stateful bodies race-free.
-    per_worker.assign(workers, {});
-    for (std::size_t s = 0; s < sessions.size(); ++s) {
-      auto& sess = *sessions[s];
-      const auto& graph = *sess.graph;
-      const auto owner = [&](mpsoc::TaskId t) { return sess.mapping[t] % workers; };
-      for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
-        auto run = std::make_unique<TaskRun>();
-        run->graph = &graph;
-        run->id = t;
-        run->session = s;
-        run->pe = sess.mapping[t];
-        run->limit = sess.iterations;
-        for (const std::size_t e : graph.in_edges(t)) {
-          run->in.push_back(sess.channels[e].get());
-          run->notify.push_back(owner(graph.edges()[e].src));
-        }
-        for (const std::size_t e : graph.out_edges(t)) {
-          run->out.push_back(sess.channels[e].get());
-          run->notify.push_back(owner(graph.edges()[e].dst));
-        }
-        std::sort(run->notify.begin(), run->notify.end());
-        run->notify.erase(std::unique(run->notify.begin(), run->notify.end()),
-                          run->notify.end());
-        std::erase(run->notify, owner(t));  // never self-notify
-        per_worker[owner(t)].push_back(run.get());
-        runs.push_back(std::move(run));
-      }
-    }
-
-    run_start = Clock::now();
-    bool any_deadline = false;
-    for (auto& sess : sessions) {
-      if (sess->options.timeout.count() > 0) {
-        sess->deadline = run_start + sess->options.timeout;
-        any_deadline = true;
-      }
-    }
-
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([this, w] { worker_main(w); });
-    }
-    if (any_deadline) {
-      deadline_thread = std::thread([this] { deadline_main(); });
-    }
+    released.store(true, std::memory_order_release);
+    released.notify_all();
+    // Always spawn the monitor: deadlines may arrive with any later
+    // dynamic submit, not only with pre-start sessions.
+    deadline_thread = std::thread([this] { deadline_main(); });
     state.store(RunState::kRunning, std::memory_order_release);
     state.notify_all();
     return Status::ok();
@@ -439,6 +814,15 @@ struct Engine::Impl {
       return first_error;
     }
 
+    // Close admission, then let the pool drain what was admitted. The
+    // sessions_mu section orders the flag against in-flight submits: a
+    // submit that won the lock first has already published its work, so
+    // the workers below will not exit until it completes too.
+    {
+      std::lock_guard lock(sessions_mu);
+      draining.store(true, std::memory_order_release);
+    }
+    notify_all_workers();
     for (auto& th : pool) th.join();
     pool.clear();
     {
@@ -448,7 +832,10 @@ struct Engine::Impl {
     dl_cv.notify_all();
     if (deadline_thread.joinable()) deadline_thread.join();
 
-    assemble_reports();
+    {
+      std::lock_guard lock(sessions_mu);
+      assemble_reports();
+    }
     // Capture the result *before* publishing kDone so the winner never
     // takes error_mu after a loser can already have returned. As with
     // any C++ type, destroying the engine still requires every wait()
@@ -465,6 +852,7 @@ struct Engine::Impl {
   }
 
   void assemble_reports() {
+    const auto now = Clock::now();
     for (auto& sp : sessions) {
       auto& sess = *sp;
       auto& rep = sess.report;
@@ -472,29 +860,25 @@ struct Engine::Impl {
       rep.iterations = sess.iterations;
       rep.channel_capacity = options.channel_capacity;
       rep.tasks.assign(sess.graph->task_count(), TaskStats{});
-      for (auto& ch : sess.channels) {
+      for (const auto& ch : sess.channels) {
         rep.max_channel_occupancy =
             std::max(rep.max_channel_occupancy, ch->max_occupancy());
       }
-    }
-    for (const auto& run : runs) {
-      auto& rep = sessions[run->session]->report;
-      auto& stats = rep.tasks[run->id];
-      stats.name = run->graph->task(run->id).name;
-      stats.pe = run->pe;
-      stats.worker = run->pe % resolved_workers;
-      stats.firings = run->firings;
-      stats.busy_s = run->busy_s;
-      stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
-      stats.max_firing_s = run->max_firing_s;
-      rep.completed_firings += run->firings;
-    }
-    const auto now = Clock::now();
-    for (auto& sp : sessions) {
-      auto& sess = *sp;
-      auto& rep = sess.report;
-      const std::uint64_t total =
-          sess.iterations * sess.graph->task_count();
+      for (const auto& run : sess.runs) {
+        auto& stats = rep.tasks[run->id];
+        stats.name = run->graph->task(run->id).name;
+        stats.pe = run->pe;
+        stats.home_worker = run->home;
+        stats.worker = run->owner.load(std::memory_order_relaxed);
+        stats.migrations = run->migrations;
+        stats.firings = run->firings;
+        stats.busy_s = run->busy_s;
+        stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
+        stats.max_firing_s = run->max_firing_s;
+        rep.completed_firings += run->firings;
+        rep.task_migrations += run->migrations;
+      }
+      const std::uint64_t total = sess.iterations * sess.graph->task_count();
       const int code = sess.cancel_code.load(std::memory_order_acquire);
       if (rep.completed_firings == total) {
         rep.outcome = SessionOutcome::kCompleted;
@@ -514,13 +898,15 @@ struct Engine::Impl {
         rep.status = Status(StatusCode::kUnavailable,
                             "engine stopped before session completed");
       }
-      const auto from = sess.start == Clock::time_point{} ? run_start : sess.start;
+      const auto admitted =
+          sess.admitted == Clock::time_point{} ? run_start : sess.admitted;
+      const auto from =
+          sess.start == Clock::time_point{} ? admitted : sess.start;
       Clock::time_point until = sess.finish;
       if (until == Clock::time_point{}) {
         const auto cancel_ns = sess.cancel_ns.load(std::memory_order_relaxed);
-        until = cancel_ns != 0
-                    ? Clock::time_point(Clock::duration(cancel_ns))
-                    : now;
+        until = cancel_ns != 0 ? Clock::time_point(Clock::duration(cancel_ns))
+                               : now;
       }
       rep.wall_s = std::max(0.0, seconds_between(from, until));
     }
@@ -528,7 +914,7 @@ struct Engine::Impl {
 };
 
 Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>()) {
-  impl_->options = options;
+  impl_->options = std::move(options);
 }
 
 Engine::~Engine() {
@@ -540,51 +926,18 @@ Engine::~Engine() {
   }
 }
 
+Result<std::size_t> Engine::submit(const mpsoc::TaskGraph& graph,
+                                   mpsoc::Mapping mapping,
+                                   std::uint64_t iterations,
+                                   SessionOptions session_options) {
+  return impl_->submit(graph, std::move(mapping), iterations, session_options);
+}
+
 Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
                                         mpsoc::Mapping mapping,
                                         std::uint64_t iterations,
                                         SessionOptions session_options) {
-  if (impl_->state.load(std::memory_order_acquire) !=
-      Impl::RunState::kIdle) {
-    return Result<std::size_t>(StatusCode::kInternal,
-                               "engine already started");
-  }
-  if (iterations == 0) {
-    return Result<std::size_t>(StatusCode::kInvalidArgument,
-                               "iterations must be >= 1");
-  }
-  if (graph.task_count() == 0) {
-    return Result<std::size_t>(StatusCode::kInvalidArgument, "empty graph");
-  }
-  if (mapping.size() != graph.task_count()) {
-    return Result<std::size_t>(StatusCode::kInvalidArgument,
-                               "mapping size != task count");
-  }
-  if (!graph.is_acyclic()) {
-    return Result<std::size_t>(StatusCode::kInvalidArgument,
-                               "graph has a cycle");
-  }
-  for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
-    if (!graph.task(t).has_body()) {
-      return Result<std::size_t>(
-          StatusCode::kInvalidArgument,
-          "task '" + graph.task(t).name + "' has no executable body");
-    }
-  }
-
-  auto sess = std::make_unique<Impl::SessionState>();
-  sess->graph = &graph;
-  sess->mapping = std::move(mapping);
-  sess->iterations = iterations;
-  sess->options = session_options;
-  for (std::size_t e = 0; e < graph.edges().size(); ++e) {
-    sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
-        impl_->options.channel_capacity));
-  }
-  sess->remaining_firings.store(iterations * graph.task_count(),
-                                std::memory_order_relaxed);
-  impl_->sessions.push_back(std::move(sess));
-  return impl_->sessions.size() - 1;
+  return impl_->submit(graph, std::move(mapping), iterations, session_options);
 }
 
 Status Engine::start() { return impl_->start(); }
@@ -602,8 +955,9 @@ void Engine::cancel(std::size_t session) {
 }
 
 void Engine::cancel_all() {
+  std::lock_guard lock(impl_->sessions_mu);
   for (std::size_t s = 0; s < impl_->sessions.size(); ++s) {
-    impl_->cancel_session(s, kCancelledByUser);
+    impl_->cancel_session_locked(s, kCancelledByUser);
   }
 }
 
@@ -613,16 +967,21 @@ bool Engine::running() const noexcept {
 }
 
 std::size_t Engine::session_count() const noexcept {
-  return impl_->sessions.size();
+  return impl_->session_count_.load(std::memory_order_relaxed);
 }
 
 const SessionReport& Engine::report(std::size_t session) const {
+  std::lock_guard lock(impl_->sessions_mu);
   return impl_->sessions.at(session)->report;
 }
 
 std::size_t Engine::worker_count() const noexcept {
   return impl_->resolved_workers != 0 ? impl_->resolved_workers
                                       : impl_->options.workers;
+}
+
+std::uint64_t Engine::steal_count() const noexcept {
+  return impl_->total_steals.load(std::memory_order_relaxed);
 }
 
 Result<SessionReport> run_pipeline(const mpsoc::TaskGraph& graph,

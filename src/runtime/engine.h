@@ -1,28 +1,48 @@
 // Concurrent dataflow executor for MPSoC task graphs.
 //
 // The mpsoc layer *predicts* a schedule (list_schedule); this layer
-// actually *runs* the graph. Each modeled processing element becomes a
-// real worker thread; each graph edge becomes a bounded SPSC channel, so
-// a full channel stalls the producer (back-pressure) and the whole graph
-// software-pipelines across iterations exactly the way the analytic
-// initiation-interval model assumes. An Engine multiplexes any number of
-// concurrent Sessions (independent pipelines, e.g. N simultaneous
-// transcodes) over one shared worker pool.
+// actually *runs* the graph. The scheduler decouples *logical* placement
+// from *physical* execution: the analytic mapping assigns every task a
+// PE, which the engine treats as a placement hint — each worker thread
+// owns a runqueue of task handles, a task initially lands on the worker
+// `mapped PE mod pool size`, and from there the runqueue scheduler (not
+// the mapping) decides where it executes. Each graph edge becomes a
+// bounded SPSC channel, so a full channel stalls the producer
+// (back-pressure) and the whole graph software-pipelines across
+// iterations exactly the way the analytic initiation-interval model
+// assumes. An Engine multiplexes any number of concurrent Sessions
+// (independent pipelines, e.g. N simultaneous transcodes) over one
+// shared worker pool — and, unlike a build-then-start-then-frozen batch
+// executor, keeps its front door open: submit() admits new sessions
+// while the engine is running.
 //
-// Determinism: every task is owned by exactly one worker and fires its
-// iterations in order, consuming from and producing into FIFO channels.
-// Task bodies may therefore keep closure state, and the streamed output
-// is bit-identical no matter how many workers execute the graph.
+// Determinism: at any instant every task sits in exactly one worker's
+// runqueue, only that worker fires it, and it fires its iterations in
+// order, consuming from and producing into FIFO channels. Task bodies
+// may therefore keep closure state, and the streamed output is
+// bit-identical no matter how many workers execute the graph — or how
+// tasks migrate between them.
+//
+// Work stealing (bounded): an idle worker that finds nothing runnable in
+// its own queue may migrate ONE whole task from a loaded peer before
+// parking. Migration happens only at an iteration boundary (the victim's
+// queue mutex excludes a firing in progress), moves the task handle —
+// never individual firings — and requires the victim to hold at least
+// two unfinished tasks, so a lone task is never ping-ponged. Because the
+// task moves wholesale, every edge keeps exactly one producer and one
+// consumer thread at a time; the ownership hand-off is ordered by the
+// queue mutexes plus seq_cst fences on the owner word (see engine.cpp).
+// Liveness never depends on stealing: an owner always runs its own ready
+// tasks, stealing only shortens the tail when the static hint skews.
 //
 // Wakeup protocol (eventcount): each worker owns a 32-bit version word.
-// An idle worker loads its version, rescans its tasks once more, and if
-// still nothing is ready calls std::atomic::wait(v) — sleeping
+// An idle worker loads its version, rescans its runqueue once more, and
+// if still nothing is ready calls std::atomic::wait(v) — sleeping
 // indefinitely (zero CPU) until a peer bumps the version. A firing task
 // bumps (fetch_add + notify_one) only the versions of the workers that
-// own the tasks at the other end of the channels it touched, so a wakeup
-// is O(1) and precisely targeted. The load-scan-wait order makes the
-// protocol race-free: any notify after the version load forces wait() to
-// return immediately, and any notify before it happened-before the scan.
+// *currently own* the tasks at the other end of the channels it touched
+// (owners are re-read per firing, so wakeups follow migrations), so a
+// wakeup is O(1) and precisely targeted.
 //
 // Cancellation: Session::cancel() (via Engine::cancel) flips a per-
 // session flag and wakes every worker. Workers observe the flag at
@@ -36,6 +56,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,19 +69,36 @@
 namespace mmsoc::runtime {
 
 struct EngineOptions {
-  /// 0 = one worker per PE referenced by the sessions' mappings (the
-  /// "runtime mirrors the modeled platform" default).
+  /// 0 = one worker per PE referenced by the sessions registered before
+  /// start() (the "runtime mirrors the modeled platform" default), or —
+  /// when the engine starts empty to serve dynamic submits — one worker
+  /// per hardware thread.
   std::size_t workers = 0;
   /// Tokens buffered per edge — the software-pipelining depth. 1 degrades
   /// to lock-step execution; larger values decouple stage jitter.
   std::size_t channel_capacity = 4;
+  /// Allow idle workers to migrate whole tasks from loaded peers at
+  /// iteration boundaries. Off = the placement hint is a hard binding
+  /// (the pre-runqueue behaviour), useful as a bench baseline.
+  bool work_stealing = true;
+  /// Pin worker w to hardware CPU (w mod hardware_concurrency) via
+  /// pthread_setaffinity_np. A pin failure fails start() with a Status
+  /// (never silently ignored); unsupported platforms report kUnavailable.
+  bool pin_workers = false;
+  /// Invoked from a worker thread each time a session stops consuming
+  /// capacity: its last firing completed or, after a cancel, its last
+  /// task was retired. Runs with no engine lock held, so it may call
+  /// Engine::submit/cancel — but it must stay cheap (it is on the firing
+  /// path) and must not block on Engine::wait().
+  std::function<void(std::size_t session)> on_session_complete;
 };
 
 /// Per-session execution policy.
 struct SessionOptions {
-  /// Wall-clock budget measured from Engine::start(); zero = unlimited.
-  /// An expired session is cancelled exactly like Engine::cancel, but
-  /// its report carries kDeadlineExceeded instead of kCancelled.
+  /// Wall-clock budget measured from Engine::start() (sessions admitted
+  /// before start) or from submit() (sessions admitted while running);
+  /// zero = unlimited. An expired session is cancelled exactly like
+  /// Engine::cancel, but its report carries kDeadlineExceeded.
   std::chrono::nanoseconds timeout{0};
 };
 
@@ -78,12 +116,18 @@ enum class SessionOutcome {
 /// Measured execution statistics of one task.
 struct TaskStats {
   std::string name;
-  std::size_t pe = 0;       ///< PE the mapping assigned
-  std::size_t worker = 0;   ///< worker thread that owned the task
+  std::size_t pe = 0;           ///< logical PE the mapping assigned
+  std::size_t home_worker = 0;  ///< placement hint: pe mod pool size
+  /// Worker that owned the task when the session ended. Equal to
+  /// home_worker unless the task was stolen (migrations > 0).
+  std::size_t worker = 0;
+  std::uint64_t migrations = 0;  ///< times the task changed workers
   std::uint64_t firings = 0;
   double busy_s = 0.0;      ///< total body time
   double min_firing_s = 0.0;
   double max_firing_s = 0.0;
+  /// Measured mean body time per firing — the calibration-loop input
+  /// (feed back into core::VideoCosts / the analytic mapper).
   [[nodiscard]] double mean_firing_s() const noexcept {
     return firings > 0 ? busy_s / static_cast<double>(firings) : 0.0;
   }
@@ -97,6 +141,9 @@ struct SessionReport {
   std::vector<TaskStats> tasks;           ///< indexed by TaskId
   std::size_t channel_capacity = 0;
   std::size_t max_channel_occupancy = 0;  ///< max over all edges; <= capacity
+  /// Total task migrations across the session (sum of tasks[].migrations);
+  /// 0 when work_stealing is off or the load never skewed.
+  std::uint64_t task_migrations = 0;
 
   SessionOutcome outcome = SessionOutcome::kPending;
   /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable
@@ -116,6 +163,9 @@ struct SessionReport {
   }
   /// Total body seconds across all tasks (lower bound on 1-worker wall).
   [[nodiscard]] double total_busy_s() const noexcept;
+  /// Per-task mean service times indexed by TaskId — the vector the
+  /// model-calibration loop consumes.
+  [[nodiscard]] std::vector<double> mean_service_times() const;
 };
 
 class Engine {
@@ -128,29 +178,41 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Register a pipeline: run `graph` under `mapping` for `iterations`
-  /// graph iterations. The graph must be acyclic, fully executable
-  /// (every task has a body), and must outlive run(). Each session needs
-  /// its own graph instance when bodies carry mutable closure state.
+  /// Admit a session: run `graph` under `mapping` for `iterations` graph
+  /// iterations. Legal before start() (the session launches with the
+  /// pool) and — dynamic admission — while the engine is running, in
+  /// which case its tasks are enqueued on live workers immediately.
+  /// Rejected once wait() began draining or the engine finished. The
+  /// graph must be acyclic, fully executable (every task has a body),
+  /// and must outlive the engine; each session needs its own graph
+  /// instance when bodies carry mutable closure state. Thread-safe
+  /// against other submits, cancels, and the running workers.
+  [[nodiscard]] common::Result<std::size_t> submit(
+      const mpsoc::TaskGraph& graph, mpsoc::Mapping mapping,
+      std::uint64_t iterations, SessionOptions session_options = {});
+  /// Synonym for submit(), kept for callers that read better as a
+  /// build-phase registration.
   [[nodiscard]] common::Result<std::size_t> add_session(
       const mpsoc::TaskGraph& graph, mpsoc::Mapping mapping,
       std::uint64_t iterations, SessionOptions session_options = {});
 
   /// Launch the worker pool and return immediately; pair with wait().
+  /// Starting with zero sessions is legal: the pool parks until the
+  /// first submit() arrives.
   [[nodiscard]] common::Status start();
-  /// Block until every session completed or was cancelled, then assemble
+  /// Close admission (further submits are rejected), block until every
+  /// admitted session completed or was cancelled, then assemble
   /// per-session reports. Returns the first *error* (a body throwing);
   /// cancellation and deadline expiry are reported per-session instead.
   [[nodiscard]] common::Status wait();
   /// start() + wait(). May be called once.
   [[nodiscard]] common::Status run();
 
-  /// Gracefully cancel one session (thread-safe against the running
-  /// engine, callable while run() blocks in another thread — though not
-  /// concurrently with add_session). Workers observe the flag at
-  /// iteration boundaries, drop remaining iterations, and drain the
-  /// session's channels so back-pressured peers never deadlock.
-  /// Idempotent; a no-op on sessions that already finished.
+  /// Gracefully cancel one session (thread-safe from any thread, also
+  /// against concurrent submits). Workers observe the flag at iteration
+  /// boundaries, drop remaining iterations, and drain the session's
+  /// channels so back-pressured peers never deadlock. Idempotent; a
+  /// no-op on sessions that already finished.
   void cancel(std::size_t session);
   /// Cancel every session.
   void cancel_all();
@@ -162,6 +224,8 @@ class Engine {
   /// Workers the pool resolved to (valid after start(); before, the
   /// configured value, which may be 0 = auto).
   [[nodiscard]] std::size_t worker_count() const noexcept;
+  /// Total task migrations performed by the steal scheduler so far.
+  [[nodiscard]] std::uint64_t steal_count() const noexcept;
 
  private:
   struct Impl;

@@ -480,14 +480,18 @@ std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
   return sink;
 }
 
-SyntheticPipeline make_synthetic_chain(std::size_t stages, double stage_ops) {
+namespace {
+
+SyntheticPipeline make_chain(std::string name, std::size_t stages,
+                             double stage_ops, std::size_t skew_stage,
+                             double skew_factor) {
   if (stages == 0) stages = 1;
-  mpsoc::TaskGraph graph("chain" + std::to_string(stages));
+  mpsoc::TaskGraph graph(std::move(name));
   mpsoc::TaskId prev = 0;
   for (std::size_t i = 0; i < stages; ++i) {
     mpsoc::Task t;
     t.name = "stage" + std::to_string(i);
-    t.work_ops = stage_ops;
+    t.work_ops = i == skew_stage ? stage_ops * skew_factor : stage_ops;
     const auto id = graph.add_task(std::move(t));
     if (i > 0) (void)graph.add_edge(prev, id, 8);
     prev = id;
@@ -495,6 +499,20 @@ SyntheticPipeline make_synthetic_chain(std::size_t stages, double stage_ops) {
   SyntheticPipeline pipe{std::move(graph), nullptr};
   pipe.sink = attach_synthetic_bodies(pipe.graph);
   return pipe;
+}
+
+}  // namespace
+
+SyntheticPipeline make_synthetic_chain(std::size_t stages, double stage_ops) {
+  return make_chain("chain" + std::to_string(stages), stages, stage_ops,
+                    /*skew_stage=*/stages, /*skew_factor=*/1.0);
+}
+
+SyntheticPipeline make_skewed_chain(std::size_t stages, double stage_ops,
+                                    std::size_t skew_stage,
+                                    double skew_factor) {
+  return make_chain("skewed-chain" + std::to_string(stages), stages, stage_ops,
+                    skew_stage, skew_factor);
 }
 
 }  // namespace mmsoc::runtime

@@ -117,4 +117,13 @@ struct SyntheticPipeline {
 [[nodiscard]] SyntheticPipeline make_synthetic_chain(std::size_t stages,
                                                      double stage_ops = 2000.0);
 
+/// A chain with one deliberately skewed stage: stage `skew_stage` burns
+/// `skew_factor` times the ops of the others. The work-stealing
+/// scenario: under a static task->worker binding, sessions whose skewed
+/// stage hints at the same worker wedge it while its neighbours idle.
+[[nodiscard]] SyntheticPipeline make_skewed_chain(std::size_t stages,
+                                                  double stage_ops,
+                                                  std::size_t skew_stage,
+                                                  double skew_factor = 10.0);
+
 }  // namespace mmsoc::runtime

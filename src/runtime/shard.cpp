@@ -1,6 +1,7 @@
 #include "runtime/shard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -13,13 +14,17 @@ using common::StatusCode;
 
 struct ShardedEngine::Impl {
   ShardedEngineOptions options;
-  std::vector<std::unique_ptr<Engine>> engines;
-  std::vector<bool> started;  // shards we launched (empty ones are skipped)
-  mutable std::mutex mu;      // guards admission counters and stats
-  std::vector<std::size_t> inflight;  // admitted sessions per shard
+  mutable std::mutex mu;  // guards admission decisions and stats
   AdmissionStats admission;
   bool running = false;
   bool done = false;
+  // Lock-free load accounting: decremented from worker threads via the
+  // engine completion callback, so it must never take `mu` (submit holds
+  // mu while calling into the engine). Declared before `engines` so the
+  // counters outlive the engines' destructor-time callbacks.
+  std::unique_ptr<std::atomic<std::size_t>[]> inflight;
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::unique_ptr<Engine>> engines;
 };
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
@@ -29,13 +34,24 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   if (impl_->options.max_sessions_per_shard == 0) {
     impl_->options.max_sessions_per_shard = 1;
   }
-  impl_->engines.reserve(impl_->options.shards);
-  for (std::size_t i = 0; i < impl_->options.shards; ++i) {
-    impl_->engines.push_back(
-        std::make_unique<Engine>(impl_->options.engine));
+  const std::size_t shards = impl_->options.shards;
+  impl_->inflight = std::make_unique<std::atomic<std::size_t>[]>(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    impl_->inflight[i].store(0, std::memory_order_relaxed);
   }
-  impl_->inflight.assign(impl_->options.shards, 0);
-  impl_->started.assign(impl_->options.shards, false);
+  impl_->engines.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    EngineOptions engine_options = impl_->options.engine;
+    // Retire-on-complete load accounting: the slot frees the moment the
+    // session stops consuming capacity, whether it completed or was
+    // cancelled and fully retired.
+    engine_options.on_session_complete = [impl = impl_.get(), i](std::size_t) {
+      impl->inflight[i].fetch_sub(1, std::memory_order_acq_rel);
+      impl->completed.fetch_add(1, std::memory_order_relaxed);
+    };
+    impl_->engines.push_back(
+        std::make_unique<Engine>(std::move(engine_options)));
+  }
 }
 
 ShardedEngine::~ShardedEngine() = default;  // shard Engines cancel+join
@@ -46,17 +62,23 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
                                             SessionOptions session_options) {
   std::lock_guard lock(impl_->mu);
   ++impl_->admission.submitted;
-  if (impl_->running || impl_->done) {
+  if (impl_->done) {
     ++impl_->admission.failed;
     return Result<SessionTicket>(StatusCode::kInternal,
-                                 "sharded engine already started");
+                                 "sharded engine already drained");
   }
-  // Least-loaded placement.
+  // Least-loaded placement over *live* in-flight counts (admissions
+  // minus completions/retirements).
   std::size_t best = 0;
-  for (std::size_t i = 1; i < impl_->inflight.size(); ++i) {
-    if (impl_->inflight[i] < impl_->inflight[best]) best = i;
+  std::size_t best_load = impl_->inflight[0].load(std::memory_order_acquire);
+  for (std::size_t i = 1; i < impl_->options.shards; ++i) {
+    const std::size_t load = impl_->inflight[i].load(std::memory_order_acquire);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
   }
-  if (impl_->inflight[best] >= impl_->options.max_sessions_per_shard) {
+  if (best_load >= impl_->options.max_sessions_per_shard) {
     ++impl_->admission.rejected;
     return Result<SessionTicket>(
         StatusCode::kResourceExhausted,
@@ -65,13 +87,16 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
             std::to_string(impl_->options.max_sessions_per_shard) +
             " in-flight sessions");
   }
-  auto added = impl_->engines[best]->add_session(
-      graph, std::move(mapping), iterations, session_options);
+  // Reserve the slot before the engine can possibly run the session to
+  // completion (the callback's decrement must never precede this).
+  impl_->inflight[best].fetch_add(1, std::memory_order_acq_rel);
+  auto added = impl_->engines[best]->submit(graph, std::move(mapping),
+                                            iterations, session_options);
   if (!added.is_ok()) {
+    impl_->inflight[best].fetch_sub(1, std::memory_order_acq_rel);
     ++impl_->admission.failed;  // invalid graph/mapping, not overload
     return Result<SessionTicket>(added.status());
   }
-  ++impl_->inflight[best];
   ++impl_->admission.accepted;
   return SessionTicket{best, added.value()};
 }
@@ -81,15 +106,12 @@ Status ShardedEngine::start() {
   if (impl_->running || impl_->done) {
     return Status(StatusCode::kInternal, "sharded engine already started");
   }
-  if (impl_->admission.accepted == 0) {
-    return Status(StatusCode::kInvalidArgument, "no sessions admitted");
-  }
   impl_->running = true;
-  for (std::size_t i = 0; i < impl_->engines.size(); ++i) {
-    if (impl_->inflight[i] == 0) continue;  // empty shard: nothing to run
-    const Status st = impl_->engines[i]->start();
+  // Every shard launches, traffic or not: an idle pool parks at zero CPU
+  // and dynamic admission may route to it at any moment.
+  for (auto& engine : impl_->engines) {
+    const Status st = engine->start();
     if (!st.is_ok()) return st;
-    impl_->started[i] = true;
   }
   return Status::ok();
 }
@@ -102,9 +124,8 @@ Status ShardedEngine::wait() {
     }
   }
   Status first = Status::ok();
-  for (std::size_t i = 0; i < impl_->engines.size(); ++i) {
-    if (!impl_->started[i]) continue;
-    const Status st = impl_->engines[i]->wait();
+  for (auto& engine : impl_->engines) {
+    const Status st = engine->wait();
     if (first.is_ok() && !st.is_ok()) first = st;
   }
   std::lock_guard lock(impl_->mu);
@@ -114,21 +135,25 @@ Status ShardedEngine::wait() {
 }
 
 Status ShardedEngine::run() {
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->admission.accepted == 0 && !impl_->running) {
+      return Status(StatusCode::kInvalidArgument, "no sessions admitted");
+    }
+  }
   const Status started = start();
   if (!started.is_ok()) return started;
   return wait();
 }
 
 void ShardedEngine::cancel(SessionTicket ticket) {
-  // mu serializes against submit(): Engine::cancel may not run
-  // concurrently with add_session (session vector reallocation).
-  std::lock_guard lock(impl_->mu);
+  // Engine::cancel is thread-safe against concurrent submits; no
+  // front-end lock needed.
   if (ticket.shard >= impl_->engines.size()) return;
   impl_->engines[ticket.shard]->cancel(ticket.session);
 }
 
 void ShardedEngine::cancel_all() {
-  std::lock_guard lock(impl_->mu);
   for (auto& engine : impl_->engines) engine->cancel_all();
 }
 
@@ -146,9 +171,16 @@ std::size_t ShardedEngine::total_sessions() const noexcept {
   return n;
 }
 
+std::size_t ShardedEngine::inflight(std::size_t shard) const {
+  if (shard >= impl_->options.shards) return 0;
+  return impl_->inflight[shard].load(std::memory_order_acquire);
+}
+
 AdmissionStats ShardedEngine::stats() const noexcept {
   std::lock_guard lock(impl_->mu);
-  return impl_->admission;
+  AdmissionStats out = impl_->admission;
+  out.completed = impl_->completed.load(std::memory_order_acquire);
+  return out;
 }
 
 const SessionReport& ShardedEngine::report(SessionTicket ticket) const {

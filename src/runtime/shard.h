@@ -11,6 +11,15 @@
 // (kResourceExhausted) instead of queued — graceful degradation, the
 // overload policy platform papers insist on. Rejected work never costs a
 // worker thread; accepted work keeps its latency budget.
+//
+// Admission is *dynamic*: start() launches every shard immediately and
+// submit() keeps admitting into the running shards until wait() closes
+// the front door. A shard's in-flight count is decremented the moment a
+// session stops consuming capacity (last firing completed, or fully
+// retired after a cancel) via the engine's completion callback, so
+// least-loaded placement and the admission bound track reality under
+// long-running mixes — a slot freed by a finished transcode is
+// immediately available to the next submit.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +34,9 @@ struct ShardedEngineOptions {
   std::size_t shards = 2;
   /// Admission bound: in-flight sessions a single shard will accept.
   std::size_t max_sessions_per_shard = 64;
-  /// Worker pool + channel configuration applied to every shard.
+  /// Worker pool + channel configuration applied to every shard. The
+  /// per-engine on_session_complete hook is owned by the front-end (it
+  /// drives the load accounting) and must be left empty here.
   EngineOptions engine;
 };
 
@@ -44,6 +55,9 @@ struct AdmissionStats {
   /// metric.
   std::uint64_t rejected = 0;
   std::uint64_t failed = 0;
+  /// Sessions that finished consuming capacity (completed, or fully
+  /// retired after cancel/deadline) and returned their admission slot.
+  std::uint64_t completed = 0;
   [[nodiscard]] double reject_rate() const noexcept {
     return submitted > 0
                ? static_cast<double>(rejected) / static_cast<double>(submitted)
@@ -61,16 +75,22 @@ class ShardedEngine {
 
   /// Admit a session onto the least-loaded shard, or reject with
   /// kResourceExhausted when every shard is at max_sessions_per_shard.
-  /// Thread-safe. Same graph-validity rules as Engine::add_session.
+  /// Legal before start() and — dynamic admission — while the shards are
+  /// running; rejected once wait() began. Thread-safe. Same
+  /// graph-validity rules as Engine::submit.
   [[nodiscard]] common::Result<SessionTicket> submit(
       const mpsoc::TaskGraph& graph, mpsoc::Mapping mapping,
       std::uint64_t iterations, SessionOptions session_options = {});
 
-  /// Launch every non-empty shard's worker pool; non-blocking.
+  /// Launch every shard's worker pool (idle shards park until traffic
+  /// arrives); non-blocking.
   [[nodiscard]] common::Status start();
-  /// Block until every shard finished; first shard error wins.
+  /// Close admission and block until every shard drained; first shard
+  /// error wins.
   [[nodiscard]] common::Status wait();
-  /// start() + wait().
+  /// start() + wait(). Fails when nothing was admitted (a blocking run
+  /// of zero sessions is a caller bug; use start() for a traffic-less
+  /// launch).
   [[nodiscard]] common::Status run();
 
   void cancel(SessionTicket ticket);
@@ -79,6 +99,9 @@ class ShardedEngine {
   [[nodiscard]] std::size_t shard_count() const noexcept;
   [[nodiscard]] std::size_t session_count(std::size_t shard) const;
   [[nodiscard]] std::size_t total_sessions() const noexcept;
+  /// Sessions currently consuming capacity on `shard` (admitted minus
+  /// completed/retired) — the load-balancing signal.
+  [[nodiscard]] std::size_t inflight(std::size_t shard) const;
   [[nodiscard]] AdmissionStats stats() const noexcept;
 
   /// Valid after wait()/run().

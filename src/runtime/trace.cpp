@@ -56,12 +56,18 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
   for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
     StageComparison s;
     s.name = graph.task(t).name;
+    // Logical-PE attribution: predicted cost comes from the *mapped* PE;
+    // measured cost comes from the same TaskId regardless of which
+    // worker the runqueue scheduler executed it on.
     s.pe = t < mapping.size() ? mapping[t] : 0;
     s.predicted_s = s.pe < platform.pes.size()
                         ? std::max(0.0, platform.pes[s.pe].exec_seconds(graph.task(t)))
                         : 0.0;
-    s.measured_mean_s =
-        t < measured.tasks.size() ? measured.tasks[t].mean_firing_s() : 0.0;
+    if (t < measured.tasks.size()) {
+      s.measured_mean_s = measured.tasks[t].mean_firing_s();
+      s.worker = measured.tasks[t].worker;
+      s.migrations = measured.tasks[t].migrations;
+    }
     predicted_sum += s.predicted_s;
     measured_sum += s.measured_mean_s;
     pred_series.push_back(s.predicted_s);
@@ -80,12 +86,15 @@ std::string format_comparison(const ModelComparison& c) {
   std::string out;
   char line[160];
   std::snprintf(line, sizeof line,
-                "%-20s %12s %12s %8s %8s\n", "stage", "pred us", "meas us",
-                "pred %", "meas %");
+                "%-20s %4s %4s %4s %12s %12s %8s %8s\n", "stage", "pe", "wkr",
+                "mig", "pred us", "meas us", "pred %", "meas %");
   out += line;
   for (const auto& s : c.stages) {
-    std::snprintf(line, sizeof line, "%-20s %12.2f %12.2f %7.1f%% %7.1f%%\n",
-                  s.name.c_str(), s.predicted_s * 1e6, s.measured_mean_s * 1e6,
+    std::snprintf(line, sizeof line,
+                  "%-20s %4zu %4zu %4llu %12.2f %12.2f %7.1f%% %7.1f%%\n",
+                  s.name.c_str(), s.pe, s.worker,
+                  static_cast<unsigned long long>(s.migrations),
+                  s.predicted_s * 1e6, s.measured_mean_s * 1e6,
                   s.predicted_share * 100.0, s.measured_share * 100.0);
     out += line;
   }

@@ -2,6 +2,15 @@
 // the dataflow runtime actually measured, making prediction error a
 // first-class metric (the calibration loop the paper's methodology
 // implies: predict, build, measure, refine the model).
+//
+// Attribution is by *logical PE*: the comparison keys every stage to the
+// task id / mapped PE the analytic model reasoned about, even when the
+// runqueue scheduler executed the task on a different physical worker
+// (work stealing migrates whole tasks between workers). The executing
+// worker and migration count are reported alongside, so a large
+// model-vs-measured gap can be told apart from a placement that simply
+// moved: the predicted cost still compares against the body time of the
+// same logical stage, wherever it ran.
 #pragma once
 
 #include <string>
@@ -16,7 +25,9 @@ namespace mmsoc::runtime {
 /// One Fig.1/Fig.2 box: predicted vs measured execution time.
 struct StageComparison {
   std::string name;
-  std::size_t pe = 0;
+  std::size_t pe = 0;             ///< logical PE (the model's placement)
+  std::size_t worker = 0;         ///< physical worker that ended up owning it
+  std::uint64_t migrations = 0;   ///< times the steal scheduler moved it
   double predicted_s = 0.0;       ///< model: exec_seconds on the mapped PE
   double measured_mean_s = 0.0;   ///< runtime: mean body time per firing
   double predicted_share = 0.0;   ///< fraction of summed predicted time

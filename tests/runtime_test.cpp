@@ -1,8 +1,10 @@
 // Tests for the concurrent dataflow runtime: queue primitives, engine
 // correctness (determinism across worker counts, back-pressure bounds,
 // multi-session multiplexing), precise wakeups under cancellation and
-// deadlines, real-kernel pipelines, and the predicted-vs-measured model
-// comparison.
+// deadlines, dynamic admission (submit while running), bounded work
+// stealing under skew (including the steal/cancel/submit race suite the
+// CI sanitizer matrix runs under TSan), real-kernel pipelines, and the
+// predicted-vs-measured model comparison.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -411,11 +413,18 @@ TEST(Engine, StartWaitLifecycleIsEnforced) {
   ASSERT_TRUE(engine.add_session(pipe.graph, {0, 0}, 5).is_ok());
   ASSERT_TRUE(engine.start().is_ok());
   EXPECT_FALSE(engine.start().is_ok()) << "double start must fail";
-  EXPECT_FALSE(engine.add_session(pipe.graph, {0, 0}, 5).is_ok())
-      << "add_session after start must fail";
+  // Dynamic admission: the engine accepts sessions after start().
+  auto late = make_synthetic_chain(2, 100.0);
+  auto mid = engine.submit(late.graph, {0, 0}, 5);
+  ASSERT_TRUE(mid.is_ok()) << "submit while running must be admitted: "
+                           << mid.status().to_text();
   ASSERT_TRUE(engine.wait().is_ok());
   EXPECT_TRUE(engine.wait().is_ok()) << "wait after done is idempotent";
   EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(engine.report(mid.value()).outcome, SessionOutcome::kCompleted);
+  auto gone = make_synthetic_chain(2, 100.0);
+  EXPECT_FALSE(engine.submit(gone.graph, {0, 0}, 5).is_ok())
+      << "submit after wait() drained must be rejected";
 }
 
 TEST(Engine, PropagatesBodyErrors) {
@@ -429,6 +438,36 @@ TEST(Engine, PropagatesBodyErrors) {
   auto r = run_pipeline(g, {0}, 10);
   ASSERT_FALSE(r.is_ok());
   EXPECT_NE(r.status().to_text().find("kernel fault"), std::string::npos);
+}
+
+TEST(Engine, SubmitAfterBodyErrorIsRejected) {
+  // Once a body threw, the pool has exited even though wait() has not
+  // been called yet: admitting more work would strand it (and leak the
+  // caller's admission slot in a sharded front-end).
+  mpsoc::TaskGraph bad("throws");
+  mpsoc::Task t;
+  t.name = "boom";
+  t.body = [](mpsoc::TaskFiring&) { throw std::runtime_error("fault"); };
+  (void)bad.add_task(t);
+  Engine engine;
+  ASSERT_TRUE(engine.add_session(bad, {0}, 10).is_ok());
+  ASSERT_TRUE(engine.start().is_ok());
+  // The single firing throws almost immediately; poll until the error
+  // latches, then submit.
+  auto late = make_synthetic_chain(2, 100.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    auto added = engine.submit(late.graph, {0, 0}, 5);
+    if (!added.is_ok()) {
+      EXPECT_EQ(added.status().code(), common::StatusCode::kUnavailable);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "submit must start failing once the engine stopped on error";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(engine.wait().is_ok()) << "the body error still surfaces";
 }
 
 TEST(Engine, BodyErrorAbortsEdgeFreeSiblingSessionPromptly) {
@@ -453,6 +492,225 @@ TEST(Engine, BodyErrorAbortsEdgeFreeSiblingSessionPromptly) {
   EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
   EXPECT_FALSE(status.is_ok());
   EXPECT_EQ(engine.report(1).outcome, SessionOutcome::kAborted);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic admission and work stealing
+// ---------------------------------------------------------------------------
+
+TEST(Engine, SubmitWhileRunningCompletesBitIdentically) {
+  constexpr std::uint64_t kIters = 48;
+  // Reference digest: the same chain run isolated on one worker.
+  std::uint64_t reference = 0;
+  {
+    auto pipe = make_synthetic_chain(4, 500.0);
+    EngineOptions opts;
+    opts.workers = 1;
+    ASSERT_TRUE(run_pipeline(pipe.graph, {0, 0, 0, 0}, kIters, opts).is_ok());
+    reference = pipe.sink->digest.load();
+  }
+
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(6);
+  std::vector<std::size_t> ids;
+  pipes.push_back(make_synthetic_chain(4, 500.0));
+  auto first = engine.add_session(pipes.back().graph, {0, 1, 0, 1}, kIters);
+  ASSERT_TRUE(first.is_ok());
+  ids.push_back(first.value());
+  ASSERT_TRUE(engine.start().is_ok());
+  // Admit the rest mid-flight: tasks land on live workers immediately.
+  for (int i = 0; i < 5; ++i) {
+    pipes.push_back(make_synthetic_chain(4, 500.0));
+    auto added = engine.submit(pipes.back().graph, {1, 0, 1, 0}, kIters);
+    ASSERT_TRUE(added.is_ok()) << added.status().to_text();
+    ids.push_back(added.value());
+  }
+  ASSERT_TRUE(engine.wait().is_ok());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& rep = engine.report(ids[i]);
+    EXPECT_EQ(rep.outcome, SessionOutcome::kCompleted) << "session " << i;
+    EXPECT_EQ(rep.completed_firings, kIters * 4) << "session " << i;
+    EXPECT_EQ(pipes[i].sink->digest.load(), reference)
+        << "dynamically admitted session " << i << " diverged";
+    EXPECT_GT(rep.wall_s, 0.0);
+  }
+}
+
+TEST(Engine, StartEmptyThenSubmitServesTraffic) {
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.start().is_ok())
+      << "an empty engine must start and park, ready for dynamic submits";
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    pipes.push_back(make_synthetic_chain(3, 300.0));
+    ASSERT_TRUE(engine.submit(pipes.back().graph, {0, 1, 0}, 20).is_ok());
+  }
+  ASSERT_TRUE(engine.wait().is_ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(engine.report(static_cast<std::size_t>(i)).outcome,
+              SessionOutcome::kCompleted);
+    EXPECT_EQ(pipes[static_cast<std::size_t>(i)].sink->tokens.load(), 20u);
+  }
+}
+
+TEST(Engine, SkewedStageStealingMigratesWorkAndStaysDeterministic) {
+  // One 10x-slow stage, every task hinted at worker 0 of 4: under the
+  // static binding three workers would idle while worker 0 wedges. With
+  // stealing, tasks migrate and the other workers make progress — and
+  // the output stays bit-identical to an isolated run.
+  constexpr std::size_t kSessions = 8;
+  constexpr std::uint64_t kIters = 64;
+  std::uint64_t reference = 0;
+  {
+    auto pipe = make_skewed_chain(4, 2000.0, 1);
+    EngineOptions opts;
+    opts.workers = 1;
+    ASSERT_TRUE(run_pipeline(pipe.graph, {0, 0, 0, 0}, kIters, opts).is_ok());
+    reference = pipe.sink->digest.load();
+  }
+
+  EngineOptions opts;
+  opts.workers = 4;
+  opts.work_stealing = true;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    pipes.push_back(make_skewed_chain(4, 2000.0, 1));
+    ASSERT_TRUE(
+        engine.add_session(pipes.back().graph, {0, 0, 0, 0}, kIters).is_ok());
+  }
+  ASSERT_TRUE(engine.run().is_ok());
+
+  std::uint64_t migrations = 0;
+  std::uint64_t fired_off_home = 0;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto& rep = engine.report(s);
+    EXPECT_EQ(rep.outcome, SessionOutcome::kCompleted) << "session " << s;
+    EXPECT_EQ(pipes[s].sink->digest.load(), reference)
+        << "session " << s << " output depends on stealing";
+    migrations += rep.task_migrations;
+    for (const auto& t : rep.tasks) {
+      EXPECT_EQ(t.pe, 0u) << "logical PE attribution must survive migration";
+      EXPECT_EQ(t.home_worker, 0u);
+      if (t.worker != t.home_worker) fired_off_home += t.firings;
+    }
+  }
+  EXPECT_GT(migrations, 0u)
+      << "8 sessions hinted at one worker of four must trigger stealing";
+  EXPECT_GT(fired_off_home, 0u)
+      << "other workers must make progress on migrated tasks";
+  EXPECT_EQ(engine.steal_count(), migrations);
+}
+
+TEST(Engine, StealingDisabledKeepsStaticBinding) {
+  EngineOptions opts;
+  opts.workers = 4;
+  opts.work_stealing = false;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(4);
+  for (int s = 0; s < 4; ++s) {
+    pipes.push_back(make_skewed_chain(3, 1000.0, 1));
+    ASSERT_TRUE(
+        engine.add_session(pipes.back().graph, {0, 0, 0}, 24).is_ok());
+  }
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(engine.steal_count(), 0u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto& rep = engine.report(s);
+    EXPECT_EQ(rep.outcome, SessionOutcome::kCompleted);
+    EXPECT_EQ(rep.task_migrations, 0u);
+    for (const auto& t : rep.tasks) {
+      EXPECT_EQ(t.worker, t.home_worker)
+          << "with stealing off the hint is a hard binding";
+    }
+  }
+}
+
+TEST(Engine, StealCancelSubmitRaceStress) {
+  // TSan target: concurrent submits, cancels, and steals over a skewed
+  // load. Every session must end completed or cancelled, and the engine
+  // must drain promptly.
+  constexpr std::uint64_t kIters = 160;
+  EngineOptions opts;
+  opts.workers = 4;
+  opts.channel_capacity = 2;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(16);
+  std::vector<std::size_t> ids;
+  for (int s = 0; s < 8; ++s) {
+    pipes.push_back(make_skewed_chain(4, 3000.0, 1));
+    auto added = engine.add_session(pipes.back().graph, {0, 0, 0, 0}, kIters);
+    ASSERT_TRUE(added.is_ok());
+    ids.push_back(added.value());
+  }
+  ASSERT_TRUE(engine.start().is_ok());
+  std::thread canceller([&] {
+    for (std::size_t i = 0; i < 8; i += 2) {
+      engine.cancel(ids[i]);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Submit more sessions while cancels and steals are in flight.
+  std::vector<std::size_t> late_ids;
+  for (int s = 0; s < 8; ++s) {
+    pipes.push_back(make_skewed_chain(4, 3000.0, 1));
+    auto added = engine.submit(pipes.back().graph, {1, 1, 1, 1}, 32);
+    ASSERT_TRUE(added.is_ok()) << added.status().to_text();
+    late_ids.push_back(added.value());
+  }
+  canceller.join();
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(engine.wait().is_ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(60));
+  for (const std::size_t id : ids) {
+    const auto outcome = engine.report(id).outcome;
+    EXPECT_TRUE(outcome == SessionOutcome::kCompleted ||
+                outcome == SessionOutcome::kCancelled)
+        << to_string(outcome);
+  }
+  for (const std::size_t id : late_ids) {
+    EXPECT_EQ(engine.report(id).outcome, SessionOutcome::kCompleted);
+  }
+}
+
+TEST(Engine, PinWorkersRunsToCompletionOrFailsLoudly) {
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.pin_workers = true;
+  Engine engine(opts);
+  auto pipe = make_synthetic_chain(3, 500.0);
+  ASSERT_TRUE(engine.add_session(pipe.graph, {0, 1, 0}, 20).is_ok());
+  const auto status = engine.run();
+#if defined(__linux__)
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  EXPECT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(pipe.sink->tokens.load(), 20u);
+#else
+  // Unsupported platforms must surface a Status, never silently unpin.
+  EXPECT_FALSE(status.is_ok());
+#endif
+}
+
+TEST(Engine, ReportExposesPerTaskMeanServiceTime) {
+  auto pipe = make_synthetic_chain(3, 2000.0);
+  auto report = run_pipeline(pipe.graph, {0, 0, 0}, 16);
+  ASSERT_TRUE(report.is_ok());
+  const auto& rep = report.value();
+  const auto means = rep.mean_service_times();
+  ASSERT_EQ(means.size(), rep.tasks.size());
+  for (std::size_t t = 0; t < rep.tasks.size(); ++t) {
+    EXPECT_GT(means[t], 0.0) << "calibration input must be populated";
+    EXPECT_DOUBLE_EQ(means[t], rep.tasks[t].mean_firing_s());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
 // Tests for the sharded multi-engine front-end: admission control
 // (bounded in-flight sessions, reject-with-reason on saturation),
-// least-loaded placement, ticketed cancellation, and graceful
-// degradation when submissions far exceed capacity.
+// least-loaded placement over live in-flight counts, dynamic admission
+// into running shards, retire-on-complete load accounting (slots free on
+// completion and on cancel-retirement), ticketed cancellation, and
+// graceful degradation when submissions far exceed capacity.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -170,22 +172,133 @@ TEST(ShardedEngine, PerSessionDeadlinePropagatesThroughSubmit) {
 TEST(ShardedEngine, LifecycleErrors) {
   ShardedEngineOptions opts;
   opts.shards = 2;
+  opts.engine.workers = 1;
   ShardedEngine sharded(opts);
-  EXPECT_FALSE(sharded.run().is_ok()) << "no sessions admitted";
+  EXPECT_FALSE(sharded.run().is_ok())
+      << "a blocking run of zero admitted sessions must fail";
 
   ShardedEngine sharded2(opts);
   auto pipe = make_synthetic_chain(2, 100.0);
   ASSERT_TRUE(sharded2.submit(pipe.graph, chain_mapping(2, 1), 5).is_ok());
   ASSERT_TRUE(sharded2.start().is_ok());
+  // Dynamic admission: submits keep landing after start()...
   auto late = make_synthetic_chain(2, 100.0);
-  EXPECT_FALSE(sharded2.submit(late.graph, chain_mapping(2, 1), 5).is_ok())
-      << "submit after start must be rejected";
+  auto ticket = sharded2.submit(late.graph, chain_mapping(2, 1), 5);
+  ASSERT_TRUE(ticket.is_ok())
+      << "submit into running shards must be admitted: "
+      << ticket.status().to_text();
   ASSERT_TRUE(sharded2.wait().is_ok());
-  // Lifecycle misuse is a failure, not an admission reject: the overload
-  // metric must stay clean.
+  EXPECT_EQ(sharded2.report(ticket.value()).outcome,
+            SessionOutcome::kCompleted);
+  // ...but not once wait() drained the shards. Lifecycle misuse is a
+  // failure, not an admission reject: the overload metric stays clean.
+  auto gone = make_synthetic_chain(2, 100.0);
+  EXPECT_FALSE(sharded2.submit(gone.graph, chain_mapping(2, 1), 5).is_ok())
+      << "submit after wait must be rejected";
   EXPECT_EQ(sharded2.stats().failed, 1u);
   EXPECT_EQ(sharded2.stats().rejected, 0u);
   EXPECT_NEAR(sharded2.stats().reject_rate(), 0.0, 1e-12);
+}
+
+TEST(ShardedEngine, DynamicAdmissionIntoRunningShards) {
+  // Start the front-end with zero traffic, then pour sessions in: every
+  // one must be admitted onto a live shard and complete with the same
+  // digest as an isolated run.
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.max_sessions_per_shard = 8;
+  opts.engine.workers = 2;
+  ShardedEngine sharded(opts);
+  ASSERT_TRUE(sharded.start().is_ok()) << "idle shards must start and park";
+
+  std::uint64_t reference = 0;
+  {
+    auto pipe = make_synthetic_chain(4, 300.0);
+    ASSERT_TRUE(run_pipeline(pipe.graph, chain_mapping(4, 1), 16).is_ok());
+    reference = pipe.sink->digest.load();
+  }
+
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(10);
+  std::vector<SessionTicket> tickets;
+  for (int i = 0; i < 10; ++i) {
+    pipes.push_back(make_synthetic_chain(4, 300.0));
+    auto r = sharded.submit(pipes.back().graph, chain_mapping(4, 2), 16);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_text();
+    tickets.push_back(r.value());
+  }
+  ASSERT_TRUE(sharded.wait().is_ok());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(sharded.report(tickets[i]).outcome, SessionOutcome::kCompleted);
+    EXPECT_EQ(pipes[i].sink->digest.load(), reference)
+        << "dynamically admitted session " << i << " diverged";
+  }
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+}
+
+TEST(ShardedEngine, CompletionFreesAdmissionSlot) {
+  // Retire-on-complete load accounting: with a single one-session slot,
+  // a second submit must be admitted once the first session finishes —
+  // not rejected against a stale in-flight count.
+  ShardedEngineOptions opts;
+  opts.shards = 1;
+  opts.max_sessions_per_shard = 1;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+  ASSERT_TRUE(sharded.start().is_ok());
+
+  auto first = make_synthetic_chain(2, 100.0);
+  auto t1 = sharded.submit(first.graph, chain_mapping(2, 1), 5);
+  ASSERT_TRUE(t1.is_ok());
+  // Wait for the slot to free (the completion callback fires from a
+  // worker thread shortly after the last firing).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded.stats().completed < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "completion never decremented the in-flight count";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(sharded.inflight(0), 0u);
+
+  auto second = make_synthetic_chain(2, 100.0);
+  auto t2 = sharded.submit(second.graph, chain_mapping(2, 1), 5);
+  ASSERT_TRUE(t2.is_ok())
+      << "slot freed by completion must be reusable: "
+      << t2.status().to_text();
+  ASSERT_TRUE(sharded.wait().is_ok());
+  EXPECT_EQ(sharded.report(t2.value()).outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(sharded.stats().completed, 2u);
+  EXPECT_EQ(sharded.stats().rejected, 0u);
+}
+
+TEST(ShardedEngine, CancelFreesAdmissionSlotAfterRetirement) {
+  // A cancelled session returns its slot once its tasks fully retire —
+  // the in-flight count tracks capacity consumption, not submissions.
+  ShardedEngineOptions opts;
+  opts.shards = 1;
+  opts.max_sessions_per_shard = 1;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+  ASSERT_TRUE(sharded.start().is_ok());
+  auto endless = make_synthetic_chain(3, 20000.0);
+  auto t = sharded.submit(endless.graph, chain_mapping(3, 1), 200'000'000);
+  ASSERT_TRUE(t.is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sharded.cancel(t.value());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded.inflight(0) != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "retirement never freed the admission slot";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto next = make_synthetic_chain(2, 100.0);
+  EXPECT_TRUE(sharded.submit(next.graph, chain_mapping(2, 1), 5).is_ok());
+  ASSERT_TRUE(sharded.wait().is_ok());
+  EXPECT_EQ(sharded.report(t.value()).outcome, SessionOutcome::kCancelled);
 }
 
 TEST(ShardedEngine, InvalidGraphCountsAsFailureNotReject) {
