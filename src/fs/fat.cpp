@@ -500,6 +500,47 @@ Result<std::vector<std::uint8_t>> FatVolume::read_file(std::string_view path) {
   return out;
 }
 
+Result<std::vector<std::uint8_t>> FatVolume::read_file_range(
+    std::string_view path, std::uint64_t offset, std::uint64_t length) {
+  auto loc = locate(path);
+  if (!loc.is_ok()) return Result<std::vector<std::uint8_t>>(loc.status());
+  if (loc.value().info.is_directory) {
+    return Result<std::vector<std::uint8_t>>(StatusCode::kInvalidArgument,
+                                             "is a directory");
+  }
+  const std::uint64_t size = loc.value().info.size;
+  if (offset >= size || length == 0) return std::vector<std::uint8_t>{};
+  const std::uint64_t end = std::min<std::uint64_t>(size, offset + length);
+  const std::uint32_t bs = device_->block_size();
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(end - offset));
+  std::vector<std::uint8_t> buf(bs);
+  // Walk the chain but only touch (read) blocks intersecting the range —
+  // skipped leading blocks cost FAT pointer chasing, not device I/O.
+  std::uint64_t block_start = 0;
+  for (const auto block : chain_blocks(loc.value().first_block)) {
+    const std::uint64_t block_end = block_start + bs;
+    if (block_end > offset) {
+      if (block_start >= end) break;
+      if (auto st = device_->read(block, buf); !st.is_ok()) {
+        return Result<std::vector<std::uint8_t>>(std::move(st));
+      }
+      const std::uint64_t from = std::max<std::uint64_t>(block_start, offset);
+      const std::uint64_t to = std::min<std::uint64_t>(block_end, end);
+      out.insert(out.end(),
+                 buf.begin() + static_cast<std::ptrdiff_t>(from - block_start),
+                 buf.begin() + static_cast<std::ptrdiff_t>(to - block_start));
+    }
+    block_start = block_end;
+    if (block_start >= end) break;
+  }
+  if (out.size() != end - offset) {
+    return Result<std::vector<std::uint8_t>>(StatusCode::kCorruptData,
+                                             "chain shorter than size");
+  }
+  return out;
+}
+
 Status FatVolume::remove(std::string_view path) {
   auto loc = locate(path);
   if (!loc.is_ok()) return loc.status();

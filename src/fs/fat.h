@@ -54,6 +54,12 @@ class FatVolume {
                              std::span<const std::uint8_t> data);
   [[nodiscard]] common::Result<std::vector<std::uint8_t>> read_file(
       std::string_view path);
+  /// Ranged read: `length` bytes starting at byte `offset`, touching only
+  /// the blocks that cover the range (a streaming reader pays seeks for
+  /// the blocks it needs, not the whole chain). Reads past EOF are
+  /// clipped; an offset at/after EOF yields an empty vector.
+  [[nodiscard]] common::Result<std::vector<std::uint8_t>> read_file_range(
+      std::string_view path, std::uint64_t offset, std::uint64_t length);
 
   // --- introspection -----------------------------------------------------
   [[nodiscard]] std::uint32_t free_blocks() const noexcept;

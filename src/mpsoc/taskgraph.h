@@ -52,6 +52,17 @@ struct TaskFiring {
 /// reference frame); cross-task communication must go through payloads.
 using TaskBody = std::function<void(TaskFiring&)>;
 
+/// External-readiness gate for asynchronous boundary tasks (I/O sources
+/// and sinks). When set, the runtime fires the task only while the gate
+/// returns true *in addition to* the usual channel conditions — a source
+/// whose device read hasn't completed (or a sink whose device buffer is
+/// full) parks its worker instead of blocking it. The gate is polled from
+/// the owning worker and from work-stealing peers concurrently with the
+/// I/O threads that open it, so it must be thread-safe and cheap (an
+/// atomic load, not a lock or a syscall). Time spent channel-ready but
+/// gate-closed is attributed as I/O stall in TaskStats.
+using TaskGate = std::function<bool()>;
+
 struct Task {
   std::string name;
   double work_ops = 0.0;  ///< operations for one graph iteration
@@ -68,8 +79,14 @@ struct Task {
   /// dataflow runtime refuses to run graphs with body-less tasks.
   TaskBody body;
 
+  /// Optional boundary gate (empty for pure compute tasks).
+  TaskGate gate;
+
   [[nodiscard]] bool has_body() const noexcept {
     return static_cast<bool>(body);
+  }
+  [[nodiscard]] bool has_gate() const noexcept {
+    return static_cast<bool>(gate);
   }
 };
 
@@ -88,6 +105,9 @@ class TaskGraph {
 
   /// Attach (or replace) the executable body of `id`.
   void set_body(TaskId id, TaskBody body) { tasks_[id].body = std::move(body); }
+
+  /// Attach (or replace) the boundary gate of `id` (see TaskGate).
+  void set_gate(TaskId id, TaskGate gate) { tasks_[id].gate = std::move(gate); }
 
   /// True when every task carries an executable body.
   [[nodiscard]] bool fully_executable() const noexcept;

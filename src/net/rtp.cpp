@@ -112,4 +112,18 @@ std::optional<RtpReceiver::PlayoutUnit> RtpReceiver::pop() {
   return std::nullopt;
 }
 
+std::optional<RtpReceiver::PlayoutUnit> RtpReceiver::pop_flush() {
+  if (auto unit = pop()) return unit;
+  if (!started_ || buffer_.empty()) return std::nullopt;
+  // A gap with buffered successors at end of stream: conceal immediately
+  // and advance, so the packets that *did* arrive behind it still play.
+  PlayoutUnit unit;
+  unit.payload = last_payload_;
+  unit.concealed = true;
+  unit.sequence = next_play_;
+  ++concealed_count_;
+  ++next_play_;
+  return unit;
+}
+
 }  // namespace mmsoc::net

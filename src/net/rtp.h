@@ -55,6 +55,13 @@ class RtpReceiver {
   };
   std::optional<PlayoutUnit> pop();
 
+  /// End-of-stream pop: like pop(), but a missing next unit is concealed
+  /// as soon as *any* later packet is buffered — once the feed has
+  /// drained no future arrival can age a gap past the jitter buffer, and
+  /// waiting would strand the received tail behind it. nullopt only when
+  /// the buffer is truly empty.
+  std::optional<PlayoutUnit> pop_flush();
+
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t lost() const noexcept { return concealed_count_; }
   /// RFC 3550 interarrival jitter estimate, in microseconds of wallclock

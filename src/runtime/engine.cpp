@@ -80,6 +80,15 @@ struct Engine::Impl {
     /// peers to target wakeups; written only during migration.
     std::atomic<std::size_t> owner{0};
     std::uint64_t migrations = 0;
+    /// Boundary gate of the underlying task, or null for pure compute.
+    /// Points into the session's graph (which outlives the engine).
+    const mpsoc::TaskGate* gate = nullptr;
+    /// First instant the owning worker saw this task channel-ready but
+    /// gate-closed; zero while not stalled. Owner-only, handed off with
+    /// the task on migration like the other non-atomic fields.
+    Clock::time_point stall_since{};
+    std::uint64_t io_stalls = 0;
+    double io_stall_s = 0.0;
     std::vector<SpscQueue<mpsoc::Payload>*> in;   // channel per in-edge
     std::vector<SpscQueue<mpsoc::Payload>*> out;  // channel per out-edge
     /// Tasks at the far end of this task's channels (deduped, self
@@ -171,6 +180,23 @@ struct Engine::Impl {
   /// exist after `workers_` is fully built and it is never reassigned.
   std::mutex pool_mu;
 
+  /// Detachable back-pointer shared with every task_waker callable. The
+  /// destructor nulls `impl` under the hub mutex, so an I/O completion
+  /// that fires after the engine died degrades to a no-op instead of
+  /// touching freed memory. Lock order: hub->mu -> pool_mu (nothing
+  /// takes them the other way around).
+  struct WakerHub {
+    std::mutex mu;
+    Impl* impl = nullptr;
+  };
+  std::shared_ptr<WakerHub> hub = std::make_shared<WakerHub>();
+
+  Impl() { hub->impl = this; }
+  ~Impl() {
+    std::lock_guard lock(hub->mu);
+    hub->impl = nullptr;
+  }
+
   // Deadline monitor: one thread sleeping until the earliest pending
   // deadline (not the worker hot path — workers never timed-wait).
   // Dynamic admission marks dl_dirty so a new, earlier deadline shortens
@@ -242,6 +268,19 @@ struct Engine::Impl {
     return true;
   }
 
+  /// Boundary condition: a gated task additionally needs its external
+  /// input (or output space) to have arrived. Gates are thread-safe
+  /// atomic reads by contract (see mpsoc::TaskGate), so thieves may poll
+  /// them concurrently with the I/O threads that open them.
+  static bool gate_open(const TaskRun& r) {
+    return r.gate == nullptr || (*r.gate)();
+  }
+
+  /// Full firability — what thieves and come-steal hints must use: a
+  /// channel-ready but gate-closed task is *not* runnable anywhere, so
+  /// migrating it buys nothing.
+  static bool runnable(const TaskRun& r) { return ready(r) && gate_open(r); }
+
   /// Wake the current owners of this task's channel peers. The seq_cst
   /// fence pairs with the fence in try_steal: either the notifier sees
   /// the post-migration owner, or the thief's first scan (after its own
@@ -282,6 +321,14 @@ struct Engine::Impl {
     firing.outputs.resize(r.out.size());
 
     const auto t0 = Clock::now();
+    // Close out a pending boundary stall: the gap between first observing
+    // "channels ready, gate closed" and this firing is I/O wait, kept out
+    // of busy_s so compute attribution stays clean.
+    if (r.stall_since != Clock::time_point{}) {
+      r.io_stall_s += seconds_between(r.stall_since, t0);
+      ++r.io_stalls;
+      r.stall_since = {};
+    }
     // Session wall clock runs from its own first firing, not engine
     // start — a multiplexed session that is starved early must not have
     // the wait billed to its throughput.
@@ -316,6 +363,7 @@ struct Engine::Impl {
               std::vector<std::size_t>& completed) {
     const std::uint64_t drop = r.limit - r.next_iteration;
     r.next_iteration = r.limit;
+    r.stall_since = {};  // a cancelled boundary wait is not an I/O stall
     for (auto* ch : r.in) ch->clear();
     account_done(r, drop, /*fired=*/false, completed);
     notify_peers(r, self);
@@ -350,6 +398,15 @@ struct Engine::Impl {
         } else {
           std::uint64_t fired = 0;
           while (ready(*r) && fired < batch) {
+            if (!gate_open(*r)) {
+              // Channels are ready but the boundary I/O hasn't arrived:
+              // start (or continue) the stall clock and move on. The I/O
+              // completion wakes this task's owner via its task_waker.
+              if (r->stall_since == Clock::time_point{}) {
+                r->stall_since = Clock::now();
+              }
+              break;
+            }
             try {
               fire(*r, w, completed);
             } catch (const std::exception& e) {
@@ -381,7 +438,7 @@ struct Engine::Impl {
     me.queue.resize(keep);
     if (progressed && me.queue.size() >= 2) {
       for (const TaskRun* r : me.queue) {
-        if (ready(*r)) {
+        if (runnable(*r)) {
           surplus = true;
           break;
         }
@@ -413,7 +470,7 @@ struct Engine::Impl {
           continue;  // retirement stays with the current owner
         }
         ++live;
-        if (pick == nullptr && ready(*r)) {
+        if (pick == nullptr && runnable(*r)) {
           pick = r;
           pick_at = i;
         }
@@ -585,6 +642,7 @@ struct Engine::Impl {
       run->pe = sess.mapping[t];
       run->home = sess.mapping[t] % resolved_workers;
       run->owner.store(run->home, std::memory_order_relaxed);
+      run->gate = graph.task(t).has_gate() ? &graph.task(t).gate : nullptr;
       run->limit = sess.iterations;
       for (const std::size_t e : graph.in_edges(t)) {
         run->in.push_back(sess.channels[e].get());
@@ -684,6 +742,39 @@ struct Engine::Impl {
     return index;
   }
 
+  Result<std::function<void()>> task_waker(std::size_t session,
+                                           mpsoc::TaskId task) {
+    std::lock_guard lock(sessions_mu);
+    if (session >= sessions.size()) {
+      return Result<std::function<void()>>(StatusCode::kInvalidArgument,
+                                           "task_waker: no such session");
+    }
+    auto& sess = *sessions[session];
+    if (sess.runs.empty()) {
+      return Result<std::function<void()>>(
+          StatusCode::kUnavailable,
+          "task_waker: session not wired yet; submit into a running engine");
+    }
+    if (task >= sess.runs.size()) {
+      return Result<std::function<void()>>(StatusCode::kInvalidArgument,
+                                           "task_waker: no such task");
+    }
+    TaskRun* run = sess.runs[task].get();
+    return std::function<void()>([hub = hub, run] {
+      std::lock_guard hub_lock(hub->mu);
+      Impl* impl = hub->impl;
+      if (impl == nullptr) return;  // engine died; straggling completion
+      // Same fence protocol as notify_peers: either this call reads the
+      // post-migration owner, or the thief's first rescan (after its own
+      // fence) reads the gate state the I/O thread published before
+      // calling us — a migration can never swallow an I/O wakeup.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::size_t ow = run->owner.load(std::memory_order_relaxed);
+      std::lock_guard pool_lock(impl->pool_mu);
+      if (ow < impl->workers_.size()) impl->notify_worker(ow);
+    });
+  }
+
   /// Pin worker w to CPU (w mod hardware threads). Returns the first
   /// failure instead of silently ignoring it.
   Status pin_pool() {
@@ -691,15 +782,16 @@ struct Engine::Impl {
 #if defined(__linux__)
     const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
     for (std::size_t w = 0; w < pool.size(); ++w) {
+      const std::size_t cpu = (options.pin_cpu_offset + w) % ncpu;
       cpu_set_t set;
       CPU_ZERO(&set);
-      CPU_SET(static_cast<int>(w % ncpu), &set);
+      CPU_SET(static_cast<int>(cpu), &set);
       const int rc =
           pthread_setaffinity_np(pool[w].native_handle(), sizeof(set), &set);
       if (rc != 0) {
         return Status(StatusCode::kInternal,
                       "pthread_setaffinity_np(worker " + std::to_string(w) +
-                          " -> cpu " + std::to_string(w % ncpu) +
+                          " -> cpu " + std::to_string(cpu) +
                           ") failed: " + std::strerror(rc));
       }
     }
@@ -875,8 +967,11 @@ struct Engine::Impl {
         stats.busy_s = run->busy_s;
         stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
         stats.max_firing_s = run->max_firing_s;
+        stats.io_stalls = run->io_stalls;
+        stats.io_stall_s = run->io_stall_s;
         rep.completed_firings += run->firings;
         rep.task_migrations += run->migrations;
+        rep.io_stall_s += run->io_stall_s;
       }
       const std::uint64_t total = sess.iterations * sess.graph->task_count();
       const int code = sess.cancel_code.load(std::memory_order_acquire);
@@ -938,6 +1033,11 @@ Result<std::size_t> Engine::add_session(const mpsoc::TaskGraph& graph,
                                         std::uint64_t iterations,
                                         SessionOptions session_options) {
   return impl_->submit(graph, std::move(mapping), iterations, session_options);
+}
+
+Result<std::function<void()>> Engine::task_waker(std::size_t session,
+                                                 mpsoc::TaskId task) {
+  return impl_->task_waker(session, task);
 }
 
 Status Engine::start() { return impl_->start(); }

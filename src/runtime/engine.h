@@ -44,6 +44,16 @@
 // (owners are re-read per firing, so wakeups follow migrations), so a
 // wakeup is O(1) and precisely targeted.
 //
+// Boundary gates (async I/O integration): a task whose mpsoc::Task
+// carries a TaskGate fires only while the gate returns true in addition
+// to the channel conditions. A gate-closed task parks its worker exactly
+// like an empty input channel — no spin, no inline blocking — and the
+// external I/O completion wakes the task's *current* owner through the
+// callable returned by Engine::task_waker (the same fence protocol as
+// channel-peer wakeups, so migrations never swallow an I/O wakeup). Time
+// a task spends channel-ready but gate-closed is measured as I/O stall
+// (TaskStats::io_stall_s), separating boundary waits from compute.
+//
 // Cancellation: Session::cancel() (via Engine::cancel) flips a per-
 // session flag and wakes every worker. Workers observe the flag at
 // iteration boundaries only — a firing in progress completes — then
@@ -81,10 +91,16 @@ struct EngineOptions {
   /// iteration boundaries. Off = the placement hint is a hard binding
   /// (the pre-runqueue behaviour), useful as a bench baseline.
   bool work_stealing = true;
-  /// Pin worker w to hardware CPU (w mod hardware_concurrency) via
-  /// pthread_setaffinity_np. A pin failure fails start() with a Status
-  /// (never silently ignored); unsupported platforms report kUnavailable.
+  /// Pin worker w to hardware CPU ((pin_cpu_offset + w) mod
+  /// hardware_concurrency) via pthread_setaffinity_np. A pin failure
+  /// fails start() with a Status (never silently ignored); unsupported
+  /// platforms report kUnavailable.
   bool pin_workers = false;
+  /// First CPU of this engine's pinned range — the per-socket sharding
+  /// knob: a sharded front-end gives each shard a disjoint offset so
+  /// shard workers land on disjoint CPU subsets. Ignored unless
+  /// pin_workers is set.
+  std::size_t pin_cpu_offset = 0;
   /// Invoked from a worker thread each time a session stops consuming
   /// capacity: its last firing completed or, after a cancel, its last
   /// task was retired. Runs with no engine lock held, so it may call
@@ -126,6 +142,17 @@ struct TaskStats {
   double busy_s = 0.0;      ///< total body time
   double min_firing_s = 0.0;
   double max_firing_s = 0.0;
+  /// Boundary (gate) waits: firings that found their channels ready but
+  /// the I/O gate closed, and the total worker-observed wait. Always zero
+  /// for pure compute tasks; for async sources/sinks this is the time the
+  /// pipeline spent blocked on the device, not on compute.
+  std::uint64_t io_stalls = 0;
+  double io_stall_s = 0.0;
+  /// Mean boundary wait per firing — the trace column that keeps I/O
+  /// stalls from being misattributed to compute time.
+  [[nodiscard]] double mean_io_stall_s() const noexcept {
+    return firings > 0 ? io_stall_s / static_cast<double>(firings) : 0.0;
+  }
   /// Measured mean body time per firing — the calibration-loop input
   /// (feed back into core::VideoCosts / the analytic mapper).
   [[nodiscard]] double mean_firing_s() const noexcept {
@@ -144,6 +171,10 @@ struct SessionReport {
   /// Total task migrations across the session (sum of tasks[].migrations);
   /// 0 when work_stealing is off or the load never skewed.
   std::uint64_t task_migrations = 0;
+  /// Total worker-observed I/O-boundary stall time (sum of
+  /// tasks[].io_stall_s) — how long the session's tasks sat channel-ready
+  /// but gate-closed waiting on devices. 0 for pure compute sessions.
+  double io_stall_s = 0.0;
 
   SessionOutcome outcome = SessionOutcome::kPending;
   /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable
@@ -216,6 +247,19 @@ class Engine {
   void cancel(std::size_t session);
   /// Cancel every session.
   void cancel_all();
+
+  /// Wakeup hook for asynchronous boundary tasks: a thread-safe callable
+  /// that wakes the worker *currently* owning `task` of `session` (owners
+  /// are re-read per call, so wakeups follow work-stealing migrations).
+  /// An I/O thread calls it after opening the task's gate (completion
+  /// enqueued) so the parked worker rescans; calling it spuriously is
+  /// harmless. Valid only once the session is wired onto live workers —
+  /// i.e. the engine is running (dynamic admission). The callable may
+  /// outlive the Engine: after destruction it degrades to a no-op (the
+  /// shared hub behind it is detached), so a straggling I/O completion
+  /// can never touch a dead pool.
+  [[nodiscard]] common::Result<std::function<void()>> task_waker(
+      std::size_t session, mpsoc::TaskId task);
 
   [[nodiscard]] bool running() const noexcept;
   [[nodiscard]] std::size_t session_count() const noexcept;

@@ -1,0 +1,461 @@
+#include "runtime/io.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mmsoc::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void sleep_us(double us) {
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IoContext
+// ---------------------------------------------------------------------------
+
+IoContext::IoContext(IoContextOptions options)
+    : queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  const std::size_t n = std::max<std::size_t>(1, options.threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] {
+      while (auto job = queue_.pop()) {
+        const auto t0 = Clock::now();
+        (*job)();
+        const auto t1 = Clock::now();
+        jobs_.fetch_add(1, std::memory_order_relaxed);
+        busy_ns_.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count(),
+            std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+IoContext::~IoContext() { stop(); }
+
+bool IoContext::post(std::function<void()> job) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  // push() returns false once close() ran — the benign race with stop()
+  // resolves to a clean rejection either way.
+  return queue_.push(std::move(job));
+}
+
+void IoContext::stop() {
+  std::call_once(stop_once_, [this] {
+    stopped_.store(true, std::memory_order_release);
+    queue_.close();  // pop() drains the backlog, then returns nullopt
+    for (auto& th : threads_) th.join();
+  });
+}
+
+IoContext::Stats IoContext::stats() const noexcept {
+  Stats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.busy_s =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncSource
+// ---------------------------------------------------------------------------
+
+AsyncSource::AsyncSource(IoContext& io, ReadFn read, std::size_t depth)
+    : io_(&io), read_(std::move(read)), depth_(std::max<std::size_t>(1, depth)) {}
+
+AsyncSource::~AsyncSource() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return !inflight_; });
+}
+
+void AsyncSource::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
+  graph.set_body(task, [this](mpsoc::TaskFiring& f) { body(f); });
+  graph.set_gate(task, [this] {
+    return gate_count_.load(std::memory_order_acquire) > 0 ||
+           io_failed_.load(std::memory_order_acquire);
+  });
+}
+
+void AsyncSource::attach(std::uint64_t total_units,
+                         std::function<void()> waker) {
+  std::function<void()> kick;
+  {
+    std::lock_guard lock(mu_);
+    total_ = total_units;
+    waker_ = std::move(waker);
+    kick = waker_;
+    pump_locked();
+  }
+  // Cover the wiring race: a unit that completed before the waker was
+  // stored never called it, so nudge the (possibly parked) owner once.
+  if (kick) kick();
+}
+
+void AsyncSource::pump_locked() {
+  if (inflight_ || next_read_ >= total_ || buffered_.size() >= depth_) return;
+  if (io_failed_.load(std::memory_order_relaxed)) return;
+  inflight_ = true;
+  if (!io_->post([this] { drain(); })) {
+    // Context stopped under a live session: fail open — the gate stays
+    // permanently open and the body delivers empty payloads (underruns),
+    // so the engine can still drain instead of parking forever.
+    inflight_ = false;
+    io_failed_.store(true, std::memory_order_release);
+    idle_.notify_all();
+  }
+}
+
+void AsyncSource::drain() {
+  for (;;) {
+    std::uint64_t unit;
+    {
+      std::lock_guard lock(mu_);
+      if (next_read_ >= total_ || buffered_.size() >= depth_) {
+        inflight_ = false;
+        idle_.notify_all();  // ~AsyncSource may be waiting to tear down
+        return;
+      }
+      unit = next_read_++;
+    }
+    const auto t0 = Clock::now();
+    std::optional<mpsoc::Payload> produced = read_(unit);
+    const auto t1 = Clock::now();
+    std::function<void()> waker;
+    {
+      std::lock_guard lock(mu_);
+      stats_.io_busy_s += seconds_between(t0, t1);
+      mpsoc::Payload payload;
+      if (produced.has_value()) {
+        payload = std::move(*produced);
+      } else {
+        ++stats_.underruns;  // truncated stream: deliver empty, keep going
+      }
+      ++stats_.units;
+      stats_.bytes += payload.size();
+      buffered_.push_back(std::move(payload));
+      stats_.max_buffered = std::max(stats_.max_buffered, buffered_.size());
+      // Publish the buffer state *before* the waker runs (release pairs
+      // with the gate's acquire), so a woken worker always sees the unit.
+      gate_count_.store(buffered_.size(), std::memory_order_release);
+      waker = waker_;
+    }
+    if (waker) waker();
+  }
+}
+
+void AsyncSource::body(mpsoc::TaskFiring& f) {
+  mpsoc::Payload payload;
+  {
+    std::lock_guard lock(mu_);
+    if (!buffered_.empty()) {
+      // The engine fires this body only while the gate holds, and the
+      // task's single owner is the only consumer.
+      payload = std::move(buffered_.front());
+      buffered_.pop_front();
+      gate_count_.store(buffered_.size(), std::memory_order_release);
+      pump_locked();  // freed a prefetch slot: keep the device busy
+    } else {
+      // Fail-open path (gate held because io_failed_): empty payload.
+      ++stats_.underruns;
+    }
+  }
+  const std::size_t n = f.outputs.size();
+  for (std::size_t k = 0; k + 1 < n; ++k) f.outputs[k] = payload;
+  if (n > 0) f.outputs[n - 1] = std::move(payload);
+}
+
+BoundaryStats AsyncSource::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncSink
+// ---------------------------------------------------------------------------
+
+AsyncSink::AsyncSink(IoContext& io, WriteFn write, std::size_t depth)
+    : io_(&io),
+      write_(std::move(write)),
+      depth_(std::max<std::size_t>(1, depth)) {}
+
+AsyncSink::~AsyncSink() {
+  std::unique_lock lock(mu_);
+  flushed_.wait(lock, [this] { return !inflight_; });
+}
+
+void AsyncSink::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
+  graph.set_body(task, [this](mpsoc::TaskFiring& f) { body(f); });
+  graph.set_gate(task, [this] {
+    return gate_occupied_.load(std::memory_order_acquire) < depth_ ||
+           io_failed_.load(std::memory_order_acquire);
+  });
+}
+
+void AsyncSink::attach(std::function<void()> waker) {
+  std::function<void()> kick;
+  {
+    std::lock_guard lock(mu_);
+    waker_ = std::move(waker);
+    kick = waker_;
+  }
+  if (kick) kick();
+}
+
+void AsyncSink::body(mpsoc::TaskFiring& f) {
+  std::lock_guard lock(mu_);
+  if (io_failed_.load(std::memory_order_relaxed)) {
+    ++stats_.dropped;  // fail-open: context gone, unit discarded
+    return;
+  }
+  // Engine contract: fired only while occupied_ < depth_ (the gate), and
+  // this task's single owner is the only producer.
+  pending_.push_back(*f.inputs[0]);  // copy: the channel still owns its slot
+  ++occupied_;
+  gate_occupied_.store(occupied_, std::memory_order_release);
+  stats_.max_buffered = std::max(stats_.max_buffered, pending_.size());
+  if (!inflight_) {
+    inflight_ = true;
+    if (!io_->post([this] { drain(); })) {
+      // Context stopped under a live session: fail open — drop what we
+      // hold (counted), keep the gate permanently open, and unblock any
+      // flush()er; the engine drains instead of wedging.
+      inflight_ = false;
+      io_failed_.store(true, std::memory_order_release);
+      stats_.dropped += pending_.size();
+      pending_.clear();
+      occupied_ = 0;
+      gate_occupied_.store(0, std::memory_order_release);
+      flushed_.notify_all();
+    }
+  }
+}
+
+void AsyncSink::drain() {
+  for (;;) {
+    mpsoc::Payload payload;
+    std::uint64_t unit;
+    {
+      std::lock_guard lock(mu_);
+      if (pending_.empty()) {
+        inflight_ = false;
+        flushed_.notify_all();
+        return;
+      }
+      payload = std::move(pending_.front());
+      pending_.pop_front();
+      unit = next_write_++;
+    }
+    const std::size_t bytes = payload.size();
+    const auto t0 = Clock::now();
+    write_(unit, std::move(payload));
+    const auto t1 = Clock::now();
+    std::function<void()> waker;
+    {
+      std::lock_guard lock(mu_);
+      stats_.io_busy_s += seconds_between(t0, t1);
+      ++stats_.units;
+      stats_.bytes += bytes;
+      // The slot counts as occupied until the write *finished* — that is
+      // the back-pressure a slow device exerts on the pipeline.
+      --occupied_;
+      gate_occupied_.store(occupied_, std::memory_order_release);
+      waker = waker_;
+    }
+    if (waker) waker();
+  }
+}
+
+void AsyncSink::flush() {
+  std::unique_lock lock(mu_);
+  flushed_.wait(lock, [this] { return pending_.empty() && !inflight_; });
+}
+
+BoundaryStats AsyncSink::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// RTP endpoints
+// ---------------------------------------------------------------------------
+
+RtpIngress::RtpIngress(std::vector<TimedPacket> feed, RtpIngressOptions options)
+    : feed_(std::move(feed)),
+      receiver_(options.playout_delay_units),
+      time_scale_(options.time_scale) {}
+
+std::optional<mpsoc::Payload> RtpIngress::read(std::uint64_t /*index*/) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto unit = receiver_.pop()) {
+      last_unit_ = unit->payload;
+      return mpsoc::Payload(std::move(unit->payload));
+    }
+    if (feed_pos_ >= feed_.size()) break;
+    const TimedPacket& pkt = feed_[feed_pos_++];
+    const double gap_us = pkt.arrival_us - clock_us_;
+    clock_us_ = std::max(clock_us_, pkt.arrival_us);
+    if (time_scale_ > 0.0 && gap_us > 0.0) {
+      lock.unlock();  // model the arrival gap without holding the state
+      sleep_us(gap_us * time_scale_);
+      lock.lock();
+    }
+    receiver_.push(pkt.bytes, pkt.arrival_us);
+  }
+  // Feed drained: flush the jitter buffer — a gap can no longer age, so
+  // the receiver conceals it immediately and the packets that *did*
+  // arrive behind it still play out in order.
+  if (auto unit = receiver_.pop_flush()) {
+    last_unit_ = unit->payload;
+    return mpsoc::Payload(std::move(unit->payload));
+  }
+  if (receiver_.received() == 0) return std::nullopt;  // nothing ever arrived
+  // Pure tail loss (buffer empty, stream short): repeat the last
+  // delivered unit so the session still gets its full unit count.
+  ++tail_concealed_;
+  return last_unit_;
+}
+
+std::uint64_t RtpIngress::concealed() const {
+  std::lock_guard lock(mu_);
+  return receiver_.lost() + tail_concealed_;
+}
+
+std::uint64_t RtpIngress::packets_received() const {
+  std::lock_guard lock(mu_);
+  return receiver_.received();
+}
+
+double RtpIngress::jitter_us() const {
+  std::lock_guard lock(mu_);
+  return receiver_.jitter_us();
+}
+
+RtpEgress::RtpEgress(RtpEgressOptions options) : options_(options) {}
+
+void RtpEgress::write(std::uint64_t index, mpsoc::Payload unit) {
+  {
+    std::lock_guard lock(mu_);
+    auto packet = sender_.packetize(
+        unit, static_cast<std::uint32_t>(index) * options_.timestamp_step);
+    bytes_ += packet.size();
+    packets_.push_back(std::move(packet));
+  }
+  sleep_us(options_.pacing_us * options_.time_scale);
+}
+
+std::vector<std::vector<std::uint8_t>> RtpEgress::take_packets() {
+  std::lock_guard lock(mu_);
+  return std::move(packets_);
+}
+
+std::uint64_t RtpEgress::packets_sent() const {
+  std::lock_guard lock(mu_);
+  return packets_.size();
+}
+
+std::uint64_t RtpEgress::bytes_sent() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::vector<TimedPacket> make_timed_feed(
+    std::vector<std::vector<std::uint8_t>> packets, double interval_us) {
+  std::vector<TimedPacket> feed;
+  feed.reserve(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    feed.push_back(TimedPacket{std::move(packets[i]),
+                               static_cast<double>(i) * interval_us});
+  }
+  return feed;
+}
+
+// ---------------------------------------------------------------------------
+// Block-storage endpoints
+// ---------------------------------------------------------------------------
+
+BlockFileSource::BlockFileSource(fs::FatVolume& volume,
+                                 std::shared_ptr<std::mutex> volume_mu,
+                                 StreamIndex index, BlockIoOptions options)
+    : volume_(&volume),
+      volume_mu_(std::move(volume_mu)),
+      index_(std::move(index)),
+      options_(options) {}
+
+std::optional<mpsoc::Payload> BlockFileSource::read(std::uint64_t index) {
+  if (index >= index_.offsets.size()) return std::nullopt;
+  mpsoc::Payload payload;
+  double delta_us = 0.0;
+  {
+    std::lock_guard vol_lock(*volume_mu_);
+    const double before = volume_->device().modeled_time_us(options_.timing);
+    auto data = volume_->read_file_range(index_.path, index_.offsets[index],
+                                         index_.sizes[index]);
+    delta_us = volume_->device().modeled_time_us(options_.timing) - before;
+    if (!data.is_ok()) return std::nullopt;
+    payload = std::move(data.value());
+  }
+  {
+    std::lock_guard lock(mu_);
+    modeled_us_ += delta_us;
+  }
+  sleep_us(delta_us * options_.time_scale);  // the disk "takes" this long
+  return payload;
+}
+
+double BlockFileSource::modeled_io_us() const {
+  std::lock_guard lock(mu_);
+  return modeled_us_;
+}
+
+BlockFileSink::BlockFileSink(fs::FatVolume& volume,
+                             std::shared_ptr<std::mutex> volume_mu,
+                             std::string path, BlockIoOptions options)
+    : volume_(&volume),
+      volume_mu_(std::move(volume_mu)),
+      path_(std::move(path)),
+      options_(options) {}
+
+void BlockFileSink::write(std::uint64_t /*index*/, mpsoc::Payload unit) {
+  double delta_us = 0.0;
+  {
+    std::lock_guard vol_lock(*volume_mu_);
+    const double before = volume_->device().modeled_time_us(options_.timing);
+    const common::Status st = volume_->append_file(path_, unit);
+    delta_us = volume_->device().modeled_time_us(options_.timing) - before;
+    if (!st.is_ok()) {
+      std::lock_guard lock(mu_);
+      if (status_.is_ok()) status_ = st;  // first device error wins
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    modeled_us_ += delta_us;
+  }
+  sleep_us(delta_us * options_.time_scale);
+}
+
+double BlockFileSink::modeled_io_us() const {
+  std::lock_guard lock(mu_);
+  return modeled_us_;
+}
+
+common::Status BlockFileSink::status() const {
+  std::lock_guard lock(mu_);
+  return status_;
+}
+
+}  // namespace mmsoc::runtime

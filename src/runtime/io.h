@@ -1,0 +1,411 @@
+// Asynchronous I/O boundary subsystem: bridge external byte/packet
+// streams into Engine sessions without blocking workers.
+//
+// The compute runtime (engine.h) executes task graphs on a worker pool;
+// until now its sources and sinks computed *inline*, so an I/O-bound
+// stage (a device read, a network receive) stalled a PE for the full
+// device latency. This subsystem moves that latency off the pool:
+//
+//  * IoContext — a small pool of dedicated I/O threads draining a job
+//    queue. Device operations (and their modeled latencies — BlockDevice
+//    seek/transfer time, RTP interarrival pacing) run *here*, never on an
+//    engine worker.
+//  * AsyncSource / AsyncSink — task adapters that turn a graph node into
+//    an asynchronous boundary. The adapter installs a TaskBody that only
+//    moves payloads between the graph's channels and a small completion
+//    buffer, plus a TaskGate so the engine parks the task while the
+//    buffer is empty (source) or full (sink). The I/O thread refills /
+//    drains the buffer and wakes the task's current owner through
+//    Engine::task_waker — no spin, no inline blocking; the engine
+//    attributes the wait as io_stall_s instead of compute time.
+//  * Concrete endpoints — RtpIngress/RtpEgress over net::RtpReceiver /
+//    net::RtpSender (jitter-buffer reordering and loss concealment from
+//    RtpReceiver's playout logic), and BlockFileSource/BlockFileSink over
+//    fs::FatVolume + fs::BlockDevice with its TimingModel converted into
+//    real (sleep) latency on the I/O thread.
+//
+// Hand-off protocol (IoContext thread <-> engine worker), per adapter:
+// all mutable state sits behind the adapter mutex except the gate word,
+// which is a separate atomic so gates stay wait-free for workers and
+// thieves. At most one I/O job per adapter is in flight at a time (the
+// job loops until the buffer is full/empty, then retires), so each
+// endpoint sees strictly ordered unit indices and the completion buffer
+// has exactly one producer and one consumer at any instant. Wakeups
+// follow the engine's eventcount protocol: the I/O thread publishes the
+// buffer state *before* calling the waker, and a worker re-checks the
+// gate after loading its version word, so a completion can never be
+// missed.
+//
+// Drop policy (RTP): interior losses are concealed by RtpReceiver
+// (repeat last unit once the gap ages past the jitter buffer); losses at
+// the stream tail — where no future packets can age the gap — are
+// concealed by RtpIngress itself the same way. A session therefore
+// always receives exactly its `iterations` units; `concealed()` reports
+// how many were repeats, and a stream with *nothing* received delivers
+// empty payloads (counted as underruns) rather than wedging the graph.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/fat.h"
+#include "mpsoc/taskgraph.h"
+#include "net/rtp.h"
+#include "runtime/queue.h"
+
+namespace mmsoc::runtime {
+
+// ---------------------------------------------------------------------------
+// IoContext
+// ---------------------------------------------------------------------------
+
+struct IoContextOptions {
+  /// Dedicated I/O threads. One thread serializes every device it serves
+  /// (the safe default for endpoints sharing a FatVolume); more threads
+  /// let independent devices overlap.
+  std::size_t threads = 1;
+  /// Job-queue bound. Each adapter keeps at most one job in flight, so
+  /// this only needs to exceed the number of live boundary adapters.
+  std::size_t queue_capacity = 1024;
+};
+
+/// Completion-queue I/O execution context: dedicated threads running
+/// boundary jobs posted by the adapters below. Jobs are plain callables;
+/// the adapters encode the per-adapter ordering discipline.
+class IoContext {
+ public:
+  explicit IoContext(IoContextOptions options = {});
+  /// stop() + join.
+  ~IoContext();
+
+  IoContext(const IoContext&) = delete;
+  IoContext& operator=(const IoContext&) = delete;
+
+  /// Enqueue a job; false once stopped. May block briefly when the queue
+  /// is at capacity (never called from I/O threads themselves — adapters
+  /// chain work inside a running job instead of re-posting).
+  bool post(std::function<void()> job);
+
+  /// Close the queue, drain the backlog, join the threads. Idempotent.
+  /// Stopping while sessions are still live is safe but lossy: boundary
+  /// adapters *fail open* (sources deliver empty payloads counted as
+  /// underruns, sinks drop counted units) so the engine always drains —
+  /// prefer Engine::wait() + flush() before stop().
+  void stop();
+
+  struct Stats {
+    std::uint64_t jobs = 0;
+    double busy_s = 0.0;  ///< wall time inside jobs (includes modeled latency)
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+  std::atomic<bool> stopped_{false};
+  std::once_flag stop_once_;
+};
+
+// ---------------------------------------------------------------------------
+// Boundary task adapters
+// ---------------------------------------------------------------------------
+
+/// Counters every boundary adapter keeps (readable any time).
+struct BoundaryStats {
+  std::uint64_t units = 0;      ///< payloads through the boundary
+  std::uint64_t bytes = 0;      ///< payload bytes through the boundary
+  std::uint64_t underruns = 0;  ///< source: reader ended early / context stopped
+  std::uint64_t dropped = 0;    ///< sink: units discarded (context stopped)
+  double io_busy_s = 0.0;       ///< time inside the read/write fn (I/O thread)
+  std::size_t max_buffered = 0; ///< peak completion-buffer occupancy
+};
+
+/// Boundary *source*: an external reader feeding a graph source task.
+/// The reader runs on the I/O context (blocking/sleeping there is the
+/// point), prefetching up to `depth` units ahead of the pipeline; the
+/// task body pops one unit per firing and broadcasts it to every out
+/// edge. The task's gate is "a prefetched unit is buffered".
+class AsyncSource {
+ public:
+  /// Produce unit `index` (strictly increasing, one call at a time).
+  /// nullopt = stream ended early; the adapter substitutes an empty
+  /// payload and counts an underrun so the session still completes.
+  using ReadFn = std::function<std::optional<mpsoc::Payload>(std::uint64_t)>;
+
+  AsyncSource(IoContext& io, ReadFn read, std::size_t depth = 4);
+  /// Quiesces: blocks until any in-flight I/O job retired, so the job
+  /// can never touch a destroyed adapter. Terminates because a queued
+  /// job always runs (IoContext::stop drains its backlog before
+  /// joining). Do not destroy from an I/O thread.
+  ~AsyncSource();
+
+  AsyncSource(const AsyncSource&) = delete;
+  AsyncSource& operator=(const AsyncSource&) = delete;
+
+  /// Install body + gate on `task` (must be a source: no in-edges).
+  void bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task);
+
+  /// Arm the adapter after the session is submitted into a *running*
+  /// engine: remember how many units to produce, store the engine waker
+  /// (from Engine::task_waker), and start prefetching. Wakes the task
+  /// once immediately so a unit that completed during wiring is noticed.
+  void attach(std::uint64_t total_units, std::function<void()> waker);
+
+  [[nodiscard]] BoundaryStats stats() const;
+
+ private:
+  void body(mpsoc::TaskFiring& firing);
+  void pump_locked();  ///< post the drain job if refill is needed
+  void drain();        ///< I/O thread: read until buffer full / stream end
+
+  IoContext* io_;
+  ReadFn read_;
+  std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_;  ///< signalled whenever inflight_ clears
+  std::deque<mpsoc::Payload> buffered_;
+  std::uint64_t next_read_ = 0;
+  std::uint64_t total_ = 0;
+  bool inflight_ = false;
+  std::function<void()> waker_;
+  BoundaryStats stats_;
+  /// Gate word: buffered_.size(), published with release so the gate is
+  /// a wait-free acquire load from workers and thieves.
+  std::atomic<std::size_t> gate_count_{0};
+  /// Fail-open flag: the IoContext stopped under us. The gate opens
+  /// unconditionally and the body delivers empty payloads (underruns),
+  /// so the engine can always drain the session.
+  std::atomic<bool> io_failed_{false};
+};
+
+/// Boundary *sink*: a graph sink task feeding an external writer. The
+/// task body enqueues the payload into a bounded buffer (gate: "the
+/// buffer has space", so a slow device back-pressures the pipeline by
+/// parking the sink task, never a worker); the I/O thread drains the
+/// buffer in order through the writer.
+class AsyncSink {
+ public:
+  /// Persist unit `index` (strictly increasing, one call at a time).
+  using WriteFn = std::function<void(std::uint64_t, mpsoc::Payload)>;
+
+  AsyncSink(IoContext& io, WriteFn write, std::size_t depth = 4);
+  /// Quiesces like ~AsyncSource (waits for the in-flight drain job, not
+  /// for a full flush). Do not destroy from an I/O thread.
+  ~AsyncSink();
+
+  AsyncSink(const AsyncSink&) = delete;
+  AsyncSink& operator=(const AsyncSink&) = delete;
+
+  /// Install body + gate on `task` (must be a sink with one in-edge).
+  void bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task);
+
+  /// Arm the adapter (see AsyncSource::attach).
+  void attach(std::function<void()> waker);
+
+  /// Block until every enqueued unit has been written (or dropped, if
+  /// the IoContext stopped under us). Call after Engine::wait() — the
+  /// engine drains the *graph*, this drains the device side.
+  void flush();
+
+  [[nodiscard]] BoundaryStats stats() const;
+
+ private:
+  void body(mpsoc::TaskFiring& firing);
+  void drain();  ///< I/O thread: write until the buffer empties
+
+  IoContext* io_;
+  WriteFn write_;
+  std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable flushed_;
+  std::deque<mpsoc::Payload> pending_;
+  std::uint64_t next_write_ = 0;
+  /// Units admitted but not yet fully written (pending_ plus the one the
+  /// writer holds); the gate compares this against depth.
+  std::size_t occupied_ = 0;
+  bool inflight_ = false;
+  std::function<void()> waker_;
+  BoundaryStats stats_;
+  std::atomic<std::size_t> gate_occupied_{0};
+  /// Fail-open flag (see AsyncSource): gate opens, units are dropped.
+  std::atomic<bool> io_failed_{false};
+};
+
+// ---------------------------------------------------------------------------
+// RTP endpoints
+// ---------------------------------------------------------------------------
+
+/// One packet of a simulated network feed with its arrival instant.
+struct TimedPacket {
+  std::vector<std::uint8_t> bytes;
+  double arrival_us = 0.0;
+};
+
+struct RtpIngressOptions {
+  /// Jitter-buffer depth handed to net::RtpReceiver.
+  std::uint32_t playout_delay_units = 3;
+  /// Latency realism: sleep (arrival gap * time_scale) on the I/O thread
+  /// per ingested packet. 0 = ingest as fast as the pipeline pulls
+  /// (tests); 1.0 = real-time modeled arrival.
+  double time_scale = 0.0;
+};
+
+/// RTP receive boundary: replays a TimedPacket feed (packets may be
+/// lost, reordered, corrupted — typically shaped by net::LossyLink or by
+/// hand) through an RtpReceiver and emits playout units in sequence
+/// order. Use `reader()` as an AsyncSource ReadFn.
+class RtpIngress {
+ public:
+  RtpIngress(std::vector<TimedPacket> feed, RtpIngressOptions options = {});
+
+  /// I/O-thread entry: ingest packets until unit `index` plays out.
+  std::optional<mpsoc::Payload> read(std::uint64_t index);
+  [[nodiscard]] AsyncSource::ReadFn reader() {
+    return [this](std::uint64_t i) { return read(i); };
+  }
+
+  /// Units delivered as a repeat of the previous one (receiver-side
+  /// interior concealment plus ingress-side tail concealment).
+  [[nodiscard]] std::uint64_t concealed() const;
+  [[nodiscard]] std::uint64_t packets_received() const;
+  [[nodiscard]] double jitter_us() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TimedPacket> feed_;
+  std::size_t feed_pos_ = 0;
+  net::RtpReceiver receiver_;
+  double time_scale_;
+  double clock_us_ = 0.0;
+  mpsoc::Payload last_unit_;
+  std::uint64_t tail_concealed_ = 0;
+};
+
+struct RtpEgressOptions {
+  /// Media-clock ticks per unit (e.g. 3000 = 90 kHz at 30 fps).
+  std::uint32_t timestamp_step = 3000;
+  /// Sleep (pacing_us * time_scale) per packet sent — the serialization
+  /// delay of the uplink. 0 = no pacing.
+  double pacing_us = 0.0;
+  double time_scale = 0.0;
+};
+
+/// RTP transmit boundary: packetizes each unit with an RtpSender and
+/// appends it to an in-memory wire log. Use `writer()` as an
+/// AsyncSink WriteFn.
+class RtpEgress {
+ public:
+  explicit RtpEgress(RtpEgressOptions options = {});
+
+  void write(std::uint64_t index, mpsoc::Payload unit);
+  [[nodiscard]] AsyncSink::WriteFn writer() {
+    return [this](std::uint64_t i, mpsoc::Payload p) {
+      write(i, std::move(p));
+    };
+  }
+
+  /// The serialized packets, in send order (stable after flush()).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> take_packets();
+  [[nodiscard]] std::uint64_t packets_sent() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
+
+ private:
+  mutable std::mutex mu_;
+  net::RtpSender sender_;
+  RtpEgressOptions options_;
+  std::vector<std::vector<std::uint8_t>> packets_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Build a paced feed from pre-packetized units (interval_us between
+/// packets) — the "clean network" baseline tests then perturb.
+[[nodiscard]] std::vector<TimedPacket> make_timed_feed(
+    std::vector<std::vector<std::uint8_t>> packets, double interval_us);
+
+// ---------------------------------------------------------------------------
+// Block-storage endpoints
+// ---------------------------------------------------------------------------
+
+/// Units of a stream stored in one FAT file: unit i occupies
+/// [offsets[i], offsets[i] + sizes[i]).
+struct StreamIndex {
+  std::string path;
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint32_t> sizes;
+};
+
+struct BlockIoOptions {
+  fs::BlockDevice::TimingModel timing;
+  /// Latency realism: sleep (modeled device time * time_scale) on the
+  /// I/O thread per operation. 0 = no sleep (tests), 1.0 = the modeled
+  /// seek/transfer latency for real.
+  double time_scale = 0.0;
+};
+
+/// Block-storage read boundary: serves stream units from a FAT file via
+/// ranged reads, charging the device's modeled seek/transfer time as
+/// real latency on the I/O thread. Endpoints sharing a volume must share
+/// `volume_mu` (FatVolume is not thread-safe) — or simply share a
+/// single-threaded IoContext.
+class BlockFileSource {
+ public:
+  BlockFileSource(fs::FatVolume& volume, std::shared_ptr<std::mutex> volume_mu,
+                  StreamIndex index, BlockIoOptions options = {});
+
+  std::optional<mpsoc::Payload> read(std::uint64_t index);
+  [[nodiscard]] AsyncSource::ReadFn reader() {
+    return [this](std::uint64_t i) { return read(i); };
+  }
+
+  [[nodiscard]] double modeled_io_us() const;  ///< device time this endpoint consumed
+
+ private:
+  fs::FatVolume* volume_;
+  std::shared_ptr<std::mutex> volume_mu_;
+  StreamIndex index_;
+  BlockIoOptions options_;
+  mutable std::mutex mu_;
+  double modeled_us_ = 0.0;
+};
+
+/// Block-storage write boundary: appends each unit to a FAT file.
+class BlockFileSink {
+ public:
+  BlockFileSink(fs::FatVolume& volume, std::shared_ptr<std::mutex> volume_mu,
+                std::string path, BlockIoOptions options = {});
+
+  void write(std::uint64_t index, mpsoc::Payload unit);
+  [[nodiscard]] AsyncSink::WriteFn writer() {
+    return [this](std::uint64_t i, mpsoc::Payload p) {
+      write(i, std::move(p));
+    };
+  }
+
+  [[nodiscard]] double modeled_io_us() const;
+  [[nodiscard]] common::Status status() const;  ///< first device error, if any
+
+ private:
+  fs::FatVolume* volume_;
+  std::shared_ptr<std::mutex> volume_mu_;
+  std::string path_;
+  BlockIoOptions options_;
+  mutable std::mutex mu_;
+  double modeled_us_ = 0.0;
+  common::Status status_;
+};
+
+}  // namespace mmsoc::runtime

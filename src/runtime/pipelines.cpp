@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "core/appgraphs.h"
 #include "dsp/dct.h"
+#include "video/codec.h"
 #include "video/frame.h"
 #include "video/quantizer.h"
 #include "video/source.h"
@@ -513,6 +514,434 @@ SyntheticPipeline make_skewed_chain(std::size_t stages, double stage_ops,
                                     double skew_factor) {
   return make_chain("skewed-chain" + std::to_string(stages), stages, stage_ops,
                     skew_stage, skew_factor);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary sessions (async I/O)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+mpsoc::Payload luma_payload(const video::Frame& frame) {
+  const auto pixels = frame.y().pixels();
+  return mpsoc::Payload(pixels.begin(), pixels.end());
+}
+
+video::Frame frame_from_luma(const Payload& p, int w, int h) {
+  video::Frame frame(w, h);
+  const std::size_t n =
+      std::min(p.size(), static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  std::memcpy(frame.y().pixels().data(), p.data(), n);
+  return frame;
+}
+
+// Fig. 1 decode-loop stage state: the VideoDecoder keeps the reference
+// frame, `last` is the concealment fallback when a unit is undecodable.
+struct DecoderStage {
+  video::VideoDecoder decoder;
+  video::Frame last;
+};
+
+double analytic_decode_ops(int w, int h) {
+  const auto ops = analytic_video_ops(w, h);
+  return static_cast<double>(ops.idct_blocks) * 1024.0 +
+         static_cast<double>(ops.quant_coeffs) * 2.0 +
+         static_cast<double>(ops.vlc_symbols) * 8.0 +
+         static_cast<double>(ops.mc_pixels) * 2.0;
+}
+
+double analytic_encode_ops(int w, int h) {
+  const auto ops = analytic_video_ops(w, h);
+  return static_cast<double>(ops.me_sad_ops) +
+         static_cast<double>(ops.dct_blocks) * 1024.0 +
+         static_cast<double>(ops.quant_coeffs) * 2.0 +
+         static_cast<double>(ops.vlc_symbols) * 8.0 + analytic_decode_ops(w, h);
+}
+
+/// Wire the boundary wakers of a freshly submitted session. The engine
+/// must be running (task_waker requires a wired session).
+common::Status wire_boundaries(Engine& engine, std::size_t session,
+                               AsyncSource* source, mpsoc::TaskId source_task,
+                               std::uint64_t units, AsyncSink* sink,
+                               mpsoc::TaskId sink_task) {
+  if (source != nullptr) {
+    auto waker = engine.task_waker(session, source_task);
+    if (!waker.is_ok()) return waker.status();
+    source->attach(units, std::move(waker.value()));
+  }
+  if (sink != nullptr) {
+    auto waker = engine.task_waker(session, sink_task);
+    if (!waker.is_ok()) return waker.status();
+    sink->attach(std::move(waker.value()));
+  }
+  return common::Status::ok();
+}
+
+}  // namespace
+
+common::Result<std::size_t> StreamingSession::submit_to(
+    Engine& engine, const mpsoc::Mapping& mapping, SessionOptions options) {
+  auto added = engine.submit(graph, mapping, frames, options);
+  if (!added.is_ok()) return added;
+  const common::Status wired =
+      wire_boundaries(engine, added.value(), source.get(), ingress_task,
+                      frames, sink.get(), egress_task);
+  if (!wired.is_ok()) return common::Result<std::size_t>(wired);
+  return added;
+}
+
+common::Result<SessionTicket> StreamingSession::submit_to(
+    ShardedEngine& sharded, const mpsoc::Mapping& mapping,
+    SessionOptions options) {
+  auto ticket = sharded.submit(graph, mapping, frames, options);
+  if (!ticket.is_ok()) return ticket;
+  Engine& engine = sharded.shard(ticket.value().shard);
+  const common::Status wired =
+      wire_boundaries(engine, ticket.value().session, source.get(),
+                      ingress_task, frames, sink.get(), egress_task);
+  if (!wired.is_ok()) return common::Result<SessionTicket>(wired);
+  return ticket;
+}
+
+void StreamingSession::finish() {
+  if (sink) sink->flush();
+}
+
+StreamingSession make_streaming_session(IoContext& io,
+                                        const StreamingSessionConfig& config) {
+  const int w = config.width;
+  const int h = config.height;
+
+  // Offline feed construction: encode the synthetic scene, packetize it,
+  // then shape the feed deterministically (reorder before loss, as a real
+  // network would jumble packets that later get dropped independently).
+  video::EncoderConfig ec;
+  ec.width = w;
+  ec.height = h;
+  ec.gop_size = config.gop_size;
+  ec.qscale = config.qscale;
+  video::VideoEncoder encoder(ec);
+  const auto scene = video::scene_high_motion(config.seed);
+  net::RtpSender sender;
+  std::vector<TimedPacket> feed;
+  feed.reserve(config.frames);
+  for (std::uint64_t i = 0; i < config.frames; ++i) {
+    const auto frame =
+        video::SyntheticVideo::render(w, h, scene, static_cast<int>(i));
+    auto encoded = encoder.encode(frame);
+    feed.push_back(TimedPacket{
+        sender.packetize(encoded.bytes, static_cast<std::uint32_t>(i) * 3000u),
+        static_cast<double>(i) * config.frame_interval_us});
+  }
+  if (config.reorder_span > 0) {
+    // Swap payloads i and i+span (arrival instants stay monotonic — the
+    // later slot's packet simply arrives early and vice versa).
+    for (std::size_t i = 0; i + config.reorder_span < feed.size();
+         i += 2 * config.reorder_span) {
+      std::swap(feed[i].bytes, feed[i + config.reorder_span].bytes);
+    }
+  }
+  if (config.loss_probability > 0.0) {
+    common::Rng rng(config.seed ^ 0xD1CE5EEDull);
+    std::vector<TimedPacket> kept;
+    kept.reserve(feed.size());
+    for (auto& pkt : feed) {
+      const double u =
+          static_cast<double>(rng.next() >> 11) * 0x1.0p-53;  // [0, 1)
+      if (u >= config.loss_probability) kept.push_back(std::move(pkt));
+    }
+    feed = std::move(kept);
+  }
+
+  StreamingSession s;
+  s.frames = config.frames;
+  s.state = std::make_shared<StreamingState>();
+  RtpIngressOptions in_opts;
+  in_opts.playout_delay_units = config.playout_delay_units;
+  in_opts.time_scale = config.time_scale;
+  s.ingress = std::make_shared<RtpIngress>(std::move(feed), in_opts);
+  RtpEgressOptions out_opts;
+  out_opts.timestamp_step = 3000;
+  out_opts.pacing_us = config.frame_interval_us * 0.25;  // uplink serialization
+  out_opts.time_scale = config.time_scale;
+  s.egress = std::make_shared<RtpEgress>(out_opts);
+
+  TaskGraph g("rtp-streaming");
+  const double luma_bytes = static_cast<double>(w) * h;
+  {
+    mpsoc::Task t;
+    t.name = "rtp-ingress";
+    t.work_ops = 500.0;
+    s.ingress_task = g.add_task(std::move(t));
+  }
+  const TaskId decode = g.add_task(
+      [&] {
+        mpsoc::Task t;
+        t.name = "decode";
+        t.work_ops = analytic_decode_ops(w, h);
+        return t;
+      }());
+  const TaskId display = g.add_task([&] {
+    mpsoc::Task t;
+    t.name = "display";
+    t.work_ops = luma_bytes;
+    return t;
+  }());
+  {
+    mpsoc::Task t;
+    t.name = "rtp-egress";
+    t.work_ops = 500.0;
+    s.egress_task = g.add_task(std::move(t));
+  }
+  (void)g.add_edge(s.ingress_task, decode, luma_bytes * 0.2);  // compressed
+  (void)g.add_edge(decode, display, luma_bytes);
+  (void)g.add_edge(display, s.egress_task, luma_bytes);
+
+  // DECODE: the Fig. 1 decode loop (VLD -> dequant -> IDCT -> MC
+  // predictor -> reconstruct) realized by video::VideoDecoder. Drop
+  // policy: an empty or undecodable unit repeats the last good frame
+  // (decode_conceals); a *concealed repeat* of a valid P unit decodes
+  // fine but drifts until the next I frame — the classic artifact.
+  {
+    auto st = std::make_shared<DecoderStage>();
+    st->last = video::Frame(w, h);
+    g.set_body(decode, [st, state = s.state, w, h](TaskFiring& f) {
+      const Payload& unit = *f.inputs[0];
+      bool decoded = false;
+      if (!unit.empty()) {
+        if (auto frame = st->decoder.decode(unit); frame.is_ok()) {
+          st->last = std::move(frame.value());
+          decoded = true;
+        }
+      }
+      if (!decoded) ++state->decode_conceals;
+      ++state->frames_decoded;
+      f.outputs[0] = luma_payload(st->last);
+    });
+  }
+
+  // DISPLAY: CRC-chain the shown luma (one word summarizes the whole
+  // displayed sequence) and forward it to the egress boundary.
+  {
+    auto crc = std::make_shared<common::Crc32>();
+    g.set_body(display, [crc, state = s.state](TaskFiring& f) {
+      crc->update(*f.inputs[0]);
+      state->luma_crc = crc->value();
+      state->luma_bytes += f.inputs[0]->size();
+      f.outputs[0] = *f.inputs[0];
+    });
+  }
+
+  if (config.async_boundaries) {
+    s.source =
+        std::make_unique<AsyncSource>(io, s.ingress->reader(), config.io_depth);
+    s.source->bind(g, s.ingress_task);
+    s.sink =
+        std::make_unique<AsyncSink>(io, s.egress->writer(), config.io_depth);
+    s.sink->bind(g, s.egress_task);
+  } else {
+    // Inline-blocking baseline: the worker itself waits out the network.
+    g.set_body(s.ingress_task, [ingress = s.ingress](TaskFiring& f) {
+      auto unit = ingress->read(f.iteration);
+      f.outputs[0] = unit.has_value() ? std::move(*unit) : Payload{};
+    });
+    g.set_body(s.egress_task, [egress = s.egress](TaskFiring& f) {
+      egress->write(f.iteration, *f.inputs[0]);
+    });
+  }
+
+  s.graph = std::move(g);
+  return s;
+}
+
+common::Result<std::size_t> FileTranscodeSession::submit_to(
+    Engine& engine, const mpsoc::Mapping& mapping, SessionOptions options) {
+  auto added = engine.submit(graph, mapping, frames, options);
+  if (!added.is_ok()) return added;
+  const common::Status wired =
+      wire_boundaries(engine, added.value(), source.get(), read_task, frames,
+                      sink.get(), write_task);
+  if (!wired.is_ok()) return common::Result<std::size_t>(wired);
+  return added;
+}
+
+common::Result<SessionTicket> FileTranscodeSession::submit_to(
+    ShardedEngine& sharded, const mpsoc::Mapping& mapping,
+    SessionOptions options) {
+  auto ticket = sharded.submit(graph, mapping, frames, options);
+  if (!ticket.is_ok()) return ticket;
+  Engine& engine = sharded.shard(ticket.value().shard);
+  const common::Status wired =
+      wire_boundaries(engine, ticket.value().session, source.get(), read_task,
+                      frames, sink.get(), write_task);
+  if (!wired.is_ok()) return common::Result<SessionTicket>(wired);
+  return ticket;
+}
+
+void FileTranscodeSession::finish() {
+  if (sink) sink->flush();
+}
+
+common::Result<FileTranscodeSession> make_file_transcode_session(
+    IoContext& io, const TranscodeSessionConfig& config) {
+  using common::Result;
+  const int w = config.width;
+  const int h = config.height;
+
+  // Prep: encode the input stream and lay it down on a fresh FAT volume.
+  video::EncoderConfig ec;
+  ec.width = w;
+  ec.height = h;
+  ec.gop_size = config.gop_size;
+  ec.qscale = config.in_qscale;
+  video::VideoEncoder encoder(ec);
+  const auto scene = video::scene_high_motion(config.seed);
+  std::vector<std::vector<std::uint8_t>> units;
+  units.reserve(config.frames);
+  std::uint64_t total_bytes = 0;
+  for (std::uint64_t i = 0; i < config.frames; ++i) {
+    units.push_back(
+        encoder
+            .encode(video::SyntheticVideo::render(w, h, scene,
+                                                  static_cast<int>(i)))
+            .bytes);
+    total_bytes += units.back().size();
+  }
+  const std::uint32_t bs = std::max<std::uint32_t>(64, config.block_size);
+  // Input + re-encoded output + FAT/dir overhead, with generous slack.
+  const auto blocks =
+      static_cast<std::uint32_t>(total_bytes * 3 / bs + 256);
+
+  FileTranscodeSession s;
+  s.frames = config.frames;
+  s.state = std::make_shared<TranscodeState>();
+  s.device = std::make_unique<fs::BlockDevice>(blocks, bs);
+  auto formatted = fs::FatVolume::format(*s.device);
+  if (!formatted.is_ok()) {
+    return Result<FileTranscodeSession>(formatted.status());
+  }
+  s.volume = std::make_unique<fs::FatVolume>(std::move(formatted.value()));
+  s.volume_mu = std::make_shared<std::mutex>();
+  s.out_path = "/out.bit";
+
+  StreamIndex index;
+  index.path = "/in.bit";
+  std::uint64_t offset = 0;
+  for (const auto& unit : units) {
+    if (auto st = s.volume->append_file(index.path, unit); !st.is_ok()) {
+      return Result<FileTranscodeSession>(st);
+    }
+    index.offsets.push_back(offset);
+    index.sizes.push_back(static_cast<std::uint32_t>(unit.size()));
+    offset += unit.size();
+  }
+  if (auto st = s.volume->write_file(s.out_path, {}); !st.is_ok()) {
+    return Result<FileTranscodeSession>(st);
+  }
+  // Modeled I/O time should measure the transcode, not the prep writes.
+  s.device->reset_stats();
+
+  BlockIoOptions io_opts;
+  io_opts.timing = config.timing;
+  io_opts.time_scale = config.time_scale;
+  s.reader_endpoint = std::make_shared<BlockFileSource>(
+      *s.volume, s.volume_mu, std::move(index), io_opts);
+  s.writer_endpoint = std::make_shared<BlockFileSink>(*s.volume, s.volume_mu,
+                                                      s.out_path, io_opts);
+
+  TaskGraph g("file-transcode");
+  const double luma_bytes = static_cast<double>(w) * h;
+  {
+    mpsoc::Task t;
+    t.name = "block-read";
+    t.work_ops = 500.0;
+    s.read_task = g.add_task(std::move(t));
+  }
+  const TaskId decode = g.add_task([&] {
+    mpsoc::Task t;
+    t.name = "decode";
+    t.work_ops = analytic_decode_ops(w, h);
+    return t;
+  }());
+  const TaskId encode = g.add_task([&] {
+    mpsoc::Task t;
+    t.name = "encode";
+    t.work_ops = analytic_encode_ops(w, h);
+    return t;
+  }());
+  {
+    mpsoc::Task t;
+    t.name = "block-write";
+    t.work_ops = 500.0;
+    s.write_task = g.add_task(std::move(t));
+  }
+  (void)g.add_edge(s.read_task, decode, luma_bytes * 0.2);
+  (void)g.add_edge(decode, encode, luma_bytes);
+  (void)g.add_edge(encode, s.write_task, luma_bytes * 0.2);
+
+  {
+    auto st = std::make_shared<DecoderStage>();
+    st->last = video::Frame(w, h);
+    g.set_body(decode, [st, state = s.state](TaskFiring& f) {
+      const Payload& unit = *f.inputs[0];
+      bool decoded = false;
+      if (!unit.empty()) {
+        if (auto frame = st->decoder.decode(unit); frame.is_ok()) {
+          st->last = std::move(frame.value());
+          decoded = true;
+        }
+      }
+      if (!decoded) ++state->decode_conceals;
+      ++state->frames_decoded;
+      f.outputs[0] = luma_payload(st->last);
+    });
+  }
+  {
+    // RE-ENCODE at the output rate point — the §3 transcode step.
+    video::EncoderConfig out_ec;
+    out_ec.width = w;
+    out_ec.height = h;
+    out_ec.gop_size = config.gop_size;
+    out_ec.qscale = config.out_qscale;
+    auto re = std::make_shared<video::VideoEncoder>(out_ec);
+    auto crc = std::make_shared<common::Crc32>();
+    g.set_body(encode, [re, crc, state = s.state, w, h](TaskFiring& f) {
+      const auto encoded = re->encode(frame_from_luma(*f.inputs[0], w, h));
+      crc->update(encoded.bytes);
+      state->out_crc = crc->value();
+      state->bytes_out += encoded.bytes.size();
+      ++state->frames_encoded;
+      f.outputs[0] = encoded.bytes;
+    });
+  }
+
+  if (config.async_boundaries) {
+    s.source = std::make_unique<AsyncSource>(io, s.reader_endpoint->reader(),
+                                             config.io_depth);
+    s.source->bind(g, s.read_task);
+    s.sink = std::make_unique<AsyncSink>(io, s.writer_endpoint->writer(),
+                                         config.io_depth);
+    s.sink->bind(g, s.write_task);
+  } else {
+    g.set_body(s.read_task, [reader = s.reader_endpoint](TaskFiring& f) {
+      auto unit = reader->read(f.iteration);
+      f.outputs[0] = unit.has_value() ? std::move(*unit) : Payload{};
+    });
+    g.set_body(s.write_task, [writer = s.writer_endpoint](TaskFiring& f) {
+      writer->write(f.iteration, *f.inputs[0]);
+    });
+  }
+
+  s.graph = std::move(g);
+  return s;
+}
+
+mpsoc::Mapping round_robin_mapping(const mpsoc::TaskGraph& graph,
+                                   std::size_t pes) {
+  mpsoc::Mapping mapping(graph.task_count());
+  const std::size_t n = std::max<std::size_t>(1, pes);
+  for (std::size_t t = 0; t < mapping.size(); ++t) mapping[t] = t % n;
+  return mapping;
 }
 
 }  // namespace mmsoc::runtime

@@ -14,6 +14,12 @@
 //    packer.
 //  * Synthetic bodies: calibrated spin loops proportional to each task's
 //    modeled work_ops, for scaling benches and engine tests.
+//  * Boundary sessions (async I/O): a *streaming* session (RTP in ->
+//    Fig. 1 decode path -> RTP out) and a *file transcode* session
+//    (block read -> decode -> re-encode -> block write), both built on
+//    the runtime/io boundary adapters so device latency parks tasks
+//    instead of blocking workers. Each session can also be built with
+//    inline (blocking) boundaries — the E-RT/IO bench baseline.
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,8 @@
 #include <memory>
 
 #include "mpsoc/taskgraph.h"
+#include "runtime/io.h"
+#include "runtime/shard.h"
 #include "video/motion.h"
 
 namespace mmsoc::runtime {
@@ -125,5 +133,138 @@ struct SyntheticPipeline {
                                                   double stage_ops,
                                                   std::size_t skew_stage,
                                                   double skew_factor = 10.0);
+
+// ---------------------------------------------------------------------------
+// Streaming session: RTP in -> decode path -> RTP out
+// ---------------------------------------------------------------------------
+
+struct StreamingSessionConfig {
+  int width = 64;
+  int height = 64;
+  int qscale = 8;
+  int gop_size = 8;          ///< I-frame cadence: concealment drift recovers here
+  std::uint64_t frames = 24; ///< units = session iterations
+  std::uint64_t seed = 1;
+  // Network shaping, applied deterministically when the feed is built.
+  double frame_interval_us = 33333.0;  ///< ~30 fps arrival spacing
+  double loss_probability = 0.0;       ///< whole-packet drops (seeded)
+  std::size_t reorder_span = 0;        ///< swap packets i and i+span (i step 2*span)
+  std::uint32_t playout_delay_units = 3;
+  // Boundary behaviour.
+  bool async_boundaries = true;  ///< false = inline blocking (bench baseline)
+  std::size_t io_depth = 4;
+  double time_scale = 0.0;  ///< 1.0 = model arrival gaps as real sleeps
+};
+
+/// What the decode/display stages observed (read after the engine drained).
+struct StreamingState {
+  std::uint64_t frames_decoded = 0;
+  /// Units that could not be decoded (lost+concealed or corrupt): the
+  /// stage repeated the last good frame — the documented drop policy.
+  std::uint64_t decode_conceals = 0;
+  std::uint32_t luma_crc = 0;  ///< chained CRC over every displayed luma plane
+  std::uint64_t luma_bytes = 0;
+};
+
+/// A built streaming session: submit into a *running* Engine (or
+/// ShardedEngine) — dynamic admission is required because the boundary
+/// wakers only exist once the session is wired onto live workers. Keep
+/// the object alive until the engine drained, then call finish().
+struct StreamingSession {
+  mpsoc::TaskGraph graph{"rtp-streaming"};
+  std::uint64_t frames = 0;
+  std::shared_ptr<StreamingState> state;
+  std::shared_ptr<RtpIngress> ingress;  ///< jitter/loss stats live here
+  std::shared_ptr<RtpEgress> egress;
+  std::unique_ptr<AsyncSource> source;  ///< null with inline boundaries
+  std::unique_ptr<AsyncSink> sink;      ///< null with inline boundaries
+  mpsoc::TaskId ingress_task = 0;
+  mpsoc::TaskId egress_task = 0;
+
+  /// Submit + wire the boundary wakers. The engine must be running.
+  [[nodiscard]] common::Result<std::size_t> submit_to(
+      Engine& engine, const mpsoc::Mapping& mapping,
+      SessionOptions options = {});
+  [[nodiscard]] common::Result<SessionTicket> submit_to(
+      ShardedEngine& sharded, const mpsoc::Mapping& mapping,
+      SessionOptions options = {});
+  /// Drain the device side of the egress boundary (call after wait()).
+  void finish();
+};
+
+/// Build a streaming session: pre-encodes `frames` synthetic frames,
+/// packetizes them over RTP, applies the configured loss/reorder to the
+/// feed, and binds ingress -> decode -> display -> egress. The decode
+/// stage is the Fig. 1 decode loop (VLD, dequant, IDCT, MC predictor,
+/// reconstruction) realized by video::VideoDecoder; its reference-frame
+/// state keeps the whole loop in one task for determinism.
+[[nodiscard]] StreamingSession make_streaming_session(
+    IoContext& io, const StreamingSessionConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// File transcode session: block read -> decode -> encode -> block write
+// ---------------------------------------------------------------------------
+
+struct TranscodeSessionConfig {
+  int width = 64;
+  int height = 64;
+  int in_qscale = 6;    ///< quality of the stored input stream
+  int out_qscale = 12;  ///< re-encode target (rate reduction)
+  int gop_size = 8;
+  std::uint64_t frames = 24;
+  std::uint64_t seed = 1;
+  // Boundary behaviour.
+  bool async_boundaries = true;
+  std::size_t io_depth = 4;
+  double time_scale = 0.0;  ///< 1.0 = charge modeled disk time as real sleeps
+  fs::BlockDevice::TimingModel timing{};
+  std::uint32_t block_size = 512;
+};
+
+struct TranscodeState {
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t decode_conceals = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint32_t out_crc = 0;  ///< chained CRC over re-encoded units
+};
+
+struct FileTranscodeSession {
+  mpsoc::TaskGraph graph{"file-transcode"};
+  std::uint64_t frames = 0;
+  std::shared_ptr<TranscodeState> state;
+  std::unique_ptr<fs::BlockDevice> device;
+  std::unique_ptr<fs::FatVolume> volume;
+  std::shared_ptr<std::mutex> volume_mu;  ///< serializes source/sink on the volume
+  std::shared_ptr<BlockFileSource> reader_endpoint;
+  std::shared_ptr<BlockFileSink> writer_endpoint;
+  std::unique_ptr<AsyncSource> source;  ///< null with inline boundaries
+  std::unique_ptr<AsyncSink> sink;      ///< null with inline boundaries
+  std::string out_path;
+  mpsoc::TaskId read_task = 0;
+  mpsoc::TaskId write_task = 0;
+
+  [[nodiscard]] common::Result<std::size_t> submit_to(
+      Engine& engine, const mpsoc::Mapping& mapping,
+      SessionOptions options = {});
+  [[nodiscard]] common::Result<SessionTicket> submit_to(
+      ShardedEngine& sharded, const mpsoc::Mapping& mapping,
+      SessionOptions options = {});
+  void finish();
+};
+
+/// Build a file transcode session: formats a FAT volume on a fresh
+/// BlockDevice, encodes `frames` synthetic frames at in_qscale into
+/// "/in.bit" (recording a unit index), and binds block-read -> decode ->
+/// re-encode(out_qscale) -> block-write("/out.bit"). Device stats are
+/// reset after the prep writes so modeled I/O time measures the
+/// transcode only. Fails only on device/volume errors.
+[[nodiscard]] common::Result<FileTranscodeSession> make_file_transcode_session(
+    IoContext& io, const TranscodeSessionConfig& config = {});
+
+/// Round-robin mapping helper for the boundary sessions: task t -> PE
+/// (t mod pes). With pes >= task count each stage gets its own worker.
+[[nodiscard]] mpsoc::Mapping round_robin_mapping(const mpsoc::TaskGraph& graph,
+                                                 std::size_t pes);
 
 }  // namespace mmsoc::runtime

@@ -42,6 +42,13 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   impl_->engines.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     EngineOptions engine_options = impl_->options.engine;
+    // Per-socket layout: shard i owns the CPU range starting at
+    // i * workers, so shard pools never share a core. Width must be
+    // explicit — a 0 (auto) pool size is unknowable here.
+    if (impl_->options.pin_shard_cpu_ranges && engine_options.workers > 0) {
+      engine_options.pin_workers = true;
+      engine_options.pin_cpu_offset = i * engine_options.workers;
+    }
     // Retire-on-complete load accounting: the slot frees the moment the
     // session stops consuming capacity, whether it completed or was
     // cancelled and fully retired.
@@ -105,6 +112,14 @@ Status ShardedEngine::start() {
   std::lock_guard lock(impl_->mu);
   if (impl_->running || impl_->done) {
     return Status(StatusCode::kInternal, "sharded engine already started");
+  }
+  if (impl_->options.pin_shard_cpu_ranges && impl_->options.engine.workers == 0) {
+    // Fail loudly, matching the EngineOptions pinning contract: an auto
+    // pool size makes the per-shard CPU range width unknowable, and
+    // silently running unpinned is exactly what pinning forbids.
+    return Status(StatusCode::kInvalidArgument,
+                  "pin_shard_cpu_ranges requires an explicit "
+                  "engine.workers (> 0) so each shard's CPU range is known");
   }
   impl_->running = true;
   // Every shard launches, traffic or not: an idle pool parks at zero CPU
@@ -189,6 +204,10 @@ const SessionReport& ShardedEngine::report(SessionTicket ticket) const {
 }
 
 const Engine& ShardedEngine::shard(std::size_t index) const {
+  return *impl_->engines.at(index);
+}
+
+Engine& ShardedEngine::shard(std::size_t index) {
   return *impl_->engines.at(index);
 }
 

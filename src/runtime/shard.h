@@ -38,6 +38,14 @@ struct ShardedEngineOptions {
   /// per-engine on_session_complete hook is owned by the front-end (it
   /// drives the load accounting) and must be left empty here.
   EngineOptions engine;
+  /// Per-socket sharding: give every shard a disjoint pinned CPU range —
+  /// shard i's worker w lands on CPU (i * engine.workers + w) mod
+  /// hardware_concurrency, so shards stop competing for the same cores
+  /// (the "one shard per socket" deployment). Implies engine.pin_workers;
+  /// requires an explicit engine.workers > 0 (the range width must be
+  /// known up front — start() fails with kInvalidArgument otherwise).
+  /// Pin failures fail start(), same as EngineOptions.
+  bool pin_shard_cpu_ranges = false;
 };
 
 /// Where an admitted session landed; pass back to cancel() / report().
@@ -108,6 +116,9 @@ class ShardedEngine {
   [[nodiscard]] const SessionReport& report(SessionTicket ticket) const;
   /// The underlying shard Engine (e.g. for worker_count()).
   [[nodiscard]] const Engine& shard(std::size_t index) const;
+  /// Mutable access — what the boundary sessions use to wire task wakers
+  /// (Engine::task_waker) for the shard a ticket landed on.
+  [[nodiscard]] Engine& shard(std::size_t index);
 
  private:
   struct Impl;

@@ -67,6 +67,10 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
       s.measured_mean_s = measured.tasks[t].mean_firing_s();
       s.worker = measured.tasks[t].worker;
       s.migrations = measured.tasks[t].migrations;
+      // Kept out of measured_mean_s (the engine bills gate waits to
+      // io_stall, never busy), so shares and rank correlation keep
+      // comparing compute against predicted compute.
+      s.io_wait_s = measured.tasks[t].mean_io_stall_s();
     }
     predicted_sum += s.predicted_s;
     measured_sum += s.measured_mean_s;
@@ -86,16 +90,18 @@ std::string format_comparison(const ModelComparison& c) {
   std::string out;
   char line[160];
   std::snprintf(line, sizeof line,
-                "%-20s %4s %4s %4s %12s %12s %8s %8s\n", "stage", "pe", "wkr",
-                "mig", "pred us", "meas us", "pred %", "meas %");
+                "%-20s %4s %4s %4s %12s %12s %10s %8s %8s\n", "stage", "pe",
+                "wkr", "mig", "pred us", "meas us", "io-wait us", "pred %",
+                "meas %");
   out += line;
   for (const auto& s : c.stages) {
     std::snprintf(line, sizeof line,
-                  "%-20s %4zu %4zu %4llu %12.2f %12.2f %7.1f%% %7.1f%%\n",
+                  "%-20s %4zu %4zu %4llu %12.2f %12.2f %10.2f %7.1f%% %7.1f%%\n",
                   s.name.c_str(), s.pe, s.worker,
                   static_cast<unsigned long long>(s.migrations),
                   s.predicted_s * 1e6, s.measured_mean_s * 1e6,
-                  s.predicted_share * 100.0, s.measured_share * 100.0);
+                  s.io_wait_s * 1e6, s.predicted_share * 100.0,
+                  s.measured_share * 100.0);
     out += line;
   }
   std::snprintf(line, sizeof line,

@@ -30,6 +30,10 @@ struct StageComparison {
   std::uint64_t migrations = 0;   ///< times the steal scheduler moved it
   double predicted_s = 0.0;       ///< model: exec_seconds on the mapped PE
   double measured_mean_s = 0.0;   ///< runtime: mean body time per firing
+  /// Mean boundary (I/O gate) wait per firing — reported as its own
+  /// column so a stalled async source/sink reads as device latency, not
+  /// as compute the model failed to predict. 0 for pure compute stages.
+  double io_wait_s = 0.0;
   double predicted_share = 0.0;   ///< fraction of summed predicted time
   double measured_share = 0.0;    ///< fraction of summed measured time
 };

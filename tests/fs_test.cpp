@@ -304,6 +304,56 @@ TEST_F(FatFixture, FreshFileIsSequential) {
 
 // ------------------------------------------------------------------ import
 
+TEST(Fat, RangedReadMatchesFullReadAndTouchesFewerBlocks) {
+  BlockDevice dev(256, 128);
+  auto vol = FatVolume::format(dev);
+  ASSERT_TRUE(vol.is_ok());
+  std::vector<std::uint8_t> data(3000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  ASSERT_TRUE(vol.value().write_file("/stream", data).is_ok());
+
+  auto slice = [&](std::uint64_t off, std::uint64_t len) {
+    auto r = vol.value().read_file_range("/stream", off, len);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_text();
+    return r.value();
+  };
+  // Interior, block-straddling, and EOF-clipped ranges all match the
+  // corresponding slice of a full read.
+  const auto full = vol.value().read_file("/stream");
+  ASSERT_TRUE(full.is_ok());
+  for (const auto& [off, len] :
+       {std::pair<std::uint64_t, std::uint64_t>{0, 100},
+        {100, 128},
+        {117, 300},
+        {2900, 500},   // clipped to the last 100 bytes
+        {0, 100000}}) {  // clipped to the whole file
+    const auto got = slice(off, len);
+    const auto want_len =
+        std::min<std::uint64_t>(len, data.size() > off ? data.size() - off : 0);
+    ASSERT_EQ(got.size(), want_len) << off << "+" << len;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           full.value().begin() +
+                               static_cast<std::ptrdiff_t>(off)));
+  }
+  EXPECT_TRUE(slice(3000, 10).empty());
+  EXPECT_TRUE(slice(9999, 1).empty());
+  EXPECT_TRUE(slice(5, 0).empty());
+  // A one-block range must not pay the whole chain in device reads — the
+  // property that makes the streaming BlockFileSource's unit reads cheap.
+  dev.reset_stats();
+  (void)slice(0, 64);
+  const auto small = dev.reads();
+  dev.reset_stats();
+  (void)vol.value().read_file("/stream");
+  EXPECT_LT(small, dev.reads());
+  // Errors still surface.
+  EXPECT_FALSE(vol.value().read_file_range("/nope", 0, 1).is_ok());
+  ASSERT_TRUE(vol.value().mkdir("/d").is_ok());
+  EXPECT_FALSE(vol.value().read_file_range("/d", 0, 1).is_ok());
+}
+
 TEST(ForeignImport, ManifestMatchesVolumeContents) {
   BlockDevice dev(4096, 256);
   auto v = FatVolume::format(dev);

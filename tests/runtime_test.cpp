@@ -823,6 +823,93 @@ TEST(Trace, ComparisonIsSaneForVideoPipeline) {
   EXPECT_FALSE(format_comparison(cmp).empty());
 }
 
+// ---------------------------------------------------------------------------
+// Boundary gates (async I/O hooks)
+// ---------------------------------------------------------------------------
+
+// A gated task parks (no spin, no inline block) until an external thread
+// opens the gate and calls the task's waker — the engine side of the
+// async I/O boundary protocol, exercised here without the io subsystem.
+TEST(Engine, GatedTaskParksUntilExternalWakeAndBillsIoStall) {
+  constexpr std::uint64_t kIters = 8;
+  std::atomic<std::uint64_t> credits{0};
+  mpsoc::TaskGraph g("gated");
+  mpsoc::Task src_task;
+  src_task.name = "src";
+  src_task.work_ops = 10;
+  mpsoc::Task snk_task;
+  snk_task.name = "snk";
+  snk_task.work_ops = 10;
+  const auto src = g.add_task(std::move(src_task));
+  const auto snk = g.add_task(std::move(snk_task));
+  ASSERT_TRUE(g.add_edge(src, snk, 8).is_ok());
+  g.set_body(src, [&credits](mpsoc::TaskFiring& f) {
+    credits.fetch_sub(1, std::memory_order_acq_rel);
+    f.outputs[0] = mpsoc::Payload{static_cast<std::uint8_t>(f.iteration)};
+  });
+  g.set_gate(src, [&credits] {
+    return credits.load(std::memory_order_acquire) > 0;
+  });
+  std::atomic<std::uint64_t> sum{0};
+  g.set_body(snk, [&sum](mpsoc::TaskFiring& f) {
+    sum.fetch_add((*f.inputs[0])[0], std::memory_order_relaxed);
+  });
+
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.start().is_ok());
+  auto sid = engine.submit(g, {0, 1}, kIters);
+  ASSERT_TRUE(sid.is_ok());
+  auto waker = engine.task_waker(sid.value(), src);
+  ASSERT_TRUE(waker.is_ok()) << waker.status().to_text();
+  // Drip-feed credits from outside: each grant must wake the parked
+  // owner; between grants every worker sleeps (the test would hang, and
+  // the deadline below fire, if a wakeup were lost).
+  std::thread producer([&, wake = waker.value()] {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      credits.fetch_add(1, std::memory_order_acq_rel);
+      wake();
+    }
+  });
+  ASSERT_TRUE(engine.wait().is_ok());
+  producer.join();
+  const auto& rep = engine.report(sid.value());
+  ASSERT_EQ(rep.outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(sum.load(), kIters * (kIters - 1) / 2);
+  EXPECT_GT(rep.tasks[src].io_stalls, 0u);
+  EXPECT_GT(rep.tasks[src].io_stall_s, 0.0);
+  EXPECT_GT(rep.io_stall_s, 0.0);
+  EXPECT_EQ(rep.tasks[snk].io_stalls, 0u) << "ungated task never stalls";
+}
+
+TEST(Trace, ComparisonCarriesIoWaitColumn) {
+  SessionReport measured;
+  measured.graph = "gated";
+  measured.iterations = 4;
+  measured.wall_s = 0.4;
+  TaskStats io_task;
+  io_task.name = "src";
+  io_task.firings = 4;
+  io_task.busy_s = 0.04;
+  io_task.io_stalls = 4;
+  io_task.io_stall_s = 0.2;
+  measured.tasks.push_back(io_task);
+  mpsoc::TaskGraph g("gated");
+  mpsoc::Task stage;
+  stage.name = "src";
+  stage.work_ops = 100;
+  (void)g.add_task(std::move(stage));
+  const auto platform = core::device_platform(core::DeviceClass::kVideoCamera);
+  mpsoc::Schedule predicted;
+  const auto cmp =
+      compare_with_schedule(measured, g, platform, {0}, predicted);
+  ASSERT_EQ(cmp.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(cmp.stages[0].io_wait_s, 0.05);
+  EXPECT_NE(format_comparison(cmp).find("io-wait"), std::string::npos);
+}
+
 TEST(Trace, EvaluateMeasuredFillsDeploymentReport) {
   VideoPipelineConfig cfg;
   cfg.width = 32;

@@ -339,5 +339,50 @@ TEST(ShardedEngine, DestructorWhileRunningCancelsAllShards) {
   EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
 }
 
+// An auto pool size makes the per-shard CPU range unknowable; silently
+// running unpinned would violate the pinning contract, so start() fails.
+TEST(ShardedEngine, PinShardCpuRangesRejectsAutoWorkerCount) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.engine.workers = 0;  // auto
+  opts.pin_shard_cpu_ranges = true;
+  ShardedEngine sharded(opts);
+  const auto status = sharded.start();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kInvalidArgument);
+}
+
+// Per-socket shards: each shard's workers pin to a disjoint CPU range
+// (shard i starts at CPU i * workers, wrapped mod hardware threads).
+TEST(ShardedEngine, PinShardCpuRangesRunsToCompletionOrFailsLoudly) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.engine.workers = 2;  // explicit: the range width must be known
+  opts.pin_shard_cpu_ranges = true;
+  ShardedEngine sharded(opts);
+  std::vector<SyntheticPipeline> pipes;
+  std::vector<SessionTicket> tickets;
+  pipes.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    pipes.push_back(make_synthetic_chain(3, 500.0));
+    auto r = sharded.submit(pipes.back().graph, chain_mapping(3, 1), 12);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_text();
+    tickets.push_back(r.value());
+  }
+  const auto status = sharded.run();
+#if defined(__linux__)
+  ASSERT_TRUE(status.is_ok()) << status.to_text();
+  for (const auto t : tickets) {
+    EXPECT_EQ(sharded.report(t).outcome, SessionOutcome::kCompleted);
+  }
+  for (const auto& pipe : pipes) {
+    EXPECT_EQ(pipe.sink->tokens.load(), 12u);
+  }
+#else
+  // Unsupported platforms must surface a Status, never silently unpin.
+  EXPECT_FALSE(status.is_ok());
+#endif
+}
+
 }  // namespace
 }  // namespace mmsoc::runtime
