@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <string>
@@ -41,10 +42,40 @@ using Payload = std::vector<std::uint8_t>;
 /// inbound edge and collects one payload per outbound edge. Edge order is
 /// the order the edges were added to the graph (restricted to this task),
 /// i.e. TaskGraph::in_edges / out_edges.
+///
+/// Output buffer contract: each outputs[k] arrives *empty* (size 0) but
+/// may carry warmed-up capacity — the runtime recycles consumed channel
+/// buffers back to producers (see runtime EngineOptions::
+/// recycle_payloads). A body that fills outputs in place (store(),
+/// resize+write, assign) therefore allocates nothing in steady state; a
+/// body that assigns a freshly built vector stays correct but forgoes
+/// the reuse. Stale bytes never leak: the runtime clears every buffer
+/// before handing it over.
 struct TaskFiring {
   std::uint64_t iteration = 0;
   std::vector<const Payload*> inputs;  ///< one per in-edge, never null
   std::vector<Payload> outputs;        ///< one per out-edge, body fills
+
+  /// Fill out-edge `k` in place from raw memory — the allocation-free
+  /// way to emit a payload (reuses the recycled buffer's capacity).
+  /// assign() writes each byte once; resize-then-copy would zero-fill
+  /// first and double-write the whole payload.
+  void store(std::size_t k, const void* data, std::size_t bytes) {
+    if (bytes == 0) {
+      outputs[k].clear();
+      return;
+    }
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    outputs[k].assign(p, p + bytes);
+  }
+
+  /// store() for a typed array: count elements of T, reinterpreted as
+  /// bytes (payload storage is max-aligned, so the consumer may view it
+  /// as T again).
+  template <typename T>
+  void store_array(std::size_t k, const T* data, std::size_t count) {
+    store(k, data, count * sizeof(T));
+  }
 };
 
 /// Executable hook: called once per iteration, in iteration order, always

@@ -92,8 +92,13 @@ struct Engine::Impl {
     std::vector<SpscQueue<mpsoc::Payload>*> in;   // channel per in-edge
     std::vector<SpscQueue<mpsoc::Payload>*> out;  // channel per out-edge
     /// Tasks at the far end of this task's channels (deduped, self
-    /// removed). The wakeup set after a firing is their *current* owners.
+    /// removed). The wakeup set after a batch is their *current* owners.
     std::vector<TaskRun*> peers;
+    /// Reused firing frame: the inputs/outputs vectors (and, with
+    /// recycling, the payload buffers inside them) keep their capacity
+    /// across firings, so the dispatch itself allocates nothing in
+    /// steady state. Owner-only, handed off with the task on migration.
+    mpsoc::TaskFiring scratch;
     std::uint64_t next_iteration = 0;
     std::uint64_t limit = 0;
     // measured
@@ -129,22 +134,31 @@ struct Engine::Impl {
   };
 
   /// One physical worker: a runqueue of task handles plus an eventcount.
-  /// The mutex serializes everything that touches the queue — the owner's
-  /// scan-and-fire pass, dynamic admission appending tasks, and a thief
-  /// removing one — so a migration can never interleave with a firing
-  /// (iteration-boundary-only migration by construction). A worker sleeps
-  /// on its own version word (std::atomic::wait — an indefinite
-  /// futex-style park, zero CPU); any peer that may have made one of its
-  /// tasks ready bumps the version and notifies. Cache-line aligned so
-  /// notifies don't false-share.
+  /// The mutex serializes everything that touches the queue — the
+  /// owner's pick/requeue, dynamic admission appending tasks, and a
+  /// thief removing one. Firing itself happens with the mutex RELEASED:
+  /// the owner pops the task first, which removes it from every thief's
+  /// view, so migration still cannot interleave with a firing
+  /// (iteration-boundary-only migration by construction) while blocking
+  /// bodies no longer stall admission or stealing of the other queued
+  /// tasks. A worker sleeps on its own version word (std::atomic::wait —
+  /// an indefinite futex-style park, zero CPU); any peer that may have
+  /// made one of its tasks ready bumps the version and notifies.
+  /// Cache-line aligned so notifies don't false-share.
   struct alignas(64) Worker {
     std::mutex mu;
     std::vector<TaskRun*> queue;
+    /// Tasks this worker popped for a firing batch / retirement and will
+    /// re-queue (guarded by mu). Thieves add it to the queued count when
+    /// applying the leave-one rule: a victim blocked inside a popped
+    /// task still "holds" it, so its last queued task may be stolen —
+    /// without this, one blocked + one ready task would starve the ready
+    /// one for the whole block.
+    std::size_t inflight = 0;
     std::atomic<std::uint32_t> version{0};
   };
 
   enum class RunState { kIdle, kStarting, kRunning, kJoining, kDone };
-  enum class ScanResult { kIdle, kProgress, kFatal };
 
   EngineOptions options;
   /// Guards the session table (grows under dynamic admission) and the
@@ -313,16 +327,31 @@ struct Engine::Impl {
     }
   }
 
-  void fire(TaskRun& r, std::size_t self, std::vector<std::size_t>& completed) {
-    mpsoc::TaskFiring firing;
-    firing.iteration = r.next_iteration;
-    firing.inputs.reserve(r.in.size());
-    for (auto* ch : r.in) firing.inputs.push_back(ch->front());
-    firing.outputs.resize(r.out.size());
+  /// Fire up to `quantum` consecutive iterations of a task the calling
+  /// worker popped from its runqueue (while popped the task is invisible
+  /// to thieves, so the batch needs no lock; the channels' producer/
+  /// consumer sides belong to this worker for the duration). Stops early
+  /// on empty input, full output, closed gate, session cancel, or engine
+  /// stop. Accounting and the session-outstanding decrement happen ONCE
+  /// per batch, and the clock is read twice per batch, so busy_s
+  /// measures the batch wall — body time plus the wait-free intra-batch
+  /// channel hand-off (front/push/pop/acquire; no locks or waits inside
+  /// the window). min/max_firing_s become batch means. Peer wakeups are
+  /// coalesced to the batch end PLUS an immediate notify whenever a
+  /// firing unblocked a parked peer (empty->non-empty push or
+  /// full->non-full pop), so slow bodies keep the pipeline overlapped
+  /// while fast bodies still amortize; the eventcount protocol is safe
+  /// at any coalescing granularity. Returns the number of firings.
+  std::uint64_t fire_batch(TaskRun& r, std::size_t self, std::size_t quantum,
+                           std::vector<std::size_t>& completed, bool& fatal) {
+    auto& sess = *r.sess;
+    auto& firing = r.scratch;
+    const std::size_t n_out = r.out.size();
+    firing.outputs.resize(n_out);
 
     const auto t0 = Clock::now();
     // Close out a pending boundary stall: the gap between first observing
-    // "channels ready, gate closed" and this firing is I/O wait, kept out
+    // "channels ready, gate closed" and this batch is I/O wait, kept out
     // of busy_s so compute attribution stays clean.
     if (r.stall_since != Clock::time_point{}) {
       r.io_stall_s += seconds_between(r.stall_since, t0);
@@ -332,28 +361,95 @@ struct Engine::Impl {
     // Session wall clock runs from its own first firing, not engine
     // start — a multiplexed session that is starved early must not have
     // the wait billed to its throughput.
-    std::call_once(r.sess->start_once, [&] { r.sess->start = t0; });
-    r.graph->task(r.id).body(firing);
+    std::call_once(sess.start_once, [&] { sess.start = t0; });
+
+    std::uint64_t fired = 0;
+    // Mid-batch unblock detection: pushing into an empty channel or
+    // popping from a full one may be exactly what a parked peer waits
+    // for. Deferring that wakeup to batch end would serialize the
+    // pipeline for slow/blocking bodies (the peer sleeps through up to
+    // quantum x body-time with consumable tokens queued), so such a
+    // transition notifies peers before the NEXT body runs — while the
+    // common fast-body batch still coalesces to ~two notifies (channels
+    // only transition while the peer is behind, and a final firing's
+    // transition is covered by the unconditional batch-end notify).
+    bool unblocked_peer = false;
+    while (fired < quantum && ready(r) && gate_open(r)) {
+      if (unblocked_peer) {
+        notify_peers(r, self);
+        unblocked_peer = false;
+      }
+      firing.iteration = r.next_iteration;
+      firing.inputs.clear();
+      for (auto* ch : r.in) firing.inputs.push_back(ch->front());
+      for (std::size_t k = 0; k < n_out; ++k) {
+        // Recycled buffer (or a fresh empty vector when recycling is
+        // off / the free ring is still cold), handed to the body
+        // cleared: no stale bytes can leak across iterations, and the
+        // warmed capacity makes an in-place fill allocation-free.
+        if (options.recycle_payloads) firing.outputs[k] = r.out[k]->acquire();
+        firing.outputs[k].clear();
+      }
+      try {
+        r.graph->task(r.id).body(firing);
+      } catch (const std::exception& e) {
+        record_error(Status(StatusCode::kInternal,
+                            std::string("task '") +
+                                r.graph->task(r.id).name +
+                                "' threw: " + e.what()));
+        fatal = true;
+        break;
+      } catch (...) {
+        record_error(Status(StatusCode::kInternal,
+                            std::string("task '") +
+                                r.graph->task(r.id).name + "' threw"));
+        fatal = true;
+        break;
+      }
+      for (std::size_t k = 0; k < n_out; ++k) {
+        // Empty-check from the producer side is exact whenever the
+        // consumer is parked — the only case the wakeup matters.
+        if (r.out[k]->empty()) unblocked_peer = true;
+        // Space was checked in ready(); this worker is the only
+        // producer, so the push cannot fail.
+        (void)r.out[k]->try_push(std::move(firing.outputs[k]));
+      }
+      for (auto* ch : r.in) {
+        if (ch->full()) unblocked_peer = true;
+        ch->pop();
+      }
+      ++fired;
+      ++r.next_iteration;
+      // Iteration boundary: a cancel or engine abort must stop a
+      // free-running task promptly — the caller retires/exits next.
+      if (stop.load(std::memory_order_acquire) ||
+          sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+        break;
+      }
+    }
     const auto t1 = Clock::now();
 
-    for (std::size_t k = 0; k < r.out.size(); ++k) {
-      // Space was checked in ready(); this worker is the only producer,
-      // so the push cannot fail.
-      (void)r.out[k]->try_push(std::move(firing.outputs[k]));
+    if (fired > 0) {
+      const double dt = seconds_between(t0, t1);
+      const double per_firing = dt / static_cast<double>(fired);
+      r.busy_s += dt;
+      r.min_firing_s = std::min(r.min_firing_s, per_firing);
+      r.max_firing_s = std::max(r.max_firing_s, per_firing);
+      r.firings += fired;
+      account_done(r, fired, /*fired=*/true, completed);
+      // Coalesced precise wakeup: only the workers owning this task's
+      // channel peers can have been unblocked by the batch (tokens
+      // arrived / space freed), and one notify covers every firing.
+      notify_peers(r, self);
     }
-    for (auto* ch : r.in) ch->pop();
-
-    const double dt = seconds_between(t0, t1);
-    r.busy_s += dt;
-    r.min_firing_s = std::min(r.min_firing_s, dt);
-    r.max_firing_s = std::max(r.max_firing_s, dt);
-    ++r.firings;
-    ++r.next_iteration;
-
-    account_done(r, 1, /*fired=*/true, completed);
-    // Precise wakeup: only the workers owning this task's channel peers
-    // can have been unblocked (token arrived / space freed).
-    notify_peers(r, self);
+    // Channels ready but the boundary I/O hasn't arrived: start the
+    // stall clock; the I/O completion wakes this task's owner via its
+    // task_waker.
+    if (!fatal && ready(r) && !gate_open(r) &&
+        r.stall_since == Clock::time_point{}) {
+      r.stall_since = t1;
+    }
+    return fired;
   }
 
   /// Drop a cancelled task's remaining iterations and drain its input
@@ -369,89 +465,73 @@ struct Engine::Impl {
     notify_peers(r, self);
   }
 
-  /// One pass over this worker's runqueue: retire cancelled tasks, fire
-  /// ready ones (bounded batch per task so the queue mutex is released
-  /// regularly for admission and thieves), and compact finished handles
-  /// out of the queue. Caller holds me.mu. Sets `surplus` when the queue
-  /// still holds stealable work after the pass (>= 2 unfinished tasks,
-  /// at least one ready) — the overloaded worker then hints an idle peer
-  /// to come steal, because a worker with an empty queue owns no tasks
-  /// and would otherwise never be woken to retry a failed steal.
-  ScanResult scan_queue(std::size_t w, Worker& me,
-                        std::vector<std::size_t>& completed, bool& surplus) {
-    bool progressed = false;
-    // Bound the per-task drain so an edge-free task (never limited by
-    // channel capacity) cannot monopolize the queue mutex — and so stop/
-    // cancel flags are observed at a bounded iteration distance.
-    const std::uint64_t batch =
-        std::max<std::size_t>(options.channel_capacity, 16);
+  /// Pop the first actionable task out of this worker's runqueue: a task
+  /// whose session was cancelled (to retire), else the first fully
+  /// runnable one (to fire a batch). Popping — rather than firing in
+  /// place — is what keeps the queue mutex off the firing path: the
+  /// caller releases the lock, runs the batch, and pushes the task back,
+  /// so thieves and admission only ever contend with this short scan.
+  /// While scanning, tasks found channel-ready but gate-closed get their
+  /// I/O stall clock started, and `surplus` is set when stealable work
+  /// remains behind the pick (>= 1 queued runnable task — the pick
+  /// itself counts as inflight toward the thief's leave-one rule) — the
+  /// overloaded worker then hints an idle peer to come steal, because a
+  /// worker with an empty queue owns no tasks and would otherwise never
+  /// be woken to retry a failed steal. Caller holds me.mu.
+  TaskRun* pick_task(Worker& me, bool& retire_pick, bool& surplus) {
+    auto& q = me.queue;
+    TaskRun* pick = nullptr;
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < me.queue.size(); ++i) {
-      TaskRun* r = me.queue[i];
-      bool done = r->next_iteration >= r->limit;
-      if (!done) {
-        auto& sess = *r->sess;
-        if (sess.cancel_code.load(std::memory_order_acquire) != kLive) {
-          retire(*r, w, completed);
-          progressed = true;
-          done = true;
+    std::size_t i = 0;
+    for (; i < q.size() && pick == nullptr; ++i) {
+      TaskRun* r = q[i];
+      if (r->next_iteration >= r->limit) continue;  // drop finished handle
+      if (r->sess->cancel_code.load(std::memory_order_acquire) != kLive) {
+        pick = r;
+        retire_pick = true;
+      } else if (ready(*r)) {
+        if (gate_open(*r)) {
+          pick = r;
+          retire_pick = false;
         } else {
-          std::uint64_t fired = 0;
-          while (ready(*r) && fired < batch) {
-            if (!gate_open(*r)) {
-              // Channels are ready but the boundary I/O hasn't arrived:
-              // start (or continue) the stall clock and move on. The I/O
-              // completion wakes this task's owner via its task_waker.
-              if (r->stall_since == Clock::time_point{}) {
-                r->stall_since = Clock::now();
-              }
-              break;
-            }
-            try {
-              fire(*r, w, completed);
-            } catch (const std::exception& e) {
-              record_error(Status(StatusCode::kInternal,
-                                  std::string("task '") +
-                                      r->graph->task(r->id).name +
-                                      "' threw: " + e.what()));
-              return ScanResult::kFatal;
-            } catch (...) {
-              record_error(Status(StatusCode::kInternal,
-                                  std::string("task '") +
-                                      r->graph->task(r->id).name + "' threw"));
-              return ScanResult::kFatal;
-            }
-            progressed = true;
-            ++fired;
-            // Iteration boundary: a cancel or engine abort must stop a
-            // free-running task promptly — the next outer pass retires it.
-            if (stop.load(std::memory_order_acquire) ||
-                sess.cancel_code.load(std::memory_order_acquire) != kLive) {
-              break;
-            }
+          if (r->stall_since == Clock::time_point{}) {
+            r->stall_since = Clock::now();
           }
-          done = r->next_iteration >= r->limit;
+          q[keep++] = r;
         }
-      }
-      if (!done) me.queue[keep++] = r;
-    }
-    me.queue.resize(keep);
-    if (progressed && me.queue.size() >= 2) {
-      for (const TaskRun* r : me.queue) {
-        if (runnable(*r)) {
-          surplus = true;
-          break;
-        }
+      } else {
+        q[keep++] = r;
       }
     }
-    return progressed ? ScanResult::kProgress : ScanResult::kIdle;
+    std::size_t runnable_left = 0;
+    for (; i < q.size(); ++i) {
+      TaskRun* r = q[i];
+      if (r->next_iteration >= r->limit) continue;
+      if (runnable(*r)) {
+        ++runnable_left;
+      } else if (ready(*r) && r->stall_since == Clock::time_point{}) {
+        // Gate-closed behind the pick: the stall clock must start now,
+        // not a batch later when the task rotates to the front.
+        r->stall_since = Clock::now();
+      }
+      q[keep++] = r;
+    }
+    q.resize(keep);
+    // A queued runnable task left behind is stealable surplus: the pick
+    // we are about to pop counts as inflight toward the thief's
+    // leave-one rule, so one queued runnable is already enough.
+    surplus = pick != nullptr && runnable_left >= 1;
+    return pick;
   }
 
   /// Bounded steal: migrate ONE whole task from the first lockable victim
-  /// that holds at least two unfinished tasks and at least one that is
-  /// ready to fire. Leaving a lone task with its owner prevents
-  /// ping-pong; try_lock keeps thieves from stalling behind a victim's
-  /// firing batch. Returns true when a task was migrated.
+  /// that holds at least two unfinished tasks — queued plus popped-for-a-
+  /// batch (`inflight`) — and whose queue has at least one ready to
+  /// fire. A popped task itself is never stealable (it is not in the
+  /// queue), but it counts toward the leave-one rule, so a victim
+  /// blocked inside a long body can still be relieved of its last
+  /// queued-ready task. try_lock keeps thieves from piling onto a
+  /// victim's pick scan. Returns true when a task was migrated.
   bool try_steal(std::size_t self) {
     const std::size_t n = workers_.size();
     if (n < 2) return false;
@@ -460,7 +540,7 @@ struct Engine::Impl {
       auto& victim = workers_[v];
       std::unique_lock lock(victim.mu, std::try_to_lock);
       if (!lock.owns_lock()) continue;
-      std::size_t live = 0;
+      std::size_t live = victim.inflight;
       TaskRun* pick = nullptr;
       std::size_t pick_at = 0;
       for (std::size_t i = 0; i < victim.queue.size(); ++i) {
@@ -513,37 +593,73 @@ struct Engine::Impl {
     released.wait(false, std::memory_order_acquire);
     auto& me = workers_[w];
     std::vector<std::size_t> completed;
+    const std::size_t quantum = std::max<std::size_t>(1, options.firing_quantum);
     std::size_t hint_rr = w;  // rotating target for come-steal hints
     while (!stop.load(std::memory_order_acquire)) {
       // Eventcount: capture the version *before* scanning. A peer that
       // makes a task ready after this load bumps the version, so the
       // wait() below returns immediately instead of missing the wakeup.
       const std::uint32_t v = me.version.load(std::memory_order_acquire);
-      ScanResult res;
-      bool surplus = false;
-      completed.clear();
-      {
-        std::lock_guard lock(me.mu);
-        res = scan_queue(w, me, completed, surplus);
-      }
-      // Completion callbacks run outside the queue mutex so they may
-      // re-enter the engine (submit/cancel) or take caller locks without
-      // deadlocking against admission.
-      flush_completed(completed);
-      if (res == ScanResult::kFatal) return;
-      if (res == ScanResult::kProgress) {
+      bool progressed = false;
+      // Drain loop: pop one actionable task, run its batch with the
+      // queue mutex released, requeue at the tail (round-robin over the
+      // queue), repeat until nothing is actionable.
+      for (;;) {
+        if (stop.load(std::memory_order_acquire)) break;
+        bool retire_pick = false;
+        bool surplus = false;
+        TaskRun* r = nullptr;
+        {
+          std::lock_guard lock(me.mu);
+          r = pick_task(me, retire_pick, surplus);
+          if (r != nullptr) ++me.inflight;
+        }
+        if (r == nullptr) break;
         if (surplus && options.work_stealing && workers_.size() > 1) {
-          // Come-steal hint: wake one (rotating) peer so a parked idle
-          // worker retries its steal. An idle worker owns no tasks, so
-          // no firing would ever bump its version otherwise; the hint
-          // restores steal liveness at one cheap notify per busy pass.
+          // Come-steal hint, sent BEFORE the batch: wake one (rotating)
+          // peer so a parked idle worker can migrate the queued surplus
+          // while this batch runs — crucial when the popped body blocks
+          // (a hint after the batch would let the thief sleep through
+          // the whole block). An idle worker owns no tasks, so no
+          // firing would ever bump its version otherwise.
           hint_rr = (hint_rr + 1) % workers_.size();
           if (hint_rr == w) hint_rr = (hint_rr + 1) % workers_.size();
           notify_worker(hint_rr);
         }
-        continue;
+        completed.clear();
+        bool fatal = false;
+        bool finished;
+        if (retire_pick) {
+          retire(*r, w, completed);
+          finished = true;
+          progressed = true;
+        } else {
+          const std::uint64_t fired =
+              fire_batch(*r, w, quantum, completed, fatal);
+          progressed = progressed || fired > 0;
+          finished = r->next_iteration >= r->limit;
+          // A cancel that landed mid-batch: retire now (drop + drain
+          // inputs) so back-pressured upstream peers unblock without
+          // waiting for the next pass to rediscover the task.
+          if (!fatal && !finished &&
+              r->sess->cancel_code.load(std::memory_order_acquire) != kLive) {
+            retire(*r, w, completed);
+            finished = true;
+          }
+        }
+        {
+          std::lock_guard lock(me.mu);
+          --me.inflight;
+          if (!fatal && !finished) me.queue.push_back(r);
+        }
+        // Completion callbacks run outside the queue mutex so they may
+        // re-enter the engine (submit/cancel) or take caller locks
+        // without deadlocking against admission.
+        flush_completed(completed);
+        if (fatal) return;
       }
       if (drained_dry()) return;
+      if (progressed) continue;  // rescan before parking: state moved
       if (options.work_stealing && try_steal(w)) continue;
       if (stop.load(std::memory_order_acquire) || drained_dry()) return;
       // Nothing ready, nothing stealable, version unchanged since the
@@ -715,7 +831,7 @@ struct Engine::Impl {
     sess->options = session_options;
     for (std::size_t e = 0; e < graph.edges().size(); ++e) {
       sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
-          options.channel_capacity));
+          options.channel_capacity, options.recycle_payloads));
     }
     sess->outstanding.store(iterations * graph.task_count(),
                             std::memory_order_relaxed);
@@ -955,6 +1071,7 @@ struct Engine::Impl {
       for (const auto& ch : sess.channels) {
         rep.max_channel_occupancy =
             std::max(rep.max_channel_occupancy, ch->max_occupancy());
+        rep.payloads_recycled += ch->recycle_hits();
       }
       for (const auto& run : sess.runs) {
         auto& stats = rep.tasks[run->id];

@@ -16,33 +16,51 @@
 // executor, keeps its front door open: submit() admits new sessions
 // while the engine is running.
 //
-// Determinism: at any instant every task sits in exactly one worker's
-// runqueue, only that worker fires it, and it fires its iterations in
-// order, consuming from and producing into FIFO channels. Task bodies
-// may therefore keep closure state, and the streamed output is
-// bit-identical no matter how many workers execute the graph — or how
-// tasks migrate between them.
+// Determinism: at any instant every task is held by exactly one worker
+// (in its runqueue, or popped by it for a firing batch), only that
+// worker fires it, and it fires its iterations in order, consuming from
+// and producing into FIFO channels. Task bodies may therefore keep
+// closure state, and the streamed output is bit-identical no matter how
+// many workers execute the graph — or how tasks migrate between them.
+//
+// Hot-loop dispatch (batched firing + payload recycling): a worker pops
+// one runnable task from its queue, releases the queue mutex, fires up
+// to EngineOptions::firing_quantum consecutive iterations, re-queues the
+// task at the tail, and coalesces channel-peer notifies to the batch
+// end (plus an immediate wakeup when a firing unblocks a parked peer)
+// — so the mutex, the eventcount notifies, and the clock reads are paid
+// per batch, not per firing. Because bodies run with no engine lock
+// held, a body that blocks (a modeled accelerator, an inline device op)
+// stalls only its own task; admission and thieves proceed. Channel
+// payload buffers circulate through per-edge free-list rings
+// (EngineOptions::recycle_payloads): bodies receive consumed buffers
+// back as cleared, capacity-warm TaskFiring::outputs, so the
+// steady-state data plane performs zero heap allocations.
 //
 // Work stealing (bounded): an idle worker that finds nothing runnable in
 // its own queue may migrate ONE whole task from a loaded peer before
-// parking. Migration happens only at an iteration boundary (the victim's
-// queue mutex excludes a firing in progress), moves the task handle —
-// never individual firings — and requires the victim to hold at least
-// two unfinished tasks, so a lone task is never ping-ponged. Because the
-// task moves wholesale, every edge keeps exactly one producer and one
-// consumer thread at a time; the ownership hand-off is ordered by the
-// queue mutexes plus seq_cst fences on the owner word (see engine.cpp).
-// Liveness never depends on stealing: an owner always runs its own ready
-// tasks, stealing only shortens the tail when the static hint skews.
+// parking. Migration happens only at an iteration boundary — a task that
+// is mid-batch is popped out of its owner's queue and therefore
+// invisible to thieves; only queued tasks can move. A steal moves the
+// task handle — never individual firings — and requires the victim to
+// hold at least two unfinished tasks (queued plus popped-for-a-batch),
+// so a lone task is never ping-ponged but a worker blocked inside a
+// long body can still be relieved of its last queued-ready task.
+// Because the task moves wholesale, every edge keeps
+// exactly one producer and one consumer thread at a time; the ownership
+// hand-off is ordered by the queue mutexes plus seq_cst fences on the
+// owner word (see engine.cpp). Liveness never depends on stealing: an
+// owner always runs its own ready tasks, stealing only shortens the
+// tail when the static hint skews.
 //
 // Wakeup protocol (eventcount): each worker owns a 32-bit version word.
 // An idle worker loads its version, rescans its runqueue once more, and
 // if still nothing is ready calls std::atomic::wait(v) — sleeping
-// indefinitely (zero CPU) until a peer bumps the version. A firing task
-// bumps (fetch_add + notify_one) only the versions of the workers that
-// *currently own* the tasks at the other end of the channels it touched
-// (owners are re-read per firing, so wakeups follow migrations), so a
-// wakeup is O(1) and precisely targeted.
+// indefinitely (zero CPU) until a peer bumps the version. After a firing
+// batch a task bumps (fetch_add + notify_one) only the versions of the
+// workers that *currently own* the tasks at the other end of the
+// channels it touched (owners are re-read per batch, so wakeups follow
+// migrations), so wakeups are O(peers) per batch and precisely targeted.
 //
 // Boundary gates (async I/O integration): a task whose mpsoc::Task
 // carries a TaskGate fires only while the gate returns true in addition
@@ -85,8 +103,35 @@ struct EngineOptions {
   /// per hardware thread.
   std::size_t workers = 0;
   /// Tokens buffered per edge — the software-pipelining depth. 1 degrades
-  /// to lock-step execution; larger values decouple stage jitter.
-  std::size_t channel_capacity = 4;
+  /// to lock-step execution; larger values decouple stage jitter. Sized
+  /// to the default firing_quantum: a firing batch stops early at a
+  /// full/empty channel, so a capacity below the quantum silently caps
+  /// interior-stage batches at the capacity.
+  std::size_t channel_capacity = 8;
+  /// Dispatch granularity: when a worker pops a task it fires up to this
+  /// many consecutive iterations (stopping early on empty input, full
+  /// output, closed gate, cancel, or engine stop) before re-queueing.
+  /// Channel-peer wakeups coalesce to once per batch — plus an immediate
+  /// notify whenever a firing unblocks a parked peer (a push into an
+  /// empty channel / a pop from a full one), so a slow body's batch
+  /// never serializes the pipeline. Amortizes the runqueue mutex, the
+  /// eventcount notifies, and the per-firing clock reads — the
+  /// overheads that cap throughput when bodies are small.
+  /// Migration and cancellation still act at iteration boundaries only;
+  /// 1 restores strict one-firing-per-dispatch (the bench baseline).
+  /// Note: with a quantum > 1 a batch is timed as a whole, so
+  /// TaskStats::min/max_firing_s become per-batch means and busy_s
+  /// includes the wait-free channel hand-off between the batch's bodies
+  /// (never locks, parks, or notifies — see TaskStats::busy_s).
+  std::size_t firing_quantum = 8;
+  /// Hand bodies recycled channel buffers: every edge banks consumed
+  /// payloads in a bounded free-list ring and TaskFiring::outputs arrive
+  /// as *cleared* buffers with warmed-up capacity instead of fresh
+  /// vectors. Bodies that fill outputs in place (TaskFiring::store /
+  /// resize+write / assign) then run allocation-free in steady state;
+  /// bodies that assign whole vectors still work — they just forgo the
+  /// reuse. Off = every firing allocates (the bench baseline).
+  bool recycle_payloads = true;
   /// Allow idle workers to migrate whole tasks from loaded peers at
   /// iteration boundaries. Off = the placement hint is a hard binding
   /// (the pre-runqueue behaviour), useful as a bench baseline.
@@ -139,7 +184,14 @@ struct TaskStats {
   std::size_t worker = 0;
   std::uint64_t migrations = 0;  ///< times the task changed workers
   std::uint64_t firings = 0;
-  double busy_s = 0.0;      ///< total body time
+  /// Total batch wall time: body time plus the wait-free intra-batch
+  /// channel hand-off (tens of ns per firing — batches are timed as a
+  /// whole, so locks, parks, and notifies are never inside the window;
+  /// only vanishingly small for sub-microsecond synthetic bodies).
+  double busy_s = 0.0;
+  /// Fastest / slowest dispatch, normalized per firing: with
+  /// EngineOptions::firing_quantum > 1 each sample is a batch mean (the
+  /// hot loop reads the clock twice per batch, not twice per firing).
   double min_firing_s = 0.0;
   double max_firing_s = 0.0;
   /// Boundary (gate) waits: firings that found their channels ready but
@@ -175,6 +227,11 @@ struct SessionReport {
   /// tasks[].io_stall_s) — how long the session's tasks sat channel-ready
   /// but gate-closed waiting on devices. 0 for pure compute sessions.
   double io_stall_s = 0.0;
+  /// Producer-side buffer reuses across all channels: how often a firing
+  /// was handed a consumed buffer back instead of allocating. 0 when
+  /// EngineOptions::recycle_payloads is off; approaches
+  /// iterations * edges once the free rings warm up.
+  std::uint64_t payloads_recycled = 0;
 
   SessionOutcome outcome = SessionOutcome::kPending;
   /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable

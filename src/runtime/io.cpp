@@ -73,8 +73,12 @@ IoContext::Stats IoContext::stats() const noexcept {
 // AsyncSource
 // ---------------------------------------------------------------------------
 
-AsyncSource::AsyncSource(IoContext& io, ReadFn read, std::size_t depth)
-    : io_(&io), read_(std::move(read)), depth_(std::max<std::size_t>(1, depth)) {}
+AsyncSource::AsyncSource(IoContext& io, ReadFn read, std::size_t depth,
+                         std::shared_ptr<PayloadPool> pool)
+    : io_(&io),
+      read_(std::move(read)),
+      depth_(std::max<std::size_t>(1, depth)),
+      pool_(std::move(pool)) {}
 
 AsyncSource::~AsyncSource() {
   std::unique_lock lock(mu_);
@@ -173,8 +177,18 @@ void AsyncSource::body(mpsoc::TaskFiring& f) {
     }
   }
   const std::size_t n = f.outputs.size();
-  for (std::size_t k = 0; k + 1 < n; ++k) f.outputs[k] = payload;
-  if (n > 0) f.outputs[n - 1] = std::move(payload);
+  if (pool_) {
+    // Copy into the engine's recycled channel buffers and bank the unit
+    // buffer for the paired sink — the adapter itself then allocates
+    // nothing in steady state.
+    for (std::size_t k = 0; k < n; ++k) {
+      f.store(k, payload.data(), payload.size());
+    }
+    pool_->release(std::move(payload));
+  } else {
+    for (std::size_t k = 0; k + 1 < n; ++k) f.outputs[k] = payload;
+    if (n > 0) f.outputs[n - 1] = std::move(payload);
+  }
 }
 
 BoundaryStats AsyncSource::stats() const {
@@ -186,10 +200,12 @@ BoundaryStats AsyncSource::stats() const {
 // AsyncSink
 // ---------------------------------------------------------------------------
 
-AsyncSink::AsyncSink(IoContext& io, WriteFn write, std::size_t depth)
+AsyncSink::AsyncSink(IoContext& io, WriteFn write, std::size_t depth,
+                     std::shared_ptr<PayloadPool> pool)
     : io_(&io),
       write_(std::move(write)),
-      depth_(std::max<std::size_t>(1, depth)) {}
+      depth_(std::max<std::size_t>(1, depth)),
+      pool_(std::move(pool)) {}
 
 AsyncSink::~AsyncSink() {
   std::unique_lock lock(mu_);
@@ -221,8 +237,12 @@ void AsyncSink::body(mpsoc::TaskFiring& f) {
     return;
   }
   // Engine contract: fired only while occupied_ < depth_ (the gate), and
-  // this task's single owner is the only producer.
-  pending_.push_back(*f.inputs[0]);  // copy: the channel still owns its slot
+  // this task's single owner is the only producer. The channel still
+  // owns its slot, so bank a copy — drawn from the pool when one is
+  // attached, so the copy reuses retired unit storage.
+  mpsoc::Payload banked = pool_ ? pool_->acquire() : mpsoc::Payload{};
+  banked.assign(f.inputs[0]->begin(), f.inputs[0]->end());
+  pending_.push_back(std::move(banked));
   ++occupied_;
   gate_occupied_.store(occupied_, std::memory_order_release);
   stats_.max_buffered = std::max(stats_.max_buffered, pending_.size());
@@ -260,8 +280,9 @@ void AsyncSink::drain() {
     }
     const std::size_t bytes = payload.size();
     const auto t0 = Clock::now();
-    write_(unit, std::move(payload));
+    write_(unit, payload);  // adapter keeps ownership to recycle below
     const auto t1 = Clock::now();
+    if (pool_) pool_->release(std::move(payload));
     std::function<void()> waker;
     {
       std::lock_guard lock(mu_);
@@ -346,7 +367,7 @@ double RtpIngress::jitter_us() const {
 
 RtpEgress::RtpEgress(RtpEgressOptions options) : options_(options) {}
 
-void RtpEgress::write(std::uint64_t index, mpsoc::Payload unit) {
+void RtpEgress::write(std::uint64_t index, const mpsoc::Payload& unit) {
   {
     std::lock_guard lock(mu_);
     auto packet = sender_.packetize(
@@ -429,7 +450,7 @@ BlockFileSink::BlockFileSink(fs::FatVolume& volume,
       path_(std::move(path)),
       options_(options) {}
 
-void BlockFileSink::write(std::uint64_t /*index*/, mpsoc::Payload unit) {
+void BlockFileSink::write(std::uint64_t /*index*/, const mpsoc::Payload& unit) {
   double delta_us = 0.0;
   {
     std::lock_guard vol_lock(*volume_mu_);

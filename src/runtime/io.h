@@ -60,6 +60,7 @@
 #include "fs/fat.h"
 #include "mpsoc/taskgraph.h"
 #include "net/rtp.h"
+#include "runtime/payload_pool.h"
 #include "runtime/queue.h"
 
 namespace mmsoc::runtime {
@@ -146,7 +147,14 @@ class AsyncSource {
   /// payload and counts an underrun so the session still completes.
   using ReadFn = std::function<std::optional<mpsoc::Payload>(std::uint64_t)>;
 
-  AsyncSource(IoContext& io, ReadFn read, std::size_t depth = 4);
+  /// With a `pool`, the body copies each unit into the engine's recycled
+  /// channel buffers and releases the endpoint-produced unit buffer into
+  /// the pool instead of freeing it — pair the pool with an AsyncSink so
+  /// the sink's per-unit copies draw from it (zero steady-state adapter
+  /// allocations). Without a pool the unit buffer is moved into the last
+  /// out-edge (the pre-pool behaviour).
+  AsyncSource(IoContext& io, ReadFn read, std::size_t depth = 4,
+              std::shared_ptr<PayloadPool> pool = nullptr);
   /// Quiesces: blocks until any in-flight I/O job retired, so the job
   /// can never touch a destroyed adapter. Terminates because a queued
   /// job always runs (IoContext::stop drains its backlog before
@@ -175,6 +183,7 @@ class AsyncSource {
   IoContext* io_;
   ReadFn read_;
   std::size_t depth_;
+  std::shared_ptr<PayloadPool> pool_;
   mutable std::mutex mu_;
   std::condition_variable idle_;  ///< signalled whenever inflight_ clears
   std::deque<mpsoc::Payload> buffered_;
@@ -200,9 +209,15 @@ class AsyncSource {
 class AsyncSink {
  public:
   /// Persist unit `index` (strictly increasing, one call at a time).
-  using WriteFn = std::function<void(std::uint64_t, mpsoc::Payload)>;
+  /// Takes the unit by const reference: the adapter keeps ownership of
+  /// the buffer so it can recycle the storage through its pool.
+  using WriteFn = std::function<void(std::uint64_t, const mpsoc::Payload&)>;
 
-  AsyncSink(IoContext& io, WriteFn write, std::size_t depth = 4);
+  /// With a `pool`, the copy each firing banks for the I/O thread is
+  /// drawn from the pool and its storage returned there after the write
+  /// — see AsyncSource for the pairing.
+  AsyncSink(IoContext& io, WriteFn write, std::size_t depth = 4,
+            std::shared_ptr<PayloadPool> pool = nullptr);
   /// Quiesces like ~AsyncSource (waits for the in-flight drain job, not
   /// for a full flush). Do not destroy from an I/O thread.
   ~AsyncSink();
@@ -230,6 +245,7 @@ class AsyncSink {
   IoContext* io_;
   WriteFn write_;
   std::size_t depth_;
+  std::shared_ptr<PayloadPool> pool_;
   mutable std::mutex mu_;
   std::condition_variable flushed_;
   std::deque<mpsoc::Payload> pending_;
@@ -311,11 +327,9 @@ class RtpEgress {
  public:
   explicit RtpEgress(RtpEgressOptions options = {});
 
-  void write(std::uint64_t index, mpsoc::Payload unit);
+  void write(std::uint64_t index, const mpsoc::Payload& unit);
   [[nodiscard]] AsyncSink::WriteFn writer() {
-    return [this](std::uint64_t i, mpsoc::Payload p) {
-      write(i, std::move(p));
-    };
+    return [this](std::uint64_t i, const mpsoc::Payload& p) { write(i, p); };
   }
 
   /// The serialized packets, in send order (stable after flush()).
@@ -388,11 +402,9 @@ class BlockFileSink {
   BlockFileSink(fs::FatVolume& volume, std::shared_ptr<std::mutex> volume_mu,
                 std::string path, BlockIoOptions options = {});
 
-  void write(std::uint64_t index, mpsoc::Payload unit);
+  void write(std::uint64_t index, const mpsoc::Payload& unit);
   [[nodiscard]] AsyncSink::WriteFn writer() {
-    return [this](std::uint64_t i, mpsoc::Payload p) {
-      write(i, std::move(p));
-    };
+    return [this](std::uint64_t i, const mpsoc::Payload& p) { write(i, p); };
   }
 
   [[nodiscard]] double modeled_io_us() const;

@@ -1,0 +1,98 @@
+// Bounded payload buffer pool for the I/O boundary.
+//
+// The engine's per-edge free-list rings (SpscQueue recycling) cover the
+// graph-interior data plane, but boundary adapters copy payloads across
+// the engine/device frontier: an AsyncSink banks a copy of each unit for
+// its I/O thread, an AsyncSource retires the unit buffer its endpoint
+// produced. Those buffers cross *threads* (worker <-> I/O pool), so the
+// wait-free ring discipline does not apply — this pool is the fallback:
+// a small mutex-guarded stack of retired buffers. acquire() hands back a
+// cleared buffer with warmed-up capacity (or a fresh empty one when the
+// pool is dry); release() banks a buffer up to the bound and drops the
+// surplus, so the pool can never hoard memory. The mutex is fine here:
+// the boundary runs per *unit* (per frame), not per engine firing, and
+// the same adapters already take their own mutex per unit.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "mpsoc/taskgraph.h"
+#include "runtime/queue.h"
+
+namespace mmsoc::runtime {
+
+class PayloadPool {
+ public:
+  /// `capacity`: most buffers banked at once (excess releases are freed).
+  explicit PayloadPool(std::size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// A cleared buffer: pooled (capacity warm) when one is banked, fresh
+  /// otherwise.
+  [[nodiscard]] mpsoc::Payload acquire() {
+    std::lock_guard lock(mu_);
+    ++stats_.acquired;
+    if (free_.empty()) {
+      ++stats_.misses;
+      return {};
+    }
+    ++stats_.reused;
+    mpsoc::Payload out = std::move(free_.back());
+    free_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  /// Pooled buffers keep their high-water capacity (that is the reuse),
+  /// but one pathological unit must not pin peak-sized storage forever:
+  /// buffers above this capacity are freed on release(). Shares the
+  /// channel free rings' cap so the interior data plane and the I/O
+  /// boundary enforce one consistent memory bound.
+  static constexpr std::size_t kMaxBankedCapacity =
+      SpscQueue<mpsoc::Payload>::kMaxRecycledCapacity;
+
+  /// Bank a finished buffer's storage for a later acquire(). Buffers
+  /// beyond the bound, above the per-buffer capacity cap, or with no
+  /// storage to save are simply freed.
+  void release(mpsoc::Payload&& payload) {
+    std::lock_guard lock(mu_);
+    ++stats_.released;
+    if (payload.capacity() == 0 || payload.capacity() > kMaxBankedCapacity ||
+        free_.size() >= capacity_) {
+      ++stats_.dropped;
+      return;
+    }
+    free_.push_back(std::move(payload));
+  }
+
+  struct Stats {
+    std::uint64_t acquired = 0;  ///< acquire() calls
+    std::uint64_t reused = 0;    ///< acquires served from the pool
+    std::uint64_t misses = 0;    ///< acquires that fell back to a fresh buffer
+    std::uint64_t released = 0;  ///< release() calls
+    std::uint64_t dropped = 0;   ///< releases freed (pool full / no storage)
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<mpsoc::Payload> free_;
+  Stats stats_;
+};
+
+}  // namespace mmsoc::runtime

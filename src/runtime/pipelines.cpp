@@ -1,9 +1,11 @@
 #include "runtime/pipelines.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "audio/allocation.h"
 #include "audio/filterbank.h"
@@ -30,6 +32,12 @@ using mpsoc::TaskGraph;
 using mpsoc::TaskId;
 
 // ---- payload (de)serialization -------------------------------------------
+//
+// Bodies emit through TaskFiring::store/store_array wherever possible:
+// the engine hands outputs as recycled channel buffers (cleared, with
+// warmed-up capacity), so an in-place fill keeps the steady-state data
+// plane allocation-free. to_payload remains for the few spots that build
+// a vector anyway (e.g. a BitWriter's take()).
 
 template <typename T>
 Payload to_payload(const T* data, std::size_t count) {
@@ -120,10 +128,9 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
   g.set_body(find_task(g, "capture"), [w, h, scene](TaskFiring& f) {
     const video::Frame frame =
         video::SyntheticVideo::render(w, h, scene, static_cast<int>(f.iteration));
-    Payload luma = to_payload(frame.y().pixels().data(),
-                              frame.y().pixels().size());
-    f.outputs[0] = luma;             // -> motion estimator
-    f.outputs[1] = std::move(luma);  // -> MC predictor
+    const auto pixels = frame.y().pixels();
+    f.store(0, pixels.data(), pixels.size());  // -> motion estimator
+    f.store(1, pixels.data(), pixels.size());  // -> MC predictor
   });
 
   // MOTION ESTIMATOR: real block search against the previous source frame
@@ -143,7 +150,7 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
                    mv.push_back(static_cast<std::int16_t>(b.mv.dx));
                    mv.push_back(static_cast<std::int16_t>(b.mv.dy));
                  }
-                 f.outputs[0] = to_payload(mv.data(), mv.size());
+                 f.store_array(0, mv.data(), mv.size());
                  st->ref = std::move(cur);
                });
   }
@@ -165,8 +172,8 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
                                         static_cast<int>(pred.at(x, y)));
         }
       }
-      f.outputs[0] = to_payload(residual.data(), residual.size());
-      f.outputs[1] = to_payload(pred.pixels().data(), pred.pixels().size());
+      f.store_array(0, residual.data(), residual.size());
+      f.store(1, pred.pixels().data(), pred.pixels().size());
       st->ref = std::move(cur);
     });
   }
@@ -190,7 +197,7 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
                     out.data(), 64 * sizeof(float));
       }
     }
-    f.outputs[0] = to_payload(coeffs.data(), coeffs.size());
+    f.store_array(0, coeffs.data(), coeffs.size());
   });
 
   // QUANTIZER: perceptual quantization, levels broadcast to VLC and IDCT.
@@ -203,9 +210,8 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
         quant.quantize(std::span<const float, 64>(coeffs + b * 64, 64),
                        std::span<std::int16_t, 64>(&levels[b * 64], 64));
       }
-      Payload out = to_payload(levels.data(), levels.size());
-      f.outputs[0] = out;             // -> vlc
-      f.outputs[1] = std::move(out);  // -> inverse dct
+      f.store_array(0, levels.data(), levels.size());  // -> vlc
+      f.store_array(1, levels.data(), levels.size());  // -> inverse dct
     });
   }
 
@@ -254,7 +260,7 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
                      }
                    }
                  }
-                 f.outputs[0] = to_payload(residual.data(), residual.size());
+                 f.store_array(0, residual.data(), residual.size());
                });
   }
 
@@ -324,9 +330,8 @@ AudioPipeline make_audio_encoder_pipeline(const AudioPipelineConfig& config) {
                      0.5 * std::sin(2.0 * M_PI * base * t) +
                      0.25 * std::sin(2.0 * M_PI * base * 3.0 * t) + dither;
                }
-               Payload p = to_payload(pcm.data(), pcm.size());
-               f.outputs[0] = p;             // -> mapper
-               f.outputs[1] = std::move(p);  // -> psycho model
+               f.store_array(0, pcm.data(), pcm.size());  // -> mapper
+               f.store_array(1, pcm.data(), pcm.size());  // -> psycho model
              });
 
   // MAPPER: streaming 32-band analysis (stateful lapped transform).
@@ -341,7 +346,7 @@ AudioPipeline make_audio_encoder_pipeline(const AudioPipelineConfig& config) {
         std::copy(block.begin(), block.end(),
                   bands.begin() + t * audio::kSubbands);
       }
-      f.outputs[0] = to_payload(bands.data(), bands.size());
+      f.store_array(0, bands.data(), bands.size());
     });
   }
 
@@ -356,7 +361,7 @@ AudioPipeline make_audio_encoder_pipeline(const AudioPipelineConfig& config) {
       std::copy(psy.smr_db.begin(), psy.smr_db.end(), out.begin());
       std::copy(psy.signal_db.begin(), psy.signal_db.end(),
                 out.begin() + audio::kSubbands);
-      f.outputs[0] = to_payload(out.data(), out.size());
+      f.store_array(0, out.data(), out.size());
     });
   }
 
@@ -404,10 +409,12 @@ AudioPipeline make_audio_encoder_pipeline(const AudioPipelineConfig& config) {
               static_cast<std::int16_t>(std::lround(unit * max_level));
         }
       }
-      Payload out = to_payload(plan.data(), plan.size());
-      const Payload lv = to_payload(levels.data(), levels.size());
-      out.insert(out.end(), lv.begin(), lv.end());
-      f.outputs[0] = std::move(out);
+      // Serialized in place: plan bytes, then the level words. insert
+      // grows within the recycled buffer's warmed capacity.
+      f.store(0, plan.data(), plan.size());
+      const auto* lv = reinterpret_cast<const std::uint8_t*>(levels.data());
+      f.outputs[0].insert(f.outputs[0].end(), lv,
+                          lv + levels.size() * sizeof(std::int16_t));
     });
   }
 
@@ -474,7 +481,9 @@ std::shared_ptr<SyntheticSinkState> attach_synthetic_bodies(
         sink->digest.fetch_xor(h * (t + 1), std::memory_order_relaxed);
         sink->tokens.fetch_add(1, std::memory_order_relaxed);
       } else {
-        for (auto& out : f.outputs) out = to_payload(&h, 1);
+        for (std::size_t k = 0; k < f.outputs.size(); ++k) {
+          f.store_array(k, &h, 1);
+        }
       }
     });
   }
@@ -516,15 +525,38 @@ SyntheticPipeline make_skewed_chain(std::size_t stages, double stage_ops,
                     skew_stage, skew_factor);
 }
 
+SyntheticPipeline make_blocking_skewed_chain(std::size_t stages,
+                                             double stage_ops,
+                                             std::size_t skew_stage,
+                                             double block_us) {
+  SyntheticPipeline pipe = make_chain(
+      "blocking-chain" + std::to_string(stages), stages, stage_ops,
+      /*skew_stage=*/stages, /*skew_factor=*/1.0);
+  if (skew_stage < pipe.graph.task_count() && block_us > 0.0) {
+    // Wrap the synthetic body: wait out the modeled accelerator first,
+    // then run the original spin/digest work. The wait releases the CPU
+    // (a real co-processor would), which is exactly why overlapping the
+    // waits of many sessions needs stealing, not more cores.
+    mpsoc::TaskBody inner = pipe.graph.task(skew_stage).body;
+    pipe.graph.set_body(
+        skew_stage, [inner = std::move(inner), block_us](TaskFiring& f) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(block_us));
+          inner(f);
+        });
+  }
+  return pipe;
+}
+
 // ---------------------------------------------------------------------------
 // Boundary sessions (async I/O)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-mpsoc::Payload luma_payload(const video::Frame& frame) {
+void store_luma(TaskFiring& f, std::size_t k, const video::Frame& frame) {
   const auto pixels = frame.y().pixels();
-  return mpsoc::Payload(pixels.begin(), pixels.end());
+  f.store(k, pixels.data(), pixels.size());
 }
 
 video::Frame frame_from_luma(const Payload& p, int w, int h) {
@@ -716,7 +748,7 @@ StreamingSession make_streaming_session(IoContext& io,
       }
       if (!decoded) ++state->decode_conceals;
       ++state->frames_decoded;
-      f.outputs[0] = luma_payload(st->last);
+      store_luma(f, 0, st->last);
     });
   }
 
@@ -728,16 +760,20 @@ StreamingSession make_streaming_session(IoContext& io,
       crc->update(*f.inputs[0]);
       state->luma_crc = crc->value();
       state->luma_bytes += f.inputs[0]->size();
-      f.outputs[0] = *f.inputs[0];
+      f.store(0, f.inputs[0]->data(), f.inputs[0]->size());
     });
   }
 
   if (config.async_boundaries) {
-    s.source =
-        std::make_unique<AsyncSource>(io, s.ingress->reader(), config.io_depth);
+    // One pool, both ends: unit buffers retired by the ingress adapter
+    // feed the egress adapter's per-unit copies (and vice versa), so the
+    // boundary adds no steady-state allocations of its own.
+    s.pool = std::make_shared<PayloadPool>(2 * config.io_depth + 4);
+    s.source = std::make_unique<AsyncSource>(io, s.ingress->reader(),
+                                             config.io_depth, s.pool);
     s.source->bind(g, s.ingress_task);
-    s.sink =
-        std::make_unique<AsyncSink>(io, s.egress->writer(), config.io_depth);
+    s.sink = std::make_unique<AsyncSink>(io, s.egress->writer(),
+                                         config.io_depth, s.pool);
     s.sink->bind(g, s.egress_task);
   } else {
     // Inline-blocking baseline: the worker itself waits out the network.
@@ -893,7 +929,7 @@ common::Result<FileTranscodeSession> make_file_transcode_session(
       }
       if (!decoded) ++state->decode_conceals;
       ++state->frames_decoded;
-      f.outputs[0] = luma_payload(st->last);
+      store_luma(f, 0, st->last);
     });
   }
   {
@@ -911,16 +947,17 @@ common::Result<FileTranscodeSession> make_file_transcode_session(
       state->out_crc = crc->value();
       state->bytes_out += encoded.bytes.size();
       ++state->frames_encoded;
-      f.outputs[0] = encoded.bytes;
+      f.store(0, encoded.bytes.data(), encoded.bytes.size());
     });
   }
 
   if (config.async_boundaries) {
+    s.pool = std::make_shared<PayloadPool>(2 * config.io_depth + 4);
     s.source = std::make_unique<AsyncSource>(io, s.reader_endpoint->reader(),
-                                             config.io_depth);
+                                             config.io_depth, s.pool);
     s.source->bind(g, s.read_task);
     s.sink = std::make_unique<AsyncSink>(io, s.writer_endpoint->writer(),
-                                         config.io_depth);
+                                         config.io_depth, s.pool);
     s.sink->bind(g, s.write_task);
   } else {
     g.set_body(s.read_task, [reader = s.reader_endpoint](TaskFiring& f) {

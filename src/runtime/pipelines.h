@@ -134,6 +134,20 @@ struct SyntheticPipeline {
                                                   std::size_t skew_stage,
                                                   double skew_factor = 10.0);
 
+/// A skewed chain whose heavy stage additionally *blocks* its worker for
+/// `block_us` per firing — modeling a fixed-function accelerator / DMA
+/// the CPU hands a job to and waits out (the paper's §1 heterogeneous
+/// SoC: CPUs next to DCT/ME engines). This is the steal scenario that
+/// shows a real win on any host, including a single hardware thread:
+/// with the skewed stages of many sessions hinted at one worker, a
+/// static binding serializes the accelerator waits, while stealing
+/// spreads the blocked tasks so the waits overlap. (Since the engine
+/// fires batches with no queue lock held, a blocked task never prevents
+/// thieves from migrating its queued neighbours.)
+[[nodiscard]] SyntheticPipeline make_blocking_skewed_chain(
+    std::size_t stages, double stage_ops, std::size_t skew_stage,
+    double block_us);
+
 // ---------------------------------------------------------------------------
 // Streaming session: RTP in -> decode path -> RTP out
 // ---------------------------------------------------------------------------
@@ -176,6 +190,9 @@ struct StreamingSession {
   std::shared_ptr<StreamingState> state;
   std::shared_ptr<RtpIngress> ingress;  ///< jitter/loss stats live here
   std::shared_ptr<RtpEgress> egress;
+  /// Shared by the source and sink adapters: retired unit buffers cycle
+  /// ingress -> pool -> egress copy -> pool (see PayloadPool).
+  std::shared_ptr<PayloadPool> pool;
   std::unique_ptr<AsyncSource> source;  ///< null with inline boundaries
   std::unique_ptr<AsyncSink> sink;      ///< null with inline boundaries
   mpsoc::TaskId ingress_task = 0;
@@ -238,6 +255,7 @@ struct FileTranscodeSession {
   std::shared_ptr<std::mutex> volume_mu;  ///< serializes source/sink on the volume
   std::shared_ptr<BlockFileSource> reader_endpoint;
   std::shared_ptr<BlockFileSink> writer_endpoint;
+  std::shared_ptr<PayloadPool> pool;    ///< shared source/sink buffer pool
   std::unique_ptr<AsyncSource> source;  ///< null with inline boundaries
   std::unique_ptr<AsyncSink> sink;      ///< null with inline boundaries
   std::string out_path;

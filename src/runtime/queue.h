@@ -5,7 +5,10 @@
 // owned by exactly one worker thread, so single-producer/single-consumer
 // holds by construction. The ring uses only two atomics (classic
 // Lamport), giving wait-free push/pop without locks — the queue *is* the
-// back-pressure: a full ring stalls the producer task, never grows.
+// back-pressure: a full ring stalls the producer task, never grows. An
+// optional free-list ring flows consumed buffers back to the producer
+// (same protocol, opposite direction), making the steady-state data
+// plane allocation-free.
 //
 // MpmcQueue trades the lock-free property for generality (any number of
 // producers/consumers, blocking semantics, close()). The engine itself
@@ -17,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -26,18 +30,33 @@ namespace mmsoc::runtime {
 
 /// Bounded single-producer/single-consumer ring buffer.
 ///
-/// One thread may call the producer side (try_push / full), one thread
-/// the consumer side (front / pop / try_pop / empty). size() (and so
-/// empty()/full()) is exact from the owning threads; from any other
-/// thread it is a racy snapshot (head and tail are read separately) and
-/// must be treated as approximate. max_occupancy() is exact once the
-/// producer has quiesced.
+/// One thread may call the producer side (try_push / full / acquire),
+/// one thread the consumer side (front / pop / try_pop / empty). size()
+/// (and so empty()/full()) is exact from the owning threads; from any
+/// other thread it is a racy snapshot (head and tail are read
+/// separately) and must be treated as approximate. max_occupancy() is
+/// exact once the producer has quiesced.
+///
+/// Payload recycling (opt-in): with `recycle` set, pop() does not
+/// destroy the consumed element — it moves it into a second, equally
+/// bounded free-list ring flowing the *opposite* way, and the producer
+/// reclaims it with acquire(). For heap-backed T (mpsoc::Payload =
+/// std::vector<uint8_t>) the element's storage therefore circulates
+/// producer -> consumer -> producer forever: after a warm-up of at most
+/// `capacity` allocations per edge, the steady-state data plane
+/// allocates nothing. The free ring can never overflow (at most
+/// `capacity` buffers are ever in flight), and if the producer ignores
+/// acquire() the ring simply sits full while pop() destroys the surplus
+/// — recycling is an optimization, never a correctness dependency.
 template <typename T>
 class SpscQueue {
  public:
-  explicit SpscQueue(std::size_t capacity)
+  explicit SpscQueue(std::size_t capacity, bool recycle = false)
       : capacity_(capacity == 0 ? 1 : capacity),
-        slots_(capacity_ + 1) {}  // one empty slot distinguishes full/empty
+        slots_(capacity_ + 1),  // one empty slot distinguishes full/empty
+        recycle_(recycle) {
+    if (recycle_) free_slots_.resize(capacity_ + 1);
+  }
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
@@ -81,11 +100,49 @@ class SpscQueue {
     return &slots_[h];
   }
 
+  /// Recycled buffers deliberately stay at their high-water capacity —
+  /// that is what makes steady-state refills allocation-free — but one
+  /// pathological payload must not pin peak-sized storage in the ring
+  /// for the session's lifetime: buffers above this capacity are freed
+  /// on pop() instead of banked (only meaningful for element types with
+  /// a capacity(); scalars are never oversized).
+  static constexpr std::size_t kMaxRecycledCapacity = 4u << 20;  // 4 MiB
+
   /// Consumer side: discard the oldest element (front() must be valid).
+  /// In recycle mode the element's storage is handed back to the
+  /// producer through the free ring instead of being destroyed.
   void pop() noexcept {
     const std::size_t h = head_.load(std::memory_order_relaxed);
-    slots_[h] = T{};  // release payload storage eagerly
+    if (recycle_ && !oversized(slots_[h])) {
+      const std::size_t t = free_tail_.load(std::memory_order_relaxed);
+      const std::size_t next = advance(t);
+      if (next != free_head_.load(std::memory_order_acquire)) {
+        free_slots_[t] = std::move(slots_[h]);
+        free_tail_.store(next, std::memory_order_release);
+      }
+    }
+    slots_[h] = T{};  // release (or detach moved-from) storage eagerly
     head_.store(advance(h), std::memory_order_release);
+  }
+
+  /// Producer side: reclaim a buffer the consumer finished with, or T{}
+  /// when none is banked yet (cold start / recycling off). The returned
+  /// object keeps whatever state the consumer left; for payloads the
+  /// caller clears it and reuses the capacity.
+  [[nodiscard]] T acquire() {
+    if (!recycle_) return T{};
+    const std::size_t h = free_head_.load(std::memory_order_relaxed);
+    if (h == free_tail_.load(std::memory_order_acquire)) return T{};
+    T out = std::move(free_slots_[h]);
+    free_head_.store(advance(h), std::memory_order_release);
+    recycle_hits_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Successful acquire() reclaims — how often the producer reused a
+  /// consumed buffer instead of allocating. Exact once quiesced.
+  [[nodiscard]] std::uint64_t recycle_hits() const noexcept {
+    return recycle_hits_.load(std::memory_order_relaxed);
   }
 
   /// Consumer side: discard everything currently buffered. Used by
@@ -111,11 +168,28 @@ class SpscQueue {
     return i + 1 == slots_.size() ? 0 : i + 1;
   }
 
+  [[nodiscard]] static bool oversized(const T& v) noexcept {
+    if constexpr (requires(const T& u) { u.capacity(); }) {
+      return v.capacity() > kMaxRecycledCapacity;
+    } else {
+      return false;
+    }
+  }
+
   std::size_t capacity_;
   std::vector<T> slots_;
+  bool recycle_;
+  /// Reverse free ring: consumer pushes consumed buffers (free_tail_),
+  /// producer reclaims them (free_head_). Same Lamport protocol as the
+  /// data ring, roles swapped. Sized slots_ + 1 so it can bank every
+  /// buffer that can possibly be in flight.
+  std::vector<T> free_slots_;
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> free_head_{0};
+  alignas(64) std::atomic<std::size_t> free_tail_{0};
   alignas(64) std::atomic<std::size_t> max_occupancy_{0};
+  std::atomic<std::uint64_t> recycle_hits_{0};
 };
 
 /// Bounded multi-producer/multi-consumer queue (mutex + condvars).

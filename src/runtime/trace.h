@@ -29,7 +29,13 @@ struct StageComparison {
   std::size_t worker = 0;         ///< physical worker that ended up owning it
   std::uint64_t migrations = 0;   ///< times the steal scheduler moved it
   double predicted_s = 0.0;       ///< model: exec_seconds on the mapped PE
-  double measured_mean_s = 0.0;   ///< runtime: mean body time per firing
+  /// Runtime: mean time per firing, derived from busy_s / firings.
+  /// Under batched dispatch busy_s is the batch wall (bodies plus the
+  /// wait-free channel hand-off between them; locks/parks/notifies stay
+  /// outside the window), so the comparison carries a few tens of ns of
+  /// dispatch per firing — negligible against real kernel bodies, worth
+  /// remembering when modeling sub-microsecond synthetic stages.
+  double measured_mean_s = 0.0;
   /// Mean boundary (I/O gate) wait per firing — reported as its own
   /// column so a stalled async source/sink reads as device latency, not
   /// as compute the model failed to predict. 0 for pure compute stages.

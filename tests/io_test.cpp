@@ -268,6 +268,97 @@ TEST(AsyncBoundary, AdapterDestructionQuiescesInflightIo) {
       << "destructor returned before the in-flight read retired";
 }
 
+TEST(PayloadPool, AcquireReleaseReusesStorageWithinBound) {
+  PayloadPool pool(2);
+  Payload a(100, 0x11);
+  const std::uint8_t* storage = a.data();
+  pool.release(std::move(a));
+  Payload b = pool.acquire();
+  EXPECT_EQ(b.data(), storage) << "pooled storage must be reused";
+  EXPECT_TRUE(b.empty()) << "pooled buffers are handed back cleared";
+  EXPECT_GE(b.capacity(), 100u);
+  // Bound: a third banked buffer is dropped, not hoarded.
+  pool.release(Payload(8, 1));
+  pool.release(Payload(8, 2));
+  pool.release(Payload(8, 3));
+  EXPECT_EQ(pool.size(), 2u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.released, 4u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+  // Oversized buffers are freed, never banked at peak capacity.
+  Payload huge;
+  huge.reserve(PayloadPool::kMaxBankedCapacity + 1);
+  huge.push_back(1);
+  PayloadPool fresh(4);
+  fresh.release(std::move(huge));
+  EXPECT_EQ(fresh.size(), 0u);
+  EXPECT_EQ(fresh.stats().dropped, 1u);
+}
+
+TEST(AsyncBoundary, SharedPoolRecyclesUnitBuffersAcrossSourceAndSink) {
+  // source -> relay -> sink with one shared pool: the source retires
+  // every unit buffer into the pool, the sink draws its per-unit banked
+  // copies from it. After a short warm-up the boundary stops allocating:
+  // pool reuse must dominate and the written stream stay exact.
+  constexpr std::uint64_t kUnits = 32;
+  IoContext io;
+  auto pool = std::make_shared<PayloadPool>(16);
+  AsyncSource source(
+      io, [](std::uint64_t i) { return std::optional<Payload>(unit_payload(i)); },
+      /*depth=*/4, pool);
+  std::mutex written_mu;
+  std::vector<Payload> written;
+  AsyncSink sink(
+      io,
+      [&](std::uint64_t, const Payload& p) {
+        std::lock_guard lock(written_mu);
+        written.push_back(p);
+      },
+      /*depth=*/4, pool);
+
+  TaskGraph g("pooled-boundary");
+  const TaskId src = g.add_task(task("src", 10));
+  const TaskId mid = g.add_task(task("relay", 10));
+  const TaskId snk = g.add_task(task("snk", 10));
+  ASSERT_TRUE(g.add_edge(src, mid, 32).is_ok());
+  ASSERT_TRUE(g.add_edge(mid, snk, 32).is_ok());
+  source.bind(g, src);
+  g.set_body(mid, [](TaskFiring& f) {
+    f.store(0, f.inputs[0]->data(), f.inputs[0]->size());
+  });
+  sink.bind(g, snk);
+
+  EngineOptions eopts;
+  eopts.workers = 2;
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.start().is_ok());
+  auto sid = engine.submit(g, {0, 1, 0}, kUnits);
+  ASSERT_TRUE(sid.is_ok());
+  auto w1 = engine.task_waker(sid.value(), src);
+  auto w2 = engine.task_waker(sid.value(), snk);
+  ASSERT_TRUE(w1.is_ok() && w2.is_ok());
+  source.attach(kUnits, std::move(w1.value()));
+  sink.attach(std::move(w2.value()));
+  ASSERT_TRUE(engine.wait().is_ok());
+  sink.flush();
+
+  ASSERT_EQ(engine.report(sid.value()).outcome, SessionOutcome::kCompleted);
+  std::lock_guard lock(written_mu);
+  ASSERT_EQ(written.size(), kUnits);
+  for (std::uint64_t i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(written[i], unit_payload(i)) << "unit " << i;
+  }
+  const auto stats = pool.get()->stats();
+  EXPECT_EQ(stats.released, 2 * kUnits)  // source retires + sink returns
+      << "every unit must pass through the pool on both ends";
+  // The sink's kUnits banked copies are the only acquires; once the
+  // source seeds the pool they must be served from it.
+  EXPECT_EQ(stats.acquired, kUnits);
+  EXPECT_GT(stats.reused, kUnits / 2)
+      << "steady state must reuse, not allocate";
+}
+
 TEST(RtpIngress, TailGapFlushesReceivedPacketsInsteadOfDroppingThem) {
   // Units 0..5; packet 3 lost; 4 and 5 arrive, then the feed ends. With
   // playout_delay 3 the gap never ages, so without the flush path units

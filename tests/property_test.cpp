@@ -351,6 +351,132 @@ TEST_P(SpscConcurrentFuzz, RandomInterleavingsLoseNothingDuplicateNothing) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SpscConcurrentFuzz,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
+// ------------------------------------------- SpscQueue payload recycling
+
+using BytePayload = std::vector<std::uint8_t>;
+
+TEST(SpscRecycle, AcquireHandsBackTheConsumedBufferStorage) {
+  runtime::SpscQueue<BytePayload> q(4, /*recycle=*/true);
+  BytePayload p(64, 0xAB);
+  const std::uint8_t* storage = p.data();
+  ASSERT_TRUE(q.try_push(std::move(p)));
+  ASSERT_NE(q.front(), nullptr);
+  q.pop();
+  // The buffer the consumer finished with comes back to the producer —
+  // same heap storage, capacity intact, contents whatever the consumer
+  // left (the engine clears before reuse).
+  BytePayload r = q.acquire();
+  EXPECT_EQ(r.data(), storage) << "storage was not recycled";
+  EXPECT_GE(r.capacity(), 64u);
+  EXPECT_EQ(q.recycle_hits(), 1u);
+  // Bank is empty now: the next acquire falls back to a fresh buffer.
+  EXPECT_EQ(q.acquire().capacity(), 0u);
+  EXPECT_EQ(q.recycle_hits(), 1u);
+}
+
+TEST(SpscRecycle, OversizedBuffersAreFreedNotBanked) {
+  // One pathological payload must not pin peak-sized storage in the
+  // ring for the session's lifetime: above the cap it is freed on pop.
+  runtime::SpscQueue<BytePayload> q(2, /*recycle=*/true);
+  BytePayload huge;
+  huge.reserve(runtime::SpscQueue<BytePayload>::kMaxRecycledCapacity + 1);
+  huge.push_back(0x5A);
+  ASSERT_TRUE(q.try_push(std::move(huge)));
+  q.pop();
+  EXPECT_EQ(q.acquire().capacity(), 0u) << "oversized buffer was banked";
+  EXPECT_EQ(q.recycle_hits(), 0u);
+}
+
+TEST(SpscRecycle, RecyclingOffNeverBanksAndNeverReuses) {
+  runtime::SpscQueue<BytePayload> q(2, /*recycle=*/false);
+  ASSERT_TRUE(q.try_push(BytePayload(16, 1)));
+  q.pop();
+  EXPECT_EQ(q.acquire().capacity(), 0u);
+  EXPECT_EQ(q.recycle_hits(), 0u);
+}
+
+TEST(SpscRecycle, SteadyStateReusesAFixedBufferSet) {
+  // Producer always acquires before pushing: after the warm-up at most
+  // `capacity + 1` distinct buffers may circulate, so the set of storage
+  // pointers must saturate — the zero-allocation property in miniature.
+  constexpr std::size_t kCapacity = 3;
+  runtime::SpscQueue<BytePayload> q(kCapacity, /*recycle=*/true);
+  std::vector<const std::uint8_t*> seen;
+  std::uint64_t tokens = 0;
+  for (int round = 0; round < 200; ++round) {
+    while (!q.full()) {
+      BytePayload buf = q.acquire();
+      buf.clear();
+      buf.resize(32);
+      buf[0] = static_cast<std::uint8_t>(tokens++);
+      if (std::find(seen.begin(), seen.end(), buf.data()) == seen.end()) {
+        seen.push_back(buf.data());
+      }
+      ASSERT_TRUE(q.try_push(std::move(buf)));
+    }
+    while (!q.empty()) q.pop();
+  }
+  EXPECT_LE(seen.size(), kCapacity + 1)
+      << "steady state must cycle a bounded buffer set";
+  EXPECT_GT(q.recycle_hits(), 500u);
+}
+
+// Concurrent recycle fuzz (TSan target): the free ring crosses the same
+// two threads as the data ring, in the opposite direction. Tokens carry
+// their index so loss/duplication/reordering is still detected while
+// both rings churn.
+class SpscRecycleConcurrentFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpscRecycleConcurrentFuzz, BothRingsSurviveRandomInterleavings) {
+  const std::uint64_t seed = GetParam();
+  common::Rng setup(seed);
+  const auto capacity = static_cast<std::size_t>(1 + setup.next_below(7));
+  constexpr std::uint64_t kTokens = 10000;
+  runtime::SpscQueue<BytePayload> q(capacity, /*recycle=*/true);
+
+  std::thread producer([&q, seed] {
+    common::Rng rng(seed ^ 0xBADC0FFEEull);
+    std::uint64_t i = 0;
+    while (i < kTokens) {
+      BytePayload buf = q.acquire();
+      buf.clear();
+      buf.resize(8);
+      for (int b = 0; b < 8; ++b) {
+        buf[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(i >> (8 * b));
+      }
+      while (!q.try_push(std::move(buf))) std::this_thread::yield();
+      ++i;
+      if (rng.next_below(8) == 0) std::this_thread::yield();
+    }
+  });
+
+  common::Rng rng(seed ^ 0xF00Dull);
+  std::uint64_t expected = 0;
+  while (expected < kTokens) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(v->size(), 8u);
+      std::uint64_t token = 0;
+      for (int b = 0; b < 8; ++b) {
+        token |= static_cast<std::uint64_t>((*v)[static_cast<std::size_t>(b)])
+                 << (8 * b);
+      }
+      ASSERT_EQ(token, expected) << "token lost/duplicated/reordered";
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+    if (rng.next_below(8) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_LE(q.max_occupancy(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpscRecycleConcurrentFuzz,
+                         ::testing::Values(7u, 77u, 777u, 0xACEDu));
+
 // ---------------------------------------- encoder determinism across runs
 
 TEST(Determinism, EncoderBitstreamsReproducible) {

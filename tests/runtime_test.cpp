@@ -682,6 +682,299 @@ TEST(Engine, StealCancelSubmitRaceStress) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Hot path: batched firing + payload recycling
+// ---------------------------------------------------------------------------
+
+// Stale-byte regression: a producer emitting *shrinking and growing*
+// variable-length payloads through a recycled channel. If the engine
+// ever handed a body a non-cleared recycled buffer (or resize left old
+// tail bytes visible), the consumer's exact-content check would trip.
+TEST(Engine, RecycledOutputsArriveClearedWithNoStaleBytes) {
+  constexpr std::uint64_t kIters = 300;
+  mpsoc::TaskGraph g("recycle-probe");
+  mpsoc::Task prod;
+  prod.name = "producer";
+  prod.work_ops = 10;
+  std::atomic<std::uint64_t> dirty{0};
+  prod.body = [&dirty](mpsoc::TaskFiring& f) {
+    if (!f.outputs[0].empty()) dirty.fetch_add(1);
+    // Length cycles 1..23 so a recycled buffer regularly held *more*
+    // bytes than the current payload needs.
+    const std::size_t len = 1 + (f.iteration * 7) % 23;
+    f.outputs[0].resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      f.outputs[0][i] = static_cast<std::uint8_t>(f.iteration + i);
+    }
+  };
+  mpsoc::Task cons;
+  cons.name = "consumer";
+  cons.work_ops = 10;
+  std::atomic<std::uint64_t> bad{0};
+  cons.body = [&bad](mpsoc::TaskFiring& f) {
+    const auto& in = *f.inputs[0];
+    const std::size_t len = 1 + (f.iteration * 7) % 23;
+    if (in.size() != len) {
+      bad.fetch_add(1);
+      return;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      if (in[i] != static_cast<std::uint8_t>(f.iteration + i)) {
+        bad.fetch_add(1);
+        return;
+      }
+    }
+  };
+  const auto p = g.add_task(prod);
+  const auto c = g.add_task(cons);
+  (void)g.add_edge(p, c, 23);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.channel_capacity = 4;
+  opts.firing_quantum = 8;
+  opts.recycle_payloads = true;
+  auto report = run_pipeline(g, {0, 1}, kIters, opts);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  EXPECT_EQ(dirty.load(), 0u) << "recycled outputs must arrive cleared";
+  EXPECT_EQ(bad.load(), 0u) << "stale bytes leaked across iterations";
+  EXPECT_GT(report.value().payloads_recycled, 0u)
+      << "the free-list ring never engaged";
+}
+
+// Free-list bounds under back-pressure: a fast producer against a slow
+// consumer keeps every ring (data and free) at its bound; recycling must
+// neither grow channels past capacity nor lose tokens.
+TEST(Engine, RecyclingHoldsBoundsUnderBackPressure) {
+  mpsoc::TaskGraph g("recycle-backpressure");
+  mpsoc::Task prod;
+  prod.name = "producer";
+  prod.body = [](mpsoc::TaskFiring& f) {
+    f.outputs[0].resize(64);
+    f.outputs[0][0] = static_cast<std::uint8_t>(f.iteration);
+  };
+  mpsoc::Task cons;
+  cons.name = "consumer";
+  std::atomic<std::uint64_t> seen{0};
+  cons.body = [&seen](mpsoc::TaskFiring& f) {
+    volatile double x = 1.0;
+    for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+    seen.fetch_add((*f.inputs[0])[0]);
+  };
+  const auto p = g.add_task(prod);
+  const auto c = g.add_task(cons);
+  (void)g.add_edge(p, c, 64);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.channel_capacity = 3;
+  opts.firing_quantum = 8;
+  opts.recycle_payloads = true;
+  constexpr std::uint64_t kIters = 200;
+  auto report = run_pipeline(g, {0, 1}, kIters, opts);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  EXPECT_LE(report.value().max_channel_occupancy, 3u);
+  EXPECT_GT(report.value().payloads_recycled, 0u);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    expect += static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(seen.load(), expect) << "recycling lost or corrupted a token";
+}
+
+// Satellite regression: batching (quantum > 1) + stealing must stay
+// bit-identical across every worker count and quantum — a task mid-batch
+// is popped out of its owner's queue, so no thief can split a batch.
+TEST(Engine, BatchingWithStealingBitIdenticalAcrossWorkerCounts) {
+  constexpr std::uint64_t kIters = 48;
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (const std::size_t quantum : {1u, 2u, 8u}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      auto pipe = make_skewed_chain(5, 2000.0, 2, 8.0);
+      EngineOptions opts;
+      opts.workers = workers;
+      opts.work_stealing = true;
+      opts.firing_quantum = quantum;
+      opts.recycle_payloads = true;
+      mpsoc::Mapping mapping(5, 0);  // everything hinted at worker 0
+      auto report = run_pipeline(pipe.graph, mapping, kIters, opts);
+      ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+      EXPECT_EQ(pipe.sink->tokens.load(), kIters);
+      if (!have_reference) {
+        reference = pipe.sink->digest.load();
+        have_reference = true;
+      } else {
+        EXPECT_EQ(pipe.sink->digest.load(), reference)
+            << "digest diverged at quantum " << quantum << ", workers "
+            << workers;
+      }
+    }
+  }
+}
+
+// The firing quantum must not change real-kernel output either: the
+// Fig. 1 encoder bitstream is bit-identical across quanta.
+TEST(Engine, FiringQuantumPreservesVideoBitstream) {
+  std::uint32_t reference = 0;
+  bool have_reference = false;
+  for (const std::size_t quantum : {1u, 8u, 64u}) {
+    VideoPipelineConfig cfg;
+    cfg.width = 32;
+    cfg.height = 32;
+    auto pipe = make_video_encoder_pipeline(cfg);
+    EngineOptions opts;
+    opts.workers = 3;
+    opts.firing_quantum = quantum;
+    mpsoc::Mapping mapping(pipe.graph.task_count());
+    for (std::size_t t = 0; t < mapping.size(); ++t) mapping[t] = t % 3;
+    auto report = run_pipeline(pipe.graph, mapping, 12, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+    ASSERT_EQ(pipe.sink->frames_coded, 12u);
+    if (!have_reference) {
+      reference = pipe.sink->bitstream_crc;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(pipe.sink->bitstream_crc, reference)
+          << "bitstream depends on firing quantum " << quantum;
+    }
+  }
+}
+
+// Recycling off must mean *no* reuse (the fresh-allocation bench
+// baseline is honest), and identical output either way.
+TEST(Engine, RecyclingToggleIsBitIdenticalAndAccounted) {
+  constexpr std::uint64_t kIters = 32;
+  std::uint64_t digests[2] = {0, 0};
+  std::uint64_t recycled[2] = {0, 0};
+  for (const bool recycle : {false, true}) {
+    auto pipe = make_synthetic_chain(4, 1000.0);
+    EngineOptions opts;
+    opts.workers = 2;
+    opts.recycle_payloads = recycle;
+    auto report = run_pipeline(pipe.graph, {0, 1, 0, 1}, kIters, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+    digests[recycle ? 1 : 0] = pipe.sink->digest.load();
+    recycled[recycle ? 1 : 0] = report.value().payloads_recycled;
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(recycled[0], 0u) << "recycling off must not touch free rings";
+  EXPECT_GT(recycled[1], 0u);
+}
+
+// Blocking-stage stealing (the E-RT/STEAL scenario): sessions whose
+// accelerator-wait stage is hinted at one worker only overlap their
+// waits if stealing migrates the blocked tasks — and the digest must
+// not care. Also exercises bodies blocking while thieves raid the
+// owner's queue, which the old fire-under-the-queue-mutex engine
+// serialized (TSan target).
+TEST(Engine, BlockingStageStealingOverlapsWaitsDeterministically) {
+  constexpr std::size_t kSessions = 4;
+  constexpr std::uint64_t kIters = 6;
+  std::uint64_t reference = 0;
+  {
+    auto pipe = make_blocking_skewed_chain(4, 1000.0, 2, 200.0);
+    EngineOptions opts;
+    opts.workers = 1;
+    ASSERT_TRUE(run_pipeline(pipe.graph, {0, 0, 0, 0}, kIters, opts).is_ok());
+    reference = pipe.sink->digest.load();
+  }
+  EngineOptions opts;
+  opts.workers = 4;
+  opts.work_stealing = true;
+  Engine engine(opts);
+  std::vector<SyntheticPipeline> pipes;
+  pipes.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    pipes.push_back(make_blocking_skewed_chain(4, 1000.0, 2, 200.0));
+    ASSERT_TRUE(
+        engine.add_session(pipes.back().graph, {0, 0, 0, 0}, kIters).is_ok());
+  }
+  ASSERT_TRUE(engine.run().is_ok());
+  std::uint64_t migrations = 0;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(engine.report(s).outcome, SessionOutcome::kCompleted);
+    EXPECT_EQ(pipes[s].sink->digest.load(), reference) << "session " << s;
+    migrations += engine.report(s).task_migrations;
+  }
+  EXPECT_GT(migrations, 0u)
+      << "blocked-stage tasks hinted at one worker must migrate";
+}
+
+// Mid-batch wakeup: a slow producer's batch must not serialize the
+// pipeline. Two blocking stages on two workers overlap only if the
+// first token of a batch wakes the downstream worker immediately —
+// with the notify deferred to batch end, the stages run as alternating
+// bursts and the wall roughly doubles.
+TEST(Engine, SlowBatchOverlapsDownstreamStage) {
+  constexpr std::uint64_t kIters = 8;
+  constexpr double kBlockUs = 2000.0;
+  mpsoc::TaskGraph g("overlap");
+  auto stage = [&](const char* name) {
+    mpsoc::Task t;
+    t.name = name;
+    t.work_ops = 10;
+    return t;
+  };
+  const auto a = g.add_task(stage("a"));
+  const auto b = g.add_task(stage("b"));
+  (void)g.add_edge(a, b, 8);
+  const auto block_body = [](mpsoc::TaskFiring& f) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(2000.0));
+    if (!f.outputs.empty()) f.store(0, &f.iteration, sizeof(f.iteration));
+  };
+  g.set_body(a, block_body);
+  g.set_body(b, block_body);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.firing_quantum = 8;
+  opts.channel_capacity = 8;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = run_pipeline(g, {0, 1}, kIters, opts);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(report.is_ok()) << report.status().to_text();
+  // Overlapped: ~(kIters + 1) blocks. Serialized bursts: ~2 * kIters.
+  // Generous margin for scheduler noise, still well below serialized.
+  EXPECT_LT(wall, 2.0 * static_cast<double>(kIters) * kBlockUs * 1e-6 * 0.85)
+      << "downstream stage slept through the producer's batch";
+}
+
+// A victim blocked inside a popped task must still be stealable-from:
+// the popped task counts toward the thief's leave-one floor, so the
+// victim's last *queued* ready task can migrate instead of starving
+// behind the block while another worker idles.
+TEST(Engine, LastQueuedTaskIsStealableWhileOwnerBlocksMidBatch) {
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.work_stealing = true;
+  Engine engine(opts);
+  // Lone blocking task hinted at worker 0: ~2ms accelerator wait per
+  // firing, batched — worker 0 spends nearly all its time popped into
+  // this task's batches.
+  auto blocker = make_blocking_skewed_chain(1, 100.0, 0, 2000.0);
+  ASSERT_TRUE(engine.add_session(blocker.graph, {0}, 20).is_ok());
+  ASSERT_TRUE(engine.start().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Admit a fast task onto the same (blocked) worker. It lands queued
+  // behind the popped blocker; worker 1 is idle. Only the inflight-
+  // aware steal rule lets it migrate.
+  auto runner = make_synthetic_chain(1, 200.0);
+  auto late = engine.submit(runner.graph, {0}, 64);
+  ASSERT_TRUE(late.is_ok());
+  ASSERT_TRUE(engine.wait().is_ok());
+  ASSERT_EQ(engine.report(0).outcome, SessionOutcome::kCompleted);
+  ASSERT_EQ(engine.report(late.value()).outcome, SessionOutcome::kCompleted);
+  EXPECT_GE(engine.report(0).task_migrations +
+                engine.report(late.value()).task_migrations,
+            1u)
+      << "the queued task starved behind the blocked batch";
+  EXPECT_EQ(runner.sink->tokens.load(), 64u);
+}
+
 TEST(Engine, PinWorkersRunsToCompletionOrFailsLoudly) {
   EngineOptions opts;
   opts.workers = 2;
