@@ -1,5 +1,5 @@
 // Servable media system demo: the async I/O boundary subsystem feeding
-// a sharded engine.
+// a sharded engine, observed live through the runtime telemetry layer.
 //
 // Two session types run concurrently over one IoContext:
 //  * streaming relay — RTP in (15% loss, reordered) -> Fig. 1 decode
@@ -14,12 +14,26 @@
 // Watch the SessionReport io_stall_s column: boundary waits park tasks
 // and are billed as I/O, not compute — the workers stay free to run the
 // codecs of the *other* session while a device is slow.
+//
+// Telemetry: one shared sink instruments both shards and the I/O
+// threads. A periodic [stats] line is printed from the live metrics
+// registry while the sessions run, the final counters are checked
+// against the post-mortem SessionReports, and `--trace-out=PATH` writes
+// a Chrome-trace-event JSON timeline (open in Perfetto's
+// ui.perfetto.dev or chrome://tracing): one track per shard worker plus
+// per I/O thread, firing batches as slices with session/firing args.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "runtime/engine.h"
 #include "runtime/io.h"
 #include "runtime/pipelines.h"
 #include "runtime/shard.h"
+#include "runtime/telemetry.h"
 
 using namespace mmsoc;
 
@@ -38,23 +52,82 @@ void print_report(const char* label, const runtime::SessionReport& rep) {
   }
 }
 
+// Sum one counter over every shard prefix ("shard0.firings" + ...).
+std::uint64_t sum_over_shards(const MetricsRegistry::Snapshot& snap,
+                              std::size_t shards, const char* suffix) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    total += snap.counter_or("shard" + std::to_string(i) + "." + suffix);
+  }
+  return total;
+}
+
+void print_stats_line(Telemetry& tel, std::size_t shards) {
+  const auto snap = tel.metrics().snapshot();
+  std::printf(
+      "[stats] firings=%llu batches=%llu steals=%llu parks=%llu "
+      "io_jobs=%llu inflight=%lld dropped=%llu\n",
+      static_cast<unsigned long long>(
+          sum_over_shards(snap, shards, "firings")),
+      static_cast<unsigned long long>(
+          sum_over_shards(snap, shards, "batches")),
+      static_cast<unsigned long long>(sum_over_shards(snap, shards, "steals")),
+      static_cast<unsigned long long>(sum_over_shards(snap, shards, "parks")),
+      static_cast<unsigned long long>(snap.counter_or("io.jobs")),
+      static_cast<long long>(snap.gauge_or("shard.admission.inflight")),
+      static_cast<unsigned long long>(tel.dropped()));
+  std::fflush(stdout);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::printf("usage: %s [--trace-out=trace.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== media server: async boundaries over a sharded engine ==\n\n");
+
+  // The sink outlives every engine/context that borrows it (declared
+  // first, destroyed last).
+  Telemetry telemetry;
 
   runtime::IoContextOptions io_opts;
   io_opts.threads = 2;
+  io_opts.telemetry = &telemetry;
   runtime::IoContext io(io_opts);
 
   runtime::ShardedEngineOptions opts;
   opts.shards = 2;
   opts.engine.workers = 2;
+  opts.engine.telemetry = &telemetry;
+  opts.engine.telemetry_prefix = "shard";
   runtime::ShardedEngine server(opts);
   if (const auto st = server.start(); !st.is_ok()) {
     std::printf("start failed: %s\n", st.to_text().c_str());
     return 1;
   }
+
+  // Live observability: a stats line from the metrics registry every
+  // 100 ms while the sessions run — the registry is wait-free for the
+  // workers, so reading it mid-run perturbs nothing.
+  std::atomic<bool> stats_stop{false};
+  std::thread stats_thread([&] {
+    while (!stats_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (stats_stop.load(std::memory_order_acquire)) break;
+      print_stats_line(telemetry, opts.shards);
+    }
+  });
 
   // Streaming relay through a hostile network.
   runtime::StreamingSessionConfig scfg;
@@ -93,10 +166,20 @@ int main() {
 
   if (const auto st = server.wait(); !st.is_ok()) {
     std::printf("wait failed: %s\n", st.to_text().c_str());
+    stats_stop.store(true, std::memory_order_release);
+    stats_thread.join();
     return 1;
   }
   stream.finish();
   transcode.finish();
+
+  stats_stop.store(true, std::memory_order_release);
+  stats_thread.join();
+  // Drain-fed counters (batches/steals/parks) lag the rings by up to one
+  // collector period; flush so the final line and the check below see
+  // everything the workers emitted.
+  telemetry.flush();
+  print_stats_line(telemetry, opts.shards);  // final state, always printed
 
   print_report("streaming relay", server.report(stream_ticket.value()));
   std::printf(
@@ -122,5 +205,39 @@ int main() {
   std::printf("\nIoContext: %llu jobs, %.1f ms busy on %zu threads\n",
               static_cast<unsigned long long>(io_stats.jobs),
               io_stats.busy_s * 1e3, io.thread_count());
-  return 0;
+
+  // The registry and the post-mortem reports must tell the same story:
+  // every firing the SessionReports account for was also counted by the
+  // workers' telemetry as it happened.
+  const auto snap = telemetry.metrics().snapshot();
+  const std::uint64_t metric_firings =
+      sum_over_shards(snap, opts.shards, "firings");
+  const std::uint64_t report_firings =
+      server.report(stream_ticket.value()).completed_firings +
+      server.report(transcode_ticket.value()).completed_firings;
+  const auto admission = server.stats();
+  const std::uint64_t metric_completed =
+      snap.counter_or("shard.admission.completed");
+  std::printf(
+      "telemetry check: metrics firings %llu vs reports %llu (%s); "
+      "admission completed %llu vs stats %llu (%s)\n",
+      static_cast<unsigned long long>(metric_firings),
+      static_cast<unsigned long long>(report_firings),
+      metric_firings == report_firings ? "agree" : "MISMATCH",
+      static_cast<unsigned long long>(metric_completed),
+      static_cast<unsigned long long>(admission.completed),
+      metric_completed == admission.completed ? "agree" : "MISMATCH");
+
+  if (!trace_out.empty()) {
+    if (telemetry.write_trace(trace_out)) {
+      std::printf("trace: %zu events -> %s (open in ui.perfetto.dev)\n",
+                  telemetry.retained_events(), trace_out.c_str());
+    } else {
+      std::printf("trace: FAILED to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  const bool agree = metric_firings == report_firings &&
+                     metric_completed == admission.completed;
+  return agree ? 0 : 1;
 }

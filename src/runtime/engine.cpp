@@ -29,6 +29,13 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+std::uint64_t to_ns(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
 // Cancellation codes stored in SessionState::cancel_code. Zero means the
 // session is live; the first CAS winner decides the reported outcome.
 constexpr int kLive = 0;
@@ -101,6 +108,9 @@ struct Engine::Impl {
     mpsoc::TaskFiring scratch;
     std::uint64_t next_iteration = 0;
     std::uint64_t limit = 0;
+    /// Interned task name (Telemetry::intern) for fixed-size events; 0
+    /// when telemetry is off or the name table overflowed.
+    std::uint16_t name_id = 0;
     // measured
     std::uint64_t firings = 0;
     double busy_s = 0.0;
@@ -186,6 +196,80 @@ struct Engine::Impl {
   /// Firings not yet executed or dropped, across every live session.
   std::atomic<std::uint64_t> global_outstanding{0};
   std::atomic<std::uint64_t> total_steals{0};
+
+  // ---- telemetry (all null when disabled) -----------------------------
+  // Resolved once in start() under sessions_mu; workers only read. The
+  // hot path pays one `ring_of(w) == nullptr` check per *batch*; with
+  // MMSOC_TELEMETRY=OFF (kTelemetryCompiled == false) the branches fold
+  // to nothing at compile time.
+  //
+  // Split of labour (the 3% E-RT/OBS budget is why): workers write the
+  // ring event plus exactly one counter add per batch (m_firings — the
+  // value the media server checks against SessionReport totals, so it
+  // must be exact). Everything derivable from the event stream —
+  // batch/park/steal counters, latency histograms — is fed by the
+  // collector through the tracks' drain callbacks, off the worker
+  // threads entirely. Drain-fed values undercount by dropped() when a
+  // ring overflows; that trade is documented at the metric names.
+  Telemetry* tel = nullptr;
+  std::vector<EventRing*> rings;  // parallel to workers_
+  Counter* m_firings = nullptr;
+  Counter* m_batches = nullptr;           // drain-fed
+  Counter* m_steals = nullptr;            // drain-fed
+  Counter* m_parks = nullptr;             // drain-fed
+  Counter* m_io_stalls = nullptr;
+  Counter* m_sessions_completed = nullptr;
+  Histogram* h_batch_ns = nullptr;        // drain-fed
+  Histogram* h_io_stall_ns = nullptr;     // drain-fed
+  Histogram* h_queue_depth = nullptr;     // sampled: 1 in 16 picks
+
+  EventRing* ring_of(std::size_t w) const {
+    if (!kTelemetryCompiled || rings.empty()) return nullptr;
+    return rings[w];
+  }
+
+  /// Caller holds sessions_mu; workers_ is built. Registers one track per
+  /// worker and resolves the metric handles under the engine's prefix.
+  void init_telemetry_locked() {
+    if (!kTelemetryCompiled || options.telemetry == nullptr) return;
+    tel = options.telemetry;
+    const std::string& p = options.telemetry_prefix;
+    auto& m = tel->metrics();
+    m_firings = m.counter(p + ".firings");
+    m_batches = m.counter(p + ".batches");
+    m_steals = m.counter(p + ".steals");
+    m_parks = m.counter(p + ".parks");
+    m_io_stalls = m.counter(p + ".io_stalls");
+    m_sessions_completed = m.counter(p + ".sessions_completed");
+    h_batch_ns = m.histogram(p + ".batch_latency_ns");
+    h_io_stall_ns = m.histogram(p + ".io_stall_ns");
+    h_queue_depth = m.histogram(p + ".queue_depth");
+    // Handles above resolve before the callback can observe an event.
+    // ~Impl unhooks the callback before these members die.
+    const auto on_drain = [this](const TelemetryEvent& ev) {
+      switch (ev.kind()) {
+        case EventKind::kFiringBatch:
+          m_batches->add(1);
+          h_batch_ns->record(ev.end_ns - ev.begin_ns);
+          break;
+        case EventKind::kPark:
+          m_parks->add(1);
+          break;
+        case EventKind::kSteal:
+          m_steals->add(1);
+          break;
+        case EventKind::kIoStall:
+          h_io_stall_ns->record(ev.arg0);
+          break;
+        default:
+          break;
+      }
+    };
+    rings.resize(resolved_workers);
+    for (std::size_t w = 0; w < resolved_workers; ++w) {
+      rings[w] = tel->register_track(p + ".worker" + std::to_string(w), on_drain);
+    }
+  }
   std::mutex error_mu;
   Status first_error = Status::ok();
   /// Serializes start()'s construction of `workers_` against the cold
@@ -207,6 +291,12 @@ struct Engine::Impl {
 
   Impl() { hub->impl = this; }
   ~Impl() {
+    // The drain callbacks capture this Impl; unhook them (each unhook
+    // drains the ring through the callback one final time) before the
+    // metric handles they feed go away. Workers are already joined.
+    if (kTelemetryCompiled && tel != nullptr) {
+      for (EventRing* r : rings) tel->reset_drain_callback(r);
+    }
     std::lock_guard lock(hub->mu);
     hub->impl = nullptr;
   }
@@ -313,13 +403,26 @@ struct Engine::Impl {
   /// runs later, outside the queue lock) and wakes the pool when the
   /// engine drains dry while wait() is pending.
   void account_done(TaskRun& r, std::uint64_t n, bool fired,
-                    std::vector<std::size_t>& completed) {
+                    std::size_t self, std::vector<std::size_t>& completed) {
     auto& sess = *r.sess;
     if (sess.outstanding.fetch_sub(n, std::memory_order_acq_rel) == n) {
       if (fired && sess.cancel_code.load(std::memory_order_acquire) == kLive) {
         sess.finish = Clock::now();
       }
       completed.push_back(r.session_index);
+      if (EventRing* ring = ring_of(self)) {
+        const std::uint64_t now = Telemetry::now_ns();
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(
+            EventKind::kSessionEnd, r.name_id,
+            static_cast<std::uint32_t>(r.session_index + 1));
+        ev.begin_ns = ev.end_ns = now;
+        ev.arg0 = sess.iterations;
+        ev.arg1 = static_cast<std::uint64_t>(
+            sess.cancel_code.load(std::memory_order_relaxed));
+        ring->emit(ev);
+        m_sessions_completed->add(1);
+      }
     }
     if (global_outstanding.fetch_sub(n, std::memory_order_acq_rel) == n &&
         draining.load(std::memory_order_acquire)) {
@@ -349,19 +452,47 @@ struct Engine::Impl {
     const std::size_t n_out = r.out.size();
     firing.outputs.resize(n_out);
 
+    EventRing* ring = ring_of(self);
+
     const auto t0 = Clock::now();
     // Close out a pending boundary stall: the gap between first observing
     // "channels ready, gate closed" and this batch is I/O wait, kept out
     // of busy_s so compute attribution stays clean.
     if (r.stall_since != Clock::time_point{}) {
-      r.io_stall_s += seconds_between(r.stall_since, t0);
+      const double stall_s = seconds_between(r.stall_since, t0);
+      r.io_stall_s += stall_s;
       ++r.io_stalls;
       r.stall_since = {};
+      if (ring != nullptr) {
+        // Instant, not a slice: the stall window may span this worker's
+        // earlier batches (stall_since can be set by a peer's scan), and
+        // per-track slices must stay non-overlapping for Perfetto.
+        const std::uint64_t stall_ns =
+            stall_s > 0.0 ? static_cast<std::uint64_t>(stall_s * 1e9) : 0;
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(
+            EventKind::kIoStall, r.name_id,
+            static_cast<std::uint32_t>(r.session_index + 1));
+        ev.begin_ns = ev.end_ns = to_ns(t0);
+        ev.arg0 = stall_ns;
+        ring->emit(ev);
+        m_io_stalls->add(1);  // exact; the ns histogram is drain-fed
+      }
     }
     // Session wall clock runs from its own first firing, not engine
     // start — a multiplexed session that is starved early must not have
     // the wait billed to its throughput.
-    std::call_once(sess.start_once, [&] { sess.start = t0; });
+    std::call_once(sess.start_once, [&] {
+      sess.start = t0;
+      if (ring != nullptr) {
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(
+            EventKind::kSessionStart, r.name_id,
+            static_cast<std::uint32_t>(r.session_index + 1));
+        ev.begin_ns = ev.end_ns = to_ns(t0);
+        ring->emit(ev);
+      }
+    });
 
     std::uint64_t fired = 0;
     // Mid-batch unblock detection: pushing into an empty channel or
@@ -436,7 +567,23 @@ struct Engine::Impl {
       r.min_firing_s = std::min(r.min_firing_s, per_firing);
       r.max_firing_s = std::max(r.max_firing_s, per_firing);
       r.firings += fired;
-      account_done(r, fired, /*fired=*/true, completed);
+      if (ring != nullptr) {
+        // Batch granularity: reuses the t0/t1 clock reads the hot loop
+        // already pays. The enabled path is the ring stores plus ONE
+        // counter add (firings must agree exactly with the post-mortem
+        // reports); batch count and latency histogram are derived from
+        // this event at drain time, off this thread.
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(
+            EventKind::kFiringBatch, r.name_id,
+            static_cast<std::uint32_t>(r.session_index + 1));
+        ev.begin_ns = to_ns(t0);
+        ev.end_ns = to_ns(t1);
+        ev.arg0 = fired;
+        ring->emit(ev);
+        m_firings->add(fired);
+      }
+      account_done(r, fired, /*fired=*/true, self, completed);
       // Coalesced precise wakeup: only the workers owning this task's
       // channel peers can have been unblocked by the batch (tokens
       // arrived / space freed), and one notify covers every firing.
@@ -461,7 +608,7 @@ struct Engine::Impl {
     r.next_iteration = r.limit;
     r.stall_since = {};  // a cancelled boundary wait is not an I/O stall
     for (auto* ch : r.in) ch->clear();
-    account_done(r, drop, /*fired=*/false, completed);
+    account_done(r, drop, /*fired=*/false, self, completed);
     notify_peers(r, self);
   }
 
@@ -571,6 +718,15 @@ struct Engine::Impl {
       // the stale owner. Either way the token is not lost.
       std::atomic_thread_fence(std::memory_order_seq_cst);
       total_steals.fetch_add(1, std::memory_order_relaxed);
+      if (EventRing* ring = ring_of(self)) {
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(
+            EventKind::kSteal, pick->name_id,
+            static_cast<std::uint32_t>(pick->session_index + 1));
+        ev.begin_ns = ev.end_ns = Telemetry::now_ns();
+        ev.arg0 = v;
+        ring->emit(ev);  // steal counter is drain-fed from this event
+      }
       return true;
     }
     return false;
@@ -595,6 +751,7 @@ struct Engine::Impl {
     std::vector<std::size_t> completed;
     const std::size_t quantum = std::max<std::size_t>(1, options.firing_quantum);
     std::size_t hint_rr = w;  // rotating target for come-steal hints
+    unsigned depth_tick = 0;  // queue-depth histogram sampling (1 in 16)
     while (!stop.load(std::memory_order_acquire)) {
       // Eventcount: capture the version *before* scanning. A peer that
       // makes a task ready after this load bumps the version, so the
@@ -609,12 +766,19 @@ struct Engine::Impl {
         bool retire_pick = false;
         bool surplus = false;
         TaskRun* r = nullptr;
+        std::size_t depth = 0;
         {
           std::lock_guard lock(me.mu);
           r = pick_task(me, retire_pick, surplus);
           if (r != nullptr) ++me.inflight;
+          depth = me.queue.size() + me.inflight;
         }
         if (r == nullptr) break;
+        // Sampled (depth is a gauge-like distribution, not an exactness
+        // metric): 2 contended fetch_adds per 16 picks instead of per pick.
+        if ((++depth_tick & 15u) == 0 && ring_of(w) != nullptr) {
+          h_queue_depth->record(depth);
+        }
         if (surplus && options.work_stealing && workers_.size() > 1) {
           // Come-steal hint, sent BEFORE the batch: wake one (rotating)
           // peer so a parked idle worker can migrate the queued surplus
@@ -665,7 +829,17 @@ struct Engine::Impl {
       // Nothing ready, nothing stealable, version unchanged since the
       // scan started: park indefinitely (zero CPU) until a peer bumps
       // our version.
-      me.version.wait(v, std::memory_order_acquire);
+      if (EventRing* ring = ring_of(w)) {
+        const std::uint64_t park_t0 = Telemetry::now_ns();
+        me.version.wait(v, std::memory_order_acquire);
+        TelemetryEvent ev;
+        ev.word0 = TelemetryEvent::pack0(EventKind::kPark, 0, 0);
+        ev.begin_ns = park_t0;
+        ev.end_ns = Telemetry::now_ns();
+        ring->emit(ev);  // park counter is drain-fed from this event
+      } else {
+        me.version.wait(v, std::memory_order_acquire);
+      }
     }
   }
 
@@ -760,6 +934,9 @@ struct Engine::Impl {
       run->owner.store(run->home, std::memory_order_relaxed);
       run->gate = graph.task(t).has_gate() ? &graph.task(t).gate : nullptr;
       run->limit = sess.iterations;
+      if (kTelemetryCompiled && tel != nullptr) {
+        run->name_id = tel->intern(graph.task(t).name);
+      }
       for (const std::size_t e : graph.in_edges(t)) {
         run->in.push_back(sess.channels[e].get());
       }
@@ -951,6 +1128,7 @@ struct Engine::Impl {
         std::lock_guard pl(pool_mu);
         workers_ = std::vector<Worker>(workers);
       }
+      init_telemetry_locked();
       run_start = Clock::now();
       for (std::size_t s = 0; s < sessions.size(); ++s) {
         auto& sess = *sessions[s];
@@ -1082,8 +1260,12 @@ struct Engine::Impl {
         stats.migrations = run->migrations;
         stats.firings = run->firings;
         stats.busy_s = run->busy_s;
-        stats.min_firing_s = run->firings > 0 ? run->min_firing_s : 0.0;
-        stats.max_firing_s = run->max_firing_s;
+        // Unset stays NaN for never-fired tasks: 0.0 would read as an
+        // impossibly fast firing downstream (format_comparison shows '-').
+        if (run->firings > 0) {
+          stats.min_firing_s = run->min_firing_s;
+          stats.max_firing_s = run->max_firing_s;
+        }
         stats.io_stalls = run->io_stalls;
         stats.io_stall_s = run->io_stall_s;
         rep.completed_firings += run->firings;

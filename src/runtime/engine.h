@@ -83,8 +83,10 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +95,7 @@
 #include "mpsoc/schedule.h"
 #include "mpsoc/taskgraph.h"
 #include "runtime/queue.h"
+#include "runtime/telemetry.h"
 
 namespace mmsoc::runtime {
 
@@ -152,6 +155,18 @@ struct EngineOptions {
   /// Engine::submit/cancel — but it must stay cheap (it is on the firing
   /// path) and must not block on Engine::wait().
   std::function<void(std::size_t session)> on_session_complete;
+  /// Telemetry sink (see runtime/telemetry.h): each worker registers an
+  /// event ring track at start() and emits batch / steal / park / stall /
+  /// session events at batch granularity — never per firing. The sink is
+  /// borrowed and must outlive the engine; one sink may be shared by
+  /// several engines (ShardedEngine shares one across shards). nullptr
+  /// disables instrumentation down to one pointer check per batch, and
+  /// building with -DMMSOC_TELEMETRY=OFF compiles it out entirely.
+  Telemetry* telemetry = nullptr;
+  /// Track / metric name prefix for this engine: tracks are
+  /// "<prefix>.worker<N>", metrics "<prefix>.firings" etc. A sharded
+  /// front-end gives each shard a distinct prefix ("shard0", "shard1").
+  std::string telemetry_prefix = "engine";
 };
 
 /// Per-session execution policy.
@@ -192,8 +207,14 @@ struct TaskStats {
   /// Fastest / slowest dispatch, normalized per firing: with
   /// EngineOptions::firing_quantum > 1 each sample is a batch mean (the
   /// hot loop reads the clock twice per batch, not twice per firing).
-  double min_firing_s = 0.0;
-  double max_firing_s = 0.0;
+  /// Unset (quiet NaN, fired() == false) for a task that never fired —
+  /// 0.0 would read as an impossibly fast firing in the trace table,
+  /// which renders unset as '-' instead.
+  double min_firing_s = std::numeric_limits<double>::quiet_NaN();
+  double max_firing_s = std::numeric_limits<double>::quiet_NaN();
+  /// True once the task fired at least once; min/max_firing_s are only
+  /// meaningful then.
+  [[nodiscard]] bool fired() const noexcept { return firings > 0; }
   /// Boundary (gate) waits: firings that found their channels ready but
   /// the I/O gate closed, and the total worker-observed wait. Always zero
   /// for pure compute tasks; for async sources/sinks this is the time the

@@ -27,18 +27,47 @@ void sleep_us(double us) {
 IoContext::IoContext(IoContextOptions options)
     : queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
   const std::size_t n = std::max<std::size_t>(1, options.threads);
+  Counter* m_jobs = nullptr;
+  Histogram* h_job_ns = nullptr;
+  if (kTelemetryCompiled && options.telemetry != nullptr) {
+    auto& m = options.telemetry->metrics();
+    m_jobs = m.counter(options.telemetry_prefix + ".jobs");
+    h_job_ns = m.histogram(options.telemetry_prefix + ".job_latency_ns");
+  }
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] {
+    // Each I/O thread owns its ring (SPSC producer side); registration
+    // happens here, before the thread starts, so the pointer capture is
+    // race-free.
+    EventRing* ring = nullptr;
+    if (kTelemetryCompiled && options.telemetry != nullptr) {
+      ring = options.telemetry->register_track(
+          options.telemetry_prefix + ".thread" + std::to_string(i));
+    }
+    threads_.emplace_back([this, ring, m_jobs, h_job_ns] {
       while (auto job = queue_.pop()) {
         const auto t0 = Clock::now();
         (*job)();
         const auto t1 = Clock::now();
         jobs_.fetch_add(1, std::memory_order_relaxed);
-        busy_ns_.fetch_add(
+        const auto job_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count(),
-            std::memory_order_relaxed);
+                .count();
+        busy_ns_.fetch_add(job_ns, std::memory_order_relaxed);
+        if (kTelemetryCompiled && ring != nullptr) {
+          // One slice per job on this thread's track, reusing the t0/t1
+          // reads the busy accounting already made.
+          TelemetryEvent ev;
+          ev.word0 = TelemetryEvent::pack0(EventKind::kIoJob, 0, 0);
+          ev.begin_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  t0.time_since_epoch())
+                  .count());
+          ev.end_ns = ev.begin_ns + static_cast<std::uint64_t>(job_ns);
+          ring->emit(ev);
+          m_jobs->add(1);
+          h_job_ns->record(static_cast<std::uint64_t>(job_ns));
+        }
       }
     });
   }

@@ -62,6 +62,7 @@
 #include "net/rtp.h"
 #include "runtime/payload_pool.h"
 #include "runtime/queue.h"
+#include "runtime/telemetry.h"
 
 namespace mmsoc::runtime {
 
@@ -77,6 +78,13 @@ struct IoContextOptions {
   /// Job-queue bound. Each adapter keeps at most one job in flight, so
   /// this only needs to exceed the number of live boundary adapters.
   std::size_t queue_capacity = 1024;
+  /// Telemetry sink (borrowed, must outlive the context; typically the
+  /// same sink the engine uses). Each I/O thread registers a
+  /// "<prefix>.thread<N>" track and emits one kIoJob slice per job,
+  /// reusing the clock reads the busy_s accounting already pays. nullptr
+  /// disables instrumentation.
+  Telemetry* telemetry = nullptr;
+  std::string telemetry_prefix = "io";
 };
 
 /// Completion-queue I/O execution context: dedicated threads running

@@ -1,0 +1,189 @@
+// Metrics registry: monotonic counters, gauges, and log2-bucketed histograms.
+//
+// Design constraints (see README "Observability"):
+//  - Recording is wait-free: counters/gauges are single relaxed atomic ops,
+//    histogram record() is one relaxed fetch_add on a fixed bucket.
+//  - Instrument handles returned by the registry are stable for the lifetime
+//    of the registry (deque storage, never reallocated).
+//  - snapshot() is cheap and consistent per-instrument: each value is read
+//    atomically; the set of instruments is frozen under a mutex that only
+//    guards registration, never recording.
+//
+// Naming convention: dotted lowercase paths, unit as the last segment where
+// it is not obvious, e.g. "engine.firings", "engine.firing_latency_ns",
+// "shard0.admission.rejected". Prefixes identify the emitting component.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mmsoc {
+
+// Monotonic counter. Values only go up; rates are derived by the reader.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous signed gauge (queue occupancy, inflight sessions, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log2-bucketed histogram over non-negative integer samples (typically
+// nanoseconds). Bucket b holds samples whose bit width is b, i.e. bucket 0
+// holds {0}, bucket 1 holds {1}, bucket b>=1 holds [2^(b-1), 2^b - 1].
+// 64 buckets cover the full uint64 range; recording is a single relaxed
+// fetch_add so the hot path never branches on bucket layout.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width ranges over [0, 64]
+
+  static int bucket_of(std::uint64_t sample) {
+    return std::bit_width(sample);
+  }
+
+  // Lower bound of bucket b (inclusive). bucket 0 -> 0, bucket b -> 2^(b-1).
+  static std::uint64_t bucket_floor(int b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  void record(std::uint64_t sample) {
+    buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t counts[kBuckets] = {};
+    std::uint64_t sum = 0;
+
+    std::uint64_t total() const {
+      std::uint64_t t = 0;
+      for (std::uint64_t c : counts) t += c;
+      return t;
+    }
+
+    double mean() const {
+      std::uint64_t t = total();
+      return t == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(t);
+    }
+
+    // Approximate quantile (q in [0,1]): returns the floor of the bucket
+    // containing the q-th sample. Resolution is one power of two.
+    std::uint64_t quantile(double q) const {
+      std::uint64_t t = total();
+      if (t == 0) return 0;
+      std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(t - 1));
+      std::uint64_t seen = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen > rank) return bucket_floor(b);
+      }
+      return bucket_floor(kBuckets - 1);
+    }
+
+    void merge(const Snapshot& other) {
+      for (int b = 0; b < kBuckets; ++b) counts[b] += other.counts[b];
+      sum += other.sum;
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (int b = 0; b < kBuckets; ++b)
+      s.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// Registry of named instruments. Registration takes a mutex and returns a
+// stable pointer; repeated registration of the same name returns the same
+// instrument (so engine + tests can both resolve "engine.firings").
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    counter_storage_.emplace_back();
+    Counter* c = &counter_storage_.back();
+    counters_.emplace(name, c);
+    return c;
+  }
+
+  Gauge* gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second;
+    gauge_storage_.emplace_back();
+    Gauge* g = &gauge_storage_.back();
+    gauges_.emplace(name, g);
+    return g;
+  }
+
+  Histogram* histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    histogram_storage_.emplace_back();
+    Histogram* h = &histogram_storage_.back();
+    histograms_.emplace(name, h);
+    return h;
+  }
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+
+    std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const {
+      auto it = counters.find(name);
+      return it == counters.end() ? fallback : it->second;
+    }
+    std::int64_t gauge_or(const std::string& name, std::int64_t fallback = 0) const {
+      auto it = gauges.find(name);
+      return it == gauges.end() ? fallback : it->second;
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
+    for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
+    for (const auto& [name, h] : histograms_) s.histograms.emplace(name, h->snapshot());
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+};
+
+}  // namespace mmsoc

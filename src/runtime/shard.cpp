@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace mmsoc::runtime {
@@ -25,6 +26,26 @@ struct ShardedEngine::Impl {
   std::unique_ptr<std::atomic<std::size_t>[]> inflight;
   std::atomic<std::uint64_t> completed{0};
   std::vector<std::unique_ptr<Engine>> engines;
+
+  // Front-end telemetry (null when disabled): admission instants land on
+  // a dedicated "<prefix>.admission" track; counters mirror
+  // AdmissionStats so the registry and stats() read the same story.
+  EventRing* adm_ring = nullptr;
+  Counter* m_submitted = nullptr;
+  Counter* m_accepted = nullptr;
+  Counter* m_rejected = nullptr;
+  Counter* m_failed = nullptr;
+  Counter* m_completed = nullptr;
+  Gauge* g_inflight = nullptr;
+
+  void emit_admission(EventKind kind, std::size_t shard_index) {
+    if (!kTelemetryCompiled || adm_ring == nullptr) return;
+    TelemetryEvent ev;
+    ev.word0 = TelemetryEvent::pack0(kind, 0, 0);
+    ev.begin_ns = ev.end_ns = Telemetry::now_ns();
+    ev.arg0 = shard_index;
+    adm_ring->emit(ev);
+  }
 };
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
@@ -39,9 +60,26 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   for (std::size_t i = 0; i < shards; ++i) {
     impl_->inflight[i].store(0, std::memory_order_relaxed);
   }
+  if (kTelemetryCompiled && impl_->options.engine.telemetry != nullptr) {
+    Telemetry& tel = *impl_->options.engine.telemetry;
+    const std::string p = impl_->options.engine.telemetry_prefix;
+    impl_->adm_ring = tel.register_track(p + ".admission");
+    auto& m = tel.metrics();
+    impl_->m_submitted = m.counter(p + ".admission.submitted");
+    impl_->m_accepted = m.counter(p + ".admission.accepted");
+    impl_->m_rejected = m.counter(p + ".admission.rejected");
+    impl_->m_failed = m.counter(p + ".admission.failed");
+    impl_->m_completed = m.counter(p + ".admission.completed");
+    impl_->g_inflight = m.gauge(p + ".admission.inflight");
+  }
   impl_->engines.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     EngineOptions engine_options = impl_->options.engine;
+    // Shared sink, per-shard namespace: shard i's worker tracks and
+    // metric names carry the "<prefix><i>" prefix.
+    if (kTelemetryCompiled && engine_options.telemetry != nullptr) {
+      engine_options.telemetry_prefix += std::to_string(i);
+    }
     // Per-socket layout: shard i owns the CPU range starting at
     // i * workers, so shard pools never share a core. Width must be
     // explicit — a 0 (auto) pool size is unknowable here.
@@ -55,6 +93,10 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     engine_options.on_session_complete = [impl = impl_.get(), i](std::size_t) {
       impl->inflight[i].fetch_sub(1, std::memory_order_acq_rel);
       impl->completed.fetch_add(1, std::memory_order_relaxed);
+      if (impl->m_completed != nullptr) {
+        impl->m_completed->add(1);
+        impl->g_inflight->add(-1);
+      }
     };
     impl_->engines.push_back(
         std::make_unique<Engine>(std::move(engine_options)));
@@ -69,8 +111,10 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
                                             SessionOptions session_options) {
   std::lock_guard lock(impl_->mu);
   ++impl_->admission.submitted;
+  if (impl_->m_submitted != nullptr) impl_->m_submitted->add(1);
   if (impl_->done) {
     ++impl_->admission.failed;
+    if (impl_->m_failed != nullptr) impl_->m_failed->add(1);
     return Result<SessionTicket>(StatusCode::kInternal,
                                  "sharded engine already drained");
   }
@@ -87,6 +131,8 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
   }
   if (best_load >= impl_->options.max_sessions_per_shard) {
     ++impl_->admission.rejected;
+    if (impl_->m_rejected != nullptr) impl_->m_rejected->add(1);
+    impl_->emit_admission(EventKind::kReject, best);
     return Result<SessionTicket>(
         StatusCode::kResourceExhausted,
         "admission reject: all " + std::to_string(impl_->options.shards) +
@@ -102,9 +148,15 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
   if (!added.is_ok()) {
     impl_->inflight[best].fetch_sub(1, std::memory_order_acq_rel);
     ++impl_->admission.failed;  // invalid graph/mapping, not overload
+    if (impl_->m_failed != nullptr) impl_->m_failed->add(1);
     return Result<SessionTicket>(added.status());
   }
   ++impl_->admission.accepted;
+  if (impl_->m_accepted != nullptr) {
+    impl_->m_accepted->add(1);
+    impl_->g_inflight->add(1);
+  }
+  impl_->emit_admission(EventKind::kAdmit, best);
   return SessionTicket{best, added.value()};
 }
 
@@ -193,8 +245,35 @@ std::size_t ShardedEngine::inflight(std::size_t shard) const {
 
 AdmissionStats ShardedEngine::stats() const noexcept {
   std::lock_guard lock(impl_->mu);
+  // mu freezes the admission counters (submit holds it), but completions
+  // land from worker threads lock-free: the callback decrements a shard's
+  // inflight and *then* increments completed, so independent reads can
+  // catch the instant in between and under-count by the sessions mid-
+  // callback. Re-read until the books balance — the window is two
+  // adjacent atomic ops, so this converges almost immediately.
   AdmissionStats out = impl_->admission;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const std::uint64_t completed_before =
+        impl_->completed.load(std::memory_order_acquire);
+    std::uint64_t infl = 0;
+    for (std::size_t i = 0; i < impl_->options.shards; ++i) {
+      infl += impl_->inflight[i].load(std::memory_order_acquire);
+    }
+    const std::uint64_t completed_after =
+        impl_->completed.load(std::memory_order_acquire);
+    if (completed_before == completed_after &&
+        completed_before + infl == out.accepted) {
+      out.completed = completed_before;
+      out.inflight = infl;
+      return out;
+    }
+    std::this_thread::yield();
+  }
+  // A callback thread is parked mid-hand-off: report its session as
+  // still in flight (it has not finished returning the slot), keeping
+  // the snapshot balanced by construction.
   out.completed = impl_->completed.load(std::memory_order_acquire);
+  out.inflight = out.accepted - std::min(out.accepted, out.completed);
   return out;
 }
 

@@ -36,7 +36,12 @@ struct ShardedEngineOptions {
   std::size_t max_sessions_per_shard = 64;
   /// Worker pool + channel configuration applied to every shard. The
   /// per-engine on_session_complete hook is owned by the front-end (it
-  /// drives the load accounting) and must be left empty here.
+  /// drives the load accounting) and must be left empty here. When
+  /// engine.telemetry is set, the one sink is shared by every shard:
+  /// shard i's tracks/metrics get the prefix
+  /// engine.telemetry_prefix + i ("shard0.worker1", "shard1.firings"),
+  /// and the front-end itself registers an "<prefix>.admission" track
+  /// plus "<prefix>.admission.*" counters for accept/reject events.
   EngineOptions engine;
   /// Per-socket sharding: give every shard a disjoint pinned CPU range —
   /// shard i's worker w lands on CPU (i * engine.workers + w) mod
@@ -66,6 +71,10 @@ struct AdmissionStats {
   /// Sessions that finished consuming capacity (completed, or fully
   /// retired after cancel/deadline) and returned their admission slot.
   std::uint64_t completed = 0;
+  /// Sessions currently consuming capacity across all shards. In a
+  /// ShardedEngine::stats() snapshot the books balance:
+  /// accepted == completed + inflight.
+  std::uint64_t inflight = 0;
   [[nodiscard]] double reject_rate() const noexcept {
     return submitted > 0
                ? static_cast<double>(rejected) / static_cast<double>(submitted)
@@ -110,6 +119,11 @@ class ShardedEngine {
   /// Sessions currently consuming capacity on `shard` (admitted minus
   /// completed/retired) — the load-balancing signal.
   [[nodiscard]] std::size_t inflight(std::size_t shard) const;
+  /// One *consistent* aggregated snapshot: the admission counters are
+  /// frozen under the front-end lock and the completed/in-flight side is
+  /// re-read until accepted == completed + inflight holds — a mid-run
+  /// sum can never be momentarily out of balance the way independent
+  /// per-shard atomic reads are.
   [[nodiscard]] AdmissionStats stats() const noexcept;
 
   /// Valid after wait()/run().

@@ -1,0 +1,359 @@
+#include "telemetry.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mmsoc {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with ns precision, as chrome://tracing expects in "ts"/"dur".
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity_events)
+    : capacity_(round_up_pow2(capacity_events < 2 ? 2 : capacity_events)),
+      mask_(capacity_ - 1),
+      slots_(new std::atomic<std::uint64_t>[capacity_ * kWords]()) {}
+
+void EventRing::emit(const TelemetryEvent& ev) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= capacity_) {
+    // Full: claim-drop a *chunk* of the oldest unread events, not one —
+    // a saturated producer then takes the plain-store path for the next
+    // kDropChunk-1 emits instead of paying this CAS every time (the
+    // difference between 3% and 5% hot-path overhead when the collector
+    // can't keep up). The only other writer of head_ is the consumer's
+    // publish CAS; whichever side wins, head has advanced and slots are
+    // free. Losing the race means the consumer just drained what we were
+    // about to drop — nothing is lost then.
+    const std::uint64_t chunk =
+        capacity_ < kDropChunk ? capacity_ : std::uint64_t{kDropChunk};
+    if (head_.compare_exchange_strong(head, head + chunk,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      dropped_.fetch_add(chunk, std::memory_order_relaxed);
+    }
+  }
+  std::atomic<std::uint64_t>* slot = &slots_[(tail & mask_) * kWords];
+  slot[0].store(ev.word0, std::memory_order_relaxed);
+  slot[1].store(ev.begin_ns, std::memory_order_relaxed);
+  slot[2].store(ev.end_ns, std::memory_order_relaxed);
+  slot[3].store(ev.arg0, std::memory_order_relaxed);
+  slot[4].store(ev.arg1, std::memory_order_relaxed);
+  tail_.store(tail + 1, std::memory_order_release);
+}
+
+bool EventRing::try_pop(TelemetryEvent& out) {
+  for (;;) {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    const std::atomic<std::uint64_t>* slot = &slots_[(head & mask_) * kWords];
+    TelemetryEvent ev;
+    ev.word0 = slot[0].load(std::memory_order_relaxed);
+    ev.begin_ns = slot[1].load(std::memory_order_relaxed);
+    ev.end_ns = slot[2].load(std::memory_order_relaxed);
+    ev.arg0 = slot[3].load(std::memory_order_relaxed);
+    ev.arg1 = slot[4].load(std::memory_order_relaxed);
+    // Publish the read. Failure means the producer lapped us and claim-dropped
+    // this very slot mid-copy; the copy may be torn, so discard and retry.
+    if (head_.compare_exchange_strong(head, head + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      out = ev;
+      return true;
+    }
+  }
+}
+
+std::size_t EventRing::size() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+}
+
+struct Telemetry::Impl {
+  struct Track {
+    std::string name;
+    std::unique_ptr<EventRing> ring;
+    Telemetry::DrainFn on_drain;
+  };
+  struct Retained {
+    std::uint32_t track = 0;
+    TelemetryEvent ev;
+  };
+
+  TelemetryOptions opts;
+
+  mutable std::mutex mu;  // tracks / intern table / retained timeline
+  std::vector<std::unique_ptr<Track>> tracks;
+  std::vector<std::string> names;  // intern table; names[0] == ""
+  std::map<std::string, std::uint16_t> name_ids;
+  std::vector<Retained> retained;
+  std::uint64_t retained_overflow = 0;
+
+  std::thread collector;
+  std::condition_variable cv;
+  std::mutex cv_mu;
+  bool stop = false;
+
+  void drain_locked() {
+    TelemetryEvent ev;
+    for (std::uint32_t t = 0; t < tracks.size(); ++t) {
+      Track& track = *tracks[t];
+      while (track.ring->try_pop(ev)) {
+        // Derived metrics first: they must see every drained event even
+        // once the retained timeline is full.
+        if (track.on_drain) track.on_drain(ev);
+        if (retained.size() >= opts.max_trace_events) {
+          ++retained_overflow;
+          continue;  // keep draining so rings stay fresh for metrics/dropped()
+        }
+        retained.push_back(Retained{t, ev});
+      }
+    }
+  }
+};
+
+Telemetry::Telemetry(TelemetryOptions opts) : impl_(new Impl) {
+  impl_->opts = opts;
+  impl_->names.push_back("");  // id 0 = unnamed
+  if (opts.collect_period_ms > 0) {
+    impl_->collector = std::thread([this] {
+      Impl& im = *impl_;
+      std::unique_lock<std::mutex> lk(im.cv_mu);
+      while (!im.stop) {
+        im.cv.wait_for(lk, std::chrono::milliseconds(im.opts.collect_period_ms));
+        if (im.stop) break;
+        lk.unlock();
+        flush();
+        lk.lock();
+      }
+    });
+  }
+}
+
+Telemetry::~Telemetry() {
+  if (impl_->collector.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(impl_->cv_mu);
+      impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    impl_->collector.join();
+  }
+}
+
+EventRing* Telemetry::register_track(const std::string& name, DrainFn on_drain) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& t : impl_->tracks) {
+    if (t->name == name) {
+      t->on_drain = std::move(on_drain);
+      return t->ring.get();
+    }
+  }
+  impl_->tracks.push_back(std::make_unique<Impl::Track>());
+  Impl::Track& t = *impl_->tracks.back();
+  t.name = name;
+  t.ring = std::make_unique<EventRing>(impl_->opts.ring_capacity);
+  t.on_drain = std::move(on_drain);
+  return t.ring.get();
+}
+
+void Telemetry::reset_drain_callback(EventRing* ring) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& t : impl_->tracks) {
+    if (t->ring.get() != ring) continue;
+    // Route what's still buffered through the callback before it dies, so
+    // the component's metrics are complete when its destructor returns.
+    impl_->drain_locked();
+    t->on_drain = nullptr;
+    return;
+  }
+}
+
+std::uint16_t Telemetry::intern(const std::string& name) {
+  if (name.empty()) return 0;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->name_ids.find(name);
+  if (it != impl_->name_ids.end()) return it->second;
+  if (impl_->names.size() > 0xffff) return 0;  // table full: fall back to unnamed
+  const std::uint16_t id = static_cast<std::uint16_t>(impl_->names.size());
+  impl_->names.push_back(name);
+  impl_->name_ids.emplace(name, id);
+  return id;
+}
+
+std::string Telemetry::name_of(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return id < impl_->names.size() ? impl_->names[id] : std::string();
+}
+
+void Telemetry::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->drain_locked();
+}
+
+std::uint64_t Telemetry::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t total = impl_->retained_overflow;
+  for (const auto& t : impl_->tracks) total += t->ring->dropped();
+  return total;
+}
+
+std::size_t Telemetry::retained_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->retained.size();
+}
+
+std::uint64_t Telemetry::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string Telemetry::trace_json() {
+  flush();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out.reserve(impl_->retained.size() * 128 + 1024);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // One named thread per track so Perfetto shows "engine0.worker1" etc.
+  for (std::size_t t = 0; t < impl_->tracks.size(); ++t) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(t + 1);
+    out += ",\"args\":{\"name\":\"";
+    append_json_escaped(out, impl_->tracks[t]->name);
+    out += "\"}}";
+  }
+  auto kind_label = [](EventKind k) -> const char* {
+    switch (k) {
+      case EventKind::kFiringBatch: return "batch";
+      case EventKind::kSteal: return "steal";
+      case EventKind::kPark: return "park";
+      case EventKind::kIoStall: return "io-stall";
+      case EventKind::kIoJob: return "io-job";
+      case EventKind::kSessionStart: return "session-start";
+      case EventKind::kSessionEnd: return "session-end";
+      case EventKind::kAdmit: return "admit";
+      case EventKind::kReject: return "reject";
+      default: return "event";
+    }
+  };
+  for (const Impl::Retained& r : impl_->retained) {
+    const TelemetryEvent& ev = r.ev;
+    const EventKind kind = ev.kind();
+    const std::uint16_t nid = ev.name_id();
+    const std::string& name =
+        nid < impl_->names.size() && !impl_->names[nid].empty()
+            ? impl_->names[nid]
+            : std::string(kind_label(kind));
+    const bool slice = kind == EventKind::kFiringBatch ||
+                       kind == EventKind::kPark || kind == EventKind::kIoJob;
+    comma();
+    out += "{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\",\"cat\":\"";
+    out += kind_label(kind);
+    out += "\",\"ph\":\"";
+    out += slice ? "X" : "i";
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(r.track + 1);
+    out += ",\"ts\":";
+    append_us(out, ev.begin_ns);
+    if (slice) {
+      out += ",\"dur\":";
+      append_us(out, ev.end_ns >= ev.begin_ns ? ev.end_ns - ev.begin_ns : 0);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{";
+    if (ev.session() != 0) {
+      out += "\"session\":";
+      out += std::to_string(ev.session());
+      out += ",";
+    }
+    switch (kind) {
+      case EventKind::kFiringBatch:
+        out += "\"firings\":" + std::to_string(ev.arg0);
+        break;
+      case EventKind::kSteal:
+        out += "\"victim\":" + std::to_string(ev.arg0);
+        break;
+      case EventKind::kIoStall:
+        out += "\"stall_ns\":" + std::to_string(ev.arg0);
+        break;
+      case EventKind::kSessionEnd:
+        out += "\"firings\":" + std::to_string(ev.arg0) +
+               ",\"outcome\":" + std::to_string(ev.arg1);
+        break;
+      case EventKind::kAdmit:
+      case EventKind::kReject:
+        out += "\"shard\":" + std::to_string(ev.arg0);
+        break;
+      default:
+        out += "\"a\":" + std::to_string(ev.arg0);
+        break;
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Telemetry::write_trace(const std::string& path) {
+  const std::string json = trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace mmsoc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "entropy/huffman.h"
 #include "mpsoc/mapping.h"
 #include "runtime/queue.h"
+#include "runtime/telemetry.h"
 #include "video/codec.h"
 #include "video/metrics.h"
 #include "video/source.h"
@@ -349,6 +351,148 @@ TEST_P(SpscConcurrentFuzz, RandomInterleavingsLoseNothingDuplicateNothing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpscConcurrentFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// -------------------------------------------------- EventRing fuzzing
+
+// Model-based fuzz for the telemetry ring's drop-oldest discipline.
+// Single-threaded, so every outcome is deterministic: the oracle is a
+// deque that, when the ring is full, evicts the oldest
+// min(kDropChunk, capacity) entries in one go and charges them to the
+// drop counter — exactly the producer's claim-drop. Catches FIFO
+// violations, mis-sized drop chunks, and drop-counter drift.
+class EventRingModelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventRingModelFuzz, MatchesChunkDroppingDequeOracle) {
+  common::Rng rng(GetParam());
+  // Capacities straddling kDropChunk: below it a full ring evicts its
+  // whole contents at once; above it, one chunk at a time.
+  static constexpr std::size_t kCaps[] = {2, 8, 64, 128};
+  const std::size_t capacity = kCaps[rng.next_below(4)];
+  EventRing ring(capacity);
+  ASSERT_EQ(ring.capacity(), capacity);
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(EventRing::kDropChunk, capacity);
+
+  std::deque<std::uint64_t> oracle;
+  std::uint64_t next_seq = 0;
+  std::uint64_t dropped = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    if (rng.next_below(3) != 0) {  // emit 2:1 over pop — overflow is the point
+      if (oracle.size() == capacity) {
+        for (std::uint64_t k = 0; k < chunk; ++k) oracle.pop_front();
+        dropped += chunk;
+      }
+      TelemetryEvent ev;
+      ev.word0 = TelemetryEvent::pack0(EventKind::kFiringBatch, /*name_id=*/3,
+                                       /*session=*/7);
+      ev.begin_ns = next_seq;
+      ev.end_ns = next_seq + 1;
+      ev.arg0 = next_seq;
+      ring.emit(ev);  // must always succeed: emit never blocks, never fails
+      oracle.push_back(next_seq++);
+    } else {
+      TelemetryEvent out;
+      const bool got = ring.try_pop(out);
+      ASSERT_EQ(got, !oracle.empty()) << "op " << op;
+      if (got) {
+        EXPECT_EQ(out.arg0, oracle.front()) << "FIFO violated at op " << op;
+        EXPECT_EQ(out.kind(), EventKind::kFiringBatch);
+        EXPECT_EQ(out.name_id(), 3u);
+        EXPECT_EQ(out.session(), 7u);
+        oracle.pop_front();
+      }
+    }
+    ASSERT_EQ(ring.size(), oracle.size()) << "op " << op;
+    ASSERT_EQ(ring.dropped(), dropped) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventRingModelFuzz,
+                         ::testing::Values(0x1u, 0x2u, 0x3u, 0x5eedu, 0xfu,
+                                           0xabcdefu, 0x123456789u, 0x42u));
+
+class EventRingConcurrentFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventRingConcurrentFuzz, ProducerNeverBlocksConsumerSeesSubsequence) {
+  // A producer that outruns the consumer must never block, never spin on
+  // a full ring, and never fabricate data: whatever the consumer gets is
+  // an untorn strict subsequence of what was emitted, and the books
+  // balance exactly — delivered + dropped == emitted, with drops in
+  // whole claim chunks.
+  const std::uint64_t seed = GetParam();
+  common::Rng setup(seed);
+  const std::size_t capacity = std::size_t{8} << setup.next_below(4);  // 8..64
+  constexpr std::uint64_t kEvents = 60000;
+  EventRing ring(capacity);
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(EventRing::kDropChunk, capacity);
+
+  std::atomic<bool> done{false};
+  std::thread producer([&ring, &done, seed] {
+    common::Rng rng(seed ^ 0xBADC0FFEEull);
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      TelemetryEvent ev;
+      ev.word0 = TelemetryEvent::pack0(
+          EventKind::kSteal, static_cast<std::uint16_t>(i & 0xffffu),
+          static_cast<std::uint32_t>(i));
+      ev.begin_ns = i;
+      ev.end_ns = i;
+      ev.arg0 = i;
+      ev.arg1 = ~i;
+      ring.emit(ev);  // unconditionally: a full ring drops, never stalls
+      if (rng.next_below(64) == 0) std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  common::Rng rng(seed ^ 0xF00Dull);
+  std::uint64_t received = 0;
+  bool have_prev = false;
+  std::uint64_t prev = 0;
+  const auto consume_one = [&](const TelemetryEvent& ev) {
+    const std::uint64_t i = ev.arg0;
+    if (have_prev) {
+      ASSERT_GT(i, prev) << "duplicated or reordered event";
+    }
+    have_prev = true;
+    prev = i;
+    // Untorn: every word of a delivered event must describe the same i.
+    ASSERT_EQ(ev.kind(), EventKind::kSteal);
+    ASSERT_EQ(ev.name_id(), static_cast<std::uint16_t>(i & 0xffffu));
+    ASSERT_EQ(ev.session(), static_cast<std::uint32_t>(i));
+    ASSERT_EQ(ev.begin_ns, i);
+    ASSERT_EQ(ev.end_ns, i);
+    ASSERT_EQ(ev.arg1, ~i) << "torn read delivered";
+    ++received;
+  };
+
+  TelemetryEvent out;
+  while (!done.load(std::memory_order_acquire)) {
+    if (ring.try_pop(out)) {
+      consume_one(out);
+      if (::testing::Test::HasFatalFailure()) break;
+    } else {
+      std::this_thread::yield();
+    }
+    ASSERT_LE(ring.size(), capacity);
+    if (rng.next_below(8) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  while (ring.try_pop(out)) {
+    consume_one(out);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+
+  // Exact conservation: every head advance was either one delivery or one
+  // counted claim-drop chunk, so nothing is lost twice or invented.
+  EXPECT_EQ(received + ring.dropped(), kEvents);
+  EXPECT_EQ(ring.dropped() % chunk, 0u) << "drops not in whole chunks";
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventRingConcurrentFuzz,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
 // ------------------------------------------- SpscQueue payload recycling

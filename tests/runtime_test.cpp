@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -1175,6 +1176,60 @@ TEST(Engine, GatedTaskParksUntilExternalWakeAndBillsIoStall) {
   EXPECT_GT(rep.tasks[src].io_stall_s, 0.0);
   EXPECT_GT(rep.io_stall_s, 0.0);
   EXPECT_EQ(rep.tasks[snk].io_stalls, 0u) << "ungated task never stalls";
+}
+
+// A task that never fires must report its min/max firing time as unset
+// (quiet NaN, fired() == false), not 0.0 — zero would read as an
+// impossibly fast firing — and format_comparison renders the unset
+// columns as '-'. The never-fired state is forced deterministically: the
+// source's gate never opens, so neither it nor its starved sink can run
+// before the session is cancelled.
+TEST(Engine, NeverFiredTaskReportsUnsetFiringTimes) {
+  mpsoc::TaskGraph g("gated");
+  mpsoc::Task src_task;
+  src_task.name = "src";
+  src_task.work_ops = 10;
+  mpsoc::Task snk_task;
+  snk_task.name = "snk";
+  snk_task.work_ops = 10;
+  const auto src = g.add_task(std::move(src_task));
+  const auto snk = g.add_task(std::move(snk_task));
+  ASSERT_TRUE(g.add_edge(src, snk, 4).is_ok());
+  g.set_body(src, [](mpsoc::TaskFiring& f) {
+    f.outputs[0] = mpsoc::Payload{1};
+  });
+  g.set_gate(src, [] { return false; });  // the I/O never arrives
+  g.set_body(snk, [](mpsoc::TaskFiring&) {});
+
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.start().is_ok());
+  auto sid = engine.submit(g, {0, 1}, 4);
+  ASSERT_TRUE(sid.is_ok());
+  engine.cancel(sid.value());
+  ASSERT_TRUE(engine.wait().is_ok());
+
+  const auto& rep = engine.report(sid.value());
+  EXPECT_EQ(rep.outcome, SessionOutcome::kCancelled);
+  for (const auto& t : rep.tasks) {
+    ASSERT_EQ(t.firings, 0u) << t.name;
+    EXPECT_FALSE(t.fired()) << t.name;
+    EXPECT_TRUE(std::isnan(t.min_firing_s)) << t.name;
+    EXPECT_TRUE(std::isnan(t.max_firing_s)) << t.name;
+    EXPECT_DOUBLE_EQ(t.mean_firing_s(), 0.0) << t.name;
+  }
+
+  const auto platform = core::device_platform(core::DeviceClass::kVideoCamera);
+  const auto cmp =
+      compare_with_schedule(rep, g, platform, {0, 1}, mpsoc::Schedule{});
+  ASSERT_EQ(cmp.stages.size(), 2u);
+  for (const auto& s : cmp.stages) {
+    EXPECT_TRUE(std::isnan(s.min_firing_s)) << s.name;
+    EXPECT_TRUE(std::isnan(s.max_firing_s)) << s.name;
+  }
+  // The table renders unset as a right-aligned '-' in a 10-wide column.
+  EXPECT_NE(format_comparison(cmp).find("         -"), std::string::npos);
 }
 
 TEST(Trace, ComparisonCarriesIoWaitColumn) {

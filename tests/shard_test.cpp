@@ -6,6 +6,7 @@
 // graceful degradation when submissions far exceed capacity.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -382,6 +383,55 @@ TEST(ShardedEngine, PinShardCpuRangesRunsToCompletionOrFailsLoudly) {
   // Unsupported platforms must surface a Status, never silently unpin.
   EXPECT_FALSE(status.is_ok());
 #endif
+}
+
+// stats() promises a *consistent* snapshot: accepted == completed +
+// inflight in every observation, even while worker threads are
+// completing sessions and a front-end thread keeps submitting. A racy
+// two-read implementation (accepted now, completed a little later)
+// fails this within a few iterations.
+TEST(ShardedEngine, StatsSnapshotBalancesWhileSessionsChurn) {
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.max_sessions_per_shard = 4;
+  opts.engine.workers = 1;
+  ShardedEngine sharded(opts);
+  ASSERT_TRUE(sharded.start().is_ok());
+
+  constexpr int kSubmits = 48;
+  std::atomic<bool> done{false};
+  std::thread submitter([&] {
+    // Keep the books moving: short sessions, back-to-back, with rejects
+    // mixed in when the shards saturate.
+    std::vector<SyntheticPipeline> pipes;
+    pipes.reserve(kSubmits);
+    for (int i = 0; i < kSubmits; ++i) {
+      pipes.push_back(make_synthetic_chain(2, 50.0));
+      (void)sharded.submit(pipes.back().graph, chain_mapping(2, 1), 3);
+      std::this_thread::yield();
+    }
+    (void)sharded.wait();
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t observations = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const auto s = sharded.stats();
+    ASSERT_EQ(s.accepted, s.completed + s.inflight)
+        << "inconsistent snapshot after " << observations << " observations";
+    ASSERT_LE(s.inflight,
+              static_cast<std::uint64_t>(opts.shards) *
+                  opts.max_sessions_per_shard);
+    ASSERT_EQ(s.submitted, s.accepted + s.rejected);
+    ++observations;
+  }
+  submitter.join();
+  EXPECT_GT(observations, 0u);
+
+  const auto end = sharded.stats();
+  EXPECT_EQ(end.submitted, static_cast<std::uint64_t>(kSubmits));
+  EXPECT_EQ(end.inflight, 0u);
+  EXPECT_EQ(end.accepted, end.completed);
 }
 
 }  // namespace

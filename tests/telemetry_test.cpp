@@ -1,0 +1,503 @@
+// Runtime telemetry: histogram bucket math, registry snapshots, drain
+// callbacks, Chrome-trace export (parsed and structurally validated by a
+// minimal JSON reader), engine metrics vs post-mortem reports, and the
+// hot-path overhead guard the E-RT/OBS bench records.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpsoc/mapping.h"
+#include "runtime/engine.h"
+#include "runtime/pipelines.h"
+#include "runtime/telemetry.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MMSOC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MMSOC_TSAN 1
+#endif
+#endif
+
+namespace mmsoc {
+namespace {
+
+// ------------------------------------------------------------ histograms
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b holds samples of bit width b: 0 -> bucket 0, 1 -> bucket 1,
+  // [2^(b-1), 2^b - 1] -> bucket b. The edges are where off-by-ones live.
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of((1ull << 32) - 1), 32);
+  EXPECT_EQ(Histogram::bucket_of(1ull << 32), 33);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64);
+
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(2), 2u);
+  EXPECT_EQ(Histogram::bucket_floor(3), 4u);
+  EXPECT_EQ(Histogram::bucket_floor(64), 1ull << 63);
+  // Every sample lands in the bucket whose floor bounds it from below.
+  for (const std::uint64_t s : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+    const int b = Histogram::bucket_of(s);
+    EXPECT_GE(s, Histogram::bucket_floor(b)) << s;
+    if (b < Histogram::kBuckets - 1) {
+      EXPECT_LT(s, Histogram::bucket_floor(b + 1)) << s;
+    }
+  }
+}
+
+TEST(Histogram, RecordSnapshotMeanQuantile) {
+  Histogram h;
+  // 8 samples in bucket 7 ([64,127]), 2 in bucket 11 ([1024,2047]).
+  for (int i = 0; i < 8; ++i) h.record(100);
+  h.record(1500);
+  h.record(2000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_EQ(s.counts[7], 8u);
+  EXPECT_EQ(s.counts[11], 2u);
+  EXPECT_EQ(s.sum, 8u * 100 + 1500 + 2000);
+  EXPECT_DOUBLE_EQ(s.mean(), static_cast<double>(s.sum) / 10.0);
+  // Quantiles resolve to bucket floors: the median bucket is 7, the tail
+  // bucket 11.
+  EXPECT_EQ(s.quantile(0.5), Histogram::bucket_floor(7));
+  EXPECT_EQ(s.quantile(1.0), Histogram::bucket_floor(11));
+  Histogram empty;
+  EXPECT_EQ(empty.snapshot().total(), 0u);
+  EXPECT_DOUBLE_EQ(empty.snapshot().mean(), 0.0);
+  EXPECT_EQ(empty.snapshot().quantile(0.99), 0u);
+}
+
+TEST(Histogram, MergePreservesCountsAndSum) {
+  Histogram a, b;
+  a.record(10);
+  a.record(20);
+  b.record(10);
+  b.record(5000);
+  auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+  sa.merge(sb);
+  EXPECT_EQ(sa.total(), 4u);
+  EXPECT_EQ(sa.sum, 10u + 20 + 10 + 5000);
+  EXPECT_EQ(sa.counts[Histogram::bucket_of(10)],
+            a.snapshot().counts[Histogram::bucket_of(10)] +
+                sb.counts[Histogram::bucket_of(10)]);
+}
+
+TEST(MetricsRegistry, IdempotentRegistrationAndSnapshot) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("x.firings");
+  Counter* c2 = reg.counter("x.firings");
+  EXPECT_EQ(c1, c2);  // same name -> same stable instrument
+  c1->add(3);
+  reg.gauge("x.inflight")->set(-2);
+  reg.histogram("x.lat_ns")->record(77);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("x.firings"), 3u);
+  EXPECT_EQ(snap.counter_or("missing", 42), 42u);
+  EXPECT_EQ(snap.gauge_or("x.inflight"), -2);
+  EXPECT_EQ(snap.histograms.at("x.lat_ns").total(), 1u);
+}
+
+// ------------------------------------------------- minimal JSON reader
+// Just enough of RFC 8259 to structurally validate trace_json() output —
+// the point is that a *real* parser (Perfetto, python json) accepts it.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::kString; return string(out.str);
+      case 't': out.kind = JsonValue::kBool; out.b = true; return literal("true");
+      case 'f': out.kind = JsonValue::kBool; out.b = false; return literal("false");
+      case 'n': out.kind = JsonValue::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return false;
+            pos_ += 4;  // structural check only; keep a placeholder
+            c = '?';
+            break;
+          default: return false;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(JsonValue& out) {
+    out.kind = JsonValue::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.num = std::atof(s_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+};
+
+// ----------------------------------------------------- telemetry core
+
+TEST(Telemetry, InternRoundTrip) {
+  TelemetryOptions opts;
+  opts.collect_period_ms = 0;  // no collector thread in unit tests
+  Telemetry tel(opts);
+  EXPECT_EQ(tel.intern(""), 0);  // id 0 reserved for unnamed
+  const std::uint16_t a = tel.intern("decode");
+  const std::uint16_t b = tel.intern("quantize");
+  EXPECT_NE(a, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tel.intern("decode"), a);  // idempotent
+  EXPECT_EQ(tel.name_of(a), "decode");
+  EXPECT_EQ(tel.name_of(b), "quantize");
+  EXPECT_EQ(tel.name_of(0), "");
+}
+
+TEST(Telemetry, DrainCallbackFeedsDerivedMetricsAndResets) {
+  TelemetryOptions opts;
+  opts.collect_period_ms = 0;
+  Telemetry tel(opts);
+  Counter* seen = tel.metrics().counter("t.batches_seen");
+  EventRing* ring = tel.register_track("t.worker0", [&](const TelemetryEvent& ev) {
+    if (ev.kind() == EventKind::kFiringBatch) seen->add(1);
+  });
+  TelemetryEvent ev;
+  ev.word0 = TelemetryEvent::pack0(EventKind::kFiringBatch, 0, 1);
+  ev.begin_ns = 10;
+  ev.end_ns = 20;
+  ring->emit(ev);
+  ring->emit(ev);
+  EXPECT_EQ(seen->value(), 0u);  // nothing until a drain
+  tel.flush();
+  EXPECT_EQ(seen->value(), 2u);
+  // Re-registering the same name returns the same ring, replacing the
+  // callback; resetting detaches it (after one final drain).
+  EXPECT_EQ(tel.register_track("t.worker0"), ring);
+  ring->emit(ev);
+  tel.reset_drain_callback(ring);
+  ring->emit(ev);
+  tel.flush();
+  EXPECT_EQ(seen->value(), 2u);  // replaced + reset: no further counting
+}
+
+TEST(Telemetry, TraceExportParsesAndSlicesNest) {
+  TelemetryOptions opts;
+  opts.collect_period_ms = 0;
+  Telemetry tel(opts);
+  EventRing* w0 = tel.register_track("eng.worker0");
+  EventRing* w1 = tel.register_track("eng.worker1");
+  const std::uint16_t decode = tel.intern("decode");
+
+  auto slice = [&](EventRing* r, EventKind k, std::uint16_t nid,
+                   std::uint32_t sess, std::uint64_t b, std::uint64_t e,
+                   std::uint64_t arg0) {
+    TelemetryEvent ev;
+    ev.word0 = TelemetryEvent::pack0(k, nid, sess);
+    ev.begin_ns = b;
+    ev.end_ns = e;
+    ev.arg0 = arg0;
+    r->emit(ev);
+  };
+  // worker0: two batches then a park — sequential, never overlapping.
+  slice(w0, EventKind::kFiringBatch, decode, 1, 1000, 2000, 8);
+  slice(w0, EventKind::kFiringBatch, decode, 1, 2500, 3000, 8);
+  slice(w0, EventKind::kPark, 0, 0, 3100, 4000, 0);
+  // worker0: an instant may legally fall inside earlier slices.
+  slice(w0, EventKind::kIoStall, decode, 1, 1500, 1500, 250);
+  // worker1: a steal instant and one batch.
+  slice(w1, EventKind::kSteal, decode, 1, 900, 900, 0);
+  slice(w1, EventKind::kFiringBatch, decode, 1, 1000, 1800, 4);
+
+  const std::string json = tel.trace_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(json).parse(root)) << json;
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  std::map<double, std::string> track_names;           // tid -> name
+  std::map<double, std::vector<std::pair<double, double>>> slices;  // tid -> (ts,dur)
+  std::size_t batch_with_args = 0, instants = 0;
+  for (const JsonValue& e : events->arr) {
+    const JsonValue* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      ASSERT_EQ(e.get("name")->str, "thread_name");
+      track_names[e.get("tid")->num] = e.get("args")->get("name")->str;
+    } else if (ph->str == "X") {
+      ASSERT_NE(e.get("dur"), nullptr);
+      slices[e.get("tid")->num].emplace_back(e.get("ts")->num,
+                                             e.get("dur")->num);
+      if (e.get("cat")->str == "batch") {
+        EXPECT_EQ(e.get("name")->str, "decode");  // interned name resolved
+        const JsonValue* args = e.get("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_NE(args->get("firings"), nullptr);
+        EXPECT_NE(args->get("session"), nullptr);
+        ++batch_with_args;
+      }
+    } else if (ph->str == "i") {
+      EXPECT_EQ(e.get("s")->str, "t");  // thread-scoped instant
+      ++instants;
+    }
+  }
+  ASSERT_EQ(track_names.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& [tid, name] : track_names) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"eng.worker0", "eng.worker1"}));
+  EXPECT_EQ(batch_with_args, 3u);
+  EXPECT_EQ(instants, 2u);
+  // Per-track slices must not overlap (Perfetto renders overlap as a
+  // malformed nesting); instants are exempt by construction.
+  for (auto& [tid, v] : slices) {
+    std::sort(v.begin(), v.end());
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_GE(v[i].first + 1e-6, v[i - 1].first + v[i - 1].second)
+          << "overlapping slices on tid " << tid;
+    }
+  }
+
+  // write_trace produces the same parseable document on disk.
+  const std::string path = ::testing::TempDir() + "/mmsoc_trace_test.json";
+  ASSERT_TRUE(tel.write_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string from_disk;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) from_disk.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  JsonValue root2;
+  EXPECT_TRUE(JsonReader(from_disk).parse(root2));
+}
+
+// ------------------------------------------- engine <-> metrics agreement
+
+TEST(Telemetry, EngineMetricsAgreeWithSessionReport) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TelemetryOptions topts;
+  topts.collect_period_ms = 0;  // engine teardown drains via reset
+  Telemetry tel(topts);
+
+  auto pipe = runtime::make_synthetic_chain(4, 50.0);
+  mpsoc::Mapping mapping(4);
+  for (std::size_t t = 0; t < 4; ++t) mapping[t] = t % 2;
+  runtime::EngineOptions opts;
+  opts.workers = 2;
+  opts.telemetry = &tel;
+  opts.telemetry_prefix = "agree";
+  const std::uint64_t kIters = 200;
+  const auto report = runtime::run_pipeline(pipe.graph, mapping, kIters, opts);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().outcome, runtime::SessionOutcome::kCompleted);
+
+  const auto snap = tel.metrics().snapshot();
+  // The exactness contract: the live firings counter ends equal to the
+  // post-mortem report's completed firings, and the session was counted.
+  EXPECT_EQ(snap.counter_or("agree.firings"),
+            report.value().completed_firings);
+  EXPECT_EQ(snap.counter_or("agree.firings"), kIters * 4);
+  EXPECT_EQ(snap.counter_or("agree.sessions_completed"), 1u);
+  // Drain-fed pair: the batch counter and the batch-latency histogram are
+  // fed from the same events, so they always agree with each other.
+  const auto& h = snap.histograms.at("agree.batch_latency_ns");
+  EXPECT_EQ(snap.counter_or("agree.batches"), h.total());
+  EXPECT_GT(h.total(), 0u);
+  EXPECT_GT(h.sum, 0u);
+  // No ring pressure at this scale: nothing may have been dropped.
+  EXPECT_EQ(tel.dropped(), 0u);
+  // The trace itself has at least one batch slice per worker track.
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(tel.trace_json()).parse(root));
+  std::map<double, std::size_t> batches_per_tid;
+  std::map<double, std::string> names;
+  for (const JsonValue& e : root.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M")
+      names[e.get("tid")->num] = e.get("args")->get("name")->str;
+    else if (e.get("ph")->str == "X" && e.get("cat")->str == "batch")
+      ++batches_per_tid[e.get("tid")->num];
+  }
+  for (const auto& [tid, name] : names) {
+    if (name.rfind("agree.worker", 0) == 0) {
+      EXPECT_GT(batches_per_tid[tid], 0u) << name;
+    }
+  }
+}
+
+// --------------------------------------------------- overhead guard
+
+// The E-RT/OBS acceptance bound, as a regression test: telemetry on must
+// sustain >= 97% of telemetry-off throughput on the hot configuration.
+// Interleaved best-of pairs tame scheduler noise (CI may be one core);
+// three attempts tame the rest — a genuine 3%+ regression fails all
+// three, a noisy neighbour does not.
+TEST(Telemetry, HotPathOverheadWithinBudget) {
+#if defined(MMSOC_TSAN)
+  GTEST_SKIP() << "instrumented build: timing bounds are meaningless";
+#endif
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+
+  constexpr std::uint64_t kIters = 6000;
+  constexpr int kPairs = 6;
+  constexpr int kAttempts = 3;
+  constexpr double kBudget = 0.97;
+
+  TelemetryOptions topts;
+  topts.ring_capacity = 16384;    // sized for the rate; see README sizing rule
+  topts.collect_period_ms = 100;  // drains land in the flush below, not mid-run
+  Telemetry tel(topts);
+
+  const auto run_once = [&](Telemetry* sink) {
+    auto pipe = runtime::make_synthetic_chain(8, 25.0);
+    mpsoc::Mapping mapping(8);
+    for (std::size_t t = 0; t < 8; ++t) mapping[t] = t % 2;
+    runtime::EngineOptions opts;
+    opts.workers = 2;
+    opts.channel_capacity = 16;
+    opts.firing_quantum = 8;
+    opts.recycle_payloads = true;
+    opts.telemetry = sink;
+    opts.telemetry_prefix = "guard";
+    const auto report = runtime::run_pipeline(pipe.graph, mapping, kIters, opts);
+    if (!report.is_ok() || report.value().wall_s <= 0.0) return 0.0;
+    return static_cast<double>(kIters) / report.value().wall_s;
+  };
+
+  double best_ratio = 0.0;
+  for (int attempt = 0; attempt < kAttempts && best_ratio < kBudget; ++attempt) {
+    for (int p = 0; p < kPairs; ++p) {
+      const double off = run_once(nullptr);
+      const double on = run_once(&tel);
+      tel.flush();
+      ASSERT_GT(off, 0.0);
+      ASSERT_GT(on, 0.0);
+      // Best per-pair ratio: a pair's runs are adjacent, so outside noise
+      // hits both sides alike and cancels in the quotient (ratio analogue
+      // of min-of-N timing). Ratios of maxima from disjoint windows do not
+      // get that cancellation.
+      best_ratio = std::max(best_ratio, on / off);
+      if (best_ratio >= kBudget) break;
+    }
+  }
+  EXPECT_GE(best_ratio, kBudget)
+      << "telemetry-on throughput fell more than 3% below telemetry-off";
+}
+
+}  // namespace
+}  // namespace mmsoc
