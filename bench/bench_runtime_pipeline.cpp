@@ -24,11 +24,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <new>
 #include <vector>
 
 #include "core/appgraphs.h"
 #include "core/profiles.h"
+#include "dsp/dispatch.h"
 #include "mpsoc/mapping.h"
 #include "runtime/engine.h"
 #include "runtime/pipelines.h"
@@ -37,6 +40,15 @@
 #include "runtime/trace.h"
 #include "video/codec.h"
 #include "video/source.h"
+
+// Cycle counter for the E-RT/KERNELS per-block table. TSC on x86 (the
+// invariant TSC on every CPU this repo targets ticks at a fixed rate, so
+// cycles/block is stable across frequency scaling); 0 elsewhere — the
+// ns/block column is always measured with the steady clock.
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define MMSOC_HAVE_RDTSC 1
+#endif
 
 // Baked in by CMake from `git rev-parse --short HEAD` at configure time;
 // MMSOC_BENCH_GIT_REV in the environment overrides it at run time.
@@ -259,14 +271,39 @@ struct ObsResult {
   bool ok = false;
 };
 
+struct KernelVariant {
+  dsp::SimdLevel level = dsp::SimdLevel::kScalar;
+  bool ok = false;  ///< output byte-identical to the scalar reference
+  double cycles_per_block = 0.0;  ///< 0 when no TSC is available
+  double ns_per_block = 0.0;
+};
+
+struct KernelRow {
+  const char* name = "";
+  std::vector<KernelVariant> variants;  ///< scalar first, then SIMD levels
+};
+
+struct SimdResult {
+  std::vector<dsp::SimdLevel> levels;  ///< compiled AND runnable here
+  dsp::SimdLevel best = dsp::SimdLevel::kScalar;
+  std::uint64_t reps = 0;
+  bool all_ok = false;
+  std::vector<KernelRow> table;
+  // Fig. 1 end-to-end, scalar table vs best table (hot configuration).
+  double fig1_scalar_fps = 0.0;
+  double fig1_best_fps = 0.0;
+  bool fig1_ok = false;
+};
+
 ShardResult run_shard_saturation();
 StealResult run_steal_skew();
 IoResult run_io_boundary();
 HotResult run_hot_path();
 ObsResult run_observability();
+SimdResult run_simd_kernels();
 void write_bench_json(const ShardResult& shard, const StealResult& steal,
                       const IoResult& io, const HotResult& hot,
-                      const ObsResult& obs);
+                      const ObsResult& obs, const SimdResult& simd);
 
 void print_tables() {
   mmsoc::bench::banner("E-RT/SCALE",
@@ -307,12 +344,13 @@ void print_tables() {
     std::printf("pipeline failed: %s\n", report.status().to_text().c_str());
   }
 
+  const SimdResult simd = run_simd_kernels();
   const HotResult hot = run_hot_path();
   const ObsResult obs = run_observability();
   const StealResult steal = run_steal_skew();
   const ShardResult shard = run_shard_saturation();
   const IoResult io = run_io_boundary();
-  write_bench_json(shard, steal, io, hot, obs);
+  write_bench_json(shard, steal, io, hot, obs, simd);
 }
 
 // E-RT/HOT: the engine hot loop itself. A small-payload synthetic chain
@@ -801,6 +839,249 @@ ShardResult run_shard_saturation() {
   return result;
 }
 
+// E-RT/KERNELS: the SIMD dispatch tables, kernel by kernel. Every variant
+// compiled into this binary and runnable on this CPU is timed against the
+// scalar reference on identical operands (cycles/block from the TSC,
+// ns/block from the steady clock) and simultaneously checked byte-exact —
+// a speedup that breaks the bitstream would be worthless. The Fig. 1
+// pipeline then runs end-to-end with the dispatch forced to scalar vs the
+// best table, which shows how much of the frame loop the hot kernels are
+// (Amdahl caps the end-to-end win far below the per-kernel ratios).
+SimdResult run_simd_kernels() {
+  mmsoc::bench::banner("E-RT/KERNELS",
+                       "SIMD kernel dispatch: per-kernel cost vs scalar");
+  SimdResult result;
+  for (const auto level : dsp::compiled_levels()) {
+    if (dsp::cpu_supports(level)) result.levels.push_back(level);
+  }
+  for (const auto pref : {dsp::SimdLevel::kAvx2, dsp::SimdLevel::kNeon,
+                          dsp::SimdLevel::kSse2}) {
+    if (dsp::kernel_table(pref) != nullptr && dsp::cpu_supports(pref)) {
+      result.best = pref;
+      break;
+    }
+  }
+  result.reps = smoke_mode() ? 2000 : 200000;
+
+  // Shared operands, one deterministic set per kernel. Outputs go to
+  // per-variant scratch so the exactness check can memcmp against the
+  // scalar result produced on the very same inputs.
+  common::Rng rng(0x51b3);
+  constexpr std::ptrdiff_t kSadStride = 96;
+  std::vector<std::uint8_t> sad_a(16 * kSadStride), sad_b(16 * kSadStride);
+  for (auto& v : sad_a) v = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& v : sad_b) v = static_cast<std::uint8_t>(rng.next_below(256));
+  alignas(32) float f32_in[64];
+  for (auto& v : f32_in)
+    v = static_cast<float>(rng.next_double_in(-256.0, 256.0));
+  alignas(32) std::int16_t q15_in[64];
+  for (auto& v : q15_in)
+    v = static_cast<std::int16_t>(rng.next_in(-2048, 2048));
+  alignas(32) float q_coeffs[64], q_steps[64];
+  alignas(32) std::int16_t q_levels[64];
+  for (int i = 0; i < 64; ++i) {
+    q_coeffs[i] = static_cast<float>(rng.next_double_in(-1024.0, 1024.0));
+    q_steps[i] = static_cast<float>(rng.next_double_in(0.5, 32.0));
+    q_levels[i] = static_cast<std::int16_t>(rng.next_in(-512, 512));
+  }
+  alignas(32) double fb_x[64], fb_bands[32];
+  for (auto& v : fb_x) v = rng.next_double_in(-1.0, 1.0);
+  for (auto& v : fb_bands) v = rng.next_double_in(-4.0, 4.0);
+
+  // Scratch the timed loops write into (reused across variants; the
+  // exactness pass snapshots it right after a single untimed call).
+  alignas(32) float out_f32[64], ref_f32[64];
+  alignas(32) std::int16_t out_i16[64], ref_i16[64];
+  alignas(32) double out_f64[64], ref_f64[64];
+  volatile std::uint32_t sad_sink = 0;
+
+  struct KernelCase {
+    const char* name;
+    std::function<void(const dsp::KernelTable&, std::uint64_t)> run_many;
+    std::function<bool(const dsp::KernelTable&)> matches_scalar;
+  };
+  const dsp::KernelTable& sc = *dsp::kernel_table(dsp::SimdLevel::kScalar);
+  const std::vector<KernelCase> cases = {
+      {"sad16_16x16",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         std::uint32_t acc = 0;
+         for (std::uint64_t i = 0; i < n; ++i)
+           acc += t.sad16(sad_a.data(), kSadStride, sad_b.data(), kSadStride);
+         sad_sink = acc;
+       },
+       [&](const dsp::KernelTable& t) {
+         return t.sad16(sad_a.data(), kSadStride, sad_b.data(), kSadStride) ==
+                sc.sad16(sad_a.data(), kSadStride, sad_b.data(), kSadStride);
+       }},
+      {"fdct8x8_f32",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.fdct8x8_f32(f32_in, out_f32);
+         benchmark::DoNotOptimize(out_f32);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.fdct8x8_f32(f32_in, ref_f32);
+         t.fdct8x8_f32(f32_in, out_f32);
+         return std::memcmp(out_f32, ref_f32, sizeof(ref_f32)) == 0;
+       }},
+      {"idct8x8_f32",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.idct8x8_f32(f32_in, out_f32);
+         benchmark::DoNotOptimize(out_f32);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.idct8x8_f32(f32_in, ref_f32);
+         t.idct8x8_f32(f32_in, out_f32);
+         return std::memcmp(out_f32, ref_f32, sizeof(ref_f32)) == 0;
+       }},
+      {"fdct8x8_q15",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.fdct8x8_q15(q15_in, out_i16);
+         benchmark::DoNotOptimize(out_i16);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.fdct8x8_q15(q15_in, ref_i16);
+         t.fdct8x8_q15(q15_in, out_i16);
+         return std::memcmp(out_i16, ref_i16, sizeof(ref_i16)) == 0;
+       }},
+      {"idct8x8_q15",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.idct8x8_q15(q15_in, out_i16);
+         benchmark::DoNotOptimize(out_i16);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.idct8x8_q15(q15_in, ref_i16);
+         t.idct8x8_q15(q15_in, out_i16);
+         return std::memcmp(out_i16, ref_i16, sizeof(ref_i16)) == 0;
+       }},
+      {"quantize64",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i)
+           t.quantize64(q_coeffs, q_steps, out_i16);
+         benchmark::DoNotOptimize(out_i16);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.quantize64(q_coeffs, q_steps, ref_i16);
+         t.quantize64(q_coeffs, q_steps, out_i16);
+         return std::memcmp(out_i16, ref_i16, sizeof(ref_i16)) == 0;
+       }},
+      {"dequantize64",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i)
+           t.dequantize64(q_levels, q_steps, out_f32);
+         benchmark::DoNotOptimize(out_f32);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.dequantize64(q_levels, q_steps, ref_f32);
+         t.dequantize64(q_levels, q_steps, out_f32);
+         return std::memcmp(out_f32, ref_f32, sizeof(ref_f32)) == 0;
+       }},
+      {"fb_analyze_mac",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.fb_analyze(fb_x, out_f64);
+         benchmark::DoNotOptimize(out_f64);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.fb_analyze(fb_x, ref_f64);
+         t.fb_analyze(fb_x, out_f64);
+         return std::memcmp(out_f64, ref_f64, 32 * sizeof(double)) == 0;
+       }},
+      {"fb_synth_mac",
+       [&](const dsp::KernelTable& t, std::uint64_t n) {
+         for (std::uint64_t i = 0; i < n; ++i) t.fb_synth(fb_bands, out_f64);
+         benchmark::DoNotOptimize(out_f64);
+       },
+       [&](const dsp::KernelTable& t) {
+         sc.fb_synth(fb_bands, ref_f64);
+         t.fb_synth(fb_bands, out_f64);
+         return std::memcmp(out_f64, ref_f64, sizeof(ref_f64)) == 0;
+       }},
+  };
+
+  result.all_ok = true;
+  std::printf("%-14s", "kernel");
+  for (const auto level : result.levels)
+    std::printf(" %9s cyc %7s ns", dsp::simd_level_name(level).data(), "");
+  std::printf("   best-vs-scalar\n");
+  mmsoc::bench::rule();
+  for (const auto& kc : cases) {
+    KernelRow row;
+    row.name = kc.name;
+    for (const auto level : result.levels) {
+      const dsp::KernelTable& t = *dsp::kernel_table(level);
+      KernelVariant v;
+      v.level = level;
+      v.ok = kc.matches_scalar(t);
+      result.all_ok = result.all_ok && v.ok;
+      kc.run_many(t, result.reps / 16 + 1);  // warm caches and branch state
+      const auto t0 = std::chrono::steady_clock::now();
+#if defined(MMSOC_HAVE_RDTSC)
+      const std::uint64_t c0 = __rdtsc();
+#endif
+      kc.run_many(t, result.reps);
+#if defined(MMSOC_HAVE_RDTSC)
+      v.cycles_per_block = static_cast<double>(__rdtsc() - c0) /
+                           static_cast<double>(result.reps);
+#endif
+      v.ns_per_block =
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - t0)
+              .count() /
+          static_cast<double>(result.reps);
+      row.variants.push_back(v);
+    }
+    std::printf("%-14s", row.name);
+    for (const auto& v : row.variants)
+      std::printf(" %9.1f%s %9.1f", v.cycles_per_block, v.ok ? " " : "!",
+                  v.ns_per_block);
+    const double scalar_ns = row.variants.front().ns_per_block;
+    double best_ns = scalar_ns;
+    for (const auto& v : row.variants)
+      if (v.level == result.best) best_ns = v.ns_per_block;
+    std::printf(" %9.2fx\n", best_ns > 0.0 ? scalar_ns / best_ns : 0.0);
+    result.table.push_back(std::move(row));
+  }
+  std::printf(
+      "\n('!' marks a variant whose output diverged from scalar — the\n"
+      "equivalence fuzz suite in tests/dsp_test.cpp enforces this too.)\n");
+
+  // Fig. 1 end to end, dispatch forced to scalar vs best-available.
+  const std::uint64_t fig1_iters = smoke_mode() ? 8 : 48;
+  const auto saved_level = dsp::active_simd_level();
+  const auto fig1_fps = [&](dsp::SimdLevel level) {
+    if (!dsp::set_simd_level(level)) return 0.0;
+    runtime::VideoPipelineConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    auto pipe = runtime::make_video_encoder_pipeline(cfg);
+    mpsoc::Mapping mapping(pipe.graph.task_count());
+    for (std::size_t t = 0; t < mapping.size(); ++t) mapping[t] = t % 2;
+    runtime::EngineOptions opts;
+    opts.workers = 2;
+    opts.firing_quantum = 8;
+    const auto report =
+        runtime::run_pipeline(pipe.graph, mapping, fig1_iters, opts);
+    if (!report.is_ok() || report.value().wall_s <= 0.0) return 0.0;
+    return static_cast<double>(fig1_iters) / report.value().wall_s;
+  };
+  result.fig1_scalar_fps = fig1_fps(dsp::SimdLevel::kScalar);
+  result.fig1_best_fps = fig1_fps(result.best);
+  dsp::set_simd_level(saved_level);
+  result.fig1_ok =
+      result.fig1_scalar_fps > 0.0 && result.fig1_best_fps > 0.0;
+  if (result.fig1_ok) {
+    std::printf(
+        "\nFig.1 end-to-end (%llu frames, 64x64): scalar table %.1f fps,\n"
+        "%s table %.1f fps (%.2fx) — kernels are only part of the frame\n"
+        "loop, so the end-to-end target is >= 1.1x, not the per-kernel 4x.\n",
+        static_cast<unsigned long long>(fig1_iters), result.fig1_scalar_fps,
+        dsp::simd_level_name(result.best).data(), result.fig1_best_fps,
+        result.fig1_scalar_fps > 0.0
+            ? result.fig1_best_fps / result.fig1_scalar_fps
+            : 0.0);
+  }
+  return result;
+}
+
 // Stamp values arrive from the environment / build system; keep only
 // characters that cannot break a JSON string literal.
 std::string json_safe(const char* s, const char* fallback) {
@@ -816,7 +1097,7 @@ std::string json_safe(const char* s, const char* fallback) {
 
 void write_bench_json(const ShardResult& shard, const StealResult& steal,
                       const IoResult& io, const HotResult& hot,
-                      const ObsResult& obs) {
+                      const ObsResult& obs, const SimdResult& simd) {
   FILE* f = std::fopen("BENCH_runtime.json", "w");
   if (f == nullptr) return;
   // Provenance header: schema_version counts the JSON layout (bump when
@@ -828,7 +1109,7 @@ void write_bench_json(const ShardResult& shard, const StealResult& steal,
   std::fprintf(
       f,
       "{\n"
-      "  \"schema_version\": 2,\n"
+      "  \"schema_version\": 3,\n"
       "  \"git_rev\": \"%s\",\n"
       "  \"generated_at\": \"%s\",\n"
       "  \"smoke\": %s,\n"
@@ -963,15 +1244,50 @@ void write_bench_json(const ShardResult& shard, const StealResult& steal,
       "      \"overhead_ratio_on_vs_off\": %.4f,\n"
       "      \"events_dropped\": %llu,\n"
       "      \"firings_counted\": %llu\n"
-      "    }\n"
-      "  }\n"
-      "}\n",
+      "    },\n",
       obs.ok ? "true" : "false", obs.stages, obs.workers, obs.stage_ops,
       obs.channel_capacity, obs.quantum,
       static_cast<unsigned long long>(obs.iters), obs.pairs,
       obs.off_iters_per_s, obs.on_iters_per_s, obs.overhead_ratio,
       static_cast<unsigned long long>(obs.events_dropped),
       static_cast<unsigned long long>(obs.firings_counted));
+  std::fprintf(
+      f,
+      "    \"simd_kernels\": {\n"
+      "      \"all_ok\": %s,\n"
+      "      \"best_level\": \"%s\",\n"
+      "      \"reps_per_kernel\": %llu,\n"
+      "      \"fig1\": {\"ok\": %s, \"scalar_fps\": %.1f, "
+      "\"best_fps\": %.1f, \"speedup\": %.3f},\n"
+      "      \"table\": [\n",
+      simd.all_ok ? "true" : "false",
+      dsp::simd_level_name(simd.best).data(),
+      static_cast<unsigned long long>(simd.reps),
+      simd.fig1_ok ? "true" : "false", simd.fig1_scalar_fps,
+      simd.fig1_best_fps,
+      simd.fig1_scalar_fps > 0.0
+          ? simd.fig1_best_fps / simd.fig1_scalar_fps
+          : 0.0);
+  for (std::size_t k = 0; k < simd.table.size(); ++k) {
+    const KernelRow& row = simd.table[k];
+    std::fprintf(f, "        {\"kernel\": \"%s\", \"variants\": [", row.name);
+    for (std::size_t v = 0; v < row.variants.size(); ++v) {
+      const KernelVariant& var = row.variants[v];
+      std::fprintf(f,
+                   "{\"level\": \"%s\", \"ok\": %s, "
+                   "\"cycles_per_block\": %.1f, \"ns_per_block\": %.1f}%s",
+                   dsp::simd_level_name(var.level).data(),
+                   var.ok ? "true" : "false", var.cycles_per_block,
+                   var.ns_per_block,
+                   v + 1 < row.variants.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", k + 1 < simd.table.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "      ]\n"
+               "    }\n"
+               "  }\n"
+               "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_runtime.json\n");
 }

@@ -9,8 +9,10 @@ FrameFeatures extract_features(const video::Frame& frame) {
   f.mean_luma = frame.y().mean();
   f.luma_variance = frame.y().variance();
   f.saturation = frame.mean_saturation();
-  for (const auto p : frame.y().pixels()) {
-    ++f.luma_histogram[static_cast<std::size_t>(p >> 4)];
+  for (int y = 0; y < frame.y().height(); ++y) {
+    for (const auto p : frame.y().row_span(y)) {
+      ++f.luma_histogram[static_cast<std::size_t>(p >> 4)];
+    }
   }
   return f;
 }

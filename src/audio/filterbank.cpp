@@ -1,32 +1,16 @@
 #include "audio/filterbank.h"
 
-#include <cmath>
-
-#include "common/mathutil.h"
+#include "dsp/dispatch.h"
 
 namespace mmsoc::audio {
 namespace {
 
-constexpr int kN = kSubbands;       // 32 bands
-constexpr int kWindow = 2 * kN;     // 64-sample lapped window
+constexpr int kN = kSubbands;    // 32 bands
+constexpr int kWindow = 2 * kN;  // 64-sample lapped window
 
-// Precomputed sine window and modulation basis.
-struct Tables {
-  double window[kWindow];
-  double basis[kN][kWindow];  // basis[k][n] = cos((pi/N)(n+0.5+N/2)(k+0.5))
-  Tables() noexcept {
-    for (int n = 0; n < kWindow; ++n) {
-      window[n] = std::sin(common::kPi / kWindow * (n + 0.5));
-    }
-    for (int k = 0; k < kN; ++k) {
-      for (int n = 0; n < kWindow; ++n) {
-        basis[k][n] = std::cos(common::kPi / kN * (n + 0.5 + kN / 2.0) *
-                               (k + 0.5));
-      }
-    }
-  }
-};
-const Tables kTables;
+// The sine window and modulation basis live in the dispatch layer
+// (dsp::detail::fb_tables) so every SIMD variant of the MAC kernels
+// multiplies by the same constants.
 
 }  // namespace
 
@@ -37,20 +21,15 @@ void SubbandAnalyzer::reset() noexcept { history_.fill(0.0); }
 SubbandBlock SubbandAnalyzer::analyze(
     std::span<const double, kSubbands> samples) noexcept {
   // Assemble the 64-sample lapped window [history | current].
-  double x[kWindow];
+  alignas(32) double x[kWindow];
   for (int i = 0; i < kN; ++i) {
     x[i] = history_[static_cast<std::size_t>(i)];
     x[kN + i] = samples[static_cast<std::size_t>(i)];
   }
   SubbandBlock out;
-  for (int k = 0; k < kN; ++k) {
-    double acc = 0.0;
-    for (int n = 0; n < kWindow; ++n) {
-      acc += kTables.window[n] * x[n] * kTables.basis[k][n];
-    }
-    out[static_cast<std::size_t>(k)] = acc;
-  }
-  for (int i = 0; i < kN; ++i) history_[static_cast<std::size_t>(i)] = samples[static_cast<std::size_t>(i)];
+  dsp::kernels().fb_analyze(x, out.data());
+  for (int i = 0; i < kN; ++i)
+    history_[static_cast<std::size_t>(i)] = samples[static_cast<std::size_t>(i)];
   return out;
 }
 
@@ -60,15 +39,9 @@ void SubbandSynthesizer::reset() noexcept { overlap_.fill(0.0); }
 
 std::array<double, kSubbands> SubbandSynthesizer::synthesize(
     const SubbandBlock& bands) noexcept {
-  // IMDCT of this block.
-  double y[kWindow];
-  for (int n = 0; n < kWindow; ++n) {
-    double acc = 0.0;
-    for (int k = 0; k < kN; ++k) {
-      acc += bands[static_cast<std::size_t>(k)] * kTables.basis[k][n];
-    }
-    y[n] = (2.0 / kN) * kTables.window[n] * acc;
-  }
+  // Windowed IMDCT of this block.
+  alignas(32) double y[kWindow];
+  dsp::kernels().fb_synth(bands.data(), y);
   // Overlap-add: output = previous tail + current head.
   std::array<double, kSubbands> out;
   for (int i = 0; i < kN; ++i) {

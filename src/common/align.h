@@ -1,0 +1,51 @@
+// Aligned storage helpers for the SIMD data plane.
+//
+// Vector kernels want their bulk operands on cache-line boundaries so a
+// 256-bit load never splits a line. std::vector's default allocator only
+// guarantees alignof(std::max_align_t); AlignedAllocator upgrades that to
+// a caller-chosen power of two via C++17 aligned operator new.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace mmsoc::common {
+
+/// Minimal std::allocator replacement with a compile-time alignment
+/// guarantee. Interoperable across element types at the same alignment.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T), "alignment must not weaken the type's");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' automatic
+  // rebind deduction; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// Cache-line alignment used for Plane pixel rows and kernel tables.
+inline constexpr std::size_t kCacheLineAlign = 64;
+
+}  // namespace mmsoc::common

@@ -1,175 +1,77 @@
 #include "dsp/dct.h"
 
-#include <cmath>
-
-#include "common/mathutil.h"
+#include "dsp/dispatch.h"
+#include "dsp/kernels.h"
 #include "entropy/zigzag.h"
 
 namespace mmsoc::dsp {
-namespace {
 
-// Orthonormal DCT-II basis: C[u][x] = s(u) * cos((2x+1) u pi / 16),
-// s(0)=sqrt(1/8), s(u>0)=sqrt(2/8). Built once at static-init time.
-struct Basis {
-  float c[kDctSize][kDctSize];
-  Basis() noexcept {
-    for (int u = 0; u < kDctSize; ++u) {
-      const double s = u == 0 ? std::sqrt(1.0 / kDctSize) : std::sqrt(2.0 / kDctSize);
-      for (int x = 0; x < kDctSize; ++x) {
-        c[u][x] = static_cast<float>(
-            s * std::cos((2 * x + 1) * u * common::kPi / (2 * kDctSize)));
-      }
-    }
-  }
-};
-const Basis kBasis;
-
-// Q15 copy of the basis for the fixed-point path.
-struct BasisQ15 {
-  std::int32_t c[kDctSize][kDctSize];
-  BasisQ15() noexcept {
-    for (int u = 0; u < kDctSize; ++u)
-      for (int x = 0; x < kDctSize; ++x)
-        c[u][x] = static_cast<std::int32_t>(
-            std::lround(static_cast<double>(kBasis.c[u][x]) * 32768.0));
-  }
-};
-const BasisQ15 kBasisQ15;
-
-}  // namespace
+// The basis tables live in the dispatch layer (dsp/kernels.h) so every
+// SIMD variant multiplies by the same constants; the 1-D and direct forms
+// here read them straight from there.
 
 void dct8(std::span<const float, 8> in, std::span<float, 8> out) noexcept {
+  const auto& basis = detail::dct_tables().c;
   float tmp[kDctSize];
   for (int u = 0; u < kDctSize; ++u) {
     float acc = 0.0f;
-    for (int x = 0; x < kDctSize; ++x) acc += kBasis.c[u][x] * in[x];
+    for (int x = 0; x < kDctSize; ++x) acc += basis[u][x] * in[x];
     tmp[u] = acc;
   }
   for (int u = 0; u < kDctSize; ++u) out[u] = tmp[u];
 }
 
 void idct8(std::span<const float, 8> in, std::span<float, 8> out) noexcept {
+  const auto& basis = detail::dct_tables().c;
   float tmp[kDctSize];
   for (int x = 0; x < kDctSize; ++x) {
     float acc = 0.0f;
-    for (int u = 0; u < kDctSize; ++u) acc += kBasis.c[u][x] * in[u];
+    for (int u = 0; u < kDctSize; ++u) acc += basis[u][x] * in[u];
     tmp[x] = acc;
   }
   for (int x = 0; x < kDctSize; ++x) out[x] = tmp[x];
 }
 
 void dct2d_direct(const Block& in, Block& out) noexcept {
+  const auto& basis = detail::dct_tables().c;
   for (int v = 0; v < kDctSize; ++v) {
     for (int u = 0; u < kDctSize; ++u) {
       float acc = 0.0f;
       for (int y = 0; y < kDctSize; ++y)
         for (int x = 0; x < kDctSize; ++x)
-          acc += kBasis.c[v][y] * kBasis.c[u][x] * in[y * kDctSize + x];
+          acc += basis[v][y] * basis[u][x] * in[y * kDctSize + x];
       out[v * kDctSize + u] = acc;
     }
   }
 }
 
 void idct2d_direct(const Block& in, Block& out) noexcept {
+  const auto& basis = detail::dct_tables().c;
   for (int y = 0; y < kDctSize; ++y) {
     for (int x = 0; x < kDctSize; ++x) {
       float acc = 0.0f;
       for (int v = 0; v < kDctSize; ++v)
         for (int u = 0; u < kDctSize; ++u)
-          acc += kBasis.c[v][y] * kBasis.c[u][x] * in[v * kDctSize + u];
+          acc += basis[v][y] * basis[u][x] * in[v * kDctSize + u];
       out[y * kDctSize + x] = acc;
     }
   }
 }
 
 void dct2d(const Block& in, Block& out) noexcept {
-  Block tmp;
-  // Rows.
-  for (int y = 0; y < kDctSize; ++y) {
-    dct8(std::span<const float, 8>(&in[y * kDctSize], 8),
-         std::span<float, 8>(&tmp[y * kDctSize], 8));
-  }
-  // Columns.
-  for (int x = 0; x < kDctSize; ++x) {
-    float col[kDctSize], res[kDctSize];
-    for (int y = 0; y < kDctSize; ++y) col[y] = tmp[y * kDctSize + x];
-    dct8(std::span<const float, 8>(col, 8), std::span<float, 8>(res, 8));
-    for (int y = 0; y < kDctSize; ++y) out[y * kDctSize + x] = res[y];
-  }
+  kernels().fdct8x8_f32(in.data(), out.data());
 }
 
 void idct2d(const Block& in, Block& out) noexcept {
-  Block tmp;
-  for (int y = 0; y < kDctSize; ++y) {
-    idct8(std::span<const float, 8>(&in[y * kDctSize], 8),
-          std::span<float, 8>(&tmp[y * kDctSize], 8));
-  }
-  for (int x = 0; x < kDctSize; ++x) {
-    float col[kDctSize], res[kDctSize];
-    for (int y = 0; y < kDctSize; ++y) col[y] = tmp[y * kDctSize + x];
-    idct8(std::span<const float, 8>(col, 8), std::span<float, 8>(res, 8));
-    for (int y = 0; y < kDctSize; ++y) out[y * kDctSize + x] = res[y];
-  }
+  kernels().idct8x8_f32(in.data(), out.data());
 }
-
-namespace {
-
-// One Q15 1-D pass: out[u] = sum_x basis[u][x] * in[x], rounded down to
-// `out_shift` discarded fraction bits. The row pass keeps 4 extra
-// fraction bits (shift 11) so the column pass accumulates at higher
-// precision; the column pass removes both scales (shift 15 + 4).
-void dct8_q15(const std::int32_t basis[kDctSize][kDctSize],
-              const std::int32_t in[kDctSize], std::int32_t out[kDctSize],
-              bool transpose_basis, unsigned out_shift) noexcept {
-  for (int u = 0; u < kDctSize; ++u) {
-    std::int64_t acc = 0;
-    for (int x = 0; x < kDctSize; ++x) {
-      const std::int32_t b = transpose_basis ? basis[x][u] : basis[u][x];
-      acc += static_cast<std::int64_t>(b) * in[x];
-    }
-    const std::int64_t half = std::int64_t{1} << (out_shift - 1);
-    out[u] = static_cast<std::int32_t>((acc + (acc >= 0 ? half : -half)) >>
-                                       out_shift);
-  }
-}
-
-constexpr unsigned kRowShift = 11;           // keep 4 fraction bits
-constexpr unsigned kColShift = 15 + (15 - kRowShift);  // remove both scales
-
-}  // namespace
 
 void dct2d_q15(const BlockI16& in, BlockI16& out) noexcept {
-  std::int32_t tmp[kDctSize * kDctSize];
-  for (int y = 0; y < kDctSize; ++y) {
-    std::int32_t row[kDctSize], res[kDctSize];
-    for (int x = 0; x < kDctSize; ++x) row[x] = in[y * kDctSize + x];
-    dct8_q15(kBasisQ15.c, row, res, /*transpose_basis=*/false, kRowShift);
-    for (int x = 0; x < kDctSize; ++x) tmp[y * kDctSize + x] = res[x];
-  }
-  for (int x = 0; x < kDctSize; ++x) {
-    std::int32_t col[kDctSize], res[kDctSize];
-    for (int y = 0; y < kDctSize; ++y) col[y] = tmp[y * kDctSize + x];
-    dct8_q15(kBasisQ15.c, col, res, /*transpose_basis=*/false, kColShift);
-    for (int y = 0; y < kDctSize; ++y)
-      out[y * kDctSize + x] = common::clamp_s16(res[y]);
-  }
+  kernels().fdct8x8_q15(in.data(), out.data());
 }
 
 void idct2d_q15(const BlockI16& in, BlockI16& out) noexcept {
-  std::int32_t tmp[kDctSize * kDctSize];
-  for (int y = 0; y < kDctSize; ++y) {
-    std::int32_t row[kDctSize], res[kDctSize];
-    for (int x = 0; x < kDctSize; ++x) row[x] = in[y * kDctSize + x];
-    dct8_q15(kBasisQ15.c, row, res, /*transpose_basis=*/true, kRowShift);
-    for (int x = 0; x < kDctSize; ++x) tmp[y * kDctSize + x] = res[x];
-  }
-  for (int x = 0; x < kDctSize; ++x) {
-    std::int32_t col[kDctSize], res[kDctSize];
-    for (int y = 0; y < kDctSize; ++y) col[y] = tmp[y * kDctSize + x];
-    dct8_q15(kBasisQ15.c, col, res, /*transpose_basis=*/true, kColShift);
-    for (int y = 0; y < kDctSize; ++y)
-      out[y * kDctSize + x] = common::clamp_s16(res[y]);
-  }
+  kernels().idct8x8_q15(in.data(), out.data());
 }
 
 double energy_compaction(const Block& coeffs, int k) noexcept {

@@ -1,0 +1,212 @@
+// AVX2 kernel variants. Built with -mavx2 -ffp-contract=off; compiles away
+// unless x86 SIMD dispatch is enabled. No code in this TU runs before
+// dispatch.cpp has checked CPUID: the exported table is constant-
+// initialized from function addresses only.
+//
+// Same bit-exactness scheme as the SSE2 TU (see that file and dispatch.h);
+// AVX2 just gives full-width lanes: one 256-bit vector covers all 8
+// outputs of a DCT pass, vpmuldq provides the signed 32x32->64 multiply
+// directly, and psadbw handles two pixel rows per instruction.
+#if defined(MMSOC_SIMD_X86) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "dsp/kernels.h"
+
+namespace mmsoc::dsp::detail {
+namespace {
+
+std::uint32_t sad16_avx2(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                         const std::uint8_t* b, std::ptrdiff_t b_stride) {
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < 16; y += 2) {
+    const __m256i va = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a))),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + a_stride)), 1);
+    const __m256i vb = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b))),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + b_stride)), 1);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+    a += 2 * a_stride;
+    b += 2 * b_stride;
+  }
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint32_t>(
+      _mm_cvtsi128_si32(sum) +
+      _mm_cvtsi128_si32(_mm_srli_si128(sum, 8)));
+}
+
+// One float 1-D pass: all 8 outputs in one vector; per-lane op sequence
+// identical to scalar (broadcast input x, multiply by its basis column,
+// add — in x order).
+inline void f32_pass8_avx2(const float (*cols)[8], const float* in,
+                           int in_step, float* out8) {
+  __m256 acc = _mm256_setzero_ps();
+  for (int x = 0; x < 8; ++x) {
+    const __m256 v = _mm256_set1_ps(in[x * in_step]);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_load_ps(cols[x]), v));
+  }
+  _mm256_storeu_ps(out8, acc);
+}
+
+void f32_2d_avx2(const float (*cols)[8], const float* in, float* out) {
+  float tmp[64];
+  for (int y = 0; y < 8; ++y) f32_pass8_avx2(cols, in + y * 8, 1, tmp + y * 8);
+  for (int x = 0; x < 8; ++x) {
+    float res[8];
+    f32_pass8_avx2(cols, tmp + x, 8, res);
+    for (int y = 0; y < 8; ++y) out[y * 8 + x] = res[y];
+  }
+}
+
+void fdct8x8_f32_avx2(const float* in, float* out) {
+  f32_2d_avx2(dct_tables().c_t, in, out);
+}
+
+void idct8x8_f32_avx2(const float* in, float* out) {
+  f32_2d_avx2(dct_tables().c, in, out);
+}
+
+// Q15 1-D pass with 64-bit accumulation (exactly the scalar int64 math).
+inline void q15_pass8_avx2(const std::int64_t (*cols)[8],
+                           const std::int32_t in[8], std::int32_t out[8],
+                           unsigned out_shift) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  for (int x = 0; x < 8; ++x) {
+    const __m256i v = _mm256_set1_epi64x(in[x]);
+    const __m256i* c = reinterpret_cast<const __m256i*>(cols[x]);
+    acc0 = _mm256_add_epi64(acc0,
+                            _mm256_mul_epi32(_mm256_load_si256(c + 0), v));
+    acc1 = _mm256_add_epi64(acc1,
+                            _mm256_mul_epi32(_mm256_load_si256(c + 1), v));
+  }
+  alignas(32) std::int64_t accs[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(accs + 0), acc0);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(accs + 4), acc1);
+  const std::int64_t half = std::int64_t{1} << (out_shift - 1);
+  for (int u = 0; u < 8; ++u) {
+    const std::int64_t acc = accs[u];
+    out[u] = static_cast<std::int32_t>((acc + (acc >= 0 ? half : -half)) >>
+                                       out_shift);
+  }
+}
+
+void q15_2d_avx2(const std::int64_t (*cols)[8], const std::int16_t* in,
+                 std::int16_t* out) {
+  std::int32_t tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    std::int32_t row[8], res[8];
+    for (int x = 0; x < 8; ++x) row[x] = in[y * 8 + x];
+    q15_pass8_avx2(cols, row, res, kQ15RowShift);
+    for (int x = 0; x < 8; ++x) tmp[y * 8 + x] = res[x];
+  }
+  for (int x = 0; x < 8; ++x) {
+    std::int32_t col[8], res[8];
+    for (int y = 0; y < 8; ++y) col[y] = tmp[y * 8 + x];
+    q15_pass8_avx2(cols, col, res, kQ15ColShift);
+    for (int y = 0; y < 8; ++y) {
+      const std::int32_t v = res[y];
+      out[y * 8 + x] = static_cast<std::int16_t>(
+          v < -32768 ? -32768 : (v > 32767 ? 32767 : v));
+    }
+  }
+}
+
+void fdct8x8_q15_avx2(const std::int16_t* in, std::int16_t* out) {
+  q15_2d_avx2(dct_tables().q15_fwd, in, out);
+}
+
+void idct8x8_q15_avx2(const std::int16_t* in, std::int16_t* out) {
+  q15_2d_avx2(dct_tables().q15_inv, in, out);
+}
+
+// lroundf emulation for 8 floats (see the SSE2 TU for the derivation).
+inline __m256i lround8_avx2(__m256 v) {
+  const __m256i trunc = _mm256_cvttps_epi32(v);
+  const __m256 frac = _mm256_sub_ps(v, _mm256_cvtepi32_ps(trunc));
+  const __m256i up = _mm256_castps_si256(
+      _mm256_cmp_ps(frac, _mm256_set1_ps(0.5f), _CMP_GE_OQ));
+  const __m256i down = _mm256_castps_si256(
+      _mm256_cmp_ps(frac, _mm256_set1_ps(-0.5f), _CMP_LE_OQ));
+  return _mm256_add_epi32(_mm256_sub_epi32(trunc, up), down);
+}
+
+void quantize64_avx2(const float* coeffs, const float* steps,
+                     std::int16_t* levels) {
+  for (int i = 0; i < 64; i += 16) {
+    const __m256i q0 = lround8_avx2(_mm256_div_ps(
+        _mm256_loadu_ps(coeffs + i), _mm256_loadu_ps(steps + i)));
+    const __m256i q1 = lround8_avx2(_mm256_div_ps(
+        _mm256_loadu_ps(coeffs + i + 8), _mm256_loadu_ps(steps + i + 8)));
+    // packs saturates per 128-bit lane; permute restores linear order.
+    const __m256i packed = _mm256_permute4x64_epi64(
+        _mm256_packs_epi32(q0, q1), _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(levels + i), packed);
+  }
+}
+
+void dequantize64_avx2(const std::int16_t* levels, const float* steps,
+                       float* coeffs) {
+  for (int i = 0; i < 64; i += 8) {
+    const __m256i lv = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(levels + i)));
+    _mm256_storeu_ps(coeffs + i, _mm256_mul_ps(_mm256_cvtepi32_ps(lv),
+                                               _mm256_loadu_ps(steps + i)));
+  }
+}
+
+void fb_analyze_avx2(const double* x64, double* bands32) {
+  const FbTables& t = fb_tables();
+  alignas(32) double s[64];
+  for (int n = 0; n < 64; n += 4) {
+    _mm256_store_pd(s + n, _mm256_mul_pd(_mm256_load_pd(t.window + n),
+                                         _mm256_loadu_pd(x64 + n)));
+  }
+  __m256d acc[8];
+  for (auto& a : acc) a = _mm256_setzero_pd();
+  for (int n = 0; n < 64; ++n) {
+    const __m256d v = _mm256_set1_pd(s[n]);
+    const double* bt = t.basis_t[n];
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = _mm256_add_pd(acc[j], _mm256_mul_pd(_mm256_load_pd(bt + 4 * j), v));
+    }
+  }
+  for (int j = 0; j < 8; ++j) _mm256_storeu_pd(bands32 + 4 * j, acc[j]);
+}
+
+void fb_synth_avx2(const double* bands32, double* y64) {
+  const FbTables& t = fb_tables();
+  for (int n0 = 0; n0 < 64; n0 += 16) {
+    __m256d acc[4];
+    for (auto& a : acc) a = _mm256_setzero_pd();
+    for (int k = 0; k < 32; ++k) {
+      const __m256d v = _mm256_set1_pd(bands32[k]);
+      const double* b = t.basis[k] + n0;
+      for (int j = 0; j < 4; ++j) {
+        acc[j] = _mm256_add_pd(acc[j], _mm256_mul_pd(_mm256_load_pd(b + 4 * j), v));
+      }
+    }
+    for (int j = 0; j < 4; ++j) {
+      _mm256_storeu_pd(
+          y64 + n0 + 4 * j,
+          _mm256_mul_pd(_mm256_load_pd(t.synth_scale + n0 + 4 * j), acc[j]));
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable kKernelsAvx2 = {
+    SimdLevel::kAvx2,   &sad16_avx2,       &fdct8x8_f32_avx2,
+    &idct8x8_f32_avx2,  &fdct8x8_q15_avx2, &idct8x8_q15_avx2,
+    &quantize64_avx2,   &dequantize64_avx2, &fb_analyze_avx2,
+    &fb_synth_avx2};
+
+}  // namespace mmsoc::dsp::detail
+
+#endif  // MMSOC_SIMD_X86 && __AVX2__

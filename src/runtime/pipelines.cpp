@@ -76,8 +76,21 @@ struct CrcState {
 
 video::Plane plane_from_payload(const Payload& p, int w, int h) {
   video::Plane plane(w, h);
-  std::memcpy(plane.pixels().data(), p.data(), static_cast<std::size_t>(w) * h);
+  plane.copy_packed_from(p.data(), p.size());
   return plane;
+}
+
+// Payloads carry planes packed (width*height bytes, no stride padding);
+// Plane rows are 64-byte aligned, so serialize row-wise through a
+// thread-local scratch that stays warm across firings.
+void store_plane_packed(TaskFiring& f, std::size_t k,
+                        const video::Plane& plane) {
+  thread_local std::vector<std::uint8_t> scratch;
+  const std::size_t n =
+      static_cast<std::size_t>(plane.width()) * plane.height();
+  scratch.resize(n);
+  plane.copy_packed_to(scratch.data());
+  f.store(k, scratch.data(), n);
 }
 
 video::MotionField field_from_payload(const Payload& p, int w, int h) {
@@ -128,9 +141,8 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
   g.set_body(find_task(g, "capture"), [w, h, scene](TaskFiring& f) {
     const video::Frame frame =
         video::SyntheticVideo::render(w, h, scene, static_cast<int>(f.iteration));
-    const auto pixels = frame.y().pixels();
-    f.store(0, pixels.data(), pixels.size());  // -> motion estimator
-    f.store(1, pixels.data(), pixels.size());  // -> MC predictor
+    store_plane_packed(f, 0, frame.y());  // -> motion estimator
+    store_plane_packed(f, 1, frame.y());  // -> MC predictor
   });
 
   // MOTION ESTIMATOR: real block search against the previous source frame
@@ -173,7 +185,7 @@ VideoPipeline make_video_encoder_pipeline(const VideoPipelineConfig& config) {
         }
       }
       f.store_array(0, residual.data(), residual.size());
-      f.store(1, pred.pixels().data(), pred.pixels().size());
+      store_plane_packed(f, 1, pred);
       st->ref = std::move(cur);
     });
   }
@@ -555,15 +567,14 @@ SyntheticPipeline make_blocking_skewed_chain(std::size_t stages,
 namespace {
 
 void store_luma(TaskFiring& f, std::size_t k, const video::Frame& frame) {
-  const auto pixels = frame.y().pixels();
-  f.store(k, pixels.data(), pixels.size());
+  store_plane_packed(f, k, frame.y());
 }
 
 video::Frame frame_from_luma(const Payload& p, int w, int h) {
   video::Frame frame(w, h);
   const std::size_t n =
       std::min(p.size(), static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
-  std::memcpy(frame.y().pixels().data(), p.data(), n);
+  frame.y().copy_packed_from(p.data(), n);
   return frame;
 }
 

@@ -60,8 +60,8 @@ void store_residual(Plane& p, const Plane& pred, int bx, int by,
 void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
                         StageOps& ops, BitWriter& out) {
   std::int16_t dc_pred = 0;
-  dsp::Block blk, coeffs;
-  std::array<std::int16_t, 64> levels;
+  alignas(32) dsp::Block blk, coeffs;
+  alignas(32) std::array<std::int16_t, 64> levels;
   for (int by = 0; by < src.height(); by += kBlock) {
     for (int bx = 0; bx < src.width(); bx += kBlock) {
       load_block(src, bx, by, 128.0f, blk);
@@ -84,8 +84,8 @@ void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
 void encode_plane_inter(const Plane& src, const Plane& pred, Plane& recon,
                         const Quantizer& q, StageOps& ops, BitWriter& out) {
   std::int16_t dc_pred = 0;  // unused in inter mode (code_dc = false)
-  dsp::Block blk, coeffs;
-  std::array<std::int16_t, 64> levels;
+  alignas(32) dsp::Block blk, coeffs;
+  alignas(32) std::array<std::int16_t, 64> levels;
   for (int by = 0; by < src.height(); by += kBlock) {
     for (int bx = 0; bx < src.width(); bx += kBlock) {
       load_residual(src, pred, bx, by, blk);
@@ -105,8 +105,8 @@ void encode_plane_inter(const Plane& src, const Plane& pred, Plane& recon,
 
 bool decode_plane_intra(BitReader& in, Plane& out, const Quantizer& q) {
   std::int16_t dc_pred = 0;
-  dsp::Block coeffs, blk;
-  std::array<std::int16_t, 64> levels;
+  alignas(32) dsp::Block coeffs, blk;
+  alignas(32) std::array<std::int16_t, 64> levels;
   for (int by = 0; by < out.height(); by += kBlock) {
     for (int bx = 0; bx < out.width(); bx += kBlock) {
       if (!decode_block(in, /*code_dc=*/true, dc_pred, levels)) return false;
@@ -121,8 +121,8 @@ bool decode_plane_intra(BitReader& in, Plane& out, const Quantizer& q) {
 bool decode_plane_inter(BitReader& in, const Plane& pred, Plane& out,
                         const Quantizer& q) {
   std::int16_t dc_pred = 0;
-  dsp::Block coeffs, blk;
-  std::array<std::int16_t, 64> levels;
+  alignas(32) dsp::Block coeffs, blk;
+  alignas(32) std::array<std::int16_t, 64> levels;
   for (int by = 0; by < out.height(); by += kBlock) {
     for (int bx = 0; bx < out.width(); bx += kBlock) {
       if (!decode_block(in, /*code_dc=*/false, dc_pred, levels)) return false;

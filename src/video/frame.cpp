@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace mmsoc::video {
 
@@ -11,39 +12,80 @@ std::uint8_t Plane::at_clamped(int x, int y) const noexcept {
   return at(x, y);
 }
 
+void Plane::copy_packed_to(std::uint8_t* dst) const noexcept {
+  for (int y = 0; y < height_; ++y) {
+    std::memcpy(dst, row(y), static_cast<std::size_t>(width_));
+    dst += width_;
+  }
+}
+
+void Plane::copy_packed_from(const std::uint8_t* src, std::size_t n) noexcept {
+  const std::size_t w = static_cast<std::size_t>(width_);
+  for (int y = 0; y < height_ && n > 0; ++y) {
+    const std::size_t take = std::min(w, n);
+    std::memcpy(row(y), src, take);
+    src += take;
+    n -= take;
+  }
+}
+
+void Plane::fill(std::uint8_t v) noexcept {
+  std::fill(pixels_.begin(), pixels_.end(), v);
+}
+
 double Plane::mean() const noexcept {
-  if (pixels_.empty()) return 0.0;
+  const std::size_t count = static_cast<std::size_t>(width_) * height_;
+  if (count == 0) return 0.0;
   double s = 0.0;
-  for (const auto p : pixels_) s += p;
-  return s / static_cast<double>(pixels_.size());
+  for (int y = 0; y < height_; ++y) {
+    for (const auto p : row_span(y)) s += p;
+  }
+  return s / static_cast<double>(count);
 }
 
 double Plane::variance() const noexcept {
-  if (pixels_.empty()) return 0.0;
+  const std::size_t count = static_cast<std::size_t>(width_) * height_;
+  if (count == 0) return 0.0;
   const double m = mean();
   double s = 0.0;
-  for (const auto p : pixels_) s += (p - m) * (p - m);
-  return s / static_cast<double>(pixels_.size());
+  for (int y = 0; y < height_; ++y) {
+    for (const auto p : row_span(y)) s += (p - m) * (p - m);
+  }
+  return s / static_cast<double>(count);
+}
+
+bool Plane::operator==(const Plane& other) const noexcept {
+  if (width_ != other.width_ || height_ != other.height_) return false;
+  for (int y = 0; y < height_; ++y) {
+    if (std::memcmp(row(y), other.row(y),
+                    static_cast<std::size_t>(width_)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Frame Frame::black(int width, int height) {
   Frame f(width, height);
-  std::fill(f.y().pixels().begin(), f.y().pixels().end(),
-            static_cast<std::uint8_t>(16));
+  f.y().fill(16);
   return f;
 }
 
 double Frame::mean_saturation() const noexcept {
-  const auto cb = cb_.pixels();
-  const auto cr = cr_.pixels();
-  if (cb.empty()) return 0.0;
+  const std::size_t count =
+      static_cast<std::size_t>(cb_.width()) * cb_.height();
+  if (count == 0) return 0.0;
   double s = 0.0;
-  for (std::size_t i = 0; i < cb.size(); ++i) {
-    const double dcb = static_cast<double>(cb[i]) - 128.0;
-    const double dcr = static_cast<double>(cr[i]) - 128.0;
-    s += std::sqrt(dcb * dcb + dcr * dcr);
+  for (int y = 0; y < cb_.height(); ++y) {
+    const auto cb = cb_.row_span(y);
+    const auto cr = cr_.row_span(y);
+    for (std::size_t i = 0; i < cb.size(); ++i) {
+      const double dcb = static_cast<double>(cb[i]) - 128.0;
+      const double dcr = static_cast<double>(cr[i]) - 128.0;
+      s += std::sqrt(dcb * dcb + dcr * dcr);
+    }
   }
-  return s / static_cast<double>(cb.size());
+  return s / static_cast<double>(count);
 }
 
 }  // namespace mmsoc::video

@@ -6,34 +6,70 @@
 #include <span>
 #include <vector>
 
+#include "common/align.h"
+
 namespace mmsoc::video {
 
 /// A single 8-bit image plane with edge-clamped sampling.
+///
+/// Storage is SIMD-friendly: the base pointer is 64-byte aligned and each
+/// row starts on a 64-byte boundary (stride() >= width(), rounded up), so
+/// vector kernels can walk rows with cache-line-aligned starts. Padding
+/// bytes keep the constructor fill value and are never part of the image;
+/// use the packed copy helpers to move the visible width*height pixels in
+/// and out of contiguous buffers.
 class Plane {
  public:
   Plane() = default;
   Plane(int width, int height, std::uint8_t fill = 0)
       : width_(width), height_(height),
-        pixels_(static_cast<std::size_t>(width) * height, fill) {}
+        stride_(static_cast<int>(
+            (static_cast<unsigned>(width) + common::kCacheLineAlign - 1) &
+            ~(common::kCacheLineAlign - 1))),
+        pixels_(static_cast<std::size_t>(stride_) * height, fill) {}
 
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] int height() const noexcept { return height_; }
+  /// Bytes between the starts of consecutive rows (>= width).
+  [[nodiscard]] int stride() const noexcept { return stride_; }
 
   [[nodiscard]] std::uint8_t at(int x, int y) const noexcept {
-    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    return pixels_[static_cast<std::size_t>(y) * stride_ + x];
   }
   void set(int x, int y, std::uint8_t v) noexcept {
-    pixels_[static_cast<std::size_t>(y) * width_ + x] = v;
+    pixels_[static_cast<std::size_t>(y) * stride_ + x] = v;
   }
 
   /// Edge-clamped read: out-of-bounds coordinates are clamped into range,
   /// the standard padding convention for motion search at frame borders.
   [[nodiscard]] std::uint8_t at_clamped(int x, int y) const noexcept;
 
-  [[nodiscard]] std::span<const std::uint8_t> pixels() const noexcept {
-    return pixels_;
+  /// Pointer to the first pixel of row `y` (64-byte aligned).
+  [[nodiscard]] const std::uint8_t* row(int y) const noexcept {
+    return pixels_.data() + static_cast<std::size_t>(y) * stride_;
   }
-  [[nodiscard]] std::span<std::uint8_t> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::uint8_t* row(int y) noexcept {
+    return pixels_.data() + static_cast<std::size_t>(y) * stride_;
+  }
+
+  /// The `width()` visible pixels of row `y`, without padding.
+  [[nodiscard]] std::span<const std::uint8_t> row_span(int y) const noexcept {
+    return {row(y), static_cast<std::size_t>(width_)};
+  }
+  [[nodiscard]] std::span<std::uint8_t> row_span(int y) noexcept {
+    return {row(y), static_cast<std::size_t>(width_)};
+  }
+
+  /// Copy the visible pixels into `dst` packed row-major (width*height
+  /// bytes, no stride padding).
+  void copy_packed_to(std::uint8_t* dst) const noexcept;
+
+  /// Fill the visible pixels from a packed row-major buffer of `n` bytes;
+  /// copies min(n, width*height) bytes, leaving any remainder untouched.
+  void copy_packed_from(const std::uint8_t* src, std::size_t n) noexcept;
+
+  /// Set every byte of the buffer, padding included.
+  void fill(std::uint8_t v) noexcept;
 
   /// Mean pixel value (0 for empty planes).
   [[nodiscard]] double mean() const noexcept;
@@ -41,12 +77,16 @@ class Plane {
   /// Population variance of pixel values.
   [[nodiscard]] double variance() const noexcept;
 
-  bool operator==(const Plane&) const = default;
+  /// Equality over dimensions and visible pixels (padding ignored).
+  bool operator==(const Plane& other) const noexcept;
 
  private:
   int width_ = 0;
   int height_ = 0;
-  std::vector<std::uint8_t> pixels_;
+  int stride_ = 0;
+  std::vector<std::uint8_t,
+              common::AlignedAllocator<std::uint8_t, common::kCacheLineAlign>>
+      pixels_;
 };
 
 /// YCbCr 4:2:0 frame: full-resolution luma, half-resolution chroma.

@@ -6,15 +6,19 @@
 namespace mmsoc::video {
 
 double mse(const Plane& a, const Plane& b) noexcept {
-  const auto pa = a.pixels();
-  const auto pb = b.pixels();
-  if (pa.empty() || pa.size() != pb.size()) return 0.0;
+  const std::size_t count = static_cast<std::size_t>(a.width()) * a.height();
+  if (count == 0 || a.width() != b.width() || a.height() != b.height())
+    return 0.0;
   double s = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    const double d = static_cast<double>(pa[i]) - pb[i];
-    s += d * d;
+  for (int y = 0; y < a.height(); ++y) {
+    const auto pa = a.row_span(y);
+    const auto pb = b.row_span(y);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      const double d = static_cast<double>(pa[i]) - pb[i];
+      s += d * d;
+    }
   }
-  return s / static_cast<double>(pa.size());
+  return s / static_cast<double>(count);
 }
 
 double psnr(const Plane& a, const Plane& b) noexcept {
@@ -28,24 +32,32 @@ double psnr_luma(const Frame& a, const Frame& b) noexcept {
 }
 
 double global_ssim(const Plane& a, const Plane& b) noexcept {
-  const auto pa = a.pixels();
-  const auto pb = b.pixels();
-  if (pa.empty() || pa.size() != pb.size()) return 0.0;
-  const double n = static_cast<double>(pa.size());
+  const std::size_t count = static_cast<std::size_t>(a.width()) * a.height();
+  if (count == 0 || a.width() != b.width() || a.height() != b.height())
+    return 0.0;
+  const double n = static_cast<double>(count);
   double ma = 0.0, mb = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    ma += pa[i];
-    mb += pb[i];
+  for (int y = 0; y < a.height(); ++y) {
+    const auto pa = a.row_span(y);
+    const auto pb = b.row_span(y);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ma += pa[i];
+      mb += pb[i];
+    }
   }
   ma /= n;
   mb /= n;
   double va = 0.0, vb = 0.0, cov = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    const double da = pa[i] - ma;
-    const double db = pb[i] - mb;
-    va += da * da;
-    vb += db * db;
-    cov += da * db;
+  for (int y = 0; y < a.height(); ++y) {
+    const auto pa = a.row_span(y);
+    const auto pb = b.row_span(y);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      const double da = pa[i] - ma;
+      const double db = pb[i] - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
   }
   va /= n;
   vb /= n;

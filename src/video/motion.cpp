@@ -4,14 +4,31 @@
 #include <array>
 #include <cstdlib>
 
+#include "common/mathutil.h"
+#include "dsp/dispatch.h"
+
 namespace mmsoc::video {
 
 std::uint64_t sad16(const Plane& cur, const Plane& ref, int bx, int by, int dx,
                     int dy) noexcept {
+  const int rx = bx + dx;
+  const int ry = by + dy;
+  // Fast path: both 16x16 windows fully inside their planes — hand the
+  // rows straight to the dispatched SAD kernel. Integer sums are exact in
+  // any order, so this is bit-identical to the clamped loop below.
+  if (bx >= 0 && by >= 0 && bx + kMacroblockSize <= cur.width() &&
+      by + kMacroblockSize <= cur.height() && rx >= 0 && ry >= 0 &&
+      rx + kMacroblockSize <= ref.width() &&
+      ry + kMacroblockSize <= ref.height()) {
+    return dsp::kernels().sad16(cur.row(by) + bx, cur.stride(),
+                                ref.row(ry) + rx, ref.stride());
+  }
+  // Border fallback: edge-clamp both planes (partial edge macroblocks read
+  // past the current plane too, not just the reference).
   std::uint64_t sad = 0;
   for (int y = 0; y < kMacroblockSize; ++y) {
     for (int x = 0; x < kMacroblockSize; ++x) {
-      const int a = cur.at(bx + x, by + y);
+      const int a = cur.at_clamped(bx + x, by + y);
       const int b = ref.at_clamped(bx + x + dx, by + y + dy);
       sad += static_cast<std::uint64_t>(std::abs(a - b));
     }
@@ -61,7 +78,12 @@ MotionResult three_step_search(const Plane& cur, const Plane& ref, int bx,
   int cx = 0, cy = 0;
   best.sad = sad16(cur, ref, bx, by, 0, 0);
   ++evals;
-  int step = std::max(1, range / 2);
+  // The initial step must satisfy step + step/2 + ... + 1 >= range or the
+  // corners of the search window are unreachable; the smallest power of
+  // two with 2*step - 1 >= range achieves that (a plain range/2 truncates:
+  // range 5 gave steps 2,1 with maximum reach 3).
+  int step = 1;
+  while (2 * step - 1 < range) step *= 2;
   while (step >= 1) {
     int nx = cx, ny = cy;
     std::uint64_t nbest = best.sad;
@@ -127,16 +149,26 @@ MotionResult diamond_search(const Plane& cur, const Plane& ref, int bx, int by,
     cy = ny;
     best.sad = nbest;
   }
-  for (const auto& d : kSmall) {
-    const int dx = cx + d.dx;
-    const int dy = cy + d.dy;
-    if (std::abs(dx) > range || std::abs(dy) > range) continue;
-    const auto c = eval(cur, ref, bx, by, dx, dy, evals);
-    if (c.sad < best.sad) {
-      best.sad = c.sad;
-      cx = dx;
-      cy = dy;
+  // Small-diamond refinement: argmin over the four fixed neighbours of the
+  // converged center. The center must not move mid-loop, or later
+  // candidates are measured around a drifted point.
+  {
+    int nx = cx, ny = cy;
+    std::uint64_t nbest = best.sad;
+    for (const auto& d : kSmall) {
+      const int dx = cx + d.dx;
+      const int dy = cy + d.dy;
+      if (std::abs(dx) > range || std::abs(dy) > range) continue;
+      const auto c = eval(cur, ref, bx, by, dx, dy, evals);
+      if (c.sad < nbest) {
+        nbest = c.sad;
+        nx = dx;
+        ny = dy;
+      }
     }
+    cx = nx;
+    cy = ny;
+    best.sad = nbest;
   }
   best.mv = MotionVector{cx, cy};
   best.evaluations = evals;
@@ -178,8 +210,13 @@ std::uint64_t MotionField::total_evaluations() const noexcept {
 MotionField estimate_frame(const Plane& cur, const Plane& ref, int range,
                            SearchAlgorithm algo) {
   MotionField field;
-  field.blocks_x = cur.width() / kMacroblockSize;
-  field.blocks_y = cur.height() / kMacroblockSize;
+  // Round up so partial edge macroblocks are estimated too (their SADs
+  // edge-clamp); truncating silently dropped the right/bottom strips of
+  // non-multiple-of-16 frames.
+  field.blocks_x = static_cast<int>(
+      common::ceil_div(cur.width(), kMacroblockSize));
+  field.blocks_y = static_cast<int>(
+      common::ceil_div(cur.height(), kMacroblockSize));
   field.blocks.reserve(static_cast<std::size_t>(field.blocks_x) *
                        field.blocks_y);
   for (int by = 0; by < field.blocks_y; ++by) {
@@ -200,8 +237,10 @@ Plane compensate(const Plane& ref, const MotionField& field) {
           field.blocks[static_cast<std::size_t>(by) * field.blocks_x + bx].mv;
       const int ox = bx * kMacroblockSize;
       const int oy = by * kMacroblockSize;
-      for (int y = 0; y < kMacroblockSize; ++y) {
-        for (int x = 0; x < kMacroblockSize; ++x) {
+      const int h = std::min(kMacroblockSize, out.height() - oy);
+      const int w = std::min(kMacroblockSize, out.width() - ox);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
           out.set(ox + x, oy + y,
                   ref.at_clamped(ox + x + mv.dx, oy + y + mv.dy));
         }
@@ -223,8 +262,10 @@ Plane compensate_chroma(const Plane& ref, const MotionField& field) {
       // Integer-divide luma vectors by 2 (round toward zero).
       const int cdx = mv.dx / 2;
       const int cdy = mv.dy / 2;
-      for (int y = 0; y < half; ++y) {
-        for (int x = 0; x < half; ++x) {
+      const int h = std::min(half, out.height() - oy);
+      const int w = std::min(half, out.width() - ox);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
           out.set(ox + x, oy + y, ref.at_clamped(ox + x + cdx, oy + y + cdy));
         }
       }

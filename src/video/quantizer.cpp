@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/dispatch.h"
+
 namespace mmsoc::video {
 namespace {
 
@@ -57,19 +59,12 @@ Quantizer::Quantizer(const QuantMatrix& matrix, int qscale) noexcept
 
 void Quantizer::quantize(std::span<const float, 64> coeffs,
                          std::span<std::int16_t, 64> levels) const noexcept {
-  for (int i = 0; i < 64; ++i) {
-    const float v = coeffs[i] / steps_[i];
-    const long q = std::lroundf(v);
-    levels[i] = static_cast<std::int16_t>(
-        std::clamp<long>(q, -32768, 32767));
-  }
+  dsp::kernels().quantize64(coeffs.data(), steps_.data(), levels.data());
 }
 
 void Quantizer::dequantize(std::span<const std::int16_t, 64> levels,
                            std::span<float, 64> coeffs) const noexcept {
-  for (int i = 0; i < 64; ++i) {
-    coeffs[i] = static_cast<float>(levels[i]) * steps_[i];
-  }
+  dsp::kernels().dequantize64(levels.data(), steps_.data(), coeffs.data());
 }
 
 }  // namespace mmsoc::video

@@ -1,17 +1,25 @@
 // Tests for the DSP kernels: DCT, FFT, wavelets, filters, windows.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <complex>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
 #include "dsp/dct.h"
+#include "dsp/dispatch.h"
 #include "dsp/fft.h"
 #include "dsp/filter.h"
 #include "dsp/wavelet.h"
 #include "dsp/window.h"
+#include "video/codec.h"
+#include "video/source.h"
 
 namespace mmsoc::dsp {
 namespace {
@@ -391,6 +399,251 @@ TEST(Window, AllKindsBoundedByOne) {
 TEST(Window, DegenerateSizes) {
   EXPECT_EQ(make_window(WindowKind::kHann, 0).size(), 0u);
   EXPECT_EQ(make_window(WindowKind::kHann, 1).size(), 1u);
+}
+
+// ------------------------------------------------ SIMD kernel dispatch
+//
+// Equivalence fuzzing: every kernel variant compiled into this binary and
+// runnable on this CPU must be byte-identical to the scalar reference, on
+// aligned and deliberately misaligned operands alike. On a machine without
+// AVX2 (or with -DMMSOC_SIMD=OFF) the variant list is simply shorter; the
+// scalar-vs-scalar case always runs.
+
+/// Restores the process-wide active kernel table on scope exit.
+class ScopedSimdLevel {
+ public:
+  ScopedSimdLevel() : saved_(active_simd_level()) {}
+  ~ScopedSimdLevel() { set_simd_level(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+std::vector<const KernelTable*> runnable_tables() {
+  std::vector<const KernelTable*> out;
+  for (const auto level : compiled_levels()) {
+    if (!cpu_supports(level)) continue;
+    out.push_back(kernel_table(level));
+  }
+  return out;
+}
+
+TEST(SimdDispatch, ScalarAlwaysRegisteredAndSwitchable) {
+  ScopedSimdLevel restore;
+  ASSERT_NE(kernel_table(SimdLevel::kScalar), nullptr);
+  EXPECT_TRUE(cpu_supports(SimdLevel::kScalar));
+  EXPECT_TRUE(set_simd_level(SimdLevel::kScalar));
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  for (const auto level : compiled_levels()) {
+    ASSERT_NE(kernel_table(level), nullptr);
+    EXPECT_EQ(kernel_table(level)->level, level);
+    SimdLevel parsed;
+    ASSERT_TRUE(parse_simd_level(simd_level_name(level), parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel parsed;
+  EXPECT_FALSE(parse_simd_level("mmx", parsed));
+}
+
+TEST(SimdDispatch, Sad16MatchesScalarOnRandomStridesAndOffsets) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0x5ad16);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random strides >= 16 and byte offsets 0..7 exercise every load
+    // alignment the Plane fast path and the clamped fallback can produce.
+    const auto a_stride = static_cast<std::ptrdiff_t>(rng.next_in(16, 96));
+    const auto b_stride = static_cast<std::ptrdiff_t>(rng.next_in(16, 96));
+    const auto a_off = static_cast<std::size_t>(rng.next_below(8));
+    const auto b_off = static_cast<std::size_t>(rng.next_below(8));
+    std::vector<std::uint8_t> a(a_off + 16 * a_stride + 16);
+    std::vector<std::uint8_t> b(b_off + 16 * b_stride + 16);
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.next_below(256));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto want =
+        scalar->sad16(a.data() + a_off, a_stride, b.data() + b_off, b_stride);
+    for (const auto* table : runnable_tables()) {
+      EXPECT_EQ(table->sad16(a.data() + a_off, a_stride, b.data() + b_off,
+                             b_stride),
+                want)
+          << simd_level_name(table->level) << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdDispatch, FloatDctVariantsBitExact) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0xdc7f32);
+  // Slot 1 of an alignas(32) array is the worst-case misaligned pointer.
+  alignas(32) float in_buf[65], want[64], got[64];
+  for (int iter = 0; iter < 300; ++iter) {
+    const bool misalign = (iter % 2) != 0;
+    float* in = in_buf + (misalign ? 1 : 0);
+    for (int i = 0; i < 64; ++i)
+      in[i] = static_cast<float>(rng.next_double_in(-512.0, 512.0));
+    for (const bool inverse : {false, true}) {
+      auto fn = [&](const KernelTable* t) {
+        return inverse ? t->idct8x8_f32 : t->fdct8x8_f32;
+      };
+      fn(scalar)(in, want);
+      for (const auto* table : runnable_tables()) {
+        fn(table)(in, got);
+        EXPECT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+            << simd_level_name(table->level) << (inverse ? " idct" : " fdct")
+            << " iter " << iter << (misalign ? " misaligned" : " aligned");
+        // The contract allows in-place operation.
+        alignas(32) float inplace[64];
+        std::memcpy(inplace, in, sizeof(inplace));
+        fn(table)(inplace, inplace);
+        EXPECT_EQ(std::memcmp(inplace, want, sizeof(want)), 0)
+            << simd_level_name(table->level) << " in-place iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, Q15DctVariantsBitExactAcrossFullInt16Range) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0xdc7415);
+  alignas(32) std::int16_t in_buf[65], want[64], got[64];
+  for (int iter = 0; iter < 300; ++iter) {
+    std::int16_t* in = in_buf + (iter % 2);
+    if (iter == 0) {
+      for (int i = 0; i < 64; ++i) in[i] = 32767;  // row-pass overflow probe
+    } else if (iter == 1) {
+      for (int i = 0; i < 64; ++i) in[i] = -32768;
+    } else {
+      for (int i = 0; i < 64; ++i)
+        in[i] = static_cast<std::int16_t>(rng.next_in(-32768, 32767));
+    }
+    for (const bool inverse : {false, true}) {
+      auto fn = [&](const KernelTable* t) {
+        return inverse ? t->idct8x8_q15 : t->fdct8x8_q15;
+      };
+      fn(scalar)(in, want);
+      for (const auto* table : runnable_tables()) {
+        fn(table)(in, got);
+        EXPECT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+            << simd_level_name(table->level) << (inverse ? " idct" : " fdct")
+            << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, Quantize64ExactIncludingHalfwayTies) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0x9a47);
+  alignas(32) float coeffs_buf[65], steps_buf[65];
+  alignas(32) std::int16_t want[64], got[64];
+  for (int iter = 0; iter < 300; ++iter) {
+    float* coeffs = coeffs_buf + (iter % 2);
+    float* steps = steps_buf + (iter % 2);
+    if (iter % 5 == 0) {
+      // Exact .5 ties: odd/2.0 must round away from zero like lroundf,
+      // not to even like the raw cvtps instruction.
+      for (int i = 0; i < 64; ++i) {
+        const auto odd = 2 * rng.next_in(-900, 900) + 1;
+        steps[i] = 2.0f;
+        coeffs[i] = static_cast<float>(odd);
+      }
+    } else {
+      for (int i = 0; i < 64; ++i) {
+        coeffs[i] = static_cast<float>(rng.next_double_in(-4096.0, 4096.0));
+        steps[i] = static_cast<float>(rng.next_double_in(0.25, 64.0));
+      }
+    }
+    scalar->quantize64(coeffs, steps, want);
+    for (int i = 0; i < 64; ++i) {
+      const auto l = std::lroundf(coeffs[i] / steps[i]);
+      ASSERT_EQ(want[i], static_cast<std::int16_t>(
+                             std::clamp(l, -32768l, 32767l)))
+          << "scalar reference drifted from lroundf at " << i;
+    }
+    for (const auto* table : runnable_tables()) {
+      table->quantize64(coeffs, steps, got);
+      EXPECT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+          << simd_level_name(table->level) << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdDispatch, Dequantize64BitExact) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0xde9a47);
+  alignas(32) std::int16_t levels_buf[65];
+  alignas(32) float steps_buf[65], want[64], got[64];
+  for (int iter = 0; iter < 200; ++iter) {
+    std::int16_t* levels = levels_buf + (iter % 2);
+    float* steps = steps_buf + (iter % 2);
+    for (int i = 0; i < 64; ++i) {
+      levels[i] = static_cast<std::int16_t>(rng.next_in(-32768, 32767));
+      steps[i] = static_cast<float>(rng.next_double_in(0.25, 64.0));
+    }
+    scalar->dequantize64(levels, steps, want);
+    for (const auto* table : runnable_tables()) {
+      table->dequantize64(levels, steps, got);
+      EXPECT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+          << simd_level_name(table->level) << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdDispatch, FilterbankMacsBitExact) {
+  const auto scalar = kernel_table(SimdLevel::kScalar);
+  Rng rng(0xfb32);
+  alignas(32) double x_buf[65], bands_buf[33];
+  alignas(32) double want64[64], got64[64], want32[32], got32[32];
+  for (int iter = 0; iter < 200; ++iter) {
+    double* x = x_buf + (iter % 2);
+    double* bands = bands_buf + (iter % 2);
+    for (int i = 0; i < 64; ++i) x[i] = rng.next_double_in(-1.0, 1.0);
+    for (int i = 0; i < 32; ++i) bands[i] = rng.next_double_in(-4.0, 4.0);
+    scalar->fb_analyze(x, want32);
+    scalar->fb_synth(bands, want64);
+    for (const auto* table : runnable_tables()) {
+      table->fb_analyze(x, got32);
+      EXPECT_EQ(std::memcmp(got32, want32, sizeof(want32)), 0)
+          << simd_level_name(table->level) << " analyze iter " << iter;
+      table->fb_synth(bands, got64);
+      EXPECT_EQ(std::memcmp(got64, want64, sizeof(want64)), 0)
+          << simd_level_name(table->level) << " synth iter " << iter;
+    }
+  }
+}
+
+// FATE-style stream check: the full Fig.1 encoder (motion estimation, DCT,
+// quantizer, entropy coder, rate control) must emit a byte-identical
+// bitstream at every SIMD level — the strongest end-to-end witness that
+// dispatch never changes numerics.
+TEST(SimdDispatch, EncodedBitstreamCrcIdenticalAcrossLevels) {
+  ScopedSimdLevel restore;
+  constexpr int kWidth = 64, kHeight = 48, kFrames = 8;
+  const auto scene = video::scene_high_motion(77);
+  const auto encode_crc = [&] {
+    video::EncoderConfig cfg;
+    cfg.width = kWidth;
+    cfg.height = kHeight;
+    cfg.gop_size = 4;  // I and P frames both in the stream
+    cfg.rate_control = true;
+    cfg.me_algo = video::SearchAlgorithm::kDiamond;
+    video::VideoEncoder enc(cfg);
+    common::Crc32 crc;
+    for (int i = 0; i < kFrames; ++i) {
+      const auto frame =
+          video::SyntheticVideo::render(kWidth, kHeight, scene, i);
+      const auto coded = enc.encode(frame);
+      crc.update(coded.bytes);
+    }
+    return crc.value();
+  };
+  ASSERT_TRUE(set_simd_level(SimdLevel::kScalar));
+  const auto want = encode_crc();
+  for (const auto level : compiled_levels()) {
+    if (!cpu_supports(level)) continue;
+    ASSERT_TRUE(set_simd_level(level));
+    EXPECT_EQ(encode_crc(), want)
+        << "bitstream diverged at level " << simd_level_name(level);
+  }
 }
 
 }  // namespace

@@ -35,6 +35,23 @@ TEST(Plane, ClampedSampling) {
   EXPECT_EQ(p.at_clamped(0, 100), p.at(0, 3));
 }
 
+TEST(Plane, RowsAreCacheLineAlignedAndPackedCopiesRoundTrip) {
+  Plane p(66, 5, 7);
+  EXPECT_GE(p.stride(), 66);
+  EXPECT_EQ(p.stride() % 64, 0);
+  Rng rng(5);
+  for (int y = 0; y < p.height(); ++y) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.row(y)) % 64, 0u);
+    for (int x = 0; x < p.width(); ++x)
+      p.set(x, y, static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  std::vector<std::uint8_t> packed(66 * 5);
+  p.copy_packed_to(packed.data());
+  Plane q(66, 5, /*fill=*/255);  // different padding fill than p
+  q.copy_packed_from(packed.data(), packed.size());
+  EXPECT_EQ(p, q);  // equality is over visible pixels only
+}
+
 TEST(Plane, MeanAndVariance) {
   Plane p(2, 2);
   p.set(0, 0, 0);
@@ -255,6 +272,96 @@ TEST(Motion, NoneAlgorithmReturnsZeroVector) {
   const auto r = estimate_block(p, p, 16, 16, 8, SearchAlgorithm::kNone);
   EXPECT_EQ(r.mv, (MotionVector{0, 0}));
   EXPECT_EQ(r.evaluations, 1u);
+}
+
+TEST(Motion, ThreeStepReachesOddRangeCorners) {
+  // Regression: the step schedule used to start at range/2 truncated, so
+  // with range 5 the steps were 2,1 and no displacement beyond 3 was
+  // reachable. The schedule must start at the smallest power of two with
+  // 2*step - 1 >= range (4 for range 5: reach 4+2+1 = 7).
+  Plane ref(64, 48), cur(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      // Pure x-gradient; cur is ref translated right by 5, so the best
+      // vector has dx == -5 (any dy — rows are identical) with SAD 0.
+      ref.set(x, y, static_cast<std::uint8_t>(3 * x));
+      cur.set(x, y, static_cast<std::uint8_t>(3 * (x >= 5 ? x - 5 : 0)));
+    }
+  }
+  const auto r =
+      estimate_block(cur, ref, 24, 16, /*range=*/5, SearchAlgorithm::kThreeStep);
+  EXPECT_EQ(r.mv.dx, -5);
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Motion, DiamondRefinementKeepsFixedCenter) {
+  // Regression: the small-diamond refinement used to move the center
+  // mid-loop, so after accepting one improving neighbour the remaining
+  // candidates were measured around the drifted point and the true argmin
+  // of the four fixed neighbours could never be evaluated. Seed 265 was
+  // chosen so the SAD landscape around the converged center (0,0) is:
+  //   f(1,0) < f(0,-1) < f(0,0) <= f(d) for every large-diamond d,
+  //   f(0,1), f(-1,0) >= f(1,0).
+  // The drifting version accepts (0,-1) first and then never evaluates
+  // (1,0); the fixed argmin returns (1,0).
+  Rng rng(265);
+  Plane ref(48, 48), cur(48, 48);
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x)
+      ref.set(x, y, static_cast<std::uint8_t>(rng.next_below(256)));
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x) {
+      const int v =
+          ref.at_clamped(x + 1, y) + static_cast<int>(rng.next_in(-24, 24));
+      cur.set(x, y, common::clamp_u8(v));
+    }
+  const int bx = 16, by = 16;
+  const auto f = [&](int dx, int dy) { return sad16(cur, ref, bx, by, dx, dy); };
+  // Validate the landscape preconditions the regression relies on.
+  const auto f00 = f(0, 0);
+  for (const auto& d :
+       {MotionVector{0, -2}, MotionVector{1, -1}, MotionVector{2, 0},
+        MotionVector{1, 1}, MotionVector{0, 2}, MotionVector{-1, 1},
+        MotionVector{-2, 0}, MotionVector{-1, -1}}) {
+    ASSERT_GE(f(d.dx, d.dy), f00);
+  }
+  ASSERT_LT(f(0, -1), f00);
+  ASSERT_LT(f(1, 0), f(0, -1));
+  ASSERT_GE(f(0, 1), f(1, 0));
+  ASSERT_GE(f(-1, 0), f(1, 0));
+  const auto r = estimate_block(cur, ref, bx, by, 8, SearchAlgorithm::kDiamond);
+  EXPECT_EQ(r.mv, (MotionVector{1, 0}));
+  EXPECT_EQ(r.sad, f(1, 0));
+}
+
+TEST(Motion, PartialEdgeMacroblocksAreEstimatedAndCompensated) {
+  // Regression: non-multiple-of-16 frames used to lose their right/bottom
+  // strips — block counts truncated, and compensate() left the uncovered
+  // pixels at the Plane fill value. Block counts now round up and the
+  // border blocks edge-clamp.
+  const int w = 72, h = 40;  // 4.5 x 2.5 macroblocks
+  Rng rng(31);
+  Plane ref(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      ref.set(x, y, static_cast<std::uint8_t>(rng.next_below(256)));
+  const Plane cur = ref;
+  const auto field = estimate_frame(cur, ref, 4, SearchAlgorithm::kFullSearch);
+  EXPECT_EQ(field.blocks_x, 5);
+  EXPECT_EQ(field.blocks_y, 3);
+  for (const auto& b : field.blocks) {
+    EXPECT_EQ(b.mv, (MotionVector{0, 0}));
+    EXPECT_EQ(b.sad, 0u);
+  }
+  // Identical frames + zero vectors: compensation must reproduce the
+  // reference exactly, including the partial edge strips.
+  EXPECT_EQ(compensate(ref, field), ref);
+  // Chroma plane of a 72x40 4:2:0 frame: 36x20, also not block-aligned.
+  Plane cref(w / 2, h / 2);
+  for (int y = 0; y < h / 2; ++y)
+    for (int x = 0; x < w / 2; ++x)
+      cref.set(x, y, static_cast<std::uint8_t>(rng.next_below(256)));
+  EXPECT_EQ(compensate_chroma(cref, field), cref);
 }
 
 // ---------------------------------------------------------------------- vlc
@@ -553,10 +660,12 @@ TEST(Metrics, PsnrDecreasesWithNoise) {
   const Frame f = SyntheticVideo::render(32, 32, scene_flat(2), 0);
   Rng rng(3);
   Frame noisy1 = f, noisy2 = f;
-  for (auto& p : noisy1.y().pixels())
-    p = common::clamp_u8(p + static_cast<int>(rng.next_in(-2, 2)));
-  for (auto& p : noisy2.y().pixels())
-    p = common::clamp_u8(p + static_cast<int>(rng.next_in(-20, 20)));
+  for (int y = 0; y < noisy1.y().height(); ++y)
+    for (auto& p : noisy1.y().row_span(y))
+      p = common::clamp_u8(p + static_cast<int>(rng.next_in(-2, 2)));
+  for (int y = 0; y < noisy2.y().height(); ++y)
+    for (auto& p : noisy2.y().row_span(y))
+      p = common::clamp_u8(p + static_cast<int>(rng.next_in(-20, 20)));
   EXPECT_GT(psnr_luma(f, noisy1), psnr_luma(f, noisy2));
 }
 
