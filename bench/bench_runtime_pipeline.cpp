@@ -266,6 +266,13 @@ struct ObsResult {
   double off_iters_per_s = 0.0;  ///< best over pairs, no telemetry sink
   double on_iters_per_s = 0.0;   ///< best over pairs, sink attached
   double overhead_ratio = 0.0;   ///< on / off; the budget is >= 0.97
+  /// Frame-journey sampling sweep, same interleaved-pair method: sink
+  /// attached with unit tracing disabled (period 0), at the 1-in-16
+  /// default (== overhead_ratio's sink), and tracing every unit.
+  double tracing_off_ratio = 0.0;
+  double tracing_full_ratio = 0.0;
+  std::size_t unit_sample_period = 0;  ///< the default the sampled sink used
+  std::uint64_t units_sampled = 0;     ///< obs.units_sampled on that sink
   std::uint64_t events_dropped = 0;
   std::uint64_t firings_counted = 0;
   bool ok = false;
@@ -516,7 +523,17 @@ ObsResult run_observability() {
   TelemetryOptions tel_opts;
   tel_opts.ring_capacity = 16384;
   tel_opts.collect_period_ms = 100;
-  Telemetry telemetry(tel_opts);
+  Telemetry telemetry(tel_opts);  // default 1-in-16 unit sampling
+  result.unit_sample_period = tel_opts.unit_sample_period;
+  // The frame-journey sampling sweep needs its own sinks: sampling is a
+  // Telemetry construction option, so "tracing off" and "every unit"
+  // cannot share the default-period instance above.
+  TelemetryOptions tel_opts_off = tel_opts;
+  tel_opts_off.unit_sample_period = 0;
+  Telemetry telemetry_trace_off(tel_opts_off);
+  TelemetryOptions tel_opts_full = tel_opts;
+  tel_opts_full.unit_sample_period = 1;
+  Telemetry telemetry_trace_full(tel_opts_full);
 
   const auto run_once = [&](Telemetry* tel) {
     auto pipe = runtime::make_synthetic_chain(result.stages, result.stage_ops);
@@ -560,27 +577,52 @@ ObsResult run_observability() {
     // best pair is the ratio analogue of min-of-N timing: it selects
     // the measurement with the least outside interference.
     result.overhead_ratio = std::max(result.overhead_ratio, on / off);
+    // Sampling sweep, each variant against its own adjacent baseline so
+    // the pairs keep their noise cancellation.
+    const double off0 = run_once(nullptr);
+    const double on0 = run_once(&telemetry_trace_off);
+    telemetry_trace_off.flush();
+    const double off1 = run_once(nullptr);
+    const double on1 = run_once(&telemetry_trace_full);
+    telemetry_trace_full.flush();
+    if (off0 <= 0.0 || on0 <= 0.0 || off1 <= 0.0 || on1 <= 0.0) {
+      std::printf("observability scenario failed\n");
+      return result;
+    }
+    result.tracing_off_ratio = std::max(result.tracing_off_ratio, on0 / off0);
+    result.tracing_full_ratio = std::max(result.tracing_full_ratio, on1 / off1);
   }
   telemetry.flush();
   result.events_dropped = telemetry.dropped();
   result.firings_counted =
       telemetry.metrics().snapshot().counter_or("obs.firings");
+  result.units_sampled =
+      telemetry.metrics().snapshot().counter_or("obs.units_sampled");
   result.ok = true;
 
-  std::printf("%8s %16s %16s %8s %10s %12s\n", "pairs", "off iters/s",
-              "on iters/s", "ratio", "dropped", "firings");
+  std::printf("%8s %16s %16s %8s %8s %8s %10s %12s %10s\n", "pairs",
+              "off iters/s", "on iters/s", "ratio", "r(1/0)", "r(1/1)",
+              "dropped", "firings", "sampled");
   mmsoc::bench::rule();
-  std::printf("%8zu %16.0f %16.0f %8.3f %10llu %12llu\n", result.pairs,
-              result.off_iters_per_s, result.on_iters_per_s,
-              result.overhead_ratio,
+  std::printf("%8zu %16.0f %16.0f %8.3f %8.3f %8.3f %10llu %12llu %10llu\n",
+              result.pairs, result.off_iters_per_s, result.on_iters_per_s,
+              result.overhead_ratio, result.tracing_off_ratio,
+              result.tracing_full_ratio,
               static_cast<unsigned long long>(result.events_dropped),
-              static_cast<unsigned long long>(result.firings_counted));
+              static_cast<unsigned long long>(result.firings_counted),
+              static_cast<unsigned long long>(result.units_sampled));
   std::printf(
-      "\nShape to verify: ratio >= 0.97 (telemetry costs < 3%% of hot-path\n"
-      "throughput), and the firings counter equals pairs x iterations x\n"
-      "stages = %llu — every firing was also observed while it happened.\n",
+      "\nShape to verify: ratio >= 0.97 with the default 1-in-%zu unit\n"
+      "sampling on (r(1/0) = tracing off, r(1/1) = every unit traced, for\n"
+      "the sampling-cost gradient), and the firings counter equals pairs x\n"
+      "iterations x stages = %llu — every firing was also observed while\n"
+      "it happened; sampled units = pairs x ceil(iters/period) = %llu.\n",
+      result.unit_sample_period,
       static_cast<unsigned long long>(result.pairs * result.iters *
-                                      result.stages));
+                                      result.stages),
+      static_cast<unsigned long long>(
+          result.pairs * ((result.iters + result.unit_sample_period - 1) /
+                          result.unit_sample_period)));
   return result;
 }
 
@@ -1109,7 +1151,7 @@ void write_bench_json(const ShardResult& shard, const StealResult& steal,
   std::fprintf(
       f,
       "{\n"
-      "  \"schema_version\": 3,\n"
+      "  \"schema_version\": 4,\n"
       "  \"git_rev\": \"%s\",\n"
       "  \"generated_at\": \"%s\",\n"
       "  \"smoke\": %s,\n"
@@ -1242,6 +1284,10 @@ void write_bench_json(const ShardResult& shard, const StealResult& steal,
       "      \"telemetry_off_iters_per_s\": %.1f,\n"
       "      \"telemetry_on_iters_per_s\": %.1f,\n"
       "      \"overhead_ratio_on_vs_off\": %.4f,\n"
+      "      \"unit_sample_period\": %zu,\n"
+      "      \"tracing_off_ratio\": %.4f,\n"
+      "      \"tracing_full_ratio\": %.4f,\n"
+      "      \"units_sampled\": %llu,\n"
       "      \"events_dropped\": %llu,\n"
       "      \"firings_counted\": %llu\n"
       "    },\n",
@@ -1249,6 +1295,8 @@ void write_bench_json(const ShardResult& shard, const StealResult& steal,
       obs.channel_capacity, obs.quantum,
       static_cast<unsigned long long>(obs.iters), obs.pairs,
       obs.off_iters_per_s, obs.on_iters_per_s, obs.overhead_ratio,
+      obs.unit_sample_period, obs.tracing_off_ratio, obs.tracing_full_ratio,
+      static_cast<unsigned long long>(obs.units_sampled),
       static_cast<unsigned long long>(obs.events_dropped),
       static_cast<unsigned long long>(obs.firings_counted));
   std::fprintf(

@@ -21,7 +21,14 @@
 // against the post-mortem SessionReports, and `--trace-out=PATH` writes
 // a Chrome-trace-event JSON timeline (open in Perfetto's
 // ui.perfetto.dev or chrome://tracing): one track per shard worker plus
-// per I/O thread, firing batches as slices with session/firing args.
+// per I/O thread, firing batches as slices with session/firing args and
+// frame-journey flow events (s/t/f) linking each sampled unit's firings
+// across stages. `--metrics-out=PATH` dumps the registry in Prometheus
+// text exposition every stats tick (and once more on exit), the file a
+// node_exporter-style scraper would serve. The frame-journey summary
+// (sampled latency p50/p99, jitter, dominant stage) is printed per
+// session, and the per-session latency histogram totals are checked
+// against the reports' sampled-completion counts.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -50,6 +57,38 @@ void print_report(const char* label, const runtime::SessionReport& rep) {
                 t.name.c_str(), static_cast<unsigned long long>(t.io_stalls),
                 t.io_stall_s * 1e3);
   }
+}
+
+// Frame-journey summary: what the sampled units measured end to end.
+void print_unit_trace(const runtime::SessionReport& rep) {
+  const auto& ut = rep.unit_trace;
+  if (!ut.enabled() || ut.sampled_completed == 0) return;
+  std::printf(
+      "    frames (1-in-%zu sampled, %llu traced): latency mean %.2f ms  "
+      "p50 %.2f ms  p99 %.2f ms  jitter %.2f ms\n",
+      ut.sample_period,
+      static_cast<unsigned long long>(ut.sampled_completed),
+      ut.mean_latency_s() * 1e3, ut.p50_s() * 1e3, ut.p99_s() * 1e3,
+      ut.jitter_s * 1e3);
+  const std::size_t dom = ut.dominant_stage();
+  if (dom != SIZE_MAX) {
+    const auto& s = ut.stages[dom];
+    std::printf(
+        "    slowest stage '%s': %.2f ms/unit (queue %.2f + gate %.2f + "
+        "service %.2f)\n",
+        s.name.c_str(), s.mean_total_s() * 1e3, s.mean_queue_wait_s() * 1e3,
+        s.mean_gate_wait_s() * 1e3, s.mean_service_s() * 1e3);
+  }
+}
+
+// Prometheus text exposition of the live registry, overwritten in place
+// each tick (scrape-file style).
+bool dump_metrics(Telemetry& tel, const std::string& path) {
+  const std::string text = tel.metrics().text_snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 // Sum one counter over every shard prefix ("shard0.firings" + ...).
@@ -83,14 +122,21 @@ void print_stats_line(Telemetry& tel, std::size_t shards) {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
     } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
-      std::printf("usage: %s [--trace-out=trace.json]\n", argv[0]);
+      std::printf(
+          "usage: %s [--trace-out=trace.json] [--metrics-out=metrics.prom]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -126,6 +172,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
       if (stats_stop.load(std::memory_order_acquire)) break;
       print_stats_line(telemetry, opts.shards);
+      if (!metrics_out.empty()) (void)dump_metrics(telemetry, metrics_out);
     }
   });
 
@@ -181,7 +228,12 @@ int main(int argc, char** argv) {
   telemetry.flush();
   print_stats_line(telemetry, opts.shards);  // final state, always printed
 
-  print_report("streaming relay", server.report(stream_ticket.value()));
+  const runtime::SessionReport stream_rep = server.report(stream_ticket.value());
+  const runtime::SessionReport transcode_rep =
+      server.report(transcode_ticket.value());
+
+  print_report("streaming relay", stream_rep);
+  print_unit_trace(stream_rep);
   std::printf(
       "    network: %llu packets arrived, %llu units concealed, jitter %.1f us\n"
       "    display crc %08x, %llu packets re-sent\n",
@@ -190,7 +242,8 @@ int main(int argc, char** argv) {
       stream.ingress->jitter_us(), stream.state->luma_crc,
       static_cast<unsigned long long>(stream.egress->packets_sent()));
 
-  print_report("file transcode", server.report(transcode_ticket.value()));
+  print_report("file transcode", transcode_rep);
+  print_unit_trace(transcode_rep);
   const auto out_stat = transcode.volume->stat(transcode.out_path);
   std::printf(
       "    disk: read %.0f us + write %.0f us modeled; \"%s\" is %llu bytes "
@@ -213,8 +266,7 @@ int main(int argc, char** argv) {
   const std::uint64_t metric_firings =
       sum_over_shards(snap, opts.shards, "firings");
   const std::uint64_t report_firings =
-      server.report(stream_ticket.value()).completed_firings +
-      server.report(transcode_ticket.value()).completed_firings;
+      stream_rep.completed_firings + transcode_rep.completed_firings;
   const auto admission = server.stats();
   const std::uint64_t metric_completed =
       snap.counter_or("shard.admission.completed");
@@ -228,6 +280,45 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(admission.completed),
       metric_completed == admission.completed ? "agree" : "MISMATCH");
 
+  // Frame-journey exactness: the per-session latency histograms are
+  // direct-fed by sink workers, so their totals must equal the sampled
+  // completions the reports counted — no collector lag allowed.
+  std::uint64_t hist_total = 0;
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string suffix = ".frame_latency_ns";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      hist_total += h.total();
+    }
+  }
+  const std::uint64_t report_sampled = stream_rep.unit_trace.sampled_completed +
+                                       transcode_rep.unit_trace.sampled_completed;
+  const bool trace_on = stream_rep.unit_trace.enabled();
+  if (trace_on) {
+    std::printf("frame-journey check: histogram frames %llu vs reports %llu (%s)\n",
+                static_cast<unsigned long long>(hist_total),
+                static_cast<unsigned long long>(report_sampled),
+                hist_total == report_sampled ? "agree" : "MISMATCH");
+  }
+
+  // The stall watchdog should have stayed silent — both sessions made
+  // continuous progress. Surface any report it filed (diagnostic only).
+  for (std::size_t i = 0; i < opts.shards; ++i) {
+    for (const auto& r : server.shard(i).stall_reports()) {
+      std::printf("watchdog[shard%zu]: %s", i, r.c_str());
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    if (dump_metrics(telemetry, metrics_out)) {
+      std::printf("metrics: Prometheus text exposition -> %s\n",
+                  metrics_out.c_str());
+    } else {
+      std::printf("metrics: FAILED to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+
   if (!trace_out.empty()) {
     if (telemetry.write_trace(trace_out)) {
       std::printf("trace: %zu events -> %s (open in ui.perfetto.dev)\n",
@@ -238,6 +329,7 @@ int main(int argc, char** argv) {
     }
   }
   const bool agree = metric_firings == report_firings &&
-                     metric_completed == admission.completed;
+                     metric_completed == admission.completed &&
+                     (!trace_on || hist_total == report_sampled);
   return agree ? 0 : 1;
 }

@@ -94,6 +94,17 @@ using TaskBody = std::function<void(TaskFiring&)>;
 /// gate-closed is attributed as I/O stall in TaskStats.
 using TaskGate = std::function<bool()>;
 
+/// Optional frame-journey origin hook for *source* tasks (no in-edges).
+/// When the runtime samples unit `unit` for tracing it asks the hook for
+/// the unit's origin timestamp in Telemetry::now_ns() nanoseconds — an
+/// I/O-backed source returns the instant the device read completed (so
+/// end-to-end latency includes the time a frame sat buffered at the
+/// boundary), a synthetic source returns 0 to mean "stamp me at firing
+/// start". Called from the owning worker, under the same single-thread
+/// discipline as the body; must be cheap and thread-safe against the I/O
+/// threads that record the stamps.
+using UnitOriginFn = std::function<std::uint64_t(std::uint64_t unit)>;
+
 struct Task {
   std::string name;
   double work_ops = 0.0;  ///< operations for one graph iteration
@@ -113,11 +124,17 @@ struct Task {
   /// Optional boundary gate (empty for pure compute tasks).
   TaskGate gate;
 
+  /// Optional unit-origin hook for source tasks (see UnitOriginFn).
+  UnitOriginFn origin;
+
   [[nodiscard]] bool has_body() const noexcept {
     return static_cast<bool>(body);
   }
   [[nodiscard]] bool has_gate() const noexcept {
     return static_cast<bool>(gate);
+  }
+  [[nodiscard]] bool has_origin() const noexcept {
+    return static_cast<bool>(origin);
   }
 };
 
@@ -139,6 +156,11 @@ class TaskGraph {
 
   /// Attach (or replace) the boundary gate of `id` (see TaskGate).
   void set_gate(TaskId id, TaskGate gate) { tasks_[id].gate = std::move(gate); }
+
+  /// Attach (or replace) the unit-origin hook of `id` (see UnitOriginFn).
+  void set_origin(TaskId id, UnitOriginFn origin) {
+    tasks_[id].origin = std::move(origin);
+  }
 
   /// True when every task carries an executable body.
   [[nodiscard]] bool fully_executable() const noexcept;

@@ -90,6 +90,11 @@ struct Engine::Impl {
     /// Boundary gate of the underlying task, or null for pure compute.
     /// Points into the session's graph (which outlives the engine).
     const mpsoc::TaskGate* gate = nullptr;
+    /// Unit-origin hook of the underlying task (frame-journey tracing),
+    /// or null. Points into the session's graph.
+    const mpsoc::UnitOriginFn* origin = nullptr;
+    bool is_source = false;  ///< no in-edges: stamps origins
+    bool is_sink = false;    ///< no out-edges: retires units, records latency
     /// First instant the owning worker saw this task channel-ready but
     /// gate-closed; zero while not stalled. Owner-only, handed off with
     /// the task on migration like the other non-atomic fields.
@@ -106,7 +111,11 @@ struct Engine::Impl {
     /// across firings, so the dispatch itself allocates nothing in
     /// steady state. Owner-only, handed off with the task on migration.
     mpsoc::TaskFiring scratch;
-    std::uint64_t next_iteration = 0;
+    /// Next iteration to fire. Written only by the owning worker (relaxed
+    /// stores at iteration boundaries); atomic because the stall watchdog
+    /// dumps it from the collector thread. The owner's own reads stay
+    /// exact; a watchdog read is an instantaneous snapshot.
+    std::atomic<std::uint64_t> next_iteration{0};
     std::uint64_t limit = 0;
     /// Interned task name (Telemetry::intern) for fixed-size events; 0
     /// when telemetry is off or the name table overflowed.
@@ -116,6 +125,27 @@ struct Engine::Impl {
     double busy_s = 0.0;
     double min_firing_s = std::numeric_limits<double>::infinity();
     double max_firing_s = 0.0;
+    // Frame-journey accounting over sampled units (owner-only, handed off
+    // with the task on migration like the other non-atomic fields).
+    // ut_next_sample strength-reduces the per-firing `iter % period`
+    // check to one compare: iterations fire in order within a task, so
+    // the next sampled index is always known in advance.
+    std::uint64_t ut_next_sample = 0;
+    std::uint64_t ut_sampled = 0;
+    // Queue wait / service accumulate in integer ns (one add per sampled
+    // firing; the double conversion happens once at report assembly).
+    std::uint64_t ut_queue_wait_ns = 0;
+    std::uint64_t ut_service_ns = 0;
+    double ut_gate_wait_s = 0.0;
+    // Sink-only: end-to-end latency extrema and frame-to-frame jitter of
+    // the sampled units this task retired.
+    std::uint64_t ut_completed = 0;
+    double ut_min_latency_s = std::numeric_limits<double>::infinity();
+    double ut_max_latency_s = 0.0;
+    std::uint64_t ut_last_latency_ns = 0;
+    bool ut_have_last = false;
+    double ut_jitter_sum_s = 0.0;
+    std::uint64_t ut_jitter_n = 0;
   };
 
   struct SessionState {
@@ -140,6 +170,16 @@ struct Engine::Impl {
     std::once_flag start_once;
     Clock::time_point start{};   // first firing of this session
     Clock::time_point finish{};  // last firing of this session
+    /// Per-session end-to-end frame-latency histogram
+    /// ("<prefix>.session<N>.frame_latency_ns"), direct-fed by sink
+    /// workers so its totals agree exactly with sampled completions.
+    /// Null when telemetry / unit tracing is off.
+    Histogram* h_latency = nullptr;
+    /// Stall-watchdog bookkeeping (guarded by sessions_mu; only the
+    /// watchdog callback mutates these).
+    std::uint64_t wd_last_outstanding = ~std::uint64_t{0};
+    int wd_stagnant_periods = 0;
+    bool wd_flagged = false;
     SessionReport report;
   };
 
@@ -222,6 +262,23 @@ struct Engine::Impl {
   Histogram* h_batch_ns = nullptr;        // drain-fed
   Histogram* h_io_stall_ns = nullptr;     // drain-fed
   Histogram* h_queue_depth = nullptr;     // sampled: 1 in 16 picks
+  // Frame-journey tracing (zero when unit tracing is off). The sampling
+  // period is resolved once from TelemetryOptions::unit_sample_period;
+  // the per-firing cost with tracing on is one compare against the
+  // task's precomputed next sampled index (TaskRun::ut_next_sample)
+  // plus, on sampled firings only, two extra clock reads and one ring
+  // event.
+  std::size_t unit_period = 0;
+  Counter* m_units_sampled = nullptr;     // sampled units retired at sinks; exact
+  Histogram* h_unit_latency = nullptr;    // end-to-end ns across sessions; exact
+  Histogram* h_unit_queue_wait_ns = nullptr;  // drain-fed from kUnitFlow
+  Histogram* h_unit_service_ns = nullptr;     // drain-fed from kUnitFlow
+  Counter* m_watchdog_stalls = nullptr;
+  // Stall-watchdog registration + retained dump strings.
+  std::uint64_t watchdog_id = 0;
+  static constexpr std::size_t kMaxStallReports = 16;
+  mutable std::mutex stall_mu;
+  std::vector<std::string> stall_reports_;
 
   EventRing* ring_of(std::size_t w) const {
     if (!kTelemetryCompiled || rings.empty()) return nullptr;
@@ -244,6 +301,12 @@ struct Engine::Impl {
     h_batch_ns = m.histogram(p + ".batch_latency_ns");
     h_io_stall_ns = m.histogram(p + ".io_stall_ns");
     h_queue_depth = m.histogram(p + ".queue_depth");
+    unit_period = tel->options().unit_sample_period;
+    m_units_sampled = m.counter(p + ".units_sampled");
+    h_unit_latency = m.histogram(p + ".unit_latency_ns");
+    h_unit_queue_wait_ns = m.histogram(p + ".unit_queue_wait_ns");
+    h_unit_service_ns = m.histogram(p + ".unit_service_ns");
+    m_watchdog_stalls = m.counter(p + ".watchdog.stalls");
     // Handles above resolve before the callback can observe an event.
     // ~Impl unhooks the callback before these members die.
     const auto on_drain = [this](const TelemetryEvent& ev) {
@@ -261,6 +324,16 @@ struct Engine::Impl {
         case EventKind::kIoStall:
           h_io_stall_ns->record(ev.arg0);
           break;
+        case EventKind::kUnitFlow: {
+          // begin..end spans ready->done; arg1 carries service<<1|source,
+          // so the queue wait falls out as span - service.
+          const std::uint64_t service = ev.arg1 >> 1;
+          const std::uint64_t span =
+              ev.end_ns >= ev.begin_ns ? ev.end_ns - ev.begin_ns : 0;
+          h_unit_queue_wait_ns->record(span >= service ? span - service : 0);
+          h_unit_service_ns->record(service);
+          break;
+        }
         default:
           break;
       }
@@ -291,6 +364,11 @@ struct Engine::Impl {
 
   Impl() { hub->impl = this; }
   ~Impl() {
+    // The watchdog callback captures this Impl; unregister first —
+    // remove_watchdog blocks until any in-flight poll returns.
+    if (kTelemetryCompiled && tel != nullptr && watchdog_id != 0) {
+      tel->remove_watchdog(watchdog_id);
+    }
     // The drain callbacks capture this Impl; unhook them (each unhook
     // drains the ring through the callback one final time) before the
     // metric handles they feed go away. Workers are already joined.
@@ -362,7 +440,8 @@ struct Engine::Impl {
   // the owning worker; a thief's pre-steal call is an (atomically read,
   // possibly stale) heuristic that the post-migration rescan corrects.
   static bool ready(const TaskRun& r) {
-    if (r.next_iteration >= r.limit) return false;
+    if (r.next_iteration.load(std::memory_order_relaxed) >= r.limit)
+      return false;
     for (auto* ch : r.in) {
       if (ch->empty()) return false;
     }
@@ -457,12 +536,17 @@ struct Engine::Impl {
     const auto t0 = Clock::now();
     // Close out a pending boundary stall: the gap between first observing
     // "channels ready, gate closed" and this batch is I/O wait, kept out
-    // of busy_s so compute attribution stays clean.
+    // of busy_s so compute attribution stays clean. The window is also
+    // remembered for the frame journey: the first sampled unit this batch
+    // fires is the unit the boundary wait delayed (an approximation — the
+    // stall precedes the whole batch — documented in the README).
+    double pending_gate_stall_s = 0.0;
     if (r.stall_since != Clock::time_point{}) {
       const double stall_s = seconds_between(r.stall_since, t0);
       r.io_stall_s += stall_s;
       ++r.io_stalls;
       r.stall_since = {};
+      pending_gate_stall_s = stall_s > 0.0 ? stall_s : 0.0;
       if (ring != nullptr) {
         // Instant, not a slice: the stall window may span this worker's
         // earlier batches (stall_since can be set by a peer's scan), and
@@ -505,14 +589,53 @@ struct Engine::Impl {
     // only transition while the peer is behind, and a final firing's
     // transition is covered by the unconditional batch-end notify).
     bool unblocked_peer = false;
+    // Frame-journey sampling: in this runtime every edge carries exactly
+    // one token per graph iteration and channels are FIFO, so iteration
+    // index == unit index at every stage. Sampledness is therefore
+    // locally computable everywhere — only timestamps travel through the
+    // channel ledgers. Tracing off (period 0 / no telemetry) costs one
+    // bool test per firing.
+    const std::size_t period = unit_period;
+    const bool tracing = period != 0 && ring != nullptr;
     while (fired < quantum && ready(r) && gate_open(r)) {
       if (unblocked_peer) {
         notify_peers(r, self);
         unblocked_peer = false;
       }
-      firing.iteration = r.next_iteration;
+      const std::uint64_t iter =
+          r.next_iteration.load(std::memory_order_relaxed);
+      firing.iteration = iter;
       firing.inputs.clear();
       for (auto* ch : r.in) firing.inputs.push_back(ch->front());
+      const bool sampled = tracing && iter == r.ut_next_sample;
+      std::uint64_t ut_origin = 0;  // pipeline-entry stamp of this unit
+      std::uint64_t ut_ready = 0;   // when the unit became ready here
+      std::uint64_t ut_t0 = 0;      // firing start (sampled only)
+      if (sampled) {
+        r.ut_next_sample = iter + period;
+        for (auto* ch : r.in) {
+          const UnitLedger& l = ch->front_ledger();
+          ut_ready = std::max(ut_ready, l.enqueue_ns);
+          if (l.origin_ns != 0 &&
+              (ut_origin == 0 || l.origin_ns < ut_origin)) {
+            ut_origin = l.origin_ns;
+          }
+        }
+        ut_t0 = Telemetry::now_ns_fast();
+        if (r.is_source) {
+          // Sources: the origin hook supplies the ingress stamp (device
+          // read completion at the I/O boundary); synthetic sources
+          // start the unit's clock at firing start. Boundary buffering
+          // shows up as gate wait + end-to-end latency, never as queue
+          // wait (sources have no input channels to wait on).
+          if (r.origin != nullptr) ut_origin = (*r.origin)(iter);
+          if (ut_origin == 0 || ut_origin > ut_t0) ut_origin = ut_t0;
+          ut_ready = ut_t0;
+        } else {
+          if (ut_ready == 0 || ut_ready > ut_t0) ut_ready = ut_t0;
+          if (ut_origin == 0) ut_origin = ut_ready;
+        }
+      }
       for (std::size_t k = 0; k < n_out; ++k) {
         // Recycled buffer (or a fresh empty vector when recycling is
         // off / the free ring is still cold), handed to the body
@@ -537,10 +660,30 @@ struct Engine::Impl {
         fatal = true;
         break;
       }
+      std::uint64_t ut_t1 = 0;
+      std::uint64_t ut_service = 0;
+      if (sampled) {
+        ut_t1 = Telemetry::now_ns_fast();
+        // A slope re-anchor between the two fast reads can step the
+        // mapping backwards by a few hundred ns; clamp at zero (ut_ready
+        // was already clamped to <= ut_t0 above).
+        ut_service = ut_t1 > ut_t0 ? ut_t1 - ut_t0 : 0;
+        ++r.ut_sampled;
+        r.ut_queue_wait_ns += ut_t0 - ut_ready;
+        r.ut_service_ns += ut_service;
+        if (pending_gate_stall_s > 0.0) {
+          r.ut_gate_wait_s += pending_gate_stall_s;
+          pending_gate_stall_s = 0.0;
+        }
+      }
       for (std::size_t k = 0; k < n_out; ++k) {
         // Empty-check from the producer side is exact whenever the
         // consumer is parked — the only case the wakeup matters.
         if (r.out[k]->empty()) unblocked_peer = true;
+        // Sampled units hand their origin + completion stamps to the
+        // consumer through the slot ledger; the stamp publishes with the
+        // push's tail release store.
+        if (sampled) r.out[k]->stamp_next(UnitLedger{ut_origin, ut_t1});
         // Space was checked in ready(); this worker is the only
         // producer, so the push cannot fail.
         (void)r.out[k]->try_push(std::move(firing.outputs[k]));
@@ -549,8 +692,52 @@ struct Engine::Impl {
         if (ch->full()) unblocked_peer = true;
         ch->pop();
       }
+      if (sampled) {
+        TelemetryEvent ev;
+        if (r.is_sink) {
+          // The unit retires here: one kUnitComplete flow finish plus the
+          // direct-fed latency metrics (direct so the histogram totals
+          // agree exactly with sampled completions, per the CI check).
+          const std::uint64_t latency =
+              ut_t1 >= ut_origin ? ut_t1 - ut_origin : 0;
+          ev.word0 = TelemetryEvent::pack0(
+              EventKind::kUnitComplete, r.name_id,
+              static_cast<std::uint32_t>(r.session_index + 1));
+          ev.begin_ns = ut_origin;
+          ev.end_ns = ut_t1;
+          ev.arg0 = iter;
+          ev.arg1 = latency;
+          ring->emit(ev);
+          if (sess.h_latency != nullptr) sess.h_latency->record(latency);
+          h_unit_latency->record(latency);
+          m_units_sampled->add(1);
+          ++r.ut_completed;
+          const double lat_s = static_cast<double>(latency) * 1e-9;
+          r.ut_min_latency_s = std::min(r.ut_min_latency_s, lat_s);
+          r.ut_max_latency_s = std::max(r.ut_max_latency_s, lat_s);
+          if (r.ut_have_last) {
+            const std::uint64_t d = latency >= r.ut_last_latency_ns
+                                        ? latency - r.ut_last_latency_ns
+                                        : r.ut_last_latency_ns - latency;
+            r.ut_jitter_sum_s += static_cast<double>(d) * 1e-9;
+            ++r.ut_jitter_n;
+          }
+          r.ut_last_latency_ns = latency;
+          r.ut_have_last = true;
+        } else {
+          ev.word0 = TelemetryEvent::pack0(
+              EventKind::kUnitFlow, r.name_id,
+              static_cast<std::uint32_t>(r.session_index + 1));
+          ev.begin_ns = ut_ready;
+          ev.end_ns = ut_t1;
+          ev.arg0 = iter;
+          ev.arg1 = (ut_service << 1) |
+                    (r.is_source ? std::uint64_t{1} : std::uint64_t{0});
+          ring->emit(ev);
+        }
+      }
       ++fired;
-      ++r.next_iteration;
+      r.next_iteration.store(iter + 1, std::memory_order_relaxed);
       // Iteration boundary: a cancel or engine abort must stop a
       // free-running task promptly — the caller retires/exits next.
       if (stop.load(std::memory_order_acquire) ||
@@ -604,8 +791,9 @@ struct Engine::Impl {
   /// against a dead consumer. Owner-worker only (consumer side of `in`).
   void retire(TaskRun& r, std::size_t self,
               std::vector<std::size_t>& completed) {
-    const std::uint64_t drop = r.limit - r.next_iteration;
-    r.next_iteration = r.limit;
+    const std::uint64_t drop =
+        r.limit - r.next_iteration.load(std::memory_order_relaxed);
+    r.next_iteration.store(r.limit, std::memory_order_relaxed);
     r.stall_since = {};  // a cancelled boundary wait is not an I/O stall
     for (auto* ch : r.in) ch->clear();
     account_done(r, drop, /*fired=*/false, self, completed);
@@ -632,7 +820,8 @@ struct Engine::Impl {
     std::size_t i = 0;
     for (; i < q.size() && pick == nullptr; ++i) {
       TaskRun* r = q[i];
-      if (r->next_iteration >= r->limit) continue;  // drop finished handle
+      if (r->next_iteration.load(std::memory_order_relaxed) >= r->limit)
+        continue;  // drop finished handle
       if (r->sess->cancel_code.load(std::memory_order_acquire) != kLive) {
         pick = r;
         retire_pick = true;
@@ -653,7 +842,8 @@ struct Engine::Impl {
     std::size_t runnable_left = 0;
     for (; i < q.size(); ++i) {
       TaskRun* r = q[i];
-      if (r->next_iteration >= r->limit) continue;
+      if (r->next_iteration.load(std::memory_order_relaxed) >= r->limit)
+        continue;
       if (runnable(*r)) {
         ++runnable_left;
       } else if (ready(*r) && r->stall_since == Clock::time_point{}) {
@@ -692,7 +882,8 @@ struct Engine::Impl {
       std::size_t pick_at = 0;
       for (std::size_t i = 0; i < victim.queue.size(); ++i) {
         TaskRun* r = victim.queue[i];
-        if (r->next_iteration >= r->limit) continue;
+        if (r->next_iteration.load(std::memory_order_relaxed) >= r->limit)
+          continue;
         if (r->sess->cancel_code.load(std::memory_order_acquire) != kLive) {
           continue;  // retirement stays with the current owner
         }
@@ -801,7 +992,8 @@ struct Engine::Impl {
           const std::uint64_t fired =
               fire_batch(*r, w, quantum, completed, fatal);
           progressed = progressed || fired > 0;
-          finished = r->next_iteration >= r->limit;
+          finished =
+              r->next_iteration.load(std::memory_order_relaxed) >= r->limit;
           // A cancel that landed mid-batch: retire now (drop + drain
           // inputs) so back-pressured upstream peers unblock without
           // waiting for the next pass to rediscover the task.
@@ -891,6 +1083,94 @@ struct Engine::Impl {
     }
   }
 
+  /// Stall watchdog, invoked by the telemetry collector once per drain
+  /// period (Telemetry::poll_watchdogs; tests drive it manually when the
+  /// collector is off). A live session whose outstanding-firings counter
+  /// did not move for TelemetryOptions::watchdog_periods consecutive
+  /// polls is flagged once per stall episode — re-armed by progress — and
+  /// its per-task iteration / owner / gate / channel state dumped for
+  /// diagnosis. The dumped channel occupancies and iteration counters are
+  /// cross-thread snapshots, approximate by design: good enough to see
+  /// WHICH task is wedged and whether its gate is closed.
+  void watchdog_poll() {
+    if (!kTelemetryCompiled || tel == nullptr) return;
+    const int threshold = tel->options().watchdog_periods;
+    if (threshold <= 0) return;
+    std::vector<std::string> dumps;
+    {
+      std::lock_guard lock(sessions_mu);
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        auto& sess = *sessions[s];
+        if (sess.runs.empty()) continue;  // admitted but not wired yet
+        const std::uint64_t out =
+            sess.outstanding.load(std::memory_order_acquire);
+        if (out == 0 ||
+            sess.cancel_code.load(std::memory_order_acquire) != kLive) {
+          sess.wd_last_outstanding = ~std::uint64_t{0};
+          sess.wd_stagnant_periods = 0;
+          sess.wd_flagged = false;
+          continue;
+        }
+        if (out != sess.wd_last_outstanding) {
+          sess.wd_last_outstanding = out;
+          sess.wd_stagnant_periods = 0;
+          sess.wd_flagged = false;  // progress re-arms the episode
+          continue;
+        }
+        if (++sess.wd_stagnant_periods >= threshold && !sess.wd_flagged) {
+          sess.wd_flagged = true;
+          dumps.push_back(dump_session_locked(s, sess, out));
+        }
+      }
+    }
+    if (dumps.empty()) return;
+    {
+      std::lock_guard lock(stall_mu);
+      for (auto& d : dumps) {
+        if (stall_reports_.size() >= kMaxStallReports) {
+          stall_reports_.erase(stall_reports_.begin());
+        }
+        stall_reports_.push_back(std::move(d));
+      }
+    }
+    if (m_watchdog_stalls != nullptr) m_watchdog_stalls->add(dumps.size());
+  }
+
+  /// Caller holds sessions_mu. Gates are thread-safe reads by contract;
+  /// queue size() from a non-owning thread is documented-approximate.
+  std::string dump_session_locked(std::size_t index, const SessionState& sess,
+                                  std::uint64_t outstanding) const {
+    std::string out = "session " + std::to_string(index) + " ('" +
+                      sess.graph->name() + "') stalled: " +
+                      std::to_string(outstanding) +
+                      " firings outstanding, no progress for " +
+                      std::to_string(sess.wd_stagnant_periods) +
+                      " drain periods\n";
+    for (const auto& rp : sess.runs) {
+      const auto& r = *rp;
+      out += "  task '" + r.graph->task(r.id).name + "': it=" +
+             std::to_string(r.next_iteration.load(std::memory_order_relaxed)) +
+             "/" + std::to_string(r.limit) + " worker=" +
+             std::to_string(r.owner.load(std::memory_order_relaxed));
+      out += r.gate == nullptr ? " gate=none"
+                               : ((*r.gate)() ? " gate=open" : " gate=CLOSED");
+      out += " in=[";
+      for (std::size_t k = 0; k < r.in.size(); ++k) {
+        if (k != 0) out += ",";
+        out += std::to_string(r.in[k]->size()) + "/" +
+               std::to_string(r.in[k]->capacity());
+      }
+      out += "] out=[";
+      for (std::size_t k = 0; k < r.out.size(); ++k) {
+        if (k != 0) out += ",";
+        out += std::to_string(r.out[k]->size()) + "/" +
+               std::to_string(r.out[k]->capacity());
+      }
+      out += "]\n";
+    }
+    return out;
+  }
+
   Status validate(const mpsoc::TaskGraph& graph, const mpsoc::Mapping& mapping,
                   std::uint64_t iterations) {
     if (iterations == 0) {
@@ -933,6 +1213,8 @@ struct Engine::Impl {
       run->home = sess.mapping[t] % resolved_workers;
       run->owner.store(run->home, std::memory_order_relaxed);
       run->gate = graph.task(t).has_gate() ? &graph.task(t).gate : nullptr;
+      run->origin =
+          graph.task(t).has_origin() ? &graph.task(t).origin : nullptr;
       run->limit = sess.iterations;
       if (kTelemetryCompiled && tel != nullptr) {
         run->name_id = tel->intern(graph.task(t).name);
@@ -943,7 +1225,14 @@ struct Engine::Impl {
       for (const std::size_t e : graph.out_edges(t)) {
         run->out.push_back(sess.channels[e].get());
       }
+      run->is_source = run->in.empty();
+      run->is_sink = run->out.empty();
       sess.runs.push_back(std::move(run));
+    }
+    if (kTelemetryCompiled && tel != nullptr && unit_period != 0) {
+      sess.h_latency = tel->metrics().histogram(
+          options.telemetry_prefix + ".session" + std::to_string(index) +
+          ".frame_latency_ns");
     }
     for (mpsoc::TaskId t = 0; t < tasks; ++t) {
       auto& run = *sess.runs[t];
@@ -1006,9 +1295,13 @@ struct Engine::Impl {
     sess->mapping = std::move(mapping);
     sess->iterations = iterations;
     sess->options = session_options;
+    // Per-slot unit ledgers ride along when frame-journey tracing can be
+    // on for this engine (16 bytes per slot; read only on sampled units).
+    const bool ledgers = kTelemetryCompiled && options.telemetry != nullptr &&
+                         options.telemetry->options().unit_sample_period != 0;
     for (std::size_t e = 0; e < graph.edges().size(); ++e) {
       sess->channels.push_back(std::make_unique<SpscQueue<mpsoc::Payload>>(
-          options.channel_capacity, options.recycle_payloads));
+          options.channel_capacity, options.recycle_payloads, ledgers));
     }
     sess->outstanding.store(iterations * graph.task_count(),
                             std::memory_order_relaxed);
@@ -1167,6 +1460,14 @@ struct Engine::Impl {
     // Always spawn the monitor: deadlines may arrive with any later
     // dynamic submit, not only with pre-start sessions.
     deadline_thread = std::thread([this] { deadline_main(); });
+    // The stall watchdog rides the telemetry collector's drain cadence;
+    // registered only while a pool exists to be watched. Removed in
+    // ~Impl, where remove_watchdog's fence guarantees no in-flight poll
+    // outlives this Impl.
+    if (kTelemetryCompiled && tel != nullptr &&
+        tel->options().watchdog_periods > 0) {
+      watchdog_id = tel->add_watchdog([this] { watchdog_poll(); });
+    }
     state.store(RunState::kRunning, std::memory_order_release);
     state.notify_all();
     return Status::ok();
@@ -1271,6 +1572,39 @@ struct Engine::Impl {
         rep.completed_firings += run->firings;
         rep.task_migrations += run->migrations;
         rep.io_stall_s += run->io_stall_s;
+      }
+      auto& ut = rep.unit_trace;
+      ut.sample_period =
+          kTelemetryCompiled && tel != nullptr ? unit_period : 0;
+      if (ut.sample_period != 0) {
+        ut.stages.assign(sess.graph->task_count(), StageUnitTrace{});
+        double jitter_sum = 0.0;
+        std::uint64_t jitter_n = 0;
+        for (const auto& run : sess.runs) {
+          auto& st = ut.stages[run->id];
+          st.name = run->graph->task(run->id).name;
+          st.sampled = run->ut_sampled;
+          st.queue_wait_s = static_cast<double>(run->ut_queue_wait_ns) * 1e-9;
+          st.gate_wait_s = run->ut_gate_wait_s;
+          st.service_s = static_cast<double>(run->ut_service_ns) * 1e-9;
+          if (run->ut_completed > 0) {
+            ut.sampled_completed += run->ut_completed;
+            ut.min_latency_s = std::isnan(ut.min_latency_s)
+                                   ? run->ut_min_latency_s
+                                   : std::min(ut.min_latency_s,
+                                              run->ut_min_latency_s);
+            ut.max_latency_s = std::isnan(ut.max_latency_s)
+                                   ? run->ut_max_latency_s
+                                   : std::max(ut.max_latency_s,
+                                              run->ut_max_latency_s);
+            jitter_sum += run->ut_jitter_sum_s;
+            jitter_n += run->ut_jitter_n;
+          }
+        }
+        if (jitter_n > 0) {
+          ut.jitter_s = jitter_sum / static_cast<double>(jitter_n);
+        }
+        if (sess.h_latency != nullptr) ut.latency = sess.h_latency->snapshot();
       }
       const std::uint64_t total = sess.iterations * sess.graph->task_count();
       const int code = sess.cancel_code.load(std::memory_order_acquire);
@@ -1381,6 +1715,11 @@ std::size_t Engine::worker_count() const noexcept {
 
 std::uint64_t Engine::steal_count() const noexcept {
   return impl_->total_steals.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> Engine::stall_reports() const {
+  std::lock_guard lock(impl_->stall_mu);
+  return impl_->stall_reports_;
 }
 
 Result<SessionReport> run_pipeline(const mpsoc::TaskGraph& graph,

@@ -233,6 +233,73 @@ struct TaskStats {
   }
 };
 
+/// Per-stage frame-journey accounting over the *sampled* units of one
+/// session (see TelemetryOptions::unit_sample_period). Wait/service are
+/// sums over sampled firings; the means are the per-unit averages the
+/// calibration loop and the trace table consume.
+struct StageUnitTrace {
+  std::string name;
+  std::uint64_t sampled = 0;   ///< sampled firings observed at this stage
+  double queue_wait_s = 0.0;   ///< firing start minus max input enqueue
+  double gate_wait_s = 0.0;    ///< boundary (I/O) wait attributed to sampled units
+  double service_s = 0.0;      ///< body time of the sampled firings
+  [[nodiscard]] double mean_queue_wait_s() const noexcept {
+    return sampled > 0 ? queue_wait_s / static_cast<double>(sampled) : 0.0;
+  }
+  [[nodiscard]] double mean_gate_wait_s() const noexcept {
+    return sampled > 0 ? gate_wait_s / static_cast<double>(sampled) : 0.0;
+  }
+  [[nodiscard]] double mean_service_s() const noexcept {
+    return sampled > 0 ? service_s / static_cast<double>(sampled) : 0.0;
+  }
+  /// Total budget this stage consumed per sampled unit — the
+  /// deadline-miss attribution key.
+  [[nodiscard]] double mean_total_s() const noexcept {
+    return mean_queue_wait_s() + mean_gate_wait_s() + mean_service_s();
+  }
+};
+
+/// End-to-end frame-journey report of one session: per-unit latency from
+/// origin stamp (I/O ingress or first-task firing start) to sink-firing
+/// completion, over the sampled units only. Empty (sample_period == 0 /
+/// sampled_completed == 0) when unit tracing was off or telemetry absent.
+struct UnitTraceReport {
+  std::size_t sample_period = 0;        ///< 0 = tracing was off
+  std::uint64_t sampled_completed = 0;  ///< sampled units retired at sinks
+  Histogram::Snapshot latency;          ///< end-to-end ns, log2 buckets
+  double min_latency_s = std::numeric_limits<double>::quiet_NaN();
+  double max_latency_s = std::numeric_limits<double>::quiet_NaN();
+  /// Mean absolute latency difference between consecutive sampled units
+  /// (frame-to-frame jitter, the streaming QoS number).
+  double jitter_s = 0.0;
+  std::vector<StageUnitTrace> stages;  ///< indexed by TaskId
+
+  [[nodiscard]] bool enabled() const noexcept { return sample_period > 0; }
+  [[nodiscard]] double mean_latency_s() const noexcept {
+    return latency.mean() * 1e-9;
+  }
+  [[nodiscard]] double p50_s() const noexcept {
+    return static_cast<double>(latency.quantile(0.50)) * 1e-9;
+  }
+  [[nodiscard]] double p99_s() const noexcept {
+    return static_cast<double>(latency.quantile(0.99)) * 1e-9;
+  }
+  /// Stage that consumed the most per-unit budget (wait + gate + service)
+  /// — "which stage ate the deadline". SIZE_MAX when nothing was sampled.
+  [[nodiscard]] std::size_t dominant_stage() const noexcept {
+    std::size_t best = static_cast<std::size_t>(-1);
+    double best_cost = -1.0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const double c = stages[i].mean_total_s();
+      if (stages[i].sampled > 0 && c > best_cost) {
+        best = i;
+        best_cost = c;
+      }
+    }
+    return best;
+  }
+};
+
 /// Measured execution report of one session (one pipeline run).
 struct SessionReport {
   std::string graph;
@@ -253,6 +320,10 @@ struct SessionReport {
   /// EngineOptions::recycle_payloads is off; approaches
   /// iterations * edges once the free rings warm up.
   std::uint64_t payloads_recycled = 0;
+
+  /// Frame-journey accounting over sampled units (empty when telemetry
+  /// is off or TelemetryOptions::unit_sample_period == 0).
+  UnitTraceReport unit_trace;
 
   SessionOutcome outcome = SessionOutcome::kPending;
   /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable
@@ -348,6 +419,15 @@ class Engine {
   [[nodiscard]] std::size_t worker_count() const noexcept;
   /// Total task migrations performed by the steal scheduler so far.
   [[nodiscard]] std::uint64_t steal_count() const noexcept;
+
+  /// Stall-watchdog dumps accumulated so far (most recent last, bounded).
+  /// The watchdog — registered with the telemetry sink's collector when
+  /// both are configured — flags any live session that completed zero
+  /// firings across TelemetryOptions::watchdog_periods consecutive drain
+  /// periods and dumps per-task iteration / owner / gate / channel state
+  /// for diagnosis. One dump per stall episode: a session is re-armed
+  /// only after it makes progress again. Thread-safe.
+  [[nodiscard]] std::vector<std::string> stall_reports() const;
 
  private:
   struct Impl;

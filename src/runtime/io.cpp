@@ -120,6 +120,7 @@ void AsyncSource::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
     return gate_count_.load(std::memory_order_acquire) > 0 ||
            io_failed_.load(std::memory_order_acquire);
   });
+  graph.set_origin(task, [this](std::uint64_t u) { return origin_ns(u); });
 }
 
 void AsyncSource::attach(std::uint64_t total_units,
@@ -179,6 +180,12 @@ void AsyncSource::drain() {
       ++stats_.units;
       stats_.bytes += payload.size();
       buffered_.push_back(std::move(payload));
+      // Frame-journey origin: the unit's clock starts when the device
+      // read completed (t1, already measured for io_busy_s).
+      origins_.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              t1.time_since_epoch())
+              .count()));
       stats_.max_buffered = std::max(stats_.max_buffered, buffered_.size());
       // Publish the buffer state *before* the waker runs (release pairs
       // with the gate's acquire), so a woken worker always sees the unit.
@@ -198,6 +205,8 @@ void AsyncSource::body(mpsoc::TaskFiring& f) {
       // task's single owner is the only consumer.
       payload = std::move(buffered_.front());
       buffered_.pop_front();
+      if (!origins_.empty()) origins_.pop_front();
+      ++pop_base_;
       gate_count_.store(buffered_.size(), std::memory_order_release);
       pump_locked();  // freed a prefetch slot: keep the device busy
     } else {
@@ -218,6 +227,18 @@ void AsyncSource::body(mpsoc::TaskFiring& f) {
     for (std::size_t k = 0; k + 1 < n; ++k) f.outputs[k] = payload;
     if (n > 0) f.outputs[n - 1] = std::move(payload);
   }
+}
+
+std::uint64_t AsyncSource::origin_ns(std::uint64_t unit) const {
+  // The engine resolves a sampled unit's origin at firing start, while
+  // the unit still sits at the buffer front (pops are strictly ordered,
+  // one per firing), so the common case is origins_[0]. Anything outside
+  // the buffered window answers 0 = "unknown, use firing start".
+  std::lock_guard lock(mu_);
+  if (unit < pop_base_) return 0;
+  const std::uint64_t slot = unit - pop_base_;
+  if (slot >= origins_.size()) return 0;
+  return origins_[static_cast<std::size_t>(slot)];
 }
 
 BoundaryStats AsyncSource::stats() const {

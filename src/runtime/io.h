@@ -172,7 +172,11 @@ class AsyncSource {
   AsyncSource(const AsyncSource&) = delete;
   AsyncSource& operator=(const AsyncSource&) = delete;
 
-  /// Install body + gate on `task` (must be a source: no in-edges).
+  /// Install body + gate on `task` (must be a source: no in-edges), plus
+  /// the unit-origin hook (origin_ns below) so frame-journey tracing
+  /// starts each unit's clock at device-read completion rather than at
+  /// the first firing — prefetch dwell in the completion buffer then
+  /// shows up in end-to-end latency, where a QoS reader expects it.
   void bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task);
 
   /// Arm the adapter after the session is submitted into a *running*
@@ -180,6 +184,12 @@ class AsyncSource {
   /// (from Engine::task_waker), and start prefetching. Wakes the task
   /// once immediately so a unit that completed during wiring is noticed.
   void attach(std::uint64_t total_units, std::function<void()> waker);
+
+  /// Ingress stamp (Telemetry::now_ns epoch) of unit `unit`: the instant
+  /// its device read completed on the I/O thread. 0 when unknown (unit
+  /// already delivered, not yet read, or fail-open empty payload) — the
+  /// engine then falls back to the firing-start stamp.
+  [[nodiscard]] std::uint64_t origin_ns(std::uint64_t unit) const;
 
   [[nodiscard]] BoundaryStats stats() const;
 
@@ -195,6 +205,10 @@ class AsyncSource {
   mutable std::mutex mu_;
   std::condition_variable idle_;  ///< signalled whenever inflight_ clears
   std::deque<mpsoc::Payload> buffered_;
+  /// Read-completion stamps, in lockstep with buffered_; pop_base_ is
+  /// the unit index of the front slot (pops are strictly in order).
+  std::deque<std::uint64_t> origins_;
+  std::uint64_t pop_base_ = 0;
   std::uint64_t next_read_ = 0;
   std::uint64_t total_ = 0;
   bool inflight_ = false;

@@ -176,6 +176,61 @@ class MetricsRegistry {
     return s;
   }
 
+  // Prometheus text-exposition rendering of snapshot(). Dotted metric
+  // names become underscore_separated (Prometheus identifier rules);
+  // histograms render as the standard cumulative-bucket family
+  // (name_bucket{le="..."} / name_sum / name_count) with le bounds at the
+  // log2 bucket upper edges (2^b - 1), truncated after the last non-empty
+  // bucket plus the mandatory +Inf.
+  static std::string sanitize_metric_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+  }
+
+  std::string text_snapshot() const {
+    const Snapshot s = snapshot();
+    std::string out;
+    for (const auto& [name, v] : s.counters) {
+      const std::string n = sanitize_metric_name(name);
+      out += "# TYPE " + n + " counter\n";
+      out += n + " " + std::to_string(v) + "\n";
+    }
+    for (const auto& [name, v] : s.gauges) {
+      const std::string n = sanitize_metric_name(name);
+      out += "# TYPE " + n + " gauge\n";
+      out += n + " " + std::to_string(v) + "\n";
+    }
+    for (const auto& [name, h] : s.histograms) {
+      const std::string n = sanitize_metric_name(name);
+      out += "# TYPE " + n + " histogram\n";
+      int last = -1;
+      for (int b = 0; b < Histogram::kBuckets; ++b)
+        if (h.counts[b] != 0) last = b;
+      std::uint64_t cum = 0;
+      for (int b = 0; b <= last; ++b) {
+        cum += h.counts[b];
+        // Upper edge of bucket b: 0 for b==0, else 2^b - 1 (see bucket_of).
+        const std::uint64_t le =
+            b == 0 ? 0
+                   : (b >= 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << b) - 1);
+        out += n + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+               std::to_string(cum) + "\n";
+      }
+      out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.total()) + "\n";
+      out += n + "_sum " + std::to_string(h.sum) + "\n";
+      out += n + "_count " + std::to_string(h.total()) + "\n";
+    }
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter*> counters_;

@@ -12,6 +12,13 @@
 // surplus, so the pool can never hoard memory. The mutex is fine here:
 // the boundary runs per *unit* (per frame), not per engine firing, and
 // the same adapters already take their own mutex per unit.
+//
+// Frame-journey note: pooled buffers carry *bytes only* — recycling
+// deliberately erases any association between a buffer and the unit it
+// last held. Unit identity and timing for the tracing layer travel in
+// the channel-slot ledgers (SpscQueue::stamp_next/front_ledger) and the
+// AsyncSource origin stamps, never with the storage, so buffer reuse
+// can't alias one unit's journey onto another's.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,18 @@
 
 namespace mmsoc::runtime {
 
+/// Per-unit frame-journey stamp carried alongside a channel element (see
+/// README "Observability"). `origin_ns` is when the unit entered the
+/// pipeline (I/O ingress completion or first-task firing); `enqueue_ns`
+/// is when the producing stage finished the firing that pushed this
+/// element — the consumer's queue-wait for the unit is its own firing
+/// start minus enqueue_ns. Zero-initialised slots mean "not stamped"
+/// (sampling skipped this unit).
+struct UnitLedger {
+  std::uint64_t origin_ns = 0;
+  std::uint64_t enqueue_ns = 0;
+};
+
 /// Bounded single-producer/single-consumer ring buffer.
 ///
 /// One thread may call the producer side (try_push / full / acquire),
@@ -48,14 +60,26 @@ namespace mmsoc::runtime {
 /// `capacity` buffers are ever in flight), and if the producer ignores
 /// acquire() the ring simply sits full while pop() destroys the surplus
 /// — recycling is an optimization, never a correctness dependency.
+/// Unit tracing (opt-in): with `track_ledgers` set the queue keeps a
+/// parallel per-slot UnitLedger array. The producer stamps the *next*
+/// slot with stamp_next() immediately before try_push(); because the
+/// stamp lands before try_push's tail release store, the consumer's
+/// acquire load of tail_ makes front_ledger() race-free under the same
+/// Lamport pairing that covers the element itself. Unstamped slots may
+/// hold a stale ledger from a previous lap — consumers must only read
+/// ledgers for units they know were stamped (the engine's sampling rule
+/// is locally computable from the iteration index, so producer and
+/// consumer always agree).
 template <typename T>
 class SpscQueue {
  public:
-  explicit SpscQueue(std::size_t capacity, bool recycle = false)
+  explicit SpscQueue(std::size_t capacity, bool recycle = false,
+                     bool track_ledgers = false)
       : capacity_(capacity == 0 ? 1 : capacity),
         slots_(capacity_ + 1),  // one empty slot distinguishes full/empty
         recycle_(recycle) {
     if (recycle_) free_slots_.resize(capacity_ + 1);
+    if (track_ledgers) ledgers_.resize(capacity_ + 1);
   }
 
   SpscQueue(const SpscQueue&) = delete;
@@ -98,6 +122,27 @@ class SpscQueue {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (h == tail_.load(std::memory_order_acquire)) return nullptr;
     return &slots_[h];
+  }
+
+  /// True when the queue was built with per-slot unit ledgers.
+  [[nodiscard]] bool tracks_ledgers() const noexcept {
+    return !ledgers_.empty();
+  }
+
+  /// Producer side: stamp the slot the *next* try_push() will fill. Call
+  /// immediately before try_push; the tail release store publishes both
+  /// the element and the stamp. No-op when ledgers are off. If the push
+  /// then fails (ring full) the stamp is simply overwritten by the next
+  /// attempt — nothing is published.
+  void stamp_next(const UnitLedger& ledger) noexcept {
+    if (ledgers_.empty()) return;
+    ledgers_[tail_.load(std::memory_order_relaxed)] = ledger;
+  }
+
+  /// Consumer side: ledger of the oldest element (front() must be valid,
+  /// ledgers must be on). Only meaningful for units the producer stamped.
+  [[nodiscard]] const UnitLedger& front_ledger() const noexcept {
+    return ledgers_[head_.load(std::memory_order_relaxed)];
   }
 
   /// Recycled buffers deliberately stay at their high-water capacity —
@@ -184,6 +229,10 @@ class SpscQueue {
   /// data ring, roles swapped. Sized slots_ + 1 so it can bank every
   /// buffer that can possibly be in flight.
   std::vector<T> free_slots_;
+  /// Parallel per-slot unit stamps (empty when tracing is off). Written
+  /// by the producer before the tail release store, read by the consumer
+  /// after the tail acquire load — covered by the data ring's protocol.
+  std::vector<UnitLedger> ledgers_;
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
   alignas(64) std::atomic<std::size_t> free_head_{0};

@@ -1,5 +1,6 @@
 #include "telemetry.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -7,9 +8,78 @@
 #include <mutex>
 #include <thread>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <x86intrin.h>
+#endif
+
 namespace mmsoc {
 
 namespace {
+
+// now_ns_fast() calibration: ns = base_ns + (tsc - base_tsc) * slope. The
+// base pair is fixed at process-wide init; only the slope is refreshed
+// (each collector drain recomputes it from the base pair and a fresh
+// read), so a single release-store publishes a consistent mapping and the
+// absolute conversion error stays pinned to the calibration reads'
+// jitter instead of growing with uptime. slope == 0 means "TSC unusable,
+// fall back to the steady clock".
+struct TscCalibration {
+  std::uint64_t base_tsc = 0;
+  std::uint64_t base_ns = 0;
+  std::atomic<double> slope{0.0};
+};
+TscCalibration g_tsc;
+std::once_flag g_tsc_once;
+
+#if defined(__x86_64__) || defined(__i386__)
+bool has_invariant_tsc() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(0x80000007, &eax, &ebx, &ecx, &edx)) return false;
+  return (edx & (1u << 8)) != 0;
+}
+#endif
+
+void tsc_calibrate_once() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (!has_invariant_tsc()) return;
+  const std::uint64_t tsc0 = __rdtsc();
+  const std::uint64_t ns0 = Telemetry::now_ns();
+  // ~2 ms window: slope good to ~1e-4 immediately; collector re-anchors
+  // tighten it further as the baseline ages.
+  while (Telemetry::now_ns() - ns0 < 2'000'000) {
+  }
+  const std::uint64_t tsc1 = __rdtsc();
+  const std::uint64_t ns1 = Telemetry::now_ns();
+  if (tsc1 <= tsc0 || ns1 <= ns0) return;
+  const double slope = static_cast<double>(ns1 - ns0) /
+                       static_cast<double>(tsc1 - tsc0);
+  // Plausibility gate (0.01..100 ns/tick spans any real TSC frequency);
+  // a virtualised TSC that fails it just keeps the steady-clock path.
+  if (!(slope > 0.01 && slope < 100.0)) return;
+  g_tsc.base_tsc = tsc0;
+  g_tsc.base_ns = ns0;
+  g_tsc.slope.store(slope, std::memory_order_release);
+#endif
+}
+
+// Collector-side refresh: recompute the slope from the fixed base pair
+// and a fresh (tsc, steady) read. As the elapsed window grows the slope's
+// relative error decays, keeping the absolute mapping error at the
+// current time bounded by the pair-read jitter.
+void tsc_reanchor() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (g_tsc.slope.load(std::memory_order_acquire) == 0.0) return;
+  const std::uint64_t tsc = __rdtsc();
+  const std::uint64_t ns = Telemetry::now_ns();
+  if (tsc <= g_tsc.base_tsc || ns <= g_tsc.base_ns) return;
+  const double slope = static_cast<double>(ns - g_tsc.base_ns) /
+                       static_cast<double>(tsc - g_tsc.base_tsc);
+  if (slope > 0.01 && slope < 100.0) {
+    g_tsc.slope.store(slope, std::memory_order_release);
+  }
+#endif
+}
 
 std::size_t round_up_pow2(std::size_t v) {
   std::size_t p = 1;
@@ -135,6 +205,16 @@ struct Telemetry::Impl {
   std::mutex cv_mu;
   bool stop = false;
 
+  // Watchdog registry. Guarded by its own mutex (NOT `mu`): callbacks run
+  // with wd_mu held and may take component locks (e.g. the engine's session
+  // mutex) that are themselves held while calling into Telemetry — keeping
+  // the registries separate keeps the lock graph acyclic. Holding wd_mu
+  // across the invocation is what lets remove_watchdog() fence out
+  // in-flight calls before the registrant dies.
+  std::mutex wd_mu;
+  std::map<std::uint64_t, Telemetry::WatchdogFn> watchdogs;
+  std::uint64_t next_watchdog_id = 1;
+
   void drain_locked() {
     TelemetryEvent ev;
     for (std::uint32_t t = 0; t < tracks.size(); ++t) {
@@ -154,6 +234,7 @@ struct Telemetry::Impl {
 };
 
 Telemetry::Telemetry(TelemetryOptions opts) : impl_(new Impl) {
+  std::call_once(g_tsc_once, tsc_calibrate_once);
   impl_->opts = opts;
   impl_->names.push_back("");  // id 0 = unnamed
   if (opts.collect_period_ms > 0) {
@@ -165,6 +246,10 @@ Telemetry::Telemetry(TelemetryOptions opts) : impl_(new Impl) {
         if (im.stop) break;
         lk.unlock();
         flush();
+        // Watchdogs ride the drain cadence: each callback sees a world in
+        // which everything emitted before this period is already drained.
+        poll_watchdogs();
+        tsc_reanchor();
         lk.lock();
       }
     });
@@ -210,6 +295,29 @@ void Telemetry::reset_drain_callback(EventRing* ring) {
   }
 }
 
+std::uint64_t Telemetry::add_watchdog(WatchdogFn fn) {
+  std::lock_guard<std::mutex> lock(impl_->wd_mu);
+  const std::uint64_t id = impl_->next_watchdog_id++;
+  impl_->watchdogs.emplace(id, std::move(fn));
+  return id;
+}
+
+void Telemetry::remove_watchdog(std::uint64_t id) {
+  // Taking wd_mu waits for any in-flight poll_watchdogs() pass to finish,
+  // so after this returns the callback can never run again.
+  std::lock_guard<std::mutex> lock(impl_->wd_mu);
+  impl_->watchdogs.erase(id);
+}
+
+void Telemetry::poll_watchdogs() {
+  std::lock_guard<std::mutex> lock(impl_->wd_mu);
+  for (auto& [id, fn] : impl_->watchdogs) {
+    if (fn) fn();
+  }
+}
+
+const TelemetryOptions& Telemetry::options() const { return impl_->opts; }
+
 std::uint16_t Telemetry::intern(const std::string& name) {
   if (name.empty()) return 0;
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -251,6 +359,20 @@ std::uint64_t Telemetry::now_ns() {
           .count());
 }
 
+std::uint64_t Telemetry::now_ns_fast() {
+#if defined(__x86_64__) || defined(__i386__)
+  // acquire pairs with the calibration's release-store so the (plain)
+  // base fields are visible; free on x86.
+  const double slope = g_tsc.slope.load(std::memory_order_acquire);
+  if (slope != 0.0) {
+    const std::uint64_t dt = __rdtsc() - g_tsc.base_tsc;
+    return g_tsc.base_ns +
+           static_cast<std::uint64_t>(static_cast<double>(dt) * slope);
+  }
+#endif
+  return now_ns();
+}
+
 std::string Telemetry::trace_json() {
   flush();
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -282,12 +404,67 @@ std::string Telemetry::trace_json() {
       case EventKind::kSessionEnd: return "session-end";
       case EventKind::kAdmit: return "admit";
       case EventKind::kReject: return "reject";
+      case EventKind::kUnitFlow: return "unit-flow";
+      case EventKind::kUnitComplete: return "unit-complete";
       default: return "event";
     }
+  };
+  // One flow chain per sampled unit: the flow id glues the "s" (source
+  // stage), "t" (interior stages), and "f" (sink stage) points together;
+  // each point's ts lands inside the firing-batch slice that executed the
+  // unit on that track, which is the slice Perfetto attaches the arrow to.
+  char idbuf[32];
+  auto flow_id = [&](const TelemetryEvent& ev) {
+    std::snprintf(idbuf, sizeof(idbuf), "\"0x%llx\"",
+                  static_cast<unsigned long long>(
+                      (static_cast<std::uint64_t>(ev.session()) << 32) |
+                      (ev.arg0 & 0xffffffffu)));
+    return idbuf;
   };
   for (const Impl::Retained& r : impl_->retained) {
     const TelemetryEvent& ev = r.ev;
     const EventKind kind = ev.kind();
+    if (kind == EventKind::kUnitFlow || kind == EventKind::kUnitComplete) {
+      const std::uint16_t nid0 = ev.name_id();
+      const std::string stage =
+          nid0 < impl_->names.size() ? impl_->names[nid0] : std::string();
+      const bool source =
+          kind == EventKind::kUnitFlow && (ev.arg1 & 1u) != 0;
+      const char* ph = kind == EventKind::kUnitComplete ? "f"
+                       : source                         ? "s"
+                                                        : "t";
+      comma();
+      out += "{\"name\":\"unit\",\"cat\":\"unit\",\"ph\":\"";
+      out += ph;
+      out += "\"";
+      if (kind == EventKind::kUnitComplete) out += ",\"bp\":\"e\"";
+      out += ",\"id\":";
+      out += flow_id(ev);
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(r.track + 1);
+      out += ",\"ts\":";
+      append_us(out, ev.end_ns);
+      out += ",\"args\":{\"unit\":";
+      out += std::to_string(ev.arg0);
+      out += ",\"session\":";
+      out += std::to_string(ev.session());
+      out += ",\"stage\":\"";
+      append_json_escaped(out, stage);
+      if (kind == EventKind::kUnitComplete) {
+        out += "\",\"latency_ns\":";
+        out += std::to_string(ev.arg1);
+      } else {
+        out += "\",\"service_ns\":";
+        out += std::to_string(ev.arg1 >> 1);
+        out += ",\"wait_ns\":";
+        const std::uint64_t span =
+            ev.end_ns >= ev.begin_ns ? ev.end_ns - ev.begin_ns : 0;
+        const std::uint64_t service = ev.arg1 >> 1;
+        out += std::to_string(span >= service ? span - service : 0);
+      }
+      out += "}}";
+      continue;
+    }
     const std::uint16_t nid = ev.name_id();
     const std::string& name =
         nid < impl_->names.size() && !impl_->names[nid].empty()

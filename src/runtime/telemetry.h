@@ -62,6 +62,15 @@ enum class EventKind : std::uint8_t {
   kSessionEnd = 7,    // instant; arg0 = completed firings, arg1 = outcome code
   kAdmit = 8,         // instant; admission accepted (arg0 = shard index)
   kReject = 9,        // instant; admission rejected (arg0 = shard index)
+  // Frame-journey flow events (sampled units only; see TelemetryOptions::
+  // unit_sample_period). begin_ns = when the unit became ready for the
+  // stage (max input enqueue time, or origin for sources), end_ns = when
+  // the stage's firing completed. arg0 = unit index, arg1 = service time
+  // in ns shifted left 1 | 1 if this is a source stage (flow start).
+  kUnitFlow = 10,
+  // Sampled unit retired at a sink stage. begin_ns = origin stamp,
+  // end_ns = completion; arg0 = unit index, arg1 = end-to-end latency ns.
+  kUnitComplete = 11,
 };
 
 // Fixed-size 40-byte binary event: 5 x uint64 words.
@@ -129,6 +138,18 @@ struct TelemetryOptions {
   // Collector drain period in milliseconds; 0 disables the background thread
   // (events are drained on flush()/trace_json() only — used by tests).
   int collect_period_ms = 10;
+  // Frame-journey sampling: every Nth unit (iteration) of every session is
+  // stamped at its source, carried through the channel ledgers, and traced
+  // end to end (kUnitFlow/kUnitComplete events, per-stage wait/service
+  // accounting, per-session latency histograms). 1 traces every unit, 0
+  // disables unit tracing entirely. The default 1-in-16 keeps the E-RT/OBS
+  // overhead ratio >= 0.97 with tracing on.
+  std::size_t unit_sample_period = 16;
+  // Stall watchdog: a session that completes zero firings across this many
+  // consecutive collector drain periods is flagged and its per-task
+  // gate/channel/queue state dumped (see Engine stall reports). 0 disables
+  // the watchdog.
+  int watchdog_periods = 8;
 };
 
 // Owns the per-thread rings, the string-intern table, the metrics registry,
@@ -166,6 +187,27 @@ class Telemetry {
   // captures component state.
   void reset_drain_callback(EventRing* ring);
 
+  // Stall-watchdog hooks: the collector thread invokes every registered
+  // callback once per drain period, after flush(), with NO Telemetry lock
+  // held except the watchdog registry's own mutex (held across the
+  // invocation so remove_watchdog() can safely fence out in-flight calls).
+  // Callbacks must not call add_/remove_watchdog or poll_watchdogs, and
+  // must be quick — they share the collector's cadence with draining.
+  // With collect_period_ms == 0 there is no collector; tests (or an
+  // embedder's own timer) call poll_watchdogs() directly.
+  using WatchdogFn = std::function<void()>;
+  std::uint64_t add_watchdog(WatchdogFn fn);
+  // Blocks until any in-flight invocation of the callback completes; after
+  // return the callback will never run again (the registrant may die).
+  void remove_watchdog(std::uint64_t id);
+  // Invoke every registered watchdog once (what the collector does each
+  // period). Public so no-collector configurations can drive it manually.
+  void poll_watchdogs();
+
+  // The options this instance was built with (engines read
+  // unit_sample_period / watchdog_periods from here).
+  [[nodiscard]] const TelemetryOptions& options() const;
+
   // Interns a string (task / job names) into a 16-bit id usable in events.
   // Id 0 is reserved for "" / unnamed. Thread-safe.
   std::uint16_t intern(const std::string& name);
@@ -192,6 +234,17 @@ class Telemetry {
 
   // steady_clock nanoseconds, same epoch the engine's batch clock reads use.
   static std::uint64_t now_ns();
+
+  // Same ns epoch as now_ns() at a fraction of the cost: one invariant-TSC
+  // read plus a multiply against a slope the collector re-anchors every
+  // drain period (conversion error stays bounded by the calibration pair's
+  // read jitter, a few hundred ns, independent of uptime). Falls back to
+  // now_ns() where no invariant TSC is available. A re-anchor between two
+  // calls can step the mapping backwards by that same sub-microsecond
+  // bound, so callers differencing two reads must clamp at zero. Used on
+  // the frame-journey sampled path, where two vDSO clock reads per sampled
+  // firing would dominate the tracing budget.
+  static std::uint64_t now_ns_fast();
 
  private:
   struct Impl;

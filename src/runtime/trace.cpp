@@ -54,6 +54,11 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
   double predicted_sum = 0.0;
   double measured_sum = 0.0;
   std::vector<double> pred_series, meas_series;
+  // The calibration-loop vector: per-TaskId mean body time. Same numbers
+  // mean_firing_s() yields, consumed through the API the loop uses so the
+  // table and the calibrator can never drift apart.
+  const std::vector<double> service = measured.mean_service_times();
+  const UnitTraceReport& ut = measured.unit_trace;
   for (mpsoc::TaskId t = 0; t < graph.task_count(); ++t) {
     StageComparison s;
     s.name = graph.task(t).name;
@@ -65,7 +70,7 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
                         ? std::max(0.0, platform.pes[s.pe].exec_seconds(graph.task(t)))
                         : 0.0;
     if (t < measured.tasks.size()) {
-      s.measured_mean_s = measured.tasks[t].mean_firing_s();
+      s.measured_mean_s = t < service.size() ? service[t] : 0.0;
       s.worker = measured.tasks[t].worker;
       s.migrations = measured.tasks[t].migrations;
       s.min_firing_s = measured.tasks[t].min_firing_s;
@@ -74,6 +79,11 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
       // io_stall, never busy), so shares and rank correlation keep
       // comparing compute against predicted compute.
       s.io_wait_s = measured.tasks[t].mean_io_stall_s();
+    }
+    if (ut.enabled() && t < ut.stages.size()) {
+      s.unit_sampled = ut.stages[t].sampled;
+      s.unit_queue_wait_s = ut.stages[t].mean_queue_wait_s();
+      s.unit_service_s = ut.stages[t].mean_service_s();
     }
     predicted_sum += s.predicted_s;
     measured_sum += s.measured_mean_s;
@@ -86,20 +96,31 @@ ModelComparison compare_with_schedule(const SessionReport& measured,
     s.measured_share = measured_sum > 0.0 ? s.measured_mean_s / measured_sum : 0.0;
   }
   c.stage_rank_correlation = rank_correlation(pred_series, meas_series);
+  if (ut.enabled() && ut.sampled_completed > 0) {
+    c.sampled_units = ut.sampled_completed;
+    c.measured_mean_latency_s = ut.mean_latency_s();
+    c.measured_p50_latency_s = ut.p50_s();
+    c.measured_p99_latency_s = ut.p99_s();
+    if (c.predicted_makespan_s > 0.0) {
+      c.latency_error_ratio = c.measured_mean_latency_s / c.predicted_makespan_s;
+    }
+  }
   return c;
 }
 
 std::string format_comparison(const ModelComparison& c) {
   std::string out;
-  char line[192];
+  char line[256];
   std::snprintf(line, sizeof line,
-                "%-20s %4s %4s %4s %12s %12s %10s %10s %10s %8s %8s\n",
+                "%-20s %4s %4s %4s %12s %12s %10s %10s %10s %10s %10s %8s %8s\n",
                 "stage", "pe", "wkr", "mig", "pred us", "meas us",
-                "io-wait us", "min us", "max us", "pred %", "meas %");
+                "io-wait us", "min us", "max us", "q-wait us", "svc us",
+                "pred %", "meas %");
   out += line;
   // Unset (never fired) min/max render as '-': a 0.00 here would read as
-  // an impossibly fast firing.
-  char min_col[24], max_col[24];
+  // an impossibly fast firing. Same for the frame-journey columns of a
+  // stage no sampled unit reached (or with tracing off).
+  char min_col[24], max_col[24], qw_col[24], svc_col[24];
   for (const auto& s : c.stages) {
     if (std::isnan(s.min_firing_s)) {
       std::snprintf(min_col, sizeof min_col, "%10s", "-");
@@ -111,13 +132,20 @@ std::string format_comparison(const ModelComparison& c) {
     } else {
       std::snprintf(max_col, sizeof max_col, "%10.2f", s.max_firing_s * 1e6);
     }
+    if (s.unit_sampled == 0) {
+      std::snprintf(qw_col, sizeof qw_col, "%10s", "-");
+      std::snprintf(svc_col, sizeof svc_col, "%10s", "-");
+    } else {
+      std::snprintf(qw_col, sizeof qw_col, "%10.2f", s.unit_queue_wait_s * 1e6);
+      std::snprintf(svc_col, sizeof svc_col, "%10.2f", s.unit_service_s * 1e6);
+    }
     std::snprintf(line, sizeof line,
-                  "%-20s %4zu %4zu %4llu %12.2f %12.2f %10.2f %s %s "
+                  "%-20s %4zu %4zu %4llu %12.2f %12.2f %10.2f %s %s %s %s "
                   "%7.1f%% %7.1f%%\n",
                   s.name.c_str(), s.pe, s.worker,
                   static_cast<unsigned long long>(s.migrations),
                   s.predicted_s * 1e6, s.measured_mean_s * 1e6,
-                  s.io_wait_s * 1e6, min_col, max_col,
+                  s.io_wait_s * 1e6, min_col, max_col, qw_col, svc_col,
                   s.predicted_share * 100.0, s.measured_share * 100.0);
     out += line;
   }
@@ -127,6 +155,16 @@ std::string format_comparison(const ModelComparison& c) {
                 c.predicted_ii_s * 1e3, c.measured_ii_s * 1e3,
                 c.ii_error_ratio, c.stage_rank_correlation);
   out += line;
+  if (c.sampled_units > 0) {
+    std::snprintf(line, sizeof line,
+                  "frame latency (%llu sampled): mean %.3f ms | p50 %.3f ms | "
+                  "p99 %.3f ms | predicted makespan %.3f ms | ratio %.2fx\n",
+                  static_cast<unsigned long long>(c.sampled_units),
+                  c.measured_mean_latency_s * 1e3, c.measured_p50_latency_s * 1e3,
+                  c.measured_p99_latency_s * 1e3, c.predicted_makespan_s * 1e3,
+                  c.latency_error_ratio);
+    out += line;
+  }
   return out;
 }
 

@@ -48,6 +48,12 @@ struct StageComparison {
   double max_firing_s = std::numeric_limits<double>::quiet_NaN();
   double predicted_share = 0.0;   ///< fraction of summed predicted time
   double measured_share = 0.0;    ///< fraction of summed measured time
+  /// Frame-journey columns (unit-ledger sourced; see SessionReport::
+  /// unit_trace): sampled-unit count and mean per-unit channel queue wait
+  /// / body service at this stage. Zero when unit tracing was off.
+  std::uint64_t unit_sampled = 0;
+  double unit_queue_wait_s = 0.0;
+  double unit_service_s = 0.0;
 };
 
 struct ModelComparison {
@@ -62,6 +68,18 @@ struct ModelComparison {
   /// Rank correlation (-1..1) between predicted and measured per-stage
   /// cost orderings; high = the model identifies the right bottlenecks.
   double stage_rank_correlation = 0.0;
+  /// Measured end-to-end frame latency from the unit ledger (sampled
+  /// units only; NaN when unit tracing was off). Compare against
+  /// predicted_makespan_s: the analytic one-iteration latency is the
+  /// model's prediction of exactly this journey.
+  std::uint64_t sampled_units = 0;
+  double measured_mean_latency_s = std::numeric_limits<double>::quiet_NaN();
+  double measured_p50_latency_s = std::numeric_limits<double>::quiet_NaN();
+  double measured_p99_latency_s = std::numeric_limits<double>::quiet_NaN();
+  /// measured mean latency / predicted makespan; NaN when either is
+  /// unavailable. Same caveat as ii_error_ratio: compare shapes, the
+  /// modeled silicon and the host differ in absolute speed.
+  double latency_error_ratio = std::numeric_limits<double>::quiet_NaN();
   std::vector<StageComparison> stages;
 };
 
