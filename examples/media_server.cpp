@@ -123,6 +123,8 @@ void print_stats_line(Telemetry& tel, std::size_t shards) {
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
+  std::string fault_profile = "off";  // off | light | heavy
+  std::uint64_t fault_seed = 4242;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
@@ -133,13 +135,25 @@ int main(int argc, char** argv) {
       metrics_out = arg + 14;
     } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strncmp(arg, "--fault-profile=", 16) == 0) {
+      fault_profile = arg + 16;
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      fault_seed = std::strtoull(arg + 13, nullptr, 10);
     } else {
       std::printf(
-          "usage: %s [--trace-out=trace.json] [--metrics-out=metrics.prom]\n",
+          "usage: %s [--trace-out=trace.json] [--metrics-out=metrics.prom]\n"
+          "          [--fault-profile=off|light|heavy] [--fault-seed=N]\n",
           argv[0]);
       return 2;
     }
   }
+  if (fault_profile != "off" && fault_profile != "light" &&
+      fault_profile != "heavy") {
+    std::printf("unknown --fault-profile '%s' (off|light|heavy)\n",
+                fault_profile.c_str());
+    return 2;
+  }
+  const bool chaos = fault_profile != "off";
 
   std::printf("== media server: async boundaries over a sharded engine ==\n\n");
 
@@ -151,6 +165,30 @@ int main(int argc, char** argv) {
   io_opts.threads = 2;
   io_opts.telemetry = &telemetry;
   runtime::IoContext io(io_opts);
+
+  // Deterministic chaos at the device boundary (--fault-profile): every
+  // fault decision is a pure hash of (seed, endpoint, unit, attempt), so
+  // a given seed replays the identical failure schedule run after run.
+  // The injector is borrowed by the session configs below and must
+  // outlive the session objects.
+  runtime::FaultInjector injector(fault_seed, &telemetry);
+  runtime::FaultPlan read_faults;
+  runtime::FaultPlan write_faults;
+  if (chaos) {
+    const bool heavy = fault_profile == "heavy";
+    read_faults.read_error_rate = heavy ? 0.30 : 0.10;
+    read_faults.burst_length = heavy ? 2 : 1;
+    read_faults.latency_spike_rate = heavy ? 0.10 : 0.02;
+    read_faults.latency_spike_us = heavy ? 500.0 : 200.0;
+    write_faults.write_error_rate = heavy ? 0.20 : 0.05;
+    std::printf("chaos: profile '%s', seed %llu (read err %.0f%%, write err "
+                "%.0f%%, spikes %.0f%%)\n\n",
+                fault_profile.c_str(),
+                static_cast<unsigned long long>(fault_seed),
+                read_faults.read_error_rate * 100.0,
+                write_faults.write_error_rate * 100.0,
+                read_faults.latency_spike_rate * 100.0);
+  }
 
   runtime::ShardedEngineOptions opts;
   opts.shards = 2;
@@ -196,6 +234,12 @@ int main(int argc, char** argv) {
   tcfg.frames = 32;
   tcfg.time_scale = 1.0;
   tcfg.seed = 43;
+  if (chaos) {
+    tcfg.fault = &injector;
+    tcfg.read_faults = read_faults;
+    tcfg.write_faults = write_faults;
+    tcfg.retry.seed = fault_seed;
+  }
   auto made = runtime::make_file_transcode_session(io, tcfg);
   if (!made.is_ok()) {
     std::printf("transcode build failed: %s\n", made.status().to_text().c_str());
@@ -253,6 +297,28 @@ int main(int argc, char** argv) {
       out_stat.is_ok() ? static_cast<unsigned long long>(out_stat.value().size)
                        : 0ull,
       transcode.state->out_crc);
+  if (chaos) {
+    const auto fstats = injector.total_stats();
+    const auto sstats = transcode.source->stats();
+    const auto kstats = transcode.sink->stats();
+    std::printf(
+        "    chaos: %llu faults injected (%llu transient, %llu spikes), "
+        "%llu retries, %llu units recovered\n"
+        "    session errors summary: %llu errors, first unit %llu, "
+        "last unit %llu\n",
+        static_cast<unsigned long long>(fstats.injected()),
+        static_cast<unsigned long long>(fstats.transient_errors),
+        static_cast<unsigned long long>(fstats.latency_spikes),
+        static_cast<unsigned long long>(sstats.retries + kstats.retries),
+        static_cast<unsigned long long>(sstats.recovered + kstats.recovered),
+        static_cast<unsigned long long>(transcode_rep.io_errors.errors),
+        static_cast<unsigned long long>(
+            transcode_rep.io_errors.any() ? transcode_rep.io_errors.first_unit
+                                          : 0),
+        static_cast<unsigned long long>(
+            transcode_rep.io_errors.any() ? transcode_rep.io_errors.last_unit
+                                          : 0));
+  }
 
   const auto io_stats = io.stats();
   std::printf("\nIoContext: %llu jobs, %.1f ms busy on %zu threads\n",

@@ -41,6 +41,8 @@ std::uint64_t to_ns(Clock::time_point t) {
 constexpr int kLive = 0;
 constexpr int kCancelledByUser = 1;
 constexpr int kDeadlineExpired = 2;
+constexpr int kFailedByBoundary = 3;      // Engine::fail_session
+constexpr int kQuarantinedByWatchdog = 4; // stall-watchdog escalation
 
 }  // namespace
 
@@ -51,6 +53,8 @@ std::string_view to_string(SessionOutcome outcome) noexcept {
     case SessionOutcome::kCancelled: return "cancelled";
     case SessionOutcome::kDeadlineExceeded: return "deadline_exceeded";
     case SessionOutcome::kAborted: return "aborted";
+    case SessionOutcome::kFailed: return "failed";
+    case SessionOutcome::kQuarantined: return "quarantined";
   }
   return "?";
 }
@@ -180,6 +184,11 @@ struct Engine::Impl {
     std::uint64_t wd_last_outstanding = ~std::uint64_t{0};
     int wd_stagnant_periods = 0;
     bool wd_flagged = false;
+    /// Boundary-failure record (guarded by sessions_mu; first failure
+    /// wins) and the rolling multi-error summary fed by record_io_error.
+    common::Status failed_status;
+    std::uint64_t failed_unit = 0;
+    IoErrorSummary io_errors;
     SessionReport report;
   };
 
@@ -274,11 +283,13 @@ struct Engine::Impl {
   Histogram* h_unit_queue_wait_ns = nullptr;  // drain-fed from kUnitFlow
   Histogram* h_unit_service_ns = nullptr;     // drain-fed from kUnitFlow
   Counter* m_watchdog_stalls = nullptr;
-  // Stall-watchdog registration + retained dump strings.
+  Counter* m_watchdog_recoveries = nullptr;
+  // Stall-watchdog registration + retained dump strings / recoveries.
   std::uint64_t watchdog_id = 0;
   static constexpr std::size_t kMaxStallReports = 16;
   mutable std::mutex stall_mu;
   std::vector<std::string> stall_reports_;
+  std::vector<Engine::StallRecovery> stall_recoveries_;
 
   EventRing* ring_of(std::size_t w) const {
     if (!kTelemetryCompiled || rings.empty()) return nullptr;
@@ -307,6 +318,7 @@ struct Engine::Impl {
     h_unit_queue_wait_ns = m.histogram(p + ".unit_queue_wait_ns");
     h_unit_service_ns = m.histogram(p + ".unit_service_ns");
     m_watchdog_stalls = m.counter(p + ".watchdog.stalls");
+    m_watchdog_recoveries = m.counter(p + ".watchdog.recoveries");
     // Handles above resolve before the callback can observe an event.
     // ~Impl unhooks the callback before these members die.
     const auto on_drain = [this](const TelemetryEvent& ev) {
@@ -414,6 +426,26 @@ struct Engine::Impl {
   void cancel_session(std::size_t s, int code) {
     std::lock_guard lock(sessions_mu);
     cancel_session_locked(s, code);
+  }
+
+  void fail_session(std::size_t s, std::uint64_t unit, Status status) {
+    std::lock_guard lock(sessions_mu);
+    if (s >= sessions.size()) return;
+    auto& sess = *sessions[s];
+    if (sess.failed_status.is_ok()) {
+      sess.failed_status = std::move(status);
+      sess.failed_unit = unit;
+    }
+    cancel_session_locked(s, kFailedByBoundary);
+  }
+
+  void record_io_error(std::size_t s, std::uint64_t unit, const Status& status,
+                       bool will_retry) {
+    std::lock_guard lock(sessions_mu);
+    if (s >= sessions.size()) return;
+    auto& sess = *sessions[s];
+    sess.io_errors.record(unit, status);
+    if (will_retry) ++sess.io_errors.retries;
   }
 
   void cancel_session_locked(std::size_t s, int code) {
@@ -1096,7 +1128,9 @@ struct Engine::Impl {
     if (!kTelemetryCompiled || tel == nullptr) return;
     const int threshold = tel->options().watchdog_periods;
     if (threshold <= 0) return;
+    const int quarantine = tel->options().watchdog_quarantine_periods;
     std::vector<std::string> dumps;
+    std::vector<Engine::StallRecovery> recoveries;
     {
       std::lock_guard lock(sessions_mu);
       for (std::size_t s = 0; s < sessions.size(); ++s) {
@@ -1121,9 +1155,24 @@ struct Engine::Impl {
           sess.wd_flagged = true;
           dumps.push_back(dump_session_locked(s, sess, out));
         }
+        // Escalation from detect to recover: a flagged session that
+        // stays wedged for `quarantine` ADDITIONAL periods is cancelled
+        // and drained through the normal cancellation machinery, so its
+        // back-pressured peers unblock and the engine keeps serving the
+        // co-resident sessions. 0 = detect-only.
+        if (quarantine > 0 && sess.wd_flagged &&
+            sess.wd_stagnant_periods >= threshold + quarantine) {
+          Engine::StallRecovery rec;
+          rec.session = s;
+          rec.graph = sess.graph->name();
+          rec.stagnant_periods = sess.wd_stagnant_periods;
+          rec.dump = dump_session_locked(s, sess, out);
+          recoveries.push_back(std::move(rec));
+          cancel_session_locked(s, kQuarantinedByWatchdog);
+        }
       }
     }
-    if (dumps.empty()) return;
+    if (dumps.empty() && recoveries.empty()) return;
     {
       std::lock_guard lock(stall_mu);
       for (auto& d : dumps) {
@@ -1132,8 +1181,19 @@ struct Engine::Impl {
         }
         stall_reports_.push_back(std::move(d));
       }
+      for (auto& r : recoveries) {
+        if (stall_recoveries_.size() >= kMaxStallReports) {
+          stall_recoveries_.erase(stall_recoveries_.begin());
+        }
+        stall_recoveries_.push_back(std::move(r));
+      }
     }
-    if (m_watchdog_stalls != nullptr) m_watchdog_stalls->add(dumps.size());
+    if (m_watchdog_stalls != nullptr && !dumps.empty()) {
+      m_watchdog_stalls->add(dumps.size());
+    }
+    if (m_watchdog_recoveries != nullptr && !recoveries.empty()) {
+      m_watchdog_recoveries->add(recoveries.size());
+    }
   }
 
   /// Caller holds sessions_mu. Gates are thread-safe reads by contract;
@@ -1608,7 +1668,26 @@ struct Engine::Impl {
       }
       const std::uint64_t total = sess.iterations * sess.graph->task_count();
       const int code = sess.cancel_code.load(std::memory_order_acquire);
-      if (rep.completed_firings == total) {
+      rep.io_errors = sess.io_errors;
+      rep.failed_unit = sess.failed_unit;
+      if (code == kFailedByBoundary) {
+        // The failure is authoritative even if the graph drained to
+        // completion on empty payloads — the output is not trustworthy.
+        rep.outcome = SessionOutcome::kFailed;
+        rep.status = Status(
+            StatusCode::kUnavailable,
+            "session '" + rep.graph + "' failed at unit " +
+                std::to_string(sess.failed_unit) + ": " +
+                sess.failed_status.message());
+      } else if (code == kQuarantinedByWatchdog) {
+        rep.outcome = SessionOutcome::kQuarantined;
+        rep.status = Status(
+            StatusCode::kUnavailable,
+            "session '" + rep.graph +
+                "' quarantined by the stall watchdog after " +
+                std::to_string(rep.completed_firings) + " of " +
+                std::to_string(total) + " firings");
+      } else if (rep.completed_firings == total) {
         rep.outcome = SessionOutcome::kCompleted;
         rep.status = Status::ok();
       } else if (code == kCancelledByUser || code == kDeadlineExpired) {
@@ -1720,6 +1799,21 @@ std::uint64_t Engine::steal_count() const noexcept {
 std::vector<std::string> Engine::stall_reports() const {
   std::lock_guard lock(impl_->stall_mu);
   return impl_->stall_reports_;
+}
+
+std::vector<Engine::StallRecovery> Engine::stall_recoveries() const {
+  std::lock_guard lock(impl_->stall_mu);
+  return impl_->stall_recoveries_;
+}
+
+void Engine::fail_session(std::size_t session, std::uint64_t unit,
+                          common::Status status) {
+  impl_->fail_session(session, unit, std::move(status));
+}
+
+void Engine::record_io_error(std::size_t session, std::uint64_t unit,
+                             const common::Status& status, bool will_retry) {
+  impl_->record_io_error(session, unit, status, will_retry);
 }
 
 Result<SessionReport> run_pipeline(const mpsoc::TaskGraph& graph,

@@ -94,6 +94,7 @@
 #include "common/status.h"
 #include "mpsoc/schedule.h"
 #include "mpsoc/taskgraph.h"
+#include "runtime/fault.h"
 #include "runtime/queue.h"
 #include "runtime/telemetry.h"
 
@@ -176,6 +177,14 @@ struct SessionOptions {
   /// zero = unlimited. An expired session is cancelled exactly like
   /// Engine::cancel, but its report carries kDeadlineExceeded.
   std::chrono::nanoseconds timeout{0};
+  /// Graceful-degradation hook: an overloaded sharded front-end (see
+  /// ShardedEngineOptions::overload) invokes this — at most once per
+  /// session — asking it to shrink its footprint (bump the encoder
+  /// qscale, drop enhancement layers, halve the frame rate). The Engine
+  /// itself never calls it. Runs on whichever thread hit the overload
+  /// with front-end locks held: keep it cheap (flip an atomic the
+  /// session's task bodies read) and never call back into the engine.
+  std::function<void(std::size_t session)> on_degrade;
 };
 
 /// How a session ended.
@@ -185,6 +194,8 @@ enum class SessionOutcome {
   kCancelled,         ///< Engine::cancel / cancel_all / destructor
   kDeadlineExceeded,  ///< per-session timeout expired
   kAborted,           ///< engine stopped early (another session's error)
+  kFailed,            ///< boundary failure (Engine::fail_session) — kUnavailable
+  kQuarantined,       ///< wedged; cancelled by the stall watchdog — kUnavailable
 };
 
 [[nodiscard]] std::string_view to_string(SessionOutcome outcome) noexcept;
@@ -325,6 +336,15 @@ struct SessionReport {
   /// is off or TelemetryOptions::unit_sample_period == 0).
   UnitTraceReport unit_trace;
 
+  /// Every boundary device error this session observed (count, first /
+  /// last failing unit, first/last status, retries scheduled) — fed by
+  /// Engine::record_io_error from the I/O adapters' error observers, so
+  /// a multi-error episode stays diagnosable even though `status` keeps
+  /// only the terminal story.
+  IoErrorSummary io_errors;
+  /// The unit Engine::fail_session blamed (valid when outcome == kFailed).
+  std::uint64_t failed_unit = 0;
+
   SessionOutcome outcome = SessionOutcome::kPending;
   /// ok for kCompleted, a kCancelled / kDeadlineExceeded / kUnavailable
   /// status otherwise. Distinct from Engine::run()'s return: a cancelled
@@ -397,6 +417,25 @@ class Engine {
   /// Cancel every session.
   void cancel_all();
 
+  /// Boundary failure escalation: retire `session` through the normal
+  /// cancellation machinery, but report it as SessionOutcome::kFailed
+  /// with a kUnavailable status naming the failing `unit` — the clean
+  /// fail-fast ending for an exhausted retry budget, a permanent device
+  /// error, or an I/O context that stopped mid-session. Typically wired
+  /// as the AsyncSource/AsyncSink failure handler. First failure wins;
+  /// idempotent and thread-safe like cancel(). Co-resident sessions are
+  /// unaffected.
+  void fail_session(std::size_t session, std::uint64_t unit,
+                    common::Status status);
+
+  /// Per-error observer feed for SessionReport::io_errors: record one
+  /// device error (including ones that will be retried) against
+  /// `session`. Thread-safe, callable from I/O threads; typically wired
+  /// as the AsyncSource/AsyncSink error observer. Errors recorded here
+  /// do not end the session — fail_session does.
+  void record_io_error(std::size_t session, std::uint64_t unit,
+                       const common::Status& status, bool will_retry);
+
   /// Wakeup hook for asynchronous boundary tasks: a thread-safe callable
   /// that wakes the worker *currently* owning `task` of `session` (owners
   /// are re-read per call, so wakeups follow work-stealing migrations).
@@ -428,6 +467,21 @@ class Engine {
   /// for diagnosis. One dump per stall episode: a session is re-armed
   /// only after it makes progress again. Thread-safe.
   [[nodiscard]] std::vector<std::string> stall_reports() const;
+
+  /// One watchdog recovery: a flagged session that stayed wedged past
+  /// TelemetryOptions::watchdog_quarantine_periods additional drain
+  /// periods and was quarantined — cancelled and drained through the
+  /// normal cancellation machinery so the rest of the engine keeps
+  /// serving. Its report carries SessionOutcome::kQuarantined.
+  struct StallRecovery {
+    std::size_t session = 0;
+    std::string graph;
+    int stagnant_periods = 0;  ///< zero-progress drain periods at quarantine
+    std::string dump;          ///< per-task state at the moment of quarantine
+  };
+  /// Recoveries performed so far (most recent last, bounded). Empty
+  /// unless watchdog_quarantine_periods > 0. Thread-safe.
+  [[nodiscard]] std::vector<StallRecovery> stall_recoveries() const;
 
  private:
   struct Impl;

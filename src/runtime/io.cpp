@@ -5,6 +5,10 @@
 
 namespace mmsoc::runtime {
 
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -17,6 +21,38 @@ void sleep_us(double us) {
   if (us <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
 }
+
+/// Adapt a legacy infallible reader to the TryReadFn convention:
+/// nullopt = clean end of stream (kOutOfRange).
+TryReadFn adapt_read_fn(AsyncSource::ReadFn read) {
+  return [read = std::move(read)](
+             std::uint64_t unit) -> Result<mpsoc::Payload> {
+    auto produced = read(unit);
+    if (!produced.has_value()) {
+      return Result<mpsoc::Payload>(
+          Status(StatusCode::kOutOfRange, "end of stream"));
+    }
+    return Result<mpsoc::Payload>(std::move(*produced));
+  };
+}
+
+TryWriteFn adapt_write_fn(AsyncSink::WriteFn write) {
+  return [write = std::move(write)](std::uint64_t unit,
+                                    const mpsoc::Payload& payload) -> Status {
+    write(unit, payload);
+    return Status::ok();
+  };
+}
+
+/// Min-heap ordering for the IoContext delayed-job heap: earliest due
+/// (ties broken FIFO by seq) at the top of a std::push_heap max-heap.
+struct DelayedLater {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+};
 
 }  // namespace
 
@@ -33,7 +69,12 @@ IoContext::IoContext(IoContextOptions options)
     auto& m = options.telemetry->metrics();
     m_jobs = m.counter(options.telemetry_prefix + ".jobs");
     h_job_ns = m.histogram(options.telemetry_prefix + ".job_latency_ns");
+    m_retries_ = m.counter(options.telemetry_prefix + ".retries");
+    m_failures_ = m.counter(options.telemetry_prefix + ".failures");
+    h_retry_backoff_ns_ =
+        m.histogram(options.telemetry_prefix + ".retry_backoff_ns");
   }
+  timer_thread_ = std::thread([this] { timer_main(); });
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     // Each I/O thread owns its ring (SPSC producer side); registration
@@ -82,9 +123,59 @@ bool IoContext::post(std::function<void()> job) {
   return queue_.push(std::move(job));
 }
 
+bool IoContext::post_after(std::chrono::nanoseconds delay,
+                           std::function<void()> job) {
+  if (delay <= std::chrono::nanoseconds::zero()) return post(std::move(job));
+  {
+    std::lock_guard lock(timer_mu_);
+    if (timer_stop_) return false;
+    timer_heap_.push_back(
+        DelayedJob{Clock::now() + delay, timer_seq_++, std::move(job)});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(), DelayedLater{});
+  }
+  delayed_jobs_.fetch_add(1, std::memory_order_relaxed);
+  timer_cv_.notify_one();
+  return true;
+}
+
+void IoContext::timer_main() {
+  std::unique_lock lock(timer_mu_);
+  for (;;) {
+    if (timer_heap_.empty()) {
+      if (timer_stop_) return;
+      timer_cv_.wait(lock,
+                     [this] { return timer_stop_ || !timer_heap_.empty(); });
+      continue;
+    }
+    // On stop, deadlines are cut short: every pending job flushes into
+    // the queue immediately so "a scheduled job always runs" holds.
+    if (!timer_stop_ && Clock::now() < timer_heap_.front().due) {
+      timer_cv_.wait_until(lock, timer_heap_.front().due);
+      continue;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), DelayedLater{});
+    std::function<void()> job = std::move(timer_heap_.back().job);
+    timer_heap_.pop_back();
+    lock.unlock();
+    // May block while the queue is full — fine, this is the timer
+    // thread, not an I/O thread. The push lands before queue_.close()
+    // because stop() joins this thread first.
+    queue_.push(std::move(job));
+    lock.lock();
+  }
+}
+
 void IoContext::stop() {
   std::call_once(stop_once_, [this] {
     stopped_.store(true, std::memory_order_release);
+    {
+      std::lock_guard lock(timer_mu_);
+      timer_stop_ = true;
+    }
+    timer_cv_.notify_all();
+    // Join the timer *before* closing the queue: it flushes every
+    // pending delayed job into the backlog, which close() then drains.
+    timer_thread_.join();
     queue_.close();  // pop() drains the backlog, then returns nullopt
     for (auto& th : threads_) th.join();
   });
@@ -93,25 +184,104 @@ void IoContext::stop() {
 IoContext::Stats IoContext::stats() const noexcept {
   Stats s;
   s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.delayed_jobs = delayed_jobs_.load(std::memory_order_relaxed);
   s.busy_s =
       static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
   return s;
+}
+
+void IoContext::note_retry(std::uint64_t backoff_ns) {
+  if (m_retries_ != nullptr) m_retries_->add(1);
+  if (h_retry_backoff_ns_ != nullptr) h_retry_backoff_ns_->record(backoff_ns);
+}
+
+void IoContext::note_failure() {
+  if (m_failures_ != nullptr) m_failures_->add(1);
 }
 
 // ---------------------------------------------------------------------------
 // AsyncSource
 // ---------------------------------------------------------------------------
 
+namespace {
+RetryPolicy no_retry() {
+  RetryPolicy p;
+  p.max_attempts = 1;  // legacy adapters: first failure is final
+  return p;
+}
+}  // namespace
+
 AsyncSource::AsyncSource(IoContext& io, ReadFn read, std::size_t depth,
                          std::shared_ptr<PayloadPool> pool)
+    : AsyncSource(io, adapt_read_fn(std::move(read)), no_retry(), depth,
+                  std::move(pool)) {}
+
+AsyncSource::AsyncSource(IoContext& io, TryReadFn read, RetryPolicy retry,
+                         std::size_t depth, std::shared_ptr<PayloadPool> pool)
     : io_(&io),
       read_(std::move(read)),
+      retry_(retry),
       depth_(std::max<std::size_t>(1, depth)),
       pool_(std::move(pool)) {}
 
 AsyncSource::~AsyncSource() {
+  // A pending backoff timer counts as in-flight: the timer-fed job will
+  // run (IoContext::stop flushes delayed jobs before closing the queue),
+  // so this wait terminates even mid-backoff.
   std::unique_lock lock(mu_);
   idle_.wait(lock, [this] { return !inflight_; });
+}
+
+void AsyncSource::set_failure_handler(BoundaryFailureFn on_fail) {
+  std::lock_guard lock(mu_);
+  on_fail_ = std::move(on_fail);
+}
+
+void AsyncSource::set_error_observer(BoundaryErrorFn on_error) {
+  std::lock_guard lock(mu_);
+  on_error_ = std::move(on_error);
+}
+
+common::Status AsyncSource::failure() const {
+  std::lock_guard lock(mu_);
+  return failed_status_;
+}
+
+std::uint64_t AsyncSource::failed_unit() const {
+  std::lock_guard lock(mu_);
+  return failed_unit_;
+}
+
+bool AsyncSource::stuck() const {
+  std::lock_guard lock(mu_);
+  return stuck_;
+}
+
+void AsyncSource::fail(std::unique_lock<std::mutex> lock, std::uint64_t unit,
+                       Status status) {
+  const bool first = failed_status_.is_ok();
+  if (first) {
+    failed_status_ = status;
+    failed_unit_ = unit;
+  }
+  retry_armed_ = false;
+  // Gate opens permanently (fail closed but drainable): the body
+  // delivers empty payloads counted as underruns, the failure handler
+  // carries the real story.
+  io_failed_.store(true, std::memory_order_release);
+  BoundaryFailureFn on_fail = first ? on_fail_ : BoundaryFailureFn{};
+  if (first && !on_fail) fail_notify_pending_ = true;
+  std::function<void()> waker = waker_;
+  lock.unlock();
+  if (first) io_->note_failure();
+  if (on_fail) on_fail(unit, status);
+  if (waker) waker();
+  // Only now does the adapter go idle: ~AsyncSource must not return (and
+  // let the engine the handler captures be destroyed) while the handler
+  // is still running on this thread.
+  lock.lock();
+  inflight_ = false;
+  idle_.notify_all();
 }
 
 void AsyncSource::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
@@ -126,27 +296,55 @@ void AsyncSource::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
 void AsyncSource::attach(std::uint64_t total_units,
                          std::function<void()> waker) {
   std::function<void()> kick;
+  bool notify_fail = false;
+  std::uint64_t funit = 0;
+  Status fstatus;
+  BoundaryFailureFn on_fail;
   {
     std::lock_guard lock(mu_);
     total_ = total_units;
     waker_ = std::move(waker);
     kick = waker_;
     pump_locked();
+    // A failure that predates the handler wiring (context stopped before
+    // attach) is delivered here instead of being silently absorbed.
+    if (fail_notify_pending_ && on_fail_) {
+      fail_notify_pending_ = false;
+      notify_fail = true;
+      funit = failed_unit_;
+      fstatus = failed_status_;
+      on_fail = on_fail_;
+    }
   }
+  if (notify_fail) on_fail(funit, fstatus);
   // Cover the wiring race: a unit that completed before the waker was
   // stored never called it, so nudge the (possibly parked) owner once.
   if (kick) kick();
 }
 
 void AsyncSource::pump_locked() {
-  if (inflight_ || next_read_ >= total_ || buffered_.size() >= depth_) return;
+  if (inflight_ || stuck_ || next_read_ >= total_ ||
+      buffered_.size() >= depth_) {
+    return;
+  }
   if (io_failed_.load(std::memory_order_relaxed)) return;
   inflight_ = true;
   if (!io_->post([this] { drain(); })) {
-    // Context stopped under a live session: fail open — the gate stays
-    // permanently open and the body delivers empty payloads (underruns),
-    // so the engine can still drain instead of parking forever.
+    // Context stopped under a live session: the gate stays permanently
+    // open and the body delivers empty payloads (counted as underruns)
+    // so the engine can still drain instead of parking forever — but the
+    // stop is a *failure*, recorded here and pushed to the failure
+    // handler by body()/attach() (handlers can't run under the lock).
     inflight_ = false;
+    if (failed_status_.is_ok()) {
+      failed_status_ =
+          Status(StatusCode::kUnavailable,
+                 "I/O context stopped before reading unit " +
+                     std::to_string(next_read_));
+      failed_unit_ = next_read_;
+      fail_notify_pending_ = true;
+      io_->note_failure();  // counter add only — safe under mu_
+    }
     io_failed_.store(true, std::memory_order_release);
     idle_.notify_all();
   }
@@ -155,49 +353,138 @@ void AsyncSource::pump_locked() {
 void AsyncSource::drain() {
   for (;;) {
     std::uint64_t unit;
+    std::uint32_t attempt;
     {
       std::lock_guard lock(mu_);
-      if (next_read_ >= total_ || buffered_.size() >= depth_) {
+      if (retry_armed_ && !io_failed_.load(std::memory_order_relaxed)) {
+        // A backoff timer delivered us here: resume the retried unit.
+        retry_armed_ = false;
+        unit = retry_unit_;
+        attempt = retry_attempt_;
+      } else if (!stuck_ && !io_failed_.load(std::memory_order_relaxed) &&
+                 next_read_ < total_ && buffered_.size() < depth_) {
+        retry_armed_ = false;
+        unit = next_read_++;
+        attempt = 0;
+      } else {
+        retry_armed_ = false;
         inflight_ = false;
         idle_.notify_all();  // ~AsyncSource may be waiting to tear down
         return;
       }
-      unit = next_read_++;
     }
     const auto t0 = Clock::now();
-    std::optional<mpsoc::Payload> produced = read_(unit);
+    Result<mpsoc::Payload> produced = read_(unit);
     const auto t1 = Clock::now();
-    std::function<void()> waker;
+    const Status st = produced.is_ok() ? Status::ok() : produced.status();
+    if (st.is_ok() || st.code() == StatusCode::kOutOfRange) {
+      std::function<void()> waker;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        mpsoc::Payload payload;
+        if (st.is_ok()) {
+          payload = std::move(produced.value());
+          if (attempt > 0) ++stats_.recovered;
+        } else {
+          ++stats_.underruns;  // truncated stream: deliver empty, keep going
+        }
+        ++stats_.units;
+        stats_.bytes += payload.size();
+        buffered_.push_back(std::move(payload));
+        // Frame-journey origin: the unit's clock starts when the device
+        // read completed (t1, already measured for io_busy_s).
+        origins_.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1.time_since_epoch())
+                .count()));
+        stats_.max_buffered = std::max(stats_.max_buffered, buffered_.size());
+        // Publish the buffer state *before* the waker runs (release pairs
+        // with the gate's acquire), so a woken worker always sees the unit.
+        gate_count_.store(buffered_.size(), std::memory_order_release);
+        waker = waker_;
+      }
+      if (waker) waker();
+      continue;
+    }
+    // Device error. Three escalation tiers (fault.h convention):
+    // stuck -> park (watchdog's problem), transient -> backoff retry,
+    // exhaustion/permanent -> session failure.
+    if (st.code() == StatusCode::kResourceExhausted) {
+      BoundaryErrorFn observer;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        ++stats_.errors;
+        stuck_ = true;
+        observer = on_error_;
+      }
+      if (observer) observer(unit, st, /*will_retry=*/false);
+      {
+        // Park only after the observer ran: teardown quiesces on
+        // inflight_ and must not overtake a callback on this thread.
+        std::lock_guard lock(mu_);
+        inflight_ = false;
+        idle_.notify_all();
+      }
+      return;  // gate stays closed: the stall watchdog quarantines
+    }
+    if (st.code() == StatusCode::kUnavailable &&
+        attempt + 1 < retry_.max_attempts) {
+      BoundaryErrorFn observer;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        ++stats_.errors;
+        ++stats_.retries;
+        retry_armed_ = true;
+        retry_unit_ = unit;
+        retry_attempt_ = attempt + 1;
+        // inflight_ stays true: the pending timer IS the in-flight job,
+        // so teardown quiesces on it like on any other drain.
+        observer = on_error_;
+      }
+      if (observer) observer(unit, st, /*will_retry=*/true);
+      const auto backoff_ns = static_cast<std::uint64_t>(
+          retry_.backoff_us(unit, attempt + 1) * 1000.0);
+      io_->note_retry(backoff_ns);
+      if (!io_->post_after(std::chrono::nanoseconds(backoff_ns),
+                           [this] { drain(); })) {
+        fail(std::unique_lock(mu_), unit,
+             Status(StatusCode::kUnavailable,
+                    "I/O context stopped during retry of unit " +
+                        std::to_string(unit)));
+      }
+      return;
+    }
+    // Retry budget exhausted or permanent device error.
+    BoundaryErrorFn observer;
     {
       std::lock_guard lock(mu_);
       stats_.io_busy_s += seconds_between(t0, t1);
-      mpsoc::Payload payload;
-      if (produced.has_value()) {
-        payload = std::move(*produced);
-      } else {
-        ++stats_.underruns;  // truncated stream: deliver empty, keep going
-      }
-      ++stats_.units;
-      stats_.bytes += payload.size();
-      buffered_.push_back(std::move(payload));
-      // Frame-journey origin: the unit's clock starts when the device
-      // read completed (t1, already measured for io_busy_s).
-      origins_.push_back(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              t1.time_since_epoch())
-              .count()));
-      stats_.max_buffered = std::max(stats_.max_buffered, buffered_.size());
-      // Publish the buffer state *before* the waker runs (release pairs
-      // with the gate's acquire), so a woken worker always sees the unit.
-      gate_count_.store(buffered_.size(), std::memory_order_release);
-      waker = waker_;
+      ++stats_.errors;
+      observer = on_error_;
     }
-    if (waker) waker();
+    if (observer) observer(unit, st, /*will_retry=*/false);
+    Status terminal = st;
+    if (st.code() == StatusCode::kUnavailable) {
+      terminal = Status(StatusCode::kUnavailable,
+                        "retry budget exhausted at unit " +
+                            std::to_string(unit) + " after " +
+                            std::to_string(retry_.max_attempts) +
+                            " attempts: " + st.message());
+    }
+    fail(std::unique_lock(mu_), unit, std::move(terminal));
+    return;
   }
 }
 
 void AsyncSource::body(mpsoc::TaskFiring& f) {
   mpsoc::Payload payload;
+  bool notify_fail = false;
+  std::uint64_t funit = 0;
+  Status fstatus;
+  BoundaryFailureFn on_fail;
   {
     std::lock_guard lock(mu_);
     if (!buffered_.empty()) {
@@ -210,10 +497,19 @@ void AsyncSource::body(mpsoc::TaskFiring& f) {
       gate_count_.store(buffered_.size(), std::memory_order_release);
       pump_locked();  // freed a prefetch slot: keep the device busy
     } else {
-      // Fail-open path (gate held because io_failed_): empty payload.
+      // Boundary-failed path (gate held because io_failed_): empty
+      // payload keeps the graph draining; the handler tells the truth.
       ++stats_.underruns;
     }
+    if (fail_notify_pending_ && on_fail_) {
+      fail_notify_pending_ = false;
+      notify_fail = true;
+      funit = failed_unit_;
+      fstatus = failed_status_;
+      on_fail = on_fail_;
+    }
   }
+  if (notify_fail) on_fail(funit, fstatus);
   const std::size_t n = f.outputs.size();
   if (pool_) {
     // Copy into the engine's recycled channel buffers and bank the unit
@@ -252,14 +548,76 @@ BoundaryStats AsyncSource::stats() const {
 
 AsyncSink::AsyncSink(IoContext& io, WriteFn write, std::size_t depth,
                      std::shared_ptr<PayloadPool> pool)
+    : AsyncSink(io, adapt_write_fn(std::move(write)), no_retry(), depth,
+                std::move(pool)) {}
+
+AsyncSink::AsyncSink(IoContext& io, TryWriteFn write, RetryPolicy retry,
+                     std::size_t depth, std::shared_ptr<PayloadPool> pool)
     : io_(&io),
       write_(std::move(write)),
+      retry_(retry),
       depth_(std::max<std::size_t>(1, depth)),
       pool_(std::move(pool)) {}
 
 AsyncSink::~AsyncSink() {
   std::unique_lock lock(mu_);
   flushed_.wait(lock, [this] { return !inflight_; });
+}
+
+void AsyncSink::set_failure_handler(BoundaryFailureFn on_fail) {
+  std::lock_guard lock(mu_);
+  on_fail_ = std::move(on_fail);
+}
+
+void AsyncSink::set_error_observer(BoundaryErrorFn on_error) {
+  std::lock_guard lock(mu_);
+  on_error_ = std::move(on_error);
+}
+
+common::Status AsyncSink::failure() const {
+  std::lock_guard lock(mu_);
+  return failed_status_;
+}
+
+std::uint64_t AsyncSink::failed_unit() const {
+  std::lock_guard lock(mu_);
+  return failed_unit_;
+}
+
+bool AsyncSink::stuck() const {
+  std::lock_guard lock(mu_);
+  return stuck_;
+}
+
+void AsyncSink::fail(std::unique_lock<std::mutex> lock, std::uint64_t unit,
+                     Status status) {
+  const bool first = failed_status_.is_ok();
+  if (first) {
+    failed_status_ = status;
+    failed_unit_ = unit;
+  }
+  // Drop everything we hold (counted) and open the gate so the pipeline
+  // drains; the failure handler carries the real story.
+  stats_.dropped += pending_.size() + (retry_active_ ? 1 : 0);
+  pending_.clear();
+  retry_armed_ = false;
+  retry_active_ = false;
+  retry_slot_.clear();
+  occupied_ = 0;
+  gate_occupied_.store(0, std::memory_order_release);
+  io_failed_.store(true, std::memory_order_release);
+  BoundaryFailureFn on_fail = first ? on_fail_ : BoundaryFailureFn{};
+  if (first && !on_fail) fail_notify_pending_ = true;
+  std::function<void()> waker = waker_;
+  lock.unlock();
+  if (first) io_->note_failure();
+  if (on_fail) on_fail(unit, status);
+  if (waker) waker();
+  // Only now does the adapter go idle: ~AsyncSink (and flush()) must not
+  // return while the failure handler is still running on this thread.
+  lock.lock();
+  inflight_ = false;
+  flushed_.notify_all();
 }
 
 void AsyncSink::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
@@ -272,86 +630,216 @@ void AsyncSink::bind(mpsoc::TaskGraph& graph, mpsoc::TaskId task) {
 
 void AsyncSink::attach(std::function<void()> waker) {
   std::function<void()> kick;
+  bool notify_fail = false;
+  std::uint64_t funit = 0;
+  Status fstatus;
+  BoundaryFailureFn on_fail;
   {
     std::lock_guard lock(mu_);
     waker_ = std::move(waker);
     kick = waker_;
+    if (fail_notify_pending_ && on_fail_) {
+      fail_notify_pending_ = false;
+      notify_fail = true;
+      funit = failed_unit_;
+      fstatus = failed_status_;
+      on_fail = on_fail_;
+    }
   }
+  if (notify_fail) on_fail(funit, fstatus);
   if (kick) kick();
 }
 
 void AsyncSink::body(mpsoc::TaskFiring& f) {
-  std::lock_guard lock(mu_);
-  if (io_failed_.load(std::memory_order_relaxed)) {
-    ++stats_.dropped;  // fail-open: context gone, unit discarded
-    return;
-  }
-  // Engine contract: fired only while occupied_ < depth_ (the gate), and
-  // this task's single owner is the only producer. The channel still
-  // owns its slot, so bank a copy — drawn from the pool when one is
-  // attached, so the copy reuses retired unit storage.
-  mpsoc::Payload banked = pool_ ? pool_->acquire() : mpsoc::Payload{};
-  banked.assign(f.inputs[0]->begin(), f.inputs[0]->end());
-  pending_.push_back(std::move(banked));
-  ++occupied_;
-  gate_occupied_.store(occupied_, std::memory_order_release);
-  stats_.max_buffered = std::max(stats_.max_buffered, pending_.size());
-  if (!inflight_) {
-    inflight_ = true;
-    if (!io_->post([this] { drain(); })) {
-      // Context stopped under a live session: fail open — drop what we
-      // hold (counted), keep the gate permanently open, and unblock any
-      // flush()er; the engine drains instead of wedging.
-      inflight_ = false;
-      io_failed_.store(true, std::memory_order_release);
-      stats_.dropped += pending_.size();
-      pending_.clear();
-      occupied_ = 0;
-      gate_occupied_.store(0, std::memory_order_release);
-      flushed_.notify_all();
+  bool notify_fail = false;
+  std::uint64_t funit = 0;
+  Status fstatus;
+  BoundaryFailureFn on_fail;
+  {
+    std::lock_guard lock(mu_);
+    if (io_failed_.load(std::memory_order_relaxed)) {
+      ++stats_.dropped;  // boundary failed: unit discarded (counted)
+    } else {
+      // Engine contract: fired only while occupied_ < depth_ (the gate),
+      // and this task's single owner is the only producer. The channel
+      // still owns its slot, so bank a copy — drawn from the pool when
+      // one is attached, so the copy reuses retired unit storage.
+      mpsoc::Payload banked = pool_ ? pool_->acquire() : mpsoc::Payload{};
+      banked.assign(f.inputs[0]->begin(), f.inputs[0]->end());
+      pending_.push_back(std::move(banked));
+      ++occupied_;
+      gate_occupied_.store(occupied_, std::memory_order_release);
+      stats_.max_buffered = std::max(stats_.max_buffered, pending_.size());
+      if (!inflight_ && !stuck_) {
+        inflight_ = true;
+        if (!io_->post([this] { drain(); })) {
+          // Context stopped under a live session: drop what we hold
+          // (counted), keep the gate permanently open, unblock any
+          // flush()er — and record the stop as a failure for the
+          // handler (delivered below, off the lock).
+          inflight_ = false;
+          if (failed_status_.is_ok()) {
+            failed_status_ =
+                Status(StatusCode::kUnavailable,
+                       "I/O context stopped before writing unit " +
+                           std::to_string(next_write_));
+            failed_unit_ = next_write_;
+            fail_notify_pending_ = true;
+            io_->note_failure();  // counter add only — safe under mu_
+          }
+          io_failed_.store(true, std::memory_order_release);
+          stats_.dropped += pending_.size();
+          pending_.clear();
+          occupied_ = 0;
+          gate_occupied_.store(0, std::memory_order_release);
+          flushed_.notify_all();
+        }
+      }
+    }
+    if (fail_notify_pending_ && on_fail_) {
+      fail_notify_pending_ = false;
+      notify_fail = true;
+      funit = failed_unit_;
+      fstatus = failed_status_;
+      on_fail = on_fail_;
     }
   }
+  if (notify_fail) on_fail(funit, fstatus);
 }
 
 void AsyncSink::drain() {
   for (;;) {
     mpsoc::Payload payload;
     std::uint64_t unit;
+    std::uint32_t attempt;
     {
       std::lock_guard lock(mu_);
-      if (pending_.empty()) {
+      if (io_failed_.load(std::memory_order_relaxed)) {
         inflight_ = false;
         flushed_.notify_all();
         return;
       }
-      payload = std::move(pending_.front());
-      pending_.pop_front();
-      unit = next_write_++;
+      if (retry_armed_) {
+        // A backoff timer delivered us here: resume the retried unit.
+        retry_armed_ = false;
+        payload = std::move(retry_slot_);
+        retry_slot_.clear();
+        unit = retry_unit_;
+        attempt = retry_attempt_;
+      } else if (!stuck_ && !pending_.empty()) {
+        payload = std::move(pending_.front());
+        pending_.pop_front();
+        unit = next_write_++;
+        attempt = 0;
+        retry_active_ = true;  // the writer now holds this unit
+        retry_unit_ = unit;
+      } else {
+        inflight_ = false;
+        flushed_.notify_all();
+        return;
+      }
     }
     const std::size_t bytes = payload.size();
     const auto t0 = Clock::now();
-    write_(unit, payload);  // adapter keeps ownership to recycle below
+    Status st = write_(unit, payload);  // adapter keeps ownership
     const auto t1 = Clock::now();
-    if (pool_) pool_->release(std::move(payload));
-    std::function<void()> waker;
+    if (st.is_ok()) {
+      if (pool_) pool_->release(std::move(payload));
+      std::function<void()> waker;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        ++stats_.units;
+        stats_.bytes += bytes;
+        if (attempt > 0) ++stats_.recovered;
+        retry_active_ = false;
+        // The slot counts as occupied until the write *finished* — that
+        // is the back-pressure a slow device exerts on the pipeline.
+        --occupied_;
+        gate_occupied_.store(occupied_, std::memory_order_release);
+        waker = waker_;
+      }
+      if (waker) waker();
+      continue;
+    }
+    if (st.code() == StatusCode::kResourceExhausted) {
+      // Stuck device: park with the unit banked and its occupancy slot
+      // held — the pipeline back-pressures, the watchdog quarantines.
+      BoundaryErrorFn observer;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        ++stats_.errors;
+        stuck_ = true;
+        retry_slot_ = std::move(payload);
+        observer = on_error_;
+      }
+      if (observer) observer(unit, st, /*will_retry=*/false);
+      {
+        // Park only after the observer ran: teardown quiesces on
+        // inflight_ and must not overtake a callback on this thread.
+        std::lock_guard lock(mu_);
+        inflight_ = false;
+        flushed_.notify_all();
+      }
+      return;
+    }
+    if (st.code() == StatusCode::kUnavailable &&
+        attempt + 1 < retry_.max_attempts) {
+      BoundaryErrorFn observer;
+      {
+        std::lock_guard lock(mu_);
+        stats_.io_busy_s += seconds_between(t0, t1);
+        ++stats_.errors;
+        ++stats_.retries;
+        retry_armed_ = true;
+        retry_slot_ = std::move(payload);
+        retry_attempt_ = attempt + 1;
+        // inflight_ stays true (the timer IS the in-flight job), and
+        // the unit keeps its occupied_ slot through the backoff.
+        observer = on_error_;
+      }
+      if (observer) observer(unit, st, /*will_retry=*/true);
+      const auto backoff_ns = static_cast<std::uint64_t>(
+          retry_.backoff_us(unit, attempt + 1) * 1000.0);
+      io_->note_retry(backoff_ns);
+      if (!io_->post_after(std::chrono::nanoseconds(backoff_ns),
+                           [this] { drain(); })) {
+        fail(std::unique_lock(mu_), unit,
+             Status(StatusCode::kUnavailable,
+                    "I/O context stopped during retry of unit " +
+                        std::to_string(unit)));
+      }
+      return;
+    }
+    // Retry budget exhausted or permanent device error.
+    BoundaryErrorFn observer;
     {
       std::lock_guard lock(mu_);
       stats_.io_busy_s += seconds_between(t0, t1);
-      ++stats_.units;
-      stats_.bytes += bytes;
-      // The slot counts as occupied until the write *finished* — that is
-      // the back-pressure a slow device exerts on the pipeline.
-      --occupied_;
-      gate_occupied_.store(occupied_, std::memory_order_release);
-      waker = waker_;
+      ++stats_.errors;
+      observer = on_error_;
     }
-    if (waker) waker();
+    if (observer) observer(unit, st, /*will_retry=*/false);
+    Status terminal = st;
+    if (st.code() == StatusCode::kUnavailable) {
+      terminal = Status(StatusCode::kUnavailable,
+                        "retry budget exhausted at unit " +
+                            std::to_string(unit) + " after " +
+                            std::to_string(retry_.max_attempts) +
+                            " attempts: " + st.message());
+    }
+    fail(std::unique_lock(mu_), unit, std::move(terminal));
+    return;
   }
 }
 
 void AsyncSink::flush() {
   std::unique_lock lock(mu_);
-  flushed_.wait(lock, [this] { return pending_.empty() && !inflight_; });
+  flushed_.wait(lock, [this] {
+    return (pending_.empty() && !inflight_) ||
+           io_failed_.load(std::memory_order_relaxed) || stuck_;
+  });
 }
 
 BoundaryStats AsyncSink::stats() const {
@@ -467,29 +955,58 @@ BlockFileSource::BlockFileSource(fs::FatVolume& volume,
       options_(options) {}
 
 std::optional<mpsoc::Payload> BlockFileSource::read(std::uint64_t index) {
-  if (index >= index_.offsets.size()) return std::nullopt;
+  auto produced = try_read(index);
+  if (!produced.is_ok()) return std::nullopt;
+  return std::move(produced.value());
+}
+
+Result<mpsoc::Payload> BlockFileSource::try_read(std::uint64_t index) {
+  if (index >= index_.offsets.size()) {
+    return Result<mpsoc::Payload>(
+        Status(StatusCode::kOutOfRange,
+               "end of stream at unit " + std::to_string(index)));
+  }
   mpsoc::Payload payload;
   double delta_us = 0.0;
+  Status device_status = Status::ok();
   {
     std::lock_guard vol_lock(*volume_mu_);
     const double before = volume_->device().modeled_time_us(options_.timing);
     auto data = volume_->read_file_range(index_.path, index_.offsets[index],
                                          index_.sizes[index]);
     delta_us = volume_->device().modeled_time_us(options_.timing) - before;
-    if (!data.is_ok()) return std::nullopt;
-    payload = std::move(data.value());
+    if (!data.is_ok()) {
+      device_status = data.status();
+    } else {
+      payload = std::move(data.value());
+    }
   }
   {
     std::lock_guard lock(mu_);
     modeled_us_ += delta_us;
+    if (!device_status.is_ok()) errors_.record(index, device_status);
   }
   sleep_us(delta_us * options_.time_scale);  // the disk "takes" this long
-  return payload;
+  if (!device_status.is_ok()) {
+    // Volume errors are permanent (kInternal), deliberately distinct
+    // from kOutOfRange EOS and retryable kUnavailable — a corrupt FAT
+    // chain will not heal on retry.
+    return Result<mpsoc::Payload>(
+        Status(StatusCode::kInternal,
+               "device read failed at unit " + std::to_string(index) + ": " +
+                   device_status.to_text()));
+  }
+  return Result<mpsoc::Payload>(std::move(payload));
 }
 
 double BlockFileSource::modeled_io_us() const {
   std::lock_guard lock(mu_);
   return modeled_us_;
+}
+
+IoErrorSummary BlockFileSource::error_summary() const {
+  std::lock_guard lock(mu_);
+  return errors_;
 }
 
 BlockFileSink::BlockFileSink(fs::FatVolume& volume,
@@ -500,23 +1017,37 @@ BlockFileSink::BlockFileSink(fs::FatVolume& volume,
       path_(std::move(path)),
       options_(options) {}
 
-void BlockFileSink::write(std::uint64_t /*index*/, const mpsoc::Payload& unit) {
+void BlockFileSink::write(std::uint64_t index, const mpsoc::Payload& unit) {
+  (void)try_write(index, unit);  // recorded-and-swallowed legacy semantics
+}
+
+common::Status BlockFileSink::try_write(std::uint64_t index,
+                                        const mpsoc::Payload& unit) {
   double delta_us = 0.0;
+  common::Status device_status = Status::ok();
   {
     std::lock_guard vol_lock(*volume_mu_);
     const double before = volume_->device().modeled_time_us(options_.timing);
-    const common::Status st = volume_->append_file(path_, unit);
+    device_status = volume_->append_file(path_, unit);
     delta_us = volume_->device().modeled_time_us(options_.timing) - before;
-    if (!st.is_ok()) {
-      std::lock_guard lock(mu_);
-      if (status_.is_ok()) status_ = st;  // first device error wins
-    }
   }
   {
     std::lock_guard lock(mu_);
     modeled_us_ += delta_us;
+    if (!device_status.is_ok()) {
+      if (status_.is_ok()) status_ = device_status;  // first device error wins
+      errors_.record(index, device_status);
+    }
   }
   sleep_us(delta_us * options_.time_scale);
+  if (!device_status.is_ok()) {
+    // Same rationale as try_read: volume errors are permanent
+    // (kInternal), never retryable.
+    return Status(StatusCode::kInternal,
+                  "device write failed at unit " + std::to_string(index) +
+                      ": " + device_status.to_text());
+  }
+  return Status::ok();
 }
 
 double BlockFileSink::modeled_io_us() const {
@@ -527,6 +1058,11 @@ double BlockFileSink::modeled_io_us() const {
 common::Status BlockFileSink::status() const {
   std::lock_guard lock(mu_);
   return status_;
+}
+
+IoErrorSummary BlockFileSink::error_summary() const {
+  std::lock_guard lock(mu_);
+  return errors_;
 }
 
 }  // namespace mmsoc::runtime

@@ -46,6 +46,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -60,6 +61,7 @@
 #include "fs/fat.h"
 #include "mpsoc/taskgraph.h"
 #include "net/rtp.h"
+#include "runtime/fault.h"
 #include "runtime/payload_pool.h"
 #include "runtime/queue.h"
 #include "runtime/telemetry.h"
@@ -104,15 +106,27 @@ class IoContext {
   /// chain work inside a running job instead of re-posting).
   bool post(std::function<void()> job);
 
-  /// Close the queue, drain the backlog, join the threads. Idempotent.
-  /// Stopping while sessions are still live is safe but lossy: boundary
-  /// adapters *fail open* (sources deliver empty payloads counted as
-  /// underruns, sinks drop counted units) so the engine always drains —
-  /// prefer Engine::wait() + flush() before stop().
+  /// Enqueue a job after `delay` (retry backoff timers). A dedicated
+  /// timer thread holds delayed jobs in a deadline heap and feeds them
+  /// into the ordinary job queue when due — an I/O thread is never
+  /// parked on a backoff. False once stopped. On stop() every pending
+  /// delayed job is flushed into the queue *immediately* (delays are
+  /// cut short, never skipped), preserving the adapter invariant that a
+  /// scheduled job always runs — destructors that quiesce on an
+  /// in-flight job terminate even mid-backoff.
+  bool post_after(std::chrono::nanoseconds delay, std::function<void()> job);
+
+  /// Close the queue, drain the backlog (delayed jobs included — see
+  /// post_after), join the threads. Idempotent. Stopping while sessions
+  /// are still live is safe but lossy: boundary adapters *fail closed* —
+  /// they surface the stop as a boundary failure (see
+  /// AsyncSource::set_failure_handler) and keep the engine drainable by
+  /// delivering empty payloads / dropping units, all of it counted.
   void stop();
 
   struct Stats {
     std::uint64_t jobs = 0;
+    std::uint64_t delayed_jobs = 0;  ///< jobs that went through post_after
     double busy_s = 0.0;  ///< wall time inside jobs (includes modeled latency)
   };
   [[nodiscard]] Stats stats() const noexcept;
@@ -120,13 +134,40 @@ class IoContext {
     return threads_.size();
   }
 
+  /// Boundary-retry instrumentation hooks (no-ops when the context was
+  /// built without a telemetry sink): one "<prefix>.retries" count plus
+  /// a "<prefix>.retry_backoff_ns" histogram sample per scheduled retry,
+  /// one "<prefix>.failures" count per boundary failure.
+  void note_retry(std::uint64_t backoff_ns);
+  void note_failure();
+
  private:
+  void timer_main();
+
   MpmcQueue<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> delayed_jobs_{0};
   std::atomic<std::int64_t> busy_ns_{0};
   std::atomic<bool> stopped_{false};
   std::once_flag stop_once_;
+  // Delayed-job timer (post_after): deadline-ordered heap drained by one
+  // timer thread into queue_.
+  struct DelayedJob {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal deadlines
+    std::function<void()> job;
+  };
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<DelayedJob> timer_heap_;
+  std::uint64_t timer_seq_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+  // Retry/failure metric handles (null without a telemetry sink).
+  Counter* m_retries_ = nullptr;
+  Counter* m_failures_ = nullptr;
+  Histogram* h_retry_backoff_ns_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -139,9 +180,27 @@ struct BoundaryStats {
   std::uint64_t bytes = 0;      ///< payload bytes through the boundary
   std::uint64_t underruns = 0;  ///< source: reader ended early / context stopped
   std::uint64_t dropped = 0;    ///< sink: units discarded (context stopped)
+  std::uint64_t errors = 0;     ///< device errors observed (incl. retried ones)
+  std::uint64_t retries = 0;    ///< backoff retries scheduled against them
+  std::uint64_t recovered = 0;  ///< units that succeeded after >= 1 retry
   double io_busy_s = 0.0;       ///< time inside the read/write fn (I/O thread)
   std::size_t max_buffered = 0; ///< peak completion-buffer occupancy
 };
+
+/// Failure notification from a boundary adapter: the unit that could not
+/// be produced/persisted and why (retry budget exhausted, permanent
+/// device error, or IoContext stopped mid-session). Invoked at most once
+/// per adapter, off the adapter lock, from an I/O thread, a timer-fed
+/// job, or the caller of attach(); typically wired to
+/// Engine::fail_session so the session retires as kUnavailable instead
+/// of silently absorbing empty payloads.
+using BoundaryFailureFn =
+    std::function<void(std::uint64_t unit, const common::Status& status)>;
+/// Per-error observer (every device error, including ones that will be
+/// retried); wired to Engine::record_io_error for the SessionReport
+/// error summary. Same invocation context as BoundaryFailureFn.
+using BoundaryErrorFn = std::function<void(
+    std::uint64_t unit, const common::Status& status, bool will_retry)>;
 
 /// Boundary *source*: an external reader feeding a graph source task.
 /// The reader runs on the I/O context (blocking/sleeping there is the
@@ -162,6 +221,17 @@ class AsyncSource {
   /// allocations). Without a pool the unit buffer is moved into the last
   /// out-edge (the pre-pool behaviour).
   AsyncSource(IoContext& io, ReadFn read, std::size_t depth = 4,
+              std::shared_ptr<PayloadPool> pool = nullptr);
+
+  /// Fallible reader with retry: `read` follows the TryReadFn status
+  /// convention (fault.h). kUnavailable results are retried under
+  /// `retry` — the backoff runs on the IoContext timer (post_after), so
+  /// no worker or I/O thread ever sleeps on it, and the elapsed wall
+  /// time is naturally charged against the session deadline. Exhaustion
+  /// and permanent errors fire the failure handler; kResourceExhausted
+  /// parks the adapter (stuck device — the stall watchdog's problem).
+  AsyncSource(IoContext& io, TryReadFn read, RetryPolicy retry,
+              std::size_t depth = 4,
               std::shared_ptr<PayloadPool> pool = nullptr);
   /// Quiesces: blocks until any in-flight I/O job retired, so the job
   /// can never touch a destroyed adapter. Terminates because a queued
@@ -191,15 +261,33 @@ class AsyncSource {
   /// engine then falls back to the firing-start stamp.
   [[nodiscard]] std::uint64_t origin_ns(std::uint64_t unit) const;
 
+  /// Install the failure handler / per-error observer. Must be called
+  /// before attach() — the handlers may fire from attach() itself (e.g.
+  /// a context that stopped before the session started).
+  void set_failure_handler(BoundaryFailureFn on_fail);
+  void set_error_observer(BoundaryErrorFn on_error);
+
+  /// Terminal boundary failure, if any (ok = none). With a failure
+  /// handler installed the same information was already pushed to it.
+  [[nodiscard]] common::Status failure() const;
+  [[nodiscard]] std::uint64_t failed_unit() const;
+  /// True once the endpoint reported a stuck device (adapter parked).
+  [[nodiscard]] bool stuck() const;
+
   [[nodiscard]] BoundaryStats stats() const;
 
  private:
   void body(mpsoc::TaskFiring& firing);
   void pump_locked();  ///< post the drain job if refill is needed
   void drain();        ///< I/O thread: read until buffer full / stream end
+  /// Terminal failure: record it (first wins), open the gate (fail
+  /// closed but drainable), notify handler + waker outside the lock.
+  void fail(std::unique_lock<std::mutex> lock, std::uint64_t unit,
+            common::Status status);
 
   IoContext* io_;
-  ReadFn read_;
+  TryReadFn read_;
+  RetryPolicy retry_;
   std::size_t depth_;
   std::shared_ptr<PayloadPool> pool_;
   mutable std::mutex mu_;
@@ -214,12 +302,30 @@ class AsyncSource {
   bool inflight_ = false;
   std::function<void()> waker_;
   BoundaryStats stats_;
+  // Retry state: while a backoff timer is pending, inflight_ stays true
+  // (the retry *is* the in-flight job) so destruction quiesces on it.
+  bool retry_armed_ = false;
+  std::uint64_t retry_unit_ = 0;
+  std::uint32_t retry_attempt_ = 0;
+  /// Stuck device (kResourceExhausted): adapter parked, gate closed, no
+  /// more reads; the stall watchdog quarantines the session.
+  bool stuck_ = false;
+  /// Terminal failure record (first failure wins).
+  common::Status failed_status_;
+  std::uint64_t failed_unit_ = 0;
+  /// Failure detected with no handler invocation possible yet (context
+  /// stopped before attach); body()/attach() deliver it.
+  bool fail_notify_pending_ = false;
+  BoundaryFailureFn on_fail_;
+  BoundaryErrorFn on_error_;
   /// Gate word: buffered_.size(), published with release so the gate is
   /// a wait-free acquire load from workers and thieves.
   std::atomic<std::size_t> gate_count_{0};
-  /// Fail-open flag: the IoContext stopped under us. The gate opens
-  /// unconditionally and the body delivers empty payloads (underruns),
-  /// so the engine can always drain the session.
+  /// Boundary-failed flag: the IoContext stopped under us, the retry
+  /// budget is exhausted, or the device failed permanently. The gate
+  /// opens unconditionally and the body delivers empty payloads (counted
+  /// as underruns) so the engine can always drain — but the failure is
+  /// surfaced through the failure handler, never silently absorbed.
   std::atomic<bool> io_failed_{false};
 };
 
@@ -240,6 +346,14 @@ class AsyncSink {
   /// — see AsyncSource for the pairing.
   AsyncSink(IoContext& io, WriteFn write, std::size_t depth = 4,
             std::shared_ptr<PayloadPool> pool = nullptr);
+
+  /// Fallible writer with retry (see the AsyncSource overload). The unit
+  /// being retried stays banked in the adapter and keeps its occupancy
+  /// slot, so a retrying sink back-pressures the pipeline exactly like a
+  /// slow device would.
+  AsyncSink(IoContext& io, TryWriteFn write, RetryPolicy retry,
+            std::size_t depth = 4,
+            std::shared_ptr<PayloadPool> pool = nullptr);
   /// Quiesces like ~AsyncSource (waits for the in-flight drain job, not
   /// for a full flush). Do not destroy from an I/O thread.
   ~AsyncSink();
@@ -258,14 +372,24 @@ class AsyncSink {
   /// engine drains the *graph*, this drains the device side.
   void flush();
 
+  /// See AsyncSource — same contracts.
+  void set_failure_handler(BoundaryFailureFn on_fail);
+  void set_error_observer(BoundaryErrorFn on_error);
+  [[nodiscard]] common::Status failure() const;
+  [[nodiscard]] std::uint64_t failed_unit() const;
+  [[nodiscard]] bool stuck() const;
+
   [[nodiscard]] BoundaryStats stats() const;
 
  private:
   void body(mpsoc::TaskFiring& firing);
   void drain();  ///< I/O thread: write until the buffer empties
+  void fail(std::unique_lock<std::mutex> lock, std::uint64_t unit,
+            common::Status status);
 
   IoContext* io_;
-  WriteFn write_;
+  TryWriteFn write_;
+  RetryPolicy retry_;
   std::size_t depth_;
   std::shared_ptr<PayloadPool> pool_;
   mutable std::mutex mu_;
@@ -278,8 +402,23 @@ class AsyncSink {
   bool inflight_ = false;
   std::function<void()> waker_;
   BoundaryStats stats_;
+  // Retry state (see AsyncSource). The payload under retry is held in
+  // retry_slot_ — popped from pending_ once, its unit index assigned
+  // once — and keeps its occupied_ slot through every backoff.
+  bool retry_armed_ = false;
+  bool retry_active_ = false;  ///< retry_slot_/retry_unit_ hold a unit
+  std::uint64_t retry_unit_ = 0;
+  std::uint32_t retry_attempt_ = 0;
+  mpsoc::Payload retry_slot_;
+  bool stuck_ = false;
+  common::Status failed_status_;
+  std::uint64_t failed_unit_ = 0;
+  bool fail_notify_pending_ = false;
+  BoundaryFailureFn on_fail_;
+  BoundaryErrorFn on_error_;
   std::atomic<std::size_t> gate_occupied_{0};
-  /// Fail-open flag (see AsyncSource): gate opens, units are dropped.
+  /// Boundary-failed flag (see AsyncSource): gate opens, units are
+  /// dropped (counted), failure surfaced through the handler.
   std::atomic<bool> io_failed_{false};
 };
 
@@ -314,6 +453,22 @@ class RtpIngress {
   std::optional<mpsoc::Payload> read(std::uint64_t index);
   [[nodiscard]] AsyncSource::ReadFn reader() {
     return [this](std::uint64_t i) { return read(i); };
+  }
+
+  /// Fallible adapter (TryReadFn convention): a nullopt read becomes
+  /// kOutOfRange (clean EOS). The receiver itself conceals lost packets,
+  /// so this endpoint never errors on its own — it is the hook point for
+  /// FaultInjector::wrap_read (modeled NIC/driver faults).
+  [[nodiscard]] TryReadFn try_reader() {
+    return [this](std::uint64_t i) -> common::Result<mpsoc::Payload> {
+      auto unit = read(i);
+      if (!unit.has_value()) {
+        return common::Result<mpsoc::Payload>(
+            common::Status(common::StatusCode::kOutOfRange,
+                           "rtp feed ended at unit " + std::to_string(i)));
+      }
+      return common::Result<mpsoc::Payload>(std::move(*unit));
+    };
   }
 
   /// Units delivered as a repeat of the previous one (receiver-side
@@ -352,6 +507,15 @@ class RtpEgress {
   void write(std::uint64_t index, const mpsoc::Payload& unit);
   [[nodiscard]] AsyncSink::WriteFn writer() {
     return [this](std::uint64_t i, const mpsoc::Payload& p) { write(i, p); };
+  }
+
+  /// Fallible adapter: the in-memory wire log cannot fail, so this is
+  /// purely the FaultInjector::wrap_write hook point.
+  [[nodiscard]] TryWriteFn try_writer() {
+    return [this](std::uint64_t i, const mpsoc::Payload& p) {
+      write(i, p);
+      return common::Status::ok();
+    };
   }
 
   /// The serialized packets, in send order (stable after flush()).
@@ -407,7 +571,19 @@ class BlockFileSource {
     return [this](std::uint64_t i) { return read(i); };
   }
 
+  /// Fallible variant (TryReadFn convention): past-the-end reads are
+  /// kOutOfRange (clean EOS), volume errors surface as kInternal with
+  /// the device's message — permanent, never silently swallowed as an
+  /// empty payload like read() does. Use with the retrying AsyncSource
+  /// ctor (optionally through a FaultInjector wrap).
+  common::Result<mpsoc::Payload> try_read(std::uint64_t index);
+  [[nodiscard]] TryReadFn try_reader() {
+    return [this](std::uint64_t i) { return try_read(i); };
+  }
+
   [[nodiscard]] double modeled_io_us() const;  ///< device time this endpoint consumed
+  /// Every device error this endpoint observed (not just the first).
+  [[nodiscard]] IoErrorSummary error_summary() const;
 
  private:
   fs::FatVolume* volume_;
@@ -416,6 +592,7 @@ class BlockFileSource {
   BlockIoOptions options_;
   mutable std::mutex mu_;
   double modeled_us_ = 0.0;
+  IoErrorSummary errors_;
 };
 
 /// Block-storage write boundary: appends each unit to a FAT file.
@@ -429,8 +606,20 @@ class BlockFileSink {
     return [this](std::uint64_t i, const mpsoc::Payload& p) { write(i, p); };
   }
 
+  /// Fallible variant: volume errors surface as kInternal (permanent)
+  /// instead of being recorded-and-swallowed like write() does.
+  common::Status try_write(std::uint64_t index, const mpsoc::Payload& unit);
+  [[nodiscard]] TryWriteFn try_writer() {
+    return [this](std::uint64_t i, const mpsoc::Payload& p) {
+      return try_write(i, p);
+    };
+  }
+
   [[nodiscard]] double modeled_io_us() const;
   [[nodiscard]] common::Status status() const;  ///< first device error, if any
+  /// Every device error this endpoint observed (not just the first —
+  /// status() keeps only that one).
+  [[nodiscard]] IoErrorSummary error_summary() const;
 
  private:
   fs::FatVolume* volume_;
@@ -440,6 +629,7 @@ class BlockFileSink {
   mutable std::mutex mu_;
   double modeled_us_ = 0.0;
   common::Status status_;
+  IoErrorSummary errors_;
 };
 
 }  // namespace mmsoc::runtime

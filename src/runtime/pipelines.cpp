@@ -601,8 +601,17 @@ double analytic_encode_ops(int w, int h) {
          static_cast<double>(ops.vlc_symbols) * 8.0 + analytic_decode_ops(w, h);
 }
 
-/// Wire the boundary wakers of a freshly submitted session. The engine
-/// must be running (task_waker requires a wired session).
+/// Wire the boundary wakers — and the failure/error plumbing — of a
+/// freshly submitted session. The engine must be running (task_waker
+/// requires a wired session). Handlers are installed *before* attach()
+/// (the io.h contract: attach may deliver an already-detected failure),
+/// so a boundary that can no longer produce — retry budget exhausted,
+/// permanent device error, IoContext stopped — retires the session as
+/// kFailed/kUnavailable with the failing unit index instead of silently
+/// draining empty payloads. The engine reference is captured raw: the
+/// session object (and with it both adapters) must be destroyed before
+/// the engine, which the session-outlives-drain contract already
+/// requires.
 common::Status wire_boundaries(Engine& engine, std::size_t session,
                                AsyncSource* source, mpsoc::TaskId source_task,
                                std::uint64_t units, AsyncSink* sink,
@@ -610,14 +619,49 @@ common::Status wire_boundaries(Engine& engine, std::size_t session,
   if (source != nullptr) {
     auto waker = engine.task_waker(session, source_task);
     if (!waker.is_ok()) return waker.status();
+    source->set_failure_handler(
+        [&engine, session](std::uint64_t unit, const common::Status& status) {
+          engine.fail_session(session, unit, status);
+        });
+    source->set_error_observer([&engine, session](std::uint64_t unit,
+                                                  const common::Status& status,
+                                                  bool will_retry) {
+      engine.record_io_error(session, unit, status, will_retry);
+    });
     source->attach(units, std::move(waker.value()));
   }
   if (sink != nullptr) {
     auto waker = engine.task_waker(session, sink_task);
     if (!waker.is_ok()) return waker.status();
+    sink->set_failure_handler(
+        [&engine, session](std::uint64_t unit, const common::Status& status) {
+          engine.fail_session(session, unit, status);
+        });
+    sink->set_error_observer([&engine, session](std::uint64_t unit,
+                                                const common::Status& status,
+                                                bool will_retry) {
+      engine.record_io_error(session, unit, status, will_retry);
+    });
     sink->attach(std::move(waker.value()));
   }
   return common::Status::ok();
+}
+
+/// Build the (possibly injector-wrapped) fallible read/write pair for a
+/// session's boundaries. Endpoint registration order (in before out) is
+/// part of the determinism contract: endpoint ids feed the fault hash.
+TryReadFn make_fallible_read(FaultInjector* fault, const char* name,
+                             const FaultPlan& plan, TryReadFn inner) {
+  if (fault == nullptr) return inner;
+  const std::size_t id = fault->add_endpoint(name, plan);
+  return fault->wrap_read(id, std::move(inner));
+}
+
+TryWriteFn make_fallible_write(FaultInjector* fault, const char* name,
+                               const FaultPlan& plan, TryWriteFn inner) {
+  if (fault == nullptr) return inner;
+  const std::size_t id = fault->add_endpoint(name, plan);
+  return fault->wrap_write(id, std::move(inner));
 }
 
 }  // namespace
@@ -780,11 +824,24 @@ StreamingSession make_streaming_session(IoContext& io,
     // feed the egress adapter's per-unit copies (and vice versa), so the
     // boundary adds no steady-state allocations of its own.
     s.pool = std::make_shared<PayloadPool>(2 * config.io_depth + 4);
-    s.source = std::make_unique<AsyncSource>(io, s.ingress->reader(),
-                                             config.io_depth, s.pool);
+    if (config.fault != nullptr || config.fallible_boundaries) {
+      s.source = std::make_unique<AsyncSource>(
+          io,
+          make_fallible_read(config.fault, "rtp.in", config.ingress_faults,
+                             s.ingress->try_reader()),
+          config.retry, config.io_depth, s.pool);
+      s.sink = std::make_unique<AsyncSink>(
+          io,
+          make_fallible_write(config.fault, "rtp.out", config.egress_faults,
+                              s.egress->try_writer()),
+          config.retry, config.io_depth, s.pool);
+    } else {
+      s.source = std::make_unique<AsyncSource>(io, s.ingress->reader(),
+                                               config.io_depth, s.pool);
+      s.sink = std::make_unique<AsyncSink>(io, s.egress->writer(),
+                                           config.io_depth, s.pool);
+    }
     s.source->bind(g, s.ingress_task);
-    s.sink = std::make_unique<AsyncSink>(io, s.egress->writer(),
-                                         config.io_depth, s.pool);
     s.sink->bind(g, s.egress_task);
   } else {
     // Inline-blocking baseline: the worker itself waits out the network.
@@ -964,11 +1021,24 @@ common::Result<FileTranscodeSession> make_file_transcode_session(
 
   if (config.async_boundaries) {
     s.pool = std::make_shared<PayloadPool>(2 * config.io_depth + 4);
-    s.source = std::make_unique<AsyncSource>(io, s.reader_endpoint->reader(),
-                                             config.io_depth, s.pool);
+    if (config.fault != nullptr || config.fallible_boundaries) {
+      s.source = std::make_unique<AsyncSource>(
+          io,
+          make_fallible_read(config.fault, "file.read", config.read_faults,
+                             s.reader_endpoint->try_reader()),
+          config.retry, config.io_depth, s.pool);
+      s.sink = std::make_unique<AsyncSink>(
+          io,
+          make_fallible_write(config.fault, "file.write", config.write_faults,
+                              s.writer_endpoint->try_writer()),
+          config.retry, config.io_depth, s.pool);
+    } else {
+      s.source = std::make_unique<AsyncSource>(io, s.reader_endpoint->reader(),
+                                               config.io_depth, s.pool);
+      s.sink = std::make_unique<AsyncSink>(io, s.writer_endpoint->writer(),
+                                           config.io_depth, s.pool);
+    }
     s.source->bind(g, s.read_task);
-    s.sink = std::make_unique<AsyncSink>(io, s.writer_endpoint->writer(),
-                                         config.io_depth, s.pool);
     s.sink->bind(g, s.write_task);
   } else {
     g.set_body(s.read_task, [reader = s.reader_endpoint](TaskFiring& f) {

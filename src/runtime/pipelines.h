@@ -168,6 +168,20 @@ struct StreamingSessionConfig {
   bool async_boundaries = true;  ///< false = inline blocking (bench baseline)
   std::size_t io_depth = 4;
   double time_scale = 0.0;  ///< 1.0 = model arrival gaps as real sleeps
+  // Fault injection & recovery (fault.h). A non-null injector makes the
+  // async boundaries *fallible*: ingress/egress ops route through the
+  // TryReadFn/TryWriteFn convention wrapped by the injector (endpoints
+  // "rtp.in" / "rtp.out"), transient errors retried under `retry`,
+  // terminal failures surfaced through Engine::fail_session by
+  // submit_to(). Borrowed — must outlive the session. Ignored with
+  // inline boundaries.
+  FaultInjector* fault = nullptr;
+  FaultPlan ingress_faults;
+  FaultPlan egress_faults;
+  RetryPolicy retry;
+  /// Fallible boundaries even without an injector (real error paths
+  /// surface instead of fail-open empty units).
+  bool fallible_boundaries = false;
 };
 
 /// What the decode/display stages observed (read after the engine drained).
@@ -236,6 +250,15 @@ struct TranscodeSessionConfig {
   double time_scale = 0.0;  ///< 1.0 = charge modeled disk time as real sleeps
   fs::BlockDevice::TimingModel timing{};
   std::uint32_t block_size = 512;
+  // Fault injection & recovery (fault.h) — see StreamingSessionConfig.
+  // Endpoints register as "file.read" / "file.write"; with no
+  // injector but fallible_boundaries set, real device errors surface
+  // as permanent session failures instead of fail-open empty units.
+  FaultInjector* fault = nullptr;
+  FaultPlan read_faults;
+  FaultPlan write_faults;
+  RetryPolicy retry;
+  bool fallible_boundaries = false;
 };
 
 struct TranscodeState {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mmsoc::runtime {
@@ -14,11 +17,30 @@ using common::Status;
 using common::StatusCode;
 
 struct ShardedEngine::Impl {
+  /// Overload-policy bookkeeping for one admitted session that the
+  /// policy might act on (it carries a deadline, a degrade hook, or
+  /// both). Guarded by live_mu — a mutex *separate* from `mu` so the
+  /// engine completion callback may mark retirement without touching
+  /// the admission lock (lock order: mu -> live_mu; the callback only
+  /// ever takes live_mu).
+  struct LiveSession {
+    std::size_t shard = 0;
+    std::size_t session = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void(std::size_t)> on_degrade;
+    bool degraded = false;  ///< hook fired (at most once per session)
+    bool shed = false;      ///< cancelled by the load shedder
+    bool done = false;      ///< retired; record is garbage-collectable
+  };
+
   ShardedEngineOptions options;
   mutable std::mutex mu;  // guards admission decisions and stats
   AdmissionStats admission;
   bool running = false;
   bool done = false;
+  std::mutex live_mu;  // guards `live` (see LiveSession)
+  std::vector<LiveSession> live;
   // Lock-free load accounting: decremented from worker threads via the
   // engine completion callback, so it must never take `mu` (submit holds
   // mu while calling into the engine). Declared before `engines` so the
@@ -36,6 +58,8 @@ struct ShardedEngine::Impl {
   Counter* m_rejected = nullptr;
   Counter* m_failed = nullptr;
   Counter* m_completed = nullptr;
+  Counter* m_degraded = nullptr;
+  Counter* m_shed = nullptr;
   Gauge* g_inflight = nullptr;
 
   void emit_admission(EventKind kind, std::size_t shard_index) {
@@ -45,6 +69,53 @@ struct ShardedEngine::Impl {
     ev.begin_ns = ev.end_ns = Telemetry::now_ns();
     ev.arg0 = shard_index;
     adm_ring->emit(ev);
+  }
+
+  /// Fire every live session's on_degrade that has not fired yet.
+  /// Called under mu; the hooks themselves run outside live_mu so a
+  /// hook can never deadlock against the completion callback.
+  void degrade_live() {
+    std::vector<std::pair<std::function<void(std::size_t)>, std::size_t>> fire;
+    {
+      std::lock_guard lk(live_mu);
+      for (auto& r : live) {
+        if (r.done || r.degraded || !r.on_degrade) continue;
+        r.degraded = true;
+        fire.emplace_back(r.on_degrade, r.session);
+      }
+    }
+    for (auto& [hook, session] : fire) hook(session);
+    admission.degraded += fire.size();
+    if (m_degraded != nullptr && !fire.empty()) m_degraded->add(fire.size());
+  }
+
+  /// Cancel the live deadline-bearing session closest to missing its
+  /// deadline. Called under mu. Returns the victim's shard, or
+  /// SIZE_MAX when no sheddable session exists.
+  std::size_t shed_one() {
+    constexpr std::size_t kNone = ~std::size_t{0};
+    std::size_t victim_shard = kNone;
+    std::size_t victim_session = 0;
+    {
+      std::lock_guard lk(live_mu);
+      LiveSession* best_victim = nullptr;
+      for (auto& r : live) {
+        if (r.done || r.shed || !r.has_deadline) continue;
+        if (best_victim == nullptr || r.deadline < best_victim->deadline) {
+          best_victim = &r;
+        }
+      }
+      if (best_victim != nullptr) {
+        best_victim->shed = true;
+        victim_shard = best_victim->shard;
+        victim_session = best_victim->session;
+      }
+    }
+    if (victim_shard == kNone) return kNone;
+    engines[victim_shard]->cancel(victim_session);
+    ++admission.shed;
+    if (m_shed != nullptr) m_shed->add(1);
+    return victim_shard;
   }
 };
 
@@ -70,6 +141,8 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     impl_->m_rejected = m.counter(p + ".admission.rejected");
     impl_->m_failed = m.counter(p + ".admission.failed");
     impl_->m_completed = m.counter(p + ".admission.completed");
+    impl_->m_degraded = m.counter(p + ".admission.degrades");
+    impl_->m_shed = m.counter(p + ".admission.sheds");
     impl_->g_inflight = m.gauge(p + ".admission.inflight");
   }
   impl_->engines.reserve(shards);
@@ -90,7 +163,18 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     // Retire-on-complete load accounting: the slot frees the moment the
     // session stops consuming capacity, whether it completed or was
     // cancelled and fully retired.
-    engine_options.on_session_complete = [impl = impl_.get(), i](std::size_t) {
+    engine_options.on_session_complete = [impl = impl_.get(), i](std::size_t s) {
+      {
+        // Retire the overload-policy record so the shedder / degrader
+        // skips it. live_mu only — never `mu` (see LiveSession).
+        std::lock_guard lk(impl->live_mu);
+        for (auto& r : impl->live) {
+          if (r.shard == i && r.session == s) {
+            r.done = true;
+            break;
+          }
+        }
+      }
       impl->inflight[i].fetch_sub(1, std::memory_order_acq_rel);
       impl->completed.fetch_add(1, std::memory_order_relaxed);
       if (impl->m_completed != nullptr) {
@@ -120,16 +204,53 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
   }
   // Least-loaded placement over *live* in-flight counts (admissions
   // minus completions/retirements).
+  const std::size_t shards = impl_->options.shards;
+  const std::size_t per_shard = impl_->options.max_sessions_per_shard;
+  const auto& policy = impl_->options.overload;
   std::size_t best = 0;
-  std::size_t best_load = impl_->inflight[0].load(std::memory_order_acquire);
-  for (std::size_t i = 1; i < impl_->options.shards; ++i) {
-    const std::size_t load = impl_->inflight[i].load(std::memory_order_acquire);
-    if (load < best_load) {
-      best = i;
-      best_load = load;
+  std::size_t best_load = 0;
+  const auto least_loaded = [&] {
+    best = 0;
+    best_load = impl_->inflight[0].load(std::memory_order_acquire);
+    std::size_t total = best_load;
+    for (std::size_t i = 1; i < shards; ++i) {
+      const std::size_t load =
+          impl_->inflight[i].load(std::memory_order_acquire);
+      total += load;
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
+    }
+    return total;
+  };
+  const std::size_t total_inflight = least_loaded();
+  // Graceful degradation, stage 1: once the aggregate load crosses the
+  // watermark (or admission is about to reject), ask every live session
+  // to shrink its footprint — each hook fires at most once.
+  if (best_load >= per_shard ||
+      static_cast<double>(total_inflight + 1) >=
+          policy.degrade_watermark * static_cast<double>(shards * per_shard)) {
+    impl_->degrade_live();
+  }
+  // Stage 2: deadline-aware shedding. The victim — the live session
+  // closest to missing its deadline, i.e. least likely to finish useful
+  // work — is cancelled and its slot (returned when the cancel fully
+  // retires it) goes to the new arrival.
+  if (best_load >= per_shard && policy.shed_earliest_deadline) {
+    const std::size_t victim_shard = impl_->shed_one();
+    if (victim_shard != ~std::size_t{0}) {
+      const auto give_up =
+          std::chrono::steady_clock::now() + policy.shed_grace;
+      while (impl_->inflight[victim_shard].load(std::memory_order_acquire) >=
+             per_shard) {
+        if (std::chrono::steady_clock::now() >= give_up) break;
+        std::this_thread::yield();
+      }
+      least_loaded();
     }
   }
-  if (best_load >= impl_->options.max_sessions_per_shard) {
+  if (best_load >= per_shard) {
     ++impl_->admission.rejected;
     if (impl_->m_rejected != nullptr) impl_->m_rejected->add(1);
     impl_->emit_admission(EventKind::kReject, best);
@@ -155,6 +276,26 @@ Result<SessionTicket> ShardedEngine::submit(const mpsoc::TaskGraph& graph,
   if (impl_->m_accepted != nullptr) {
     impl_->m_accepted->add(1);
     impl_->g_inflight->add(1);
+  }
+  // Sessions the overload policy can act on (deadline to shed against,
+  // hook to fire) get a live record; pure best-effort sessions don't
+  // need one. Retired records are GC'd here, so the list stays bounded
+  // by the in-flight count.
+  if (session_options.timeout.count() > 0 || session_options.on_degrade) {
+    std::lock_guard lk(impl_->live_mu);
+    impl_->live.erase(
+        std::remove_if(impl_->live.begin(), impl_->live.end(),
+                       [](const Impl::LiveSession& r) { return r.done; }),
+        impl_->live.end());
+    Impl::LiveSession rec;
+    rec.shard = best;
+    rec.session = added.value();
+    rec.has_deadline = session_options.timeout.count() > 0;
+    if (rec.has_deadline) {
+      rec.deadline = std::chrono::steady_clock::now() + session_options.timeout;
+    }
+    rec.on_degrade = std::move(session_options.on_degrade);
+    impl_->live.push_back(std::move(rec));
   }
   impl_->emit_admission(EventKind::kAdmit, best);
   return SessionTicket{best, added.value()};

@@ -29,6 +29,31 @@
 
 namespace mmsoc::runtime {
 
+/// What the admission controller does when capacity runs out, beyond
+/// rejecting: the graceful-degradation half of the overload story. The
+/// default policy is inert (reject-only), preserving the original
+/// admission semantics.
+struct OverloadPolicy {
+  /// Early-warning watermark: once aggregate in-flight sessions reach
+  /// this fraction of total capacity (shards * max_sessions_per_shard),
+  /// submit() fires every live session's SessionOptions::on_degrade
+  /// (at most once per session) before placing the new one — sessions
+  /// shrink their footprint *before* the front door slams. Degrade also
+  /// fires on an actual capacity rejection regardless of the watermark.
+  /// > 1.0 disables the early warning.
+  double degrade_watermark = 2.0;
+  /// Deadline-aware load shedding: when every shard is at its admission
+  /// bound, cancel the live deadline-bearing session *closest to missing
+  /// its deadline* (it has the least chance of finishing useful work),
+  /// wait up to shed_grace for its slot to come back, and admit the new
+  /// session in its place. Off = reject, the legacy behavior.
+  bool shed_earliest_deadline = false;
+  /// How long submit() waits for a shed session to retire and return
+  /// its admission slot before rejecting after all. Cancellation drains
+  /// in-flight firings, so retirement is quick but not instant.
+  std::chrono::nanoseconds shed_grace{5'000'000};  // 5 ms
+};
+
 struct ShardedEngineOptions {
   /// Independent Engine instances (think: one per socket / process).
   std::size_t shards = 2;
@@ -51,6 +76,9 @@ struct ShardedEngineOptions {
   /// known up front — start() fails with kInvalidArgument otherwise).
   /// Pin failures fail start(), same as EngineOptions.
   bool pin_shard_cpu_ranges = false;
+  /// Overload response beyond rejection (degrade callbacks, deadline-
+  /// aware shedding). Default-inert.
+  OverloadPolicy overload;
 };
 
 /// Where an admitted session landed; pass back to cancel() / report().
@@ -75,6 +103,14 @@ struct AdmissionStats {
   /// ShardedEngine::stats() snapshot the books balance:
   /// accepted == completed + inflight.
   std::uint64_t inflight = 0;
+  /// SessionOptions::on_degrade callbacks fired by the overload policy
+  /// (each live session degrades at most once, so this also counts
+  /// degraded sessions).
+  std::uint64_t degraded = 0;
+  /// Sessions cancelled by deadline-aware load shedding to admit new
+  /// work. Shed sessions still retire through the normal cancel path
+  /// and count toward `completed` when their slot returns.
+  std::uint64_t shed = 0;
   [[nodiscard]] double reject_rate() const noexcept {
     return submitted > 0
                ? static_cast<double>(rejected) / static_cast<double>(submitted)

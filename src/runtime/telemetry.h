@@ -150,6 +150,13 @@ struct TelemetryOptions {
   // gate/channel/queue state dumped (see Engine stall reports). 0 disables
   // the watchdog.
   int watchdog_periods = 8;
+  // Watchdog escalation (detect -> recover): a flagged session still
+  // making zero progress after this many ADDITIONAL drain periods is
+  // quarantined — cancelled and drained through the normal cancellation
+  // machinery (SessionOutcome::kQuarantined, status kUnavailable) and
+  // recorded as an Engine::StallRecovery — so one wedged device never
+  // wedges the engine. 0 = detect-only (flag + dump, never cancel).
+  int watchdog_quarantine_periods = 0;
 };
 
 // Owns the per-thread rings, the string-intern table, the metrics registry,
